@@ -1,0 +1,112 @@
+//! Hashtag Aggregation (paper §III.A) — the eventually dependent pattern.
+//!
+//! Every timestep, each subgraph counts occurrences of one hashtag among its
+//! vertices' tweets and ships the count to Merge via `SendMessageToMerge`.
+//! In the Merge BSP each subgraph assembles its per-timestep `hash[]` list
+//! (one message per timestep, delivered in order) and forwards it to the
+//! largest subgraph of partition 0 — the paper's stand-in for a
+//! `Master.Compute` — which aggregates all lists element-wise.
+//!
+//! The master emits one value per timestep: `emit(VertexIdx(t), count_t)`
+//! (the vertex field carries the timestep index; this is the algorithm's
+//! tabular output, not a per-vertex result).
+
+use tempograph_core::VertexIdx;
+use tempograph_engine::{Context, Envelope, SubgraphProgram};
+use tempograph_partition::Subgraph;
+
+/// The hashtag-aggregation program; instantiate via
+/// [`HashtagAggregation::factory`].
+pub struct HashtagAggregation {
+    hashtag: String,
+    tweets_col: usize,
+}
+
+impl HashtagAggregation {
+    /// Build a per-subgraph factory counting `hashtag` occurrences in the
+    /// `TextList` vertex attribute at `tweets_col`.
+    pub fn factory(
+        hashtag: impl Into<String>,
+        tweets_col: usize,
+    ) -> impl Fn(&Subgraph, &tempograph_partition::PartitionedGraph) -> HashtagAggregation {
+        let hashtag = hashtag.into();
+        move |_, _| HashtagAggregation {
+            hashtag: hashtag.clone(),
+            tweets_col,
+        }
+    }
+
+    /// Merge-phase counter holding the total count across all timesteps.
+    pub const TOTAL: &'static str = "hashtag_total";
+}
+
+impl SubgraphProgram for HashtagAggregation {
+    type Msg = Vec<u64>;
+
+    fn compute(&mut self, ctx: &mut Context<'_, Vec<u64>>, _msgs: &[Envelope<Vec<u64>>]) {
+        if ctx.superstep() == 0 {
+            let instance = ctx.instance();
+            let tweets = instance
+                .vertex_text_list(self.tweets_col)
+                .expect("tweets attribute must be a TextList vertex column");
+            let count: u64 = tweets
+                .iter()
+                .map(|row| row.iter().filter(|t| *t == &self.hashtag).count() as u64)
+                .sum();
+            ctx.send_to_merge(vec![count]);
+        }
+        ctx.vote_to_halt();
+    }
+
+    fn merge(&mut self, ctx: &mut Context<'_, Vec<u64>>, msgs: &[Envelope<Vec<u64>>]) {
+        let master = ctx
+            .partitioned_graph()
+            .largest_subgraph_in_partition(0)
+            .expect("partition 0 has at least one subgraph");
+        if ctx.superstep() == 0 {
+            // One message per timestep, in chronological order: build
+            // hash[] and forward it to the master subgraph.
+            let hash: Vec<u64> = msgs.iter().map(|e| e.payload[0]).collect();
+            ctx.send_to_subgraph(master, hash);
+        } else if ctx.subgraph().id() == master && !msgs.is_empty() {
+            let timesteps = msgs.iter().map(|e| e.payload.len()).max().unwrap_or(0);
+            let mut totals = vec![0u64; timesteps];
+            for e in msgs {
+                for (t, &c) in e.payload.iter().enumerate() {
+                    totals[t] += c;
+                }
+            }
+            for (t, &c) in totals.iter().enumerate() {
+                ctx.emit(VertexIdx(t as u32), c as f64);
+            }
+            ctx.add_counter(Self::TOTAL, totals.iter().sum());
+        }
+        ctx.vote_to_halt();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempograph_core::{AttrType, TemplateBuilder};
+    use tempograph_partition::{discover_subgraphs, Partitioning};
+    use std::sync::Arc;
+
+    #[test]
+    fn factory_captures_hashtag() {
+        let mut b = TemplateBuilder::new("t", false);
+        b.vertex_schema().add("tweets", AttrType::TextList);
+        b.add_vertex(0);
+        let t = Arc::new(b.finalize().unwrap());
+        let pg = discover_subgraphs(
+            t,
+            Partitioning {
+                assignment: vec![0],
+                k: 1,
+            },
+        );
+        let p = HashtagAggregation::factory("#rust", 0)(&pg.subgraphs()[0], &pg);
+        assert_eq!(p.hashtag, "#rust");
+        assert_eq!(p.tweets_col, 0);
+    }
+}

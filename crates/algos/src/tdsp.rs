@@ -1,0 +1,265 @@
+//! Time-Dependent single-source Shortest Path (paper §III.C, Algorithm 2).
+//!
+//! Discrete-time TDSP: edge latencies change every period δ and a traveller
+//! may idle at a vertex until the next period. The algorithm stacks the
+//! instances into a 3-D graph with unidirectional *idling edges* between a
+//! vertex's copies at `tᵢ` and `tᵢ₊₁` and runs a horizon-bounded SSSP per
+//! timestep:
+//!
+//! * within timestep `i`, a modified Dijkstra explores only arrivals
+//!   `≤ (i+1)·δ` (later arrivals are discarded — edge values beyond the
+//!   current instance are not yet known);
+//! * vertices whose arrival lands within the horizon are **finalized**: the
+//!   idling edge makes any later path at least as slow, so the first horizon
+//!   a vertex is reached in gives its true TDSP (emitted via
+//!   [`Context::emit`]);
+//! * at the start of timestep `i+1`, every finalized vertex restarts with
+//!   label `(i+1)·δ` (it idled through the boundary) and the sweep repeats.
+//!
+//! Labels are measured as elapsed time since departure at `t0`.
+
+use tempograph_core::VertexIdx;
+use tempograph_engine::{Context, Envelope, SubgraphProgram, WireMsg};
+use tempograph_partition::Subgraph;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// TDSP message: either a remote relaxation or a liveness token for the
+/// `WhileActive` termination mode.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TdspMsg {
+    /// "Vertex `v` (in your subgraph) is reachable with arrival `label`."
+    Relax(VertexIdx, f64),
+    /// "My subgraph still has unfinalized vertices — keep iterating."
+    Continue,
+}
+
+impl WireMsg for TdspMsg {
+    fn encode(&self, buf: &mut bytes::BytesMut) {
+        match self {
+            TdspMsg::Relax(v, label) => {
+                bytes::BufMut::put_u8(buf, 0);
+                v.encode(buf);
+                label.encode(buf);
+            }
+            TdspMsg::Continue => bytes::BufMut::put_u8(buf, 1),
+        }
+    }
+
+    fn decode(buf: &mut bytes::Bytes) -> Self {
+        match bytes::Buf::get_u8(buf) {
+            0 => TdspMsg::Relax(VertexIdx::decode(buf), f64::decode(buf)),
+            _ => TdspMsg::Continue,
+        }
+    }
+}
+
+/// The TDSP program; instantiate one per subgraph via [`Tdsp::factory`].
+pub struct Tdsp {
+    source: VertexIdx,
+    latency_col: usize,
+    /// Working labels for the current timestep, by local position.
+    label: Vec<f64>,
+    /// Final TDSP values (∞ until finalized), by local position.
+    tdsp: Vec<f64>,
+    /// Finalized flags (the cumulative frontier `F` of Algorithm 2).
+    finalized: Vec<bool>,
+    /// Local positions to start this superstep's Dijkstra from.
+    roots: Vec<u32>,
+}
+
+impl Tdsp {
+    /// Build a per-subgraph factory for a TDSP from `source`, reading edge
+    /// latencies from the `Double` edge attribute at `latency_col` (resolve
+    /// with `template.edge_schema().index_of(...)`).
+    pub fn factory(
+        source: VertexIdx,
+        latency_col: usize,
+    ) -> impl Fn(&Subgraph, &tempograph_partition::PartitionedGraph) -> Tdsp {
+        move |sg, _| Tdsp {
+            source,
+            latency_col,
+            label: vec![f64::INFINITY; sg.num_vertices()],
+            tdsp: vec![f64::INFINITY; sg.num_vertices()],
+            finalized: vec![false; sg.num_vertices()],
+            roots: Vec::new(),
+        }
+    }
+
+    /// Name of the counter tracking vertices finalized per timestep
+    /// (the paper's Fig. 7a series).
+    pub const FINALIZED: &'static str = "tdsp_finalized";
+
+    /// Horizon-bounded Dijkstra from `self.roots`; returns remote
+    /// relaxations `(subgraph, vertex, arrival)` within the horizon.
+    fn modified_sssp(
+        &mut self,
+        ctx: &mut Context<'_, TdspMsg>,
+        horizon: f64,
+    ) -> Vec<(tempograph_partition::SubgraphId, VertexIdx, f64)> {
+        let instance = ctx.instance();
+        let sg = ctx.subgraph();
+        let latencies = instance
+            .edge_f64(self.latency_col)
+            .expect("latency attribute must be a Double edge column");
+
+        let mut heap: BinaryHeap<Reverse<(ordered_f64::F64, u32)>> = BinaryHeap::new();
+        for &r in &self.roots {
+            if self.label[r as usize] <= horizon {
+                heap.push(Reverse((ordered_f64::F64(self.label[r as usize]), r)));
+            }
+        }
+        self.roots.clear();
+
+        let mut remote: std::collections::HashMap<VertexIdx, (tempograph_partition::SubgraphId, f64)> =
+            std::collections::HashMap::new();
+        while let Some(Reverse((ordered_f64::F64(d), u))) = heap.pop() {
+            if d > self.label[u as usize] {
+                continue; // stale heap entry
+            }
+            for &(v, e) in sg.local_neighbors(u) {
+                let q = sg.edge_pos(e).expect("local edge belongs to subgraph");
+                let arrival = d + latencies[q as usize];
+                if arrival <= horizon && arrival < self.label[v as usize] {
+                    self.label[v as usize] = arrival;
+                    heap.push(Reverse((ordered_f64::F64(arrival), v)));
+                }
+            }
+            for rn in sg.remote_neighbors(u) {
+                let q = sg.edge_pos(rn.edge).expect("crossing edge belongs to subgraph");
+                let arrival = d + latencies[q as usize];
+                if arrival <= horizon {
+                    let entry = remote.entry(rn.vertex).or_insert((rn.subgraph, f64::INFINITY));
+                    if arrival < entry.1 {
+                        *entry = (rn.subgraph, arrival);
+                    }
+                }
+            }
+        }
+        let mut out: Vec<_> = remote
+            .into_iter()
+            .map(|(v, (sgid, label))| (sgid, v, label))
+            .collect();
+        out.sort_by(|a, b| (a.1, ordered_f64::F64(a.2)).cmp(&(b.1, ordered_f64::F64(b.2))));
+        out
+    }
+}
+
+impl SubgraphProgram for Tdsp {
+    type Msg = TdspMsg;
+
+    fn compute(&mut self, ctx: &mut Context<'_, TdspMsg>, msgs: &[Envelope<TdspMsg>]) {
+        let delta = ctx.period() as f64;
+        let t = ctx.timestep();
+        let horizon = (t as f64 + 1.0) * delta;
+
+        if ctx.superstep() == 0 {
+            // Fresh working labels; finalized vertices idle through the
+            // boundary and depart at t·δ (Algorithm 2 lines 8–11).
+            let departure = t as f64 * delta;
+            for (i, l) in self.label.iter_mut().enumerate() {
+                *l = if self.finalized[i] {
+                    departure.max(self.tdsp[i])
+                } else {
+                    f64::INFINITY
+                };
+            }
+            self.roots = (0..self.label.len() as u32)
+                .filter(|&i| self.finalized[i as usize])
+                .collect();
+            if t == 0 {
+                if let Some(pos) = ctx.subgraph().local_pos(self.source) {
+                    self.label[pos as usize] = 0.0;
+                    self.roots.push(pos);
+                }
+            }
+        } else {
+            // Remote relaxations (Algorithm 2 lines 13–18).
+            for e in msgs {
+                if let TdspMsg::Relax(v, label) = &e.payload {
+                    let pos = ctx
+                        .subgraph()
+                        .local_pos(*v)
+                        .expect("relaxation targets a member vertex");
+                    if *label < self.label[pos as usize] && !self.finalized[pos as usize] {
+                        self.label[pos as usize] = *label;
+                        self.roots.push(pos);
+                    }
+                }
+            }
+        }
+
+        if !self.roots.is_empty() {
+            for (sgid, v, label) in self.modified_sssp(ctx, horizon) {
+                ctx.send_to_subgraph(sgid, TdspMsg::Relax(v, label));
+            }
+        }
+        ctx.vote_to_halt();
+    }
+
+    fn end_of_timestep(&mut self, ctx: &mut Context<'_, TdspMsg>) {
+        // Finalize vertices reached within this horizon (F_t), emit their
+        // TDSP, and keep the loop alive while any vertex is unreached.
+        let mut newly = 0u64;
+        for pos in 0..self.label.len() {
+            if !self.finalized[pos] && self.label[pos].is_finite() {
+                self.finalized[pos] = true;
+                self.tdsp[pos] = self.label[pos];
+                ctx.emit(ctx.subgraph().vertex_at(pos as u32), self.label[pos]);
+                newly += 1;
+            }
+        }
+        if newly > 0 {
+            ctx.add_counter(Self::FINALIZED, newly);
+        }
+        ctx.vote_to_halt_timestep();
+        let all_done = self.finalized.iter().all(|&f| f);
+        if !all_done && ctx.timestep() + 1 < ctx.num_timesteps() {
+            ctx.send_to_next_timestep(TdspMsg::Continue);
+        }
+    }
+}
+
+/// Total-ordered f64 wrapper for the Dijkstra heaps (shared with SSSP).
+pub mod ordered_f64 {
+    /// An `f64` with `Ord` via IEEE total ordering (labels are never NaN).
+    #[derive(Copy, Clone, PartialEq)]
+    pub struct F64(pub f64);
+
+    impl Eq for F64 {}
+
+    impl PartialOrd for F64 {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    impl Ord for F64 {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.total_cmp(&other.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    #[test]
+    fn msg_roundtrip() {
+        for msg in [TdspMsg::Relax(VertexIdx(7), 3.5), TdspMsg::Continue] {
+            let mut buf = BytesMut::new();
+            msg.encode(&mut buf);
+            assert_eq!(TdspMsg::decode(&mut buf.freeze()), msg);
+        }
+    }
+
+    #[test]
+    fn ordered_f64_total_order() {
+        use super::ordered_f64::F64;
+        assert!(F64(1.0) < F64(2.0));
+        assert!(F64(f64::INFINITY) > F64(1e300));
+        assert_eq!(F64(0.5).cmp(&F64(0.5)), std::cmp::Ordering::Equal);
+    }
+}

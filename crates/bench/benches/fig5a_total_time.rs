@@ -1,0 +1,100 @@
+//! F5a — Fig. 5a: total time for HASH / MEME / TDSP on CARN / WIKI over
+//! 3 / 6 / 9 partitions, plus the §IV.B strong-scaling ratios.
+//!
+//! Paper shape to reproduce:
+//! * TDSP and MEME scale strongly from 3 → 6 partitions (≈ 1.8× CARN,
+//!   1.67–1.88× WIKI), with CARN scaling better to 9 (≈ 2.5× vs 1.9×);
+//! * HASH scales worst (per-timestep compute is tiny, so synchronisation
+//!   and merge overheads dominate);
+//! * TDSP on WIKI is unexpectedly *fast* — it converges in ~4 timesteps
+//!   (small world) vs ~47 for CARN, so it processes far fewer instances.
+//!
+//! Times are reported on the virtual (simulated-cluster) clock; see
+//! `tempograph-bench` docs for why wall time cannot show scaling on a
+//! single-core host.
+
+use tempograph_algos::{HashtagAggregation, MemeTracking, Tdsp};
+use tempograph_bench::*;
+use tempograph_core::VertexIdx;
+use tempograph_engine::{run_job, InstanceSource, JobConfig, JobResult};
+use tempograph_gen::{DatasetPreset, LATENCY_ATTR, TWEETS_ATTR};
+
+fn main() {
+    banner("F5a", "total time per algorithm × graph × partitions");
+    let ks = [3usize, 6, 9];
+    let mut rows = Vec::new();
+    let mut scaling_rows = Vec::new();
+
+    for preset in [DatasetPreset::Carn, DatasetPreset::Wiki] {
+        let t = template(preset);
+        let road = road_collection(t.clone());
+        let tweets = tweet_collection(t.clone(), preset);
+        let lat_col = t.edge_schema().index_of(LATENCY_ATTR).unwrap();
+        let tw_col = t.vertex_schema().index_of(TWEETS_ATTR).unwrap();
+
+        for algo in ["HASH", "MEME", "TDSP"] {
+            let mut virtuals = Vec::new();
+            for &k in &ks {
+                let pg = partitioned(&t, k);
+                let (coll, tag) = match algo {
+                    "TDSP" => (road.clone(), "road"),
+                    _ => (tweets.clone(), "tweets"),
+                };
+                let dir = stage_gofs(
+                    &format!("f5a-{}-{}-{}-{}", preset.name(), algo, k, tag),
+                    &pg,
+                    &coll,
+                    PACKING,
+                    BINNING,
+                );
+                let src = InstanceSource::Gofs(dir.clone());
+                let result: JobResult = match algo {
+                    "HASH" => run_job(
+                        &pg,
+                        &src,
+                        HashtagAggregation::factory(MEME, tw_col),
+                        JobConfig::eventually_dependent(TIMESTEPS),
+                    ),
+                    "MEME" => run_job(
+                        &pg,
+                        &src,
+                        MemeTracking::factory(MEME, tw_col),
+                        JobConfig::sequentially_dependent(TIMESTEPS),
+                    ),
+                    _ => run_job(
+                        &pg,
+                        &src,
+                        Tdsp::factory(VertexIdx(0), lat_col),
+                        JobConfig::sequentially_dependent(TIMESTEPS).while_active(TIMESTEPS),
+                    ),
+                };
+                cleanup(&dir);
+                let (wall, virt) = clocks(&result);
+                virtuals.push(virt);
+                rows.push(vec![
+                    format!("{algo}: {}", preset.name()),
+                    k.to_string(),
+                    format!("{virt:.3}"),
+                    format!("{wall:.3}"),
+                    result.timesteps_run.to_string(),
+                ]);
+            }
+            scaling_rows.push(vec![
+                format!("{algo}: {}", preset.name()),
+                format!("{:.2}x", virtuals[0] / virtuals[1]),
+                format!("{:.2}x", virtuals[0] / virtuals[2]),
+            ]);
+        }
+    }
+
+    print_table(
+        &["experiment", "partitions", "virtual_s", "wall_s", "timesteps_run"],
+        &rows,
+    );
+    println!("\n  strong scaling (virtual clock):");
+    print_table(&["experiment", "3->6", "3->9"], &scaling_rows);
+    println!(
+        "\n  paper shape: TDSP/MEME 3->6 ≈ 1.67–1.88x; CARN 3->9 ≈ 2.5x vs WIKI ≈ 1.9x; \
+         HASH scales least; TDSP(WIKI) runs few timesteps (~4) vs TDSP(CARN) (~47)"
+    );
+}

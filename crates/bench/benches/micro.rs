@@ -1,0 +1,112 @@
+//! M1 — criterion microbenchmarks for the substrate layers: codec
+//! encode/decode, multilevel partitioning, subgraph discovery, SIR
+//! generation, and a full small TI-BSP job (engine overhead floor).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::sync::Arc;
+use tempograph_algos::MemeTracking;
+use tempograph_bench::MEME;
+use tempograph_core::Column;
+use tempograph_engine::{run_job, InstanceSource, JobConfig};
+use tempograph_gen::{
+    generate_sir_tweets, road_network, RoadNetConfig, SirConfig, TWEETS_ATTR,
+};
+use tempograph_gofs::codec;
+use tempograph_partition::{discover_subgraphs, MultilevelPartitioner, Partitioner};
+
+fn bench_codec(c: &mut Criterion) {
+    let col = Column::Double((0..10_000).map(|i| i as f64 * 0.5).collect());
+    c.bench_function("codec_encode_f64_column_10k", |b| {
+        b.iter(|| {
+            let mut buf = bytes::BytesMut::new();
+            codec::put_column(&mut buf, &col);
+            buf
+        })
+    });
+    let mut buf = bytes::BytesMut::new();
+    codec::put_column(&mut buf, &col);
+    let encoded = buf.freeze();
+    c.bench_function("codec_decode_f64_column_10k", |b| {
+        b.iter_batched(
+            || encoded.clone(),
+            |mut bytes| codec::get_column(&mut bytes).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_partitioner(c: &mut Criterion) {
+    let t = road_network(&RoadNetConfig {
+        width: 50,
+        height: 50,
+        ..Default::default()
+    });
+    c.bench_function("multilevel_partition_2500v_k6", |b| {
+        b.iter(|| MultilevelPartitioner::default().partition(&t, 6))
+    });
+    let t = Arc::new(t);
+    let part = MultilevelPartitioner::default().partition(&t, 6);
+    c.bench_function("discover_subgraphs_2500v", |b| {
+        b.iter_batched(
+            || part.clone(),
+            |p| discover_subgraphs(t.clone(), p),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_sir_generator(c: &mut Criterion) {
+    let t = Arc::new(road_network(&RoadNetConfig {
+        width: 30,
+        height: 30,
+        ..Default::default()
+    }));
+    c.bench_function("sir_generate_900v_20steps", |b| {
+        b.iter(|| {
+            generate_sir_tweets(
+                t.clone(),
+                &SirConfig {
+                    timesteps: 20,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+}
+
+fn bench_engine_floor(c: &mut Criterion) {
+    let t = Arc::new(road_network(&RoadNetConfig {
+        width: 20,
+        height: 20,
+        ..Default::default()
+    }));
+    let coll = Arc::new(generate_sir_tweets(
+        t.clone(),
+        &SirConfig {
+            timesteps: 10,
+            hit_prob: 0.3,
+            ..Default::default()
+        },
+    ));
+    let part = MultilevelPartitioner::default().partition(&t, 2);
+    let pg = Arc::new(discover_subgraphs(t.clone(), part));
+    let tw_col = t.vertex_schema().index_of(TWEETS_ATTR).unwrap();
+    let src = InstanceSource::Memory(coll);
+    c.bench_function("meme_400v_10steps_2parts", |b| {
+        b.iter(|| {
+            run_job(
+                &pg,
+                &src,
+                MemeTracking::factory(MEME, tw_col),
+                JobConfig::sequentially_dependent(10),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(10);
+    targets = bench_codec, bench_partitioner, bench_sir_generator, bench_engine_floor
+);
+criterion_main!(micro);

@@ -1,0 +1,104 @@
+//! Error types for the core data model.
+
+use std::fmt;
+
+/// Convenience alias used throughout the core crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Errors raised while building templates or manipulating instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// An external vertex id referenced by an edge or lookup does not exist.
+    UnknownVertexId(u64),
+    /// An external edge id referenced by a lookup does not exist.
+    UnknownEdgeId(u64),
+    /// The same external vertex id was added twice.
+    DuplicateVertexId(u64),
+    /// The same external edge id was added twice.
+    DuplicateEdgeId(u64),
+    /// An attribute name was not found in the schema.
+    UnknownAttribute(String),
+    /// The same attribute name was defined twice in one schema.
+    DuplicateAttribute(String),
+    /// An attribute exists but has a different type than requested.
+    AttributeTypeMismatch {
+        /// Attribute name that was accessed.
+        name: String,
+        /// Type declared in the schema.
+        expected: crate::AttrType,
+        /// Type the caller asked for.
+        got: crate::AttrType,
+    },
+    /// An instance's timestamp does not equal `t0 + i·δ` for its position.
+    TimestampMismatch {
+        /// Timestamp the collection expected for this position.
+        expected: i64,
+        /// Timestamp carried by the pushed instance.
+        got: i64,
+    },
+    /// An instance was built against a different template (column counts or
+    /// lengths disagree with the collection's template).
+    TemplateMismatch(String),
+    /// The period `δ` must be strictly positive.
+    InvalidPeriod(i64),
+    /// Too many vertices/edges for the dense `u32` index space.
+    CapacityExceeded(&'static str),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownVertexId(id) => write!(f, "unknown vertex id {id}"),
+            CoreError::UnknownEdgeId(id) => write!(f, "unknown edge id {id}"),
+            CoreError::DuplicateVertexId(id) => write!(f, "duplicate vertex id {id}"),
+            CoreError::DuplicateEdgeId(id) => write!(f, "duplicate edge id {id}"),
+            CoreError::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
+            CoreError::DuplicateAttribute(name) => write!(f, "duplicate attribute `{name}`"),
+            CoreError::AttributeTypeMismatch {
+                name,
+                expected,
+                got,
+            } => write!(
+                f,
+                "attribute `{name}` has type {expected:?}, accessed as {got:?}"
+            ),
+            CoreError::TimestampMismatch { expected, got } => {
+                write!(f, "instance timestamp {got} != expected {expected}")
+            }
+            CoreError::TemplateMismatch(what) => write!(f, "template mismatch: {what}"),
+            CoreError::InvalidPeriod(p) => write!(f, "period must be > 0, got {p}"),
+            CoreError::CapacityExceeded(what) => {
+                write!(f, "more than u32::MAX {what} in one template")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AttrType;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(CoreError::UnknownVertexId(9).to_string().contains('9'));
+        assert!(CoreError::UnknownAttribute("x".into())
+            .to_string()
+            .contains("`x`"));
+        let e = CoreError::AttributeTypeMismatch {
+            name: "lat".into(),
+            expected: AttrType::Double,
+            got: AttrType::Long,
+        };
+        let s = e.to_string();
+        assert!(s.contains("lat") && s.contains("Double") && s.contains("Long"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(CoreError::InvalidPeriod(0));
+        assert!(e.to_string().contains("period"));
+    }
+}

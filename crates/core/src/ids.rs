@@ -1,0 +1,101 @@
+//! Dense index newtypes for vertices and edges.
+//!
+//! The template maps external 64-bit ids (as found in raw datasets) to dense
+//! `u32` indices. All hot paths — adjacency traversal, columnar attribute
+//! access, message routing — use the dense indices; external ids only appear
+//! at the API boundary.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dense index of a vertex within a [`crate::GraphTemplate`].
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VertexIdx(pub u32);
+
+/// Dense index of an edge within a [`crate::GraphTemplate`].
+///
+/// For undirected templates each *physical* edge has a single `EdgeIdx`
+/// shared by both traversal directions, so edge attributes (e.g. road
+/// latency) are stored once per road segment.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeIdx(pub u32);
+
+impl VertexIdx {
+    /// Index as a `usize`, for slice addressing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeIdx {
+    /// Index as a `usize`, for slice addressing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VertexIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for VertexIdx {
+    fn from(v: u32) -> Self {
+        VertexIdx(v)
+    }
+}
+
+impl From<u32> for EdgeIdx {
+    fn from(v: u32) -> Self {
+        EdgeIdx(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_idx_roundtrip() {
+        let v = VertexIdx(42);
+        assert_eq!(v.idx(), 42);
+        assert_eq!(format!("{v:?}"), "v42");
+        assert_eq!(format!("{v}"), "42");
+        assert_eq!(VertexIdx::from(42u32), v);
+    }
+
+    #[test]
+    fn edge_idx_roundtrip() {
+        let e = EdgeIdx(7);
+        assert_eq!(e.idx(), 7);
+        assert_eq!(format!("{e:?}"), "e7");
+        assert_eq!(EdgeIdx::from(7u32), e);
+    }
+
+    #[test]
+    fn ordering_follows_raw_index() {
+        assert!(VertexIdx(1) < VertexIdx(2));
+        assert!(EdgeIdx(0) < EdgeIdx(100));
+    }
+}

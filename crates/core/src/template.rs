@@ -1,0 +1,465 @@
+//! The graph template `Ĝ = ⟨V̂, Ê⟩`: time-invariant topology + schemas.
+//!
+//! Built once via [`TemplateBuilder`], then shared immutably (typically as an
+//! `Arc<GraphTemplate>`) by every instance, partition and engine worker.
+//! Adjacency is CSR — a flat offsets/targets pair — so traversal is a pair of
+//! slice reads with no pointer chasing.
+
+use crate::attr::Schema;
+use crate::error::{CoreError, Result};
+use crate::ids::{EdgeIdx, VertexIdx};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One adjacency entry: the neighbouring vertex and the edge connecting it.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Neighbor {
+    /// The vertex at the other end of the edge.
+    pub vertex: VertexIdx,
+    /// The connecting edge (shared with the reverse direction when the
+    /// template is undirected).
+    pub edge: EdgeIdx,
+}
+
+/// Time-invariant topology and attribute schemas shared by all instances.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GraphTemplate {
+    name: String,
+    directed: bool,
+    vertex_ids: Vec<u64>,
+    edge_ids: Vec<u64>,
+    /// (source, target) per edge, by `EdgeIdx`.
+    edge_endpoints: Vec<(VertexIdx, VertexIdx)>,
+    /// CSR offsets into `adjacency`, length |V|+1.
+    offsets: Vec<u32>,
+    adjacency: Vec<Neighbor>,
+    id_to_idx: HashMap<u64, VertexIdx>,
+    edge_id_to_idx: HashMap<u64, EdgeIdx>,
+    vertex_schema: Schema,
+    edge_schema: Schema,
+}
+
+impl GraphTemplate {
+    /// Conventional name of the boolean attribute that simulates slow
+    /// topology churn (paper §II.A): a vertex/edge with `isExists = false`
+    /// in an instance is treated as absent at that timestep.
+    pub const IS_EXISTS: &'static str = "isExists";
+
+    /// Human-readable dataset name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether edges are directed. Undirected templates store each physical
+    /// edge once but list it in both endpoints' adjacency.
+    pub fn directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Number of vertices `|V̂|`.
+    pub fn num_vertices(&self) -> usize {
+        self.vertex_ids.len()
+    }
+
+    /// Number of (physical) edges `|Ê|`.
+    pub fn num_edges(&self) -> usize {
+        self.edge_ids.len()
+    }
+
+    /// External id of a vertex.
+    pub fn vertex_id(&self, v: VertexIdx) -> u64 {
+        self.vertex_ids[v.idx()]
+    }
+
+    /// External id of an edge.
+    pub fn edge_id(&self, e: EdgeIdx) -> u64 {
+        self.edge_ids[e.idx()]
+    }
+
+    /// Dense index for an external vertex id.
+    pub fn vertex_by_id(&self, id: u64) -> Result<VertexIdx> {
+        self.id_to_idx
+            .get(&id)
+            .copied()
+            .ok_or(CoreError::UnknownVertexId(id))
+    }
+
+    /// Dense index for an external edge id.
+    pub fn edge_by_id(&self, id: u64) -> Result<EdgeIdx> {
+        self.edge_id_to_idx
+            .get(&id)
+            .copied()
+            .ok_or(CoreError::UnknownEdgeId(id))
+    }
+
+    /// `(source, target)` endpoints of an edge as added to the builder.
+    pub fn endpoints(&self, e: EdgeIdx) -> (VertexIdx, VertexIdx) {
+        self.edge_endpoints[e.idx()]
+    }
+
+    /// Out-neighbours of `v` (both directions' neighbours when undirected).
+    #[inline]
+    pub fn neighbors(&self, v: VertexIdx) -> &[Neighbor] {
+        let lo = self.offsets[v.idx()] as usize;
+        let hi = self.offsets[v.idx() + 1] as usize;
+        &self.adjacency[lo..hi]
+    }
+
+    /// Out-degree of `v` (total adjacency degree when undirected).
+    pub fn degree(&self, v: VertexIdx) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Iterate all vertex indices.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexIdx> + '_ {
+        (0..self.vertex_ids.len() as u32).map(VertexIdx)
+    }
+
+    /// Iterate all edge indices.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeIdx> + '_ {
+        (0..self.edge_ids.len() as u32).map(EdgeIdx)
+    }
+
+    /// Schema of the time-variant vertex attributes.
+    pub fn vertex_schema(&self) -> &Schema {
+        &self.vertex_schema
+    }
+
+    /// Schema of the time-variant edge attributes.
+    pub fn edge_schema(&self) -> &Schema {
+        &self.edge_schema
+    }
+
+    /// Estimate the diameter with a double-sweep BFS lower bound (exact BFS
+    /// eccentricity from the vertex found by the first sweep). Standard,
+    /// cheap and accurate on both road networks and small-world graphs;
+    /// used to reproduce the paper's dataset table.
+    pub fn approx_diameter(&self) -> usize {
+        if self.num_vertices() == 0 {
+            return 0;
+        }
+        let (far, _) = self.bfs_farthest(VertexIdx(0));
+        let (_, dist) = self.bfs_farthest(far);
+        dist
+    }
+
+    fn bfs_farthest(&self, src: VertexIdx) -> (VertexIdx, usize) {
+        let mut dist = vec![u32::MAX; self.num_vertices()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[src.idx()] = 0;
+        queue.push_back(src);
+        let mut far = src;
+        let mut far_d = 0usize;
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u.idx()];
+            for n in self.neighbors(u) {
+                let d = &mut dist[n.vertex.idx()];
+                if *d == u32::MAX {
+                    *d = du + 1;
+                    if (du + 1) as usize > far_d {
+                        far_d = (du + 1) as usize;
+                        far = n.vertex;
+                    }
+                    queue.push_back(n.vertex);
+                }
+            }
+        }
+        (far, far_d)
+    }
+}
+
+/// Incrementally constructs a [`GraphTemplate`]; call
+/// [`TemplateBuilder::finalize`] to validate and build the CSR adjacency.
+#[derive(Debug)]
+pub struct TemplateBuilder {
+    name: String,
+    directed: bool,
+    vertex_ids: Vec<u64>,
+    id_to_idx: HashMap<u64, VertexIdx>,
+    edge_ids: Vec<u64>,
+    edge_id_to_idx: HashMap<u64, EdgeIdx>,
+    edge_endpoints: Vec<(VertexIdx, VertexIdx)>,
+    vertex_schema: Schema,
+    edge_schema: Schema,
+}
+
+impl TemplateBuilder {
+    /// Start a template named `name`; `directed` fixes edge semantics.
+    pub fn new(name: impl Into<String>, directed: bool) -> Self {
+        Self {
+            name: name.into(),
+            directed,
+            vertex_ids: Vec::new(),
+            id_to_idx: HashMap::new(),
+            edge_ids: Vec::new(),
+            edge_id_to_idx: HashMap::new(),
+            edge_endpoints: Vec::new(),
+            vertex_schema: Schema::new(),
+            edge_schema: Schema::new(),
+        }
+    }
+
+    /// Mutable access to the vertex attribute schema.
+    pub fn vertex_schema(&mut self) -> &mut Schema {
+        &mut self.vertex_schema
+    }
+
+    /// Mutable access to the edge attribute schema.
+    pub fn edge_schema(&mut self) -> &mut Schema {
+        &mut self.edge_schema
+    }
+
+    /// Add a vertex with external id `id`; returns its dense index.
+    /// Re-adding an existing id returns the existing index.
+    pub fn add_vertex(&mut self, id: u64) -> VertexIdx {
+        if let Some(&idx) = self.id_to_idx.get(&id) {
+            return idx;
+        }
+        let idx = VertexIdx(self.vertex_ids.len() as u32);
+        self.vertex_ids.push(id);
+        self.id_to_idx.insert(id, idx);
+        idx
+    }
+
+    /// Add an edge with external id `edge_id` between external vertex ids.
+    /// Both endpoints must already exist.
+    pub fn add_edge(&mut self, edge_id: u64, src_id: u64, dst_id: u64) -> Result<EdgeIdx> {
+        let src = *self
+            .id_to_idx
+            .get(&src_id)
+            .ok_or(CoreError::UnknownVertexId(src_id))?;
+        let dst = *self
+            .id_to_idx
+            .get(&dst_id)
+            .ok_or(CoreError::UnknownVertexId(dst_id))?;
+        self.add_edge_by_idx(edge_id, src, dst)
+    }
+
+    /// Add an edge between dense indices (faster bulk path for generators).
+    pub fn add_edge_by_idx(
+        &mut self,
+        edge_id: u64,
+        src: VertexIdx,
+        dst: VertexIdx,
+    ) -> Result<EdgeIdx> {
+        if self.edge_id_to_idx.contains_key(&edge_id) {
+            return Err(CoreError::DuplicateEdgeId(edge_id));
+        }
+        let idx = EdgeIdx(self.edge_ids.len() as u32);
+        self.edge_ids.push(edge_id);
+        self.edge_id_to_idx.insert(edge_id, idx);
+        self.edge_endpoints.push((src, dst));
+        Ok(idx)
+    }
+
+    /// Number of vertices added so far.
+    pub fn num_vertices(&self) -> usize {
+        self.vertex_ids.len()
+    }
+
+    /// Number of edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.edge_ids.len()
+    }
+
+    /// Validate schemas, build CSR adjacency and freeze the template.
+    pub fn finalize(self) -> Result<GraphTemplate> {
+        self.vertex_schema.validate()?;
+        self.edge_schema.validate()?;
+        if self.vertex_ids.len() > u32::MAX as usize {
+            return Err(CoreError::CapacityExceeded("vertices"));
+        }
+        if self.edge_ids.len() > u32::MAX as usize {
+            return Err(CoreError::CapacityExceeded("edges"));
+        }
+
+        let nv = self.vertex_ids.len();
+        let mut degree = vec![0u32; nv];
+        for &(s, d) in &self.edge_endpoints {
+            degree[s.idx()] += 1;
+            if !self.directed {
+                degree[d.idx()] += 1;
+            }
+        }
+        let mut offsets = Vec::with_capacity(nv + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = offsets[..nv].to_vec();
+        let mut adjacency = vec![
+            Neighbor {
+                vertex: VertexIdx(0),
+                edge: EdgeIdx(0)
+            };
+            acc as usize
+        ];
+        for (ei, &(s, d)) in self.edge_endpoints.iter().enumerate() {
+            let e = EdgeIdx(ei as u32);
+            adjacency[cursor[s.idx()] as usize] = Neighbor { vertex: d, edge: e };
+            cursor[s.idx()] += 1;
+            if !self.directed {
+                adjacency[cursor[d.idx()] as usize] = Neighbor { vertex: s, edge: e };
+                cursor[d.idx()] += 1;
+            }
+        }
+        // Sort each vertex's adjacency by (neighbor, edge) for deterministic
+        // traversal order regardless of insertion order.
+        for v in 0..nv {
+            let lo = offsets[v] as usize;
+            let hi = offsets[v + 1] as usize;
+            adjacency[lo..hi].sort_unstable_by_key(|n| (n.vertex, n.edge));
+        }
+
+        Ok(GraphTemplate {
+            name: self.name,
+            directed: self.directed,
+            vertex_ids: self.vertex_ids,
+            edge_ids: self.edge_ids,
+            edge_endpoints: self.edge_endpoints,
+            offsets,
+            adjacency,
+            id_to_idx: self.id_to_idx,
+            edge_id_to_idx: self.edge_id_to_idx,
+            vertex_schema: self.vertex_schema,
+            edge_schema: self.edge_schema,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttrType;
+
+    fn path_graph(n: u64, directed: bool) -> GraphTemplate {
+        let mut b = TemplateBuilder::new("path", directed);
+        for i in 0..n {
+            b.add_vertex(i * 10);
+        }
+        for i in 0..n - 1 {
+            b.add_edge(i, i * 10, (i + 1) * 10).unwrap();
+        }
+        b.finalize().unwrap()
+    }
+
+    #[test]
+    fn build_undirected_path() {
+        let g = path_graph(4, false);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        // middle vertex has two neighbours
+        let v1 = g.vertex_by_id(10).unwrap();
+        assert_eq!(g.degree(v1), 2);
+        // endpoints have one
+        assert_eq!(g.degree(g.vertex_by_id(0).unwrap()), 1);
+        assert_eq!(g.degree(g.vertex_by_id(30).unwrap()), 1);
+    }
+
+    #[test]
+    fn build_directed_path() {
+        let g = path_graph(4, true);
+        assert_eq!(g.degree(g.vertex_by_id(0).unwrap()), 1);
+        assert_eq!(g.degree(g.vertex_by_id(30).unwrap()), 0); // sink
+    }
+
+    #[test]
+    fn undirected_edge_shares_edge_idx() {
+        let g = path_graph(3, false);
+        let v0 = g.vertex_by_id(0).unwrap();
+        let v1 = g.vertex_by_id(10).unwrap();
+        let fwd = g.neighbors(v0).iter().find(|n| n.vertex == v1).unwrap();
+        let rev = g.neighbors(v1).iter().find(|n| n.vertex == v0).unwrap();
+        assert_eq!(fwd.edge, rev.edge);
+    }
+
+    #[test]
+    fn duplicate_vertex_id_is_idempotent() {
+        let mut b = TemplateBuilder::new("t", false);
+        let a = b.add_vertex(5);
+        let c = b.add_vertex(5);
+        assert_eq!(a, c);
+        assert_eq!(b.num_vertices(), 1);
+    }
+
+    #[test]
+    fn duplicate_edge_id_rejected() {
+        let mut b = TemplateBuilder::new("t", false);
+        b.add_vertex(1);
+        b.add_vertex(2);
+        b.add_edge(9, 1, 2).unwrap();
+        assert_eq!(b.add_edge(9, 2, 1), Err(CoreError::DuplicateEdgeId(9)));
+    }
+
+    #[test]
+    fn edge_to_unknown_vertex_rejected() {
+        let mut b = TemplateBuilder::new("t", false);
+        b.add_vertex(1);
+        assert_eq!(b.add_edge(0, 1, 99), Err(CoreError::UnknownVertexId(99)));
+    }
+
+    #[test]
+    fn lookup_roundtrips() {
+        let g = path_graph(3, false);
+        for v in g.vertices() {
+            assert_eq!(g.vertex_by_id(g.vertex_id(v)).unwrap(), v);
+        }
+        for e in g.edges() {
+            assert_eq!(g.edge_by_id(g.edge_id(e)).unwrap(), e);
+        }
+        assert!(g.vertex_by_id(12345).is_err());
+        assert!(g.edge_by_id(12345).is_err());
+    }
+
+    #[test]
+    fn endpoints_preserved() {
+        let g = path_graph(3, false);
+        let e0 = g.edge_by_id(0).unwrap();
+        let (s, d) = g.endpoints(e0);
+        assert_eq!(g.vertex_id(s), 0);
+        assert_eq!(g.vertex_id(d), 10);
+    }
+
+    #[test]
+    fn adjacency_is_sorted() {
+        let mut b = TemplateBuilder::new("star", false);
+        for i in 0..5 {
+            b.add_vertex(i);
+        }
+        // insert spokes in reverse order
+        for (eid, i) in (1..5).rev().enumerate() {
+            b.add_edge(eid as u64, 0, i).unwrap();
+        }
+        let g = b.finalize().unwrap();
+        let hub = g.vertex_by_id(0).unwrap();
+        let ns: Vec<_> = g.neighbors(hub).iter().map(|n| n.vertex.0).collect();
+        let mut sorted = ns.clone();
+        sorted.sort_unstable();
+        assert_eq!(ns, sorted);
+    }
+
+    #[test]
+    fn diameter_of_path() {
+        let g = path_graph(10, false);
+        assert_eq!(g.approx_diameter(), 9);
+    }
+
+    #[test]
+    fn diameter_of_empty_and_single() {
+        let b = TemplateBuilder::new("empty", false);
+        assert_eq!(b.finalize().unwrap().approx_diameter(), 0);
+        let mut b = TemplateBuilder::new("one", false);
+        b.add_vertex(1);
+        assert_eq!(b.finalize().unwrap().approx_diameter(), 0);
+    }
+
+    #[test]
+    fn schema_validation_at_finalize() {
+        let mut b = TemplateBuilder::new("t", false);
+        b.vertex_schema().add("x", AttrType::Long);
+        b.vertex_schema().add("x", AttrType::Double);
+        assert!(b.finalize().is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the core data model.
+
+use proptest::prelude::*;
+use tempograph_core::{
+    AttrType, AttrValue, Column, GraphInstance, TemplateBuilder, TimeSeriesCollection, VertexIdx,
+};
+use std::sync::Arc;
+
+fn arb_attr_type() -> impl Strategy<Value = AttrType> {
+    prop_oneof![
+        Just(AttrType::Long),
+        Just(AttrType::Double),
+        Just(AttrType::Bool),
+        Just(AttrType::Text),
+        Just(AttrType::LongList),
+        Just(AttrType::TextList),
+    ]
+}
+
+fn arb_value_of(ty: AttrType) -> BoxedStrategy<AttrValue> {
+    match ty {
+        AttrType::Long => any::<i64>().prop_map(AttrValue::Long).boxed(),
+        AttrType::Double => any::<f64>()
+            .prop_filter("finite", |x| x.is_finite())
+            .prop_map(AttrValue::Double)
+            .boxed(),
+        AttrType::Bool => any::<bool>().prop_map(AttrValue::Bool).boxed(),
+        AttrType::Text => "[a-z#]{0,12}".prop_map(AttrValue::Text).boxed(),
+        AttrType::LongList => proptest::collection::vec(any::<i64>(), 0..6)
+            .prop_map(AttrValue::LongList)
+            .boxed(),
+        AttrType::TextList => proptest::collection::vec("[a-z#]{0,8}".prop_map(String::from), 0..4)
+            .prop_map(AttrValue::TextList)
+            .boxed(),
+    }
+}
+
+proptest! {
+    /// Dynamic set-then-get returns exactly what was stored, for every
+    /// attribute type.
+    #[test]
+    fn column_set_get_roundtrip(
+        ty in arb_attr_type(),
+        len in 1usize..40,
+        idx_frac in 0.0f64..1.0,
+    ) {
+        let mut col = Column::new(ty, len);
+        let idx = ((len - 1) as f64 * idx_frac) as usize;
+        let runner = &mut proptest::test_runner::TestRunner::deterministic();
+        let value = arb_value_of(ty).new_tree(runner).unwrap().current();
+        col.set(idx, value.clone()).unwrap();
+        prop_assert_eq!(col.get(idx), value);
+        prop_assert_eq!(col.len(), len);
+    }
+
+    /// Collections only accept the exact periodic timestamp sequence.
+    #[test]
+    fn collection_timestamps_are_periodic(
+        t0 in -1_000_000i64..1_000_000,
+        period in 1i64..10_000,
+        n in 1usize..20,
+    ) {
+        let mut b = TemplateBuilder::new("p", false);
+        b.add_vertex(0);
+        let t = Arc::new(b.finalize().unwrap());
+        let mut c = TimeSeriesCollection::new(t, t0, period);
+        for i in 0..n {
+            prop_assert_eq!(c.next_timestamp(), t0 + period * i as i64);
+            c.push(c.new_instance()).unwrap();
+        }
+        prop_assert_eq!(c.len(), n);
+        // at_time maps any time within the covered range to the right bucket.
+        let probe = t0 + period * (n as i64 / 2) + period / 2;
+        let g = c.at_time(probe).unwrap();
+        prop_assert_eq!(g.timestamp(), t0 + period * (n as i64 / 2));
+    }
+
+    /// CSR adjacency is consistent: undirected degree sums to 2|E|, every
+    /// adjacency entry's edge connects back, and neighbor lists are sorted.
+    #[test]
+    fn template_csr_invariants(
+        n in 2u64..60,
+        edges in proptest::collection::vec((0u64..60, 0u64..60), 0..120),
+    ) {
+        let mut b = TemplateBuilder::new("g", false);
+        for v in 0..n {
+            b.add_vertex(v);
+        }
+        let mut eid = 0u64;
+        for (s, d) in edges {
+            let (s, d) = (s % n, d % n);
+            b.add_edge(eid, s, d).unwrap();
+            eid += 1;
+        }
+        let g = b.finalize().unwrap();
+        let total_deg: usize = g.vertices().map(|v| g.degree(v)).sum();
+        // Self-loops appear twice in undirected adjacency too.
+        prop_assert_eq!(total_deg, 2 * g.num_edges());
+        for v in g.vertices() {
+            let ns = g.neighbors(v);
+            for w in ns.windows(2) {
+                prop_assert!((w[0].vertex, w[0].edge) <= (w[1].vertex, w[1].edge));
+            }
+            for nb in ns {
+                let (a, bnd) = g.endpoints(nb.edge);
+                prop_assert!(a == v || bnd == v, "edge must touch its source");
+            }
+        }
+    }
+
+    /// Instances always validate against the template that built them, and
+    /// all columns match the vertex/edge counts.
+    #[test]
+    fn fresh_instances_validate(
+        nv in 1u64..40,
+        ne_frac in 0usize..40,
+        n_attrs in 0usize..4,
+    ) {
+        let mut b = TemplateBuilder::new("g", true);
+        for (i, ty) in [AttrType::Long, AttrType::Double, AttrType::TextList, AttrType::Bool]
+            .into_iter()
+            .take(n_attrs)
+            .enumerate()
+        {
+            b.vertex_schema().add(format!("a{i}"), ty);
+            b.edge_schema().add(format!("b{i}"), ty);
+        }
+        for v in 0..nv {
+            b.add_vertex(v);
+        }
+        for e in 0..ne_frac.min((nv * nv) as usize) as u64 {
+            b.add_edge(e, e % nv, (e * 7 + 1) % nv).unwrap();
+        }
+        let t = b.finalize().unwrap();
+        let g = GraphInstance::new(&t, 123);
+        prop_assert!(g.validate_against(&t).is_ok());
+        for c in g.vertex_columns() {
+            prop_assert_eq!(c.len(), t.num_vertices());
+        }
+        for c in g.edge_columns() {
+            prop_assert_eq!(c.len(), t.num_edges());
+        }
+    }
+
+    /// approx_diameter is a lower bound on the true diameter and at least
+    /// the distance found by any BFS (sanity on paths where it is exact).
+    #[test]
+    fn path_diameter_exact(n in 2u64..80) {
+        let mut b = TemplateBuilder::new("p", false);
+        for v in 0..n {
+            b.add_vertex(v);
+        }
+        for e in 0..n - 1 {
+            b.add_edge(e, e, e + 1).unwrap();
+        }
+        let g = b.finalize().unwrap();
+        prop_assert_eq!(g.approx_diameter(), (n - 1) as usize);
+        let _ = VertexIdx(0);
+    }
+}

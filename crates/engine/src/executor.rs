@@ -1,0 +1,838 @@
+//! The TI-BSP executor: a simulated distributed cluster.
+//!
+//! One OS thread per partition stands in for one GoFFish host (the paper's
+//! EC2 VMs). Within a timestep, workers run barrier-synchronised BSP
+//! supersteps over their subgraphs; across timesteps the configured
+//! [`Pattern`] decides how state flows (§II.B's three design patterns).
+//!
+//! **Messaging.** Intra-partition messages move as values; inter-partition
+//! messages are genuinely serialised through [`crate::wire`], shipped over
+//! a crossbeam channel, and deserialised by the receiving worker — so the
+//! "partition overhead" metric measures real marshalling work and remote
+//! byte counts are true wire sizes.
+//!
+//! **Synchronisation.** Each superstep ends at a [`SyncPoint`] rendezvous
+//! that also folds the halting votes and message counts; BSP terminates when
+//! all subgraphs voted to halt and no messages are in flight (§II.C), and in
+//! `WhileActive` mode the timestep loop terminates when all subgraphs voted
+//! `VoteToHaltTimestep` and no cross-timestep messages were emitted (§II.D).
+//!
+//! **Determinism.** Message delivery is sorted by (sender, sequence), so a
+//! job's emitted results are identical across runs and partition layouts
+//! don't leak scheduling nondeterminism into algorithm output.
+
+use crate::metrics::{Emit, JobResult, TimestepMetrics};
+use crate::program::{Context, Outbox, Phase, SubgraphProgram};
+use crate::provider::{InstanceProvider, InstanceSource};
+use crate::sync::{Contribution, SyncPoint};
+use crate::wire::{sort_envelopes, Envelope};
+use bytes::{Buf, Bytes, BytesMut};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+use tempograph_gofs::SubgraphInstance;
+use tempograph_partition::{PartitionedGraph, SubgraphId};
+
+/// The paper's three design patterns for time-series graph algorithms.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Pattern {
+    /// Every instance is analysed independently; results are the union of
+    /// per-instance results. Cross-timestep messaging is forbidden.
+    Independent,
+    /// Instances run independently, then a Merge BSP aggregates
+    /// `SendMessageToMerge` traffic.
+    EventuallyDependent,
+    /// Each timestep's computation consumes the previous timestep's output
+    /// via `SendToNextTimestep` (the paper's focus).
+    SequentiallyDependent,
+}
+
+/// How many timesteps to run.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TimestepMode {
+    /// Run exactly this many instances (a `For` loop over `ti..ti+n`).
+    Fixed(usize),
+    /// Run until every subgraph votes `VoteToHaltTimestep` and no
+    /// cross-timestep messages are emitted (a `While` loop), capped at
+    /// `max`.
+    WhileActive {
+        /// Upper bound on timesteps (≤ stored instances).
+        max: usize,
+    },
+}
+
+/// TI-BSP job configuration.
+#[derive(Clone, Debug)]
+pub struct JobConfig<M> {
+    /// Design pattern (decides merge phase and cross-timestep rules).
+    pub pattern: Pattern,
+    /// Timestep loop mode.
+    pub mode: TimestepMode,
+    /// Safety bound on supersteps per timestep.
+    pub max_supersteps: usize,
+    /// Application input messages, delivered at timestep 0, superstep 0.
+    pub initial_messages: Vec<(SubgraphId, M)>,
+    /// Ablation A1: process instances without per-timestep barriers
+    /// (independent / eventually-dependent patterns whose compute uses no
+    /// superstep messaging only). The paper notes GoFFish does *not* exploit
+    /// this; defaults to `false` for fidelity.
+    pub temporal_parallelism: bool,
+    /// Run a worker's subgraphs in parallel within each superstep (rayon) —
+    /// the multi-core use of a host that GoFFish gets from the JVM (the
+    /// paper's m3.large VMs have 2 cores). Instances for active subgraphs
+    /// are prefetched eagerly in this mode, trading per-subgraph lazy
+    /// loading for parallelism. Deterministic: outboxes are merged in
+    /// subgraph order regardless of completion order.
+    pub intra_partition_parallelism: bool,
+}
+
+impl<M> JobConfig<M> {
+    /// A sequentially dependent job over `timesteps` instances.
+    pub fn sequentially_dependent(timesteps: usize) -> Self {
+        Self::with_pattern(Pattern::SequentiallyDependent, timesteps)
+    }
+
+    /// An eventually dependent job over `timesteps` instances.
+    pub fn eventually_dependent(timesteps: usize) -> Self {
+        Self::with_pattern(Pattern::EventuallyDependent, timesteps)
+    }
+
+    /// An independent job over `timesteps` instances.
+    pub fn independent(timesteps: usize) -> Self {
+        Self::with_pattern(Pattern::Independent, timesteps)
+    }
+
+    fn with_pattern(pattern: Pattern, timesteps: usize) -> Self {
+        JobConfig {
+            pattern,
+            mode: TimestepMode::Fixed(timesteps),
+            max_supersteps: 100_000,
+            initial_messages: Vec::new(),
+            temporal_parallelism: false,
+            intra_partition_parallelism: false,
+        }
+    }
+
+    /// Switch to `WhileActive` (vote-driven) timestep termination.
+    pub fn while_active(mut self, max: usize) -> Self {
+        self.mode = TimestepMode::WhileActive { max };
+        self
+    }
+
+    /// Provide application input messages.
+    pub fn with_initial_messages(mut self, msgs: Vec<(SubgraphId, M)>) -> Self {
+        self.initial_messages = msgs;
+        self
+    }
+
+    /// Enable the temporal-parallelism ablation (see field docs).
+    pub fn with_temporal_parallelism(mut self) -> Self {
+        self.temporal_parallelism = true;
+        self
+    }
+
+    /// Enable rayon parallelism across a partition's subgraphs (see field
+    /// docs).
+    pub fn with_intra_partition_parallelism(mut self) -> Self {
+        self.intra_partition_parallelism = true;
+        self
+    }
+}
+
+const KIND_SUPERSTEP: u8 = 0;
+const KIND_NEXT_TIMESTEP: u8 = 1;
+
+/// One serialised bundle of envelopes between two partitions.
+struct Batch {
+    kind: u8,
+    count: u32,
+    bytes: Bytes,
+}
+
+/// Per-worker result shipped back to the driver.
+struct WorkerOutput {
+    metrics: Vec<TimestepMetrics>,
+    merge_metrics: TimestepMetrics,
+    counters: Vec<HashMap<&'static str, u64>>,
+    merge_counters: HashMap<&'static str, u64>,
+    emits: Vec<Emit>,
+    timesteps_run: usize,
+}
+
+/// Run a TI-BSP job and gather its results and metrics.
+///
+/// `factory` builds one program instance per subgraph; program state
+/// persists across supersteps and timesteps.
+pub fn run_job<P, F>(
+    pg: &Arc<PartitionedGraph>,
+    source: &InstanceSource,
+    factory: F,
+    config: JobConfig<P::Msg>,
+) -> JobResult
+where
+    P: SubgraphProgram,
+    F: Fn(&tempograph_partition::Subgraph, &PartitionedGraph) -> P + Send + Sync,
+{
+    let k = pg.num_partitions();
+    let available = source.num_timesteps();
+    let timesteps = match config.mode {
+        TimestepMode::Fixed(n) => {
+            assert!(
+                n <= available,
+                "job wants {n} timesteps but source stores {available}"
+            );
+            n
+        }
+        TimestepMode::WhileActive { max } => max.min(available),
+    };
+    if config.temporal_parallelism {
+        assert!(
+            config.pattern != Pattern::SequentiallyDependent,
+            "temporal parallelism cannot apply to sequentially dependent jobs"
+        );
+        assert!(
+            matches!(config.mode, TimestepMode::Fixed(_)),
+            "temporal parallelism requires a fixed timestep range"
+        );
+    }
+
+    let sync = SyncPoint::new(k);
+    let mut txs: Vec<Sender<Batch>> = Vec::with_capacity(k);
+    let mut rxs: Vec<Option<Receiver<Batch>>> = Vec::with_capacity(k);
+    for _ in 0..k {
+        let (tx, rx) = unbounded();
+        txs.push(tx);
+        rxs.push(Some(rx));
+    }
+
+    let job_start = Instant::now();
+    let outputs: Vec<WorkerOutput> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(k);
+        for p in 0..k {
+            let rx = rxs[p].take().expect("receiver unclaimed");
+            let txs = txs.clone();
+            let sync = &sync;
+            let pg = pg;
+            let factory = &factory;
+            let config = config.clone();
+            let source = source.clone();
+            handles.push(scope.spawn(move || {
+                let provider = source.provider(pg, p as u16);
+                let mut worker = Worker::<P>::new(p as u16, pg, provider, rx, txs, sync, &config);
+                worker.init_programs(factory);
+                worker.run(timesteps, &config)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread must not panic"))
+            .collect()
+    });
+    let total_wall_ns = job_start.elapsed().as_nanos() as u64;
+
+    // Assemble the global result.
+    let timesteps_run = outputs[0].timesteps_run;
+    debug_assert!(outputs.iter().all(|o| o.timesteps_run == timesteps_run));
+    let mut metrics = vec![vec![TimestepMetrics::default(); k]; timesteps_run];
+    for (p, o) in outputs.iter().enumerate() {
+        for (t, m) in o.metrics.iter().enumerate() {
+            metrics[t][p] = m.clone();
+        }
+    }
+    let merge_metrics = outputs.iter().map(|o| o.merge_metrics.clone()).collect();
+
+    let mut counters: HashMap<String, Vec<Vec<u64>>> = HashMap::new();
+    for (p, o) in outputs.iter().enumerate() {
+        for (t, per_t) in o.counters.iter().enumerate() {
+            for (&name, &v) in per_t {
+                let rows = counters
+                    .entry(name.to_string())
+                    .or_insert_with(|| vec![vec![0; k]; timesteps_run]);
+                rows[t][p] += v;
+            }
+        }
+    }
+    let mut merge_counters: HashMap<String, Vec<u64>> = HashMap::new();
+    for (p, o) in outputs.iter().enumerate() {
+        for (&name, &v) in &o.merge_counters {
+            merge_counters
+                .entry(name.to_string())
+                .or_insert_with(|| vec![0; k])[p] += v;
+        }
+    }
+
+    let mut emitted: Vec<Emit> = outputs.into_iter().flat_map(|o| o.emits).collect();
+    emitted.sort_by(|a, b| {
+        (a.timestep, a.vertex)
+            .cmp(&(b.timestep, b.vertex))
+            .then(a.value.total_cmp(&b.value))
+    });
+
+    JobResult {
+        timesteps_run,
+        metrics,
+        merge_metrics,
+        counters,
+        merge_counters,
+        emitted,
+        total_wall_ns,
+    }
+}
+
+/// Per-partition execution state.
+struct Worker<'a, P: SubgraphProgram> {
+    partition: u16,
+    pg: &'a PartitionedGraph,
+    sg_ids: Vec<SubgraphId>,
+    index_of: HashMap<SubgraphId, usize>,
+    programs: Vec<Option<P>>,
+    provider: Box<dyn InstanceProvider>,
+    rx: Receiver<Batch>,
+    txs: Vec<Sender<Batch>>,
+    sync: &'a SyncPoint,
+
+    inbox: Vec<Vec<Envelope<P::Msg>>>,
+    next_inbox: Vec<Vec<Envelope<P::Msg>>>,
+    merge_inbox: Vec<Vec<Envelope<P::Msg>>>,
+    halted: Vec<bool>,
+    voted_halt_ts: Vec<bool>,
+    merge_seq: Vec<u32>,
+    memo: HashMap<SubgraphId, Arc<SubgraphInstance>>,
+
+    out: WorkerOutput,
+    cur_counters: HashMap<&'static str, u64>,
+    allow_next_timestep: bool,
+}
+
+impl<'a, P: SubgraphProgram> Worker<'a, P> {
+    fn new(
+        partition: u16,
+        pg: &'a PartitionedGraph,
+        provider: Box<dyn InstanceProvider>,
+        rx: Receiver<Batch>,
+        txs: Vec<Sender<Batch>>,
+        sync: &'a SyncPoint,
+        config: &JobConfig<P::Msg>,
+    ) -> Self {
+        let sg_ids: Vec<SubgraphId> = pg.subgraphs_of_partition(partition).to_vec();
+        let index_of = sg_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i))
+            .collect::<HashMap<_, _>>();
+        let n = sg_ids.len();
+        Worker {
+            partition,
+            pg,
+            sg_ids,
+            index_of,
+            programs: Vec::new(),
+            provider,
+            rx,
+            txs,
+            sync,
+            inbox: vec![Vec::new(); n],
+            next_inbox: vec![Vec::new(); n],
+            merge_inbox: vec![Vec::new(); n],
+            halted: vec![false; n],
+            voted_halt_ts: vec![false; n],
+            merge_seq: vec![0; n],
+            memo: HashMap::new(),
+            out: WorkerOutput {
+                metrics: Vec::new(),
+                merge_metrics: TimestepMetrics::default(),
+                counters: Vec::new(),
+                merge_counters: HashMap::new(),
+                emits: Vec::new(),
+                timesteps_run: 0,
+            },
+            cur_counters: HashMap::new(),
+            allow_next_timestep: config.pattern == Pattern::SequentiallyDependent,
+        }
+    }
+
+    fn init_programs<F>(&mut self, factory: &F)
+    where
+        F: Fn(&tempograph_partition::Subgraph, &PartitionedGraph) -> P,
+    {
+        self.programs = self
+            .sg_ids
+            .iter()
+            .map(|&id| Some(factory(self.pg.subgraph(id), self.pg)))
+            .collect();
+    }
+
+    fn run(mut self, timesteps: usize, config: &JobConfig<P::Msg>) -> WorkerOutput {
+        if config.temporal_parallelism {
+            self.run_temporally_parallel(timesteps, config);
+        } else {
+            self.run_timestep_loop(timesteps, config);
+        }
+        if config.pattern == Pattern::EventuallyDependent {
+            self.run_merge(config);
+        }
+        self.out
+    }
+
+    // ---- main timestep loop -------------------------------------------
+
+    fn run_timestep_loop(&mut self, timesteps: usize, config: &JobConfig<P::Msg>) {
+        for t in 0..timesteps {
+            let ts_start = Instant::now();
+            let mut m = TimestepMetrics::default();
+            self.cur_counters = HashMap::new();
+            self.memo.clear();
+            self.halted.iter_mut().for_each(|h| *h = false);
+            self.voted_halt_ts.iter_mut().for_each(|h| *h = false);
+
+            // Messages from the previous timestep become this timestep's
+            // superstep-0 inbox.
+            std::mem::swap(&mut self.inbox, &mut self.next_inbox);
+            for list in &mut self.next_inbox {
+                list.clear();
+            }
+            if t == 0 {
+                for (i, (to, msg)) in config.initial_messages.iter().enumerate() {
+                    if let Some(&idx) = self.index_of.get(to) {
+                        self.inbox[idx].push(Envelope {
+                            from: *to,
+                            to: *to,
+                            seq: i as u32,
+                            payload: msg.clone(),
+                        });
+                    }
+                }
+            }
+            for list in &mut self.inbox {
+                sort_envelopes(list);
+            }
+
+            let mut next_msgs_total = 0u64;
+            let supersteps = self.run_bsp(t, timesteps, config, Phase::Compute, &mut m, &mut next_msgs_total);
+            m.supersteps = supersteps;
+
+            // EndOfTimestep on every subgraph.
+            let eot_start = Instant::now();
+            let mut next_out: Vec<Envelope<P::Msg>> = Vec::new();
+            for i in 0..self.sg_ids.len() {
+                let mut outbox =
+                    Outbox::new(false, self.allow_next_timestep, self.merge_seq[i]);
+                self.invoke(i, t, supersteps as usize, timesteps, Phase::EndOfTimestep, &[], &mut outbox);
+                self.merge_seq[i] = outbox.merge_seq;
+                self.absorb_outbox(i, t, &mut outbox, &mut next_out, None);
+                if outbox.voted_halt_timestep {
+                    self.voted_halt_ts[i] = true;
+                }
+            }
+            let eot_elapsed = eot_start.elapsed().as_nanos() as u64;
+            m.compute_ns += eot_elapsed;
+            // EndOfTimestep is barriered like a superstep; record it so the
+            // virtual-makespan model accounts for its skew too.
+            m.superstep_compute_ns.push(eot_elapsed);
+
+            // Route cross-timestep messages.
+            let send_start = Instant::now();
+            next_msgs_total += next_out.len() as u64;
+            self.route(next_out, KIND_NEXT_TIMESTEP, &mut m);
+            m.msg_ns += send_start.elapsed().as_nanos() as u64;
+
+            // Timestep barrier + global while-loop decision.
+            let wait = Instant::now();
+            let agg = self.sync.arrive(Contribution {
+                msgs_sent: next_msgs_total,
+                all_halted: self.voted_halt_ts.iter().all(|&v| v),
+            });
+            m.sync_ns += wait.elapsed().as_nanos() as u64;
+            self.drain();
+            // Late-arrival barrier: nobody starts the next timestep until
+            // every worker has drained this one's traffic.
+            let wait = Instant::now();
+            self.sync.barrier();
+            m.sync_ns += wait.elapsed().as_nanos() as u64;
+
+            let io = self.provider.take_io_stats();
+            m.io_ns += io.ns;
+            m.slice_loads += io.loads;
+            m.wall_ns = ts_start.elapsed().as_nanos() as u64;
+            self.out.metrics.push(m);
+            self.out.counters.push(std::mem::take(&mut self.cur_counters));
+            self.out.timesteps_run = t + 1;
+
+            if matches!(config.mode, TimestepMode::WhileActive { .. }) && agg.should_stop() {
+                break;
+            }
+        }
+    }
+
+    /// Run one BSP (compute or merge phase). Returns superstep count.
+    fn run_bsp(
+        &mut self,
+        t: usize,
+        timesteps: usize,
+        config: &JobConfig<P::Msg>,
+        phase: Phase,
+        m: &mut TimestepMetrics,
+        next_msgs_total: &mut u64,
+    ) -> u32 {
+        let mut ss: usize = 0;
+        loop {
+            let compute_start = Instant::now();
+            let mut superstep_out: Vec<Envelope<P::Msg>> = Vec::new();
+            let mut next_out: Vec<Envelope<P::Msg>> = Vec::new();
+            let active: Vec<bool> = (0..self.sg_ids.len())
+                .map(|i| ss == 0 || !self.halted[i] || !self.inbox[i].is_empty())
+                .collect();
+            if config.intra_partition_parallelism && active.iter().filter(|&&a| a).count() > 1 {
+                let outboxes =
+                    self.compute_phase_parallel(t, ss, timesteps, phase, &active);
+                for (i, mut outbox) in outboxes {
+                    self.merge_seq[i] = outbox.merge_seq;
+                    self.halted[i] = outbox.voted_halt;
+                    if outbox.voted_halt_timestep {
+                        self.voted_halt_ts[i] = true;
+                    }
+                    self.absorb_outbox(i, t, &mut outbox, &mut next_out, Some(&mut superstep_out));
+                }
+            } else {
+                for i in 0..self.sg_ids.len() {
+                    let msgs = std::mem::take(&mut self.inbox[i]);
+                    if !active[i] {
+                        continue;
+                    }
+                    self.halted[i] = false;
+                    let mut outbox = Outbox::new(
+                        true,
+                        self.allow_next_timestep && phase == Phase::Compute,
+                        self.merge_seq[i],
+                    );
+                    self.invoke(i, t, ss, timesteps, phase, &msgs, &mut outbox);
+                    self.merge_seq[i] = outbox.merge_seq;
+                    if outbox.voted_halt {
+                        self.halted[i] = true;
+                    }
+                    if outbox.voted_halt_timestep {
+                        self.voted_halt_ts[i] = true;
+                    }
+                    self.absorb_outbox(i, t, &mut outbox, &mut next_out, Some(&mut superstep_out));
+                }
+            }
+            let compute_elapsed = compute_start.elapsed().as_nanos() as u64;
+            m.compute_ns += compute_elapsed;
+            m.superstep_compute_ns.push(compute_elapsed);
+
+            let send_start = Instant::now();
+            let sent = superstep_out.len() as u64;
+            *next_msgs_total += next_out.len() as u64;
+            self.route(superstep_out, KIND_SUPERSTEP, m);
+            self.route(next_out, KIND_NEXT_TIMESTEP, m);
+            m.msg_ns += send_start.elapsed().as_nanos() as u64;
+
+            let wait = Instant::now();
+            let agg = self.sync.arrive(Contribution {
+                msgs_sent: sent,
+                all_halted: self.halted.iter().all(|&h| h),
+            });
+            m.sync_ns += wait.elapsed().as_nanos() as u64;
+
+            self.drain();
+            for list in &mut self.inbox {
+                sort_envelopes(list);
+            }
+            // Second rendezvous: a fast worker must not start the next
+            // superstep (and send new batches) before every worker finished
+            // draining this one — otherwise a batch from superstep s+1
+            // could sneak into a slow worker's superstep-s drain.
+            let wait = Instant::now();
+            self.sync.barrier();
+            m.sync_ns += wait.elapsed().as_nanos() as u64;
+            ss += 1;
+            if agg.should_stop() || ss >= config.max_supersteps {
+                return ss as u32;
+            }
+        }
+    }
+
+    /// Parallel compute phase: prefetch instances for active subgraphs,
+    /// then run their programs concurrently with rayon. Returns per-index
+    /// outboxes in subgraph order (deterministic merge).
+    fn compute_phase_parallel(
+        &mut self,
+        t: usize,
+        ss: usize,
+        timesteps: usize,
+        phase: Phase,
+        active: &[bool],
+    ) -> Vec<(usize, Outbox<P::Msg>)> {
+        use rayon::prelude::*;
+
+        // Eager prefetch (sequential: the provider owns the disk handle).
+        if phase != Phase::Merge {
+            for (i, &is_active) in active.iter().enumerate() {
+                if is_active {
+                    let sg = self.pg.subgraph(self.sg_ids[i]);
+                    let provider = &mut self.provider;
+                    self.memo
+                        .entry(sg.id())
+                        .or_insert_with(|| provider.fetch(sg, t));
+                }
+            }
+        }
+
+        let taken: Vec<Vec<Envelope<P::Msg>>> = self
+            .inbox
+            .iter_mut()
+            .map(std::mem::take)
+            .collect();
+        let pg = self.pg;
+        let sg_ids = &self.sg_ids;
+        let memo = &self.memo;
+        let start_time = self.provider.start_time();
+        let period = self.provider.period();
+        let allow_next = self.allow_next_timestep && phase == Phase::Compute;
+        let merge_seq = &self.merge_seq;
+
+        let mut results: Vec<(usize, Outbox<P::Msg>)> = self
+            .programs
+            .par_iter_mut()
+            .zip(taken.into_par_iter())
+            .enumerate()
+            .filter(|(i, _)| active[*i])
+            .map(|(i, (program_slot, msgs))| {
+                let sg = pg.subgraph(sg_ids[i]);
+                let mut outbox = Outbox::new(true, allow_next, merge_seq[i]);
+                let mut fetch = |sg: &tempograph_partition::Subgraph,
+                                 _t: usize|
+                 -> Arc<SubgraphInstance> {
+                    memo.get(&sg.id())
+                        .expect("active subgraphs are prefetched")
+                        .clone()
+                };
+                let mut ctx = Context {
+                    sg,
+                    pg,
+                    phase,
+                    timestep: t,
+                    superstep: ss,
+                    num_timesteps: timesteps,
+                    start_time,
+                    period,
+                    instance: None,
+                    fetch: &mut fetch,
+                    out: &mut outbox,
+                };
+                let program = program_slot.as_mut().expect("program present");
+                match phase {
+                    Phase::Compute => program.compute(&mut ctx, &msgs),
+                    Phase::EndOfTimestep => program.end_of_timestep(&mut ctx),
+                    Phase::Merge => program.merge(&mut ctx, &msgs),
+                }
+                drop(ctx);
+                (i, outbox)
+            })
+            .collect();
+        results.sort_by_key(|(i, _)| *i);
+        results
+    }
+
+    // ---- merge phase ----------------------------------------------------
+
+    fn run_merge(&mut self, config: &JobConfig<P::Msg>) {
+        let timesteps = self.out.timesteps_run;
+        // Merge superstep-0 inbox: the accumulated SendMessageToMerge
+        // traffic, already per-subgraph and chronologically ordered by seq.
+        let n = self.sg_ids.len();
+        self.inbox = std::mem::replace(&mut self.merge_inbox, vec![Vec::new(); n]);
+        self.halted.iter_mut().for_each(|h| *h = false);
+        for list in &mut self.inbox {
+            sort_envelopes(list);
+        }
+        let mut m = TimestepMetrics::default();
+        self.cur_counters = HashMap::new();
+        let wall = Instant::now();
+        let mut ignored = 0u64;
+        let supersteps = self.run_bsp(timesteps, timesteps, config, Phase::Merge, &mut m, &mut ignored);
+        m.supersteps = supersteps;
+        m.wall_ns = wall.elapsed().as_nanos() as u64;
+        self.out.merge_metrics = m;
+        self.out.merge_counters = std::mem::take(&mut self.cur_counters);
+    }
+
+    // ---- temporal-parallelism fast path ---------------------------------
+
+    fn run_temporally_parallel(&mut self, timesteps: usize, _config: &JobConfig<P::Msg>) {
+        // No per-timestep barriers: each worker streams through all
+        // (subgraph, timestep) pairs. Valid only for programs whose compute
+        // never uses superstep messaging (Context enforces this).
+        let mut per_t = vec![TimestepMetrics::default(); timesteps];
+        let mut per_t_counters: Vec<HashMap<&'static str, u64>> =
+            vec![HashMap::new(); timesteps];
+        let wall = Instant::now();
+        for i in 0..self.sg_ids.len() {
+            for t in 0..timesteps {
+                self.memo.clear();
+                let start = Instant::now();
+                let mut outbox = Outbox::new(false, false, self.merge_seq[i]);
+                self.invoke(i, t, 0, timesteps, Phase::Compute, &[], &mut outbox);
+                self.merge_seq[i] = outbox.merge_seq;
+                let mut none = Vec::new();
+                self.cur_counters = std::mem::take(&mut per_t_counters[t]);
+                self.absorb_outbox(i, t, &mut outbox, &mut none, None);
+                debug_assert!(none.is_empty());
+
+                let mut outbox = Outbox::new(false, false, self.merge_seq[i]);
+                self.invoke(i, t, 1, timesteps, Phase::EndOfTimestep, &[], &mut outbox);
+                self.merge_seq[i] = outbox.merge_seq;
+                self.absorb_outbox(i, t, &mut outbox, &mut none, None);
+                per_t_counters[t] = std::mem::take(&mut self.cur_counters);
+                per_t[t].compute_ns += start.elapsed().as_nanos() as u64;
+                per_t[t].supersteps = 1;
+            }
+        }
+        let io = self.provider.take_io_stats();
+        if let Some(first) = per_t.first_mut() {
+            first.io_ns = io.ns;
+            first.slice_loads = io.loads;
+        }
+        // Wall time is not separable per timestep in this mode; assign the
+        // total to the aggregate and split evenly for plotting.
+        let total_wall = wall.elapsed().as_nanos() as u64;
+        let share = total_wall / timesteps.max(1) as u64;
+        for mt in &mut per_t {
+            mt.wall_ns = share;
+        }
+        self.out.metrics = per_t;
+        self.out.counters = per_t_counters;
+        self.out.timesteps_run = timesteps;
+        self.sync.barrier();
+    }
+
+    // ---- plumbing -------------------------------------------------------
+
+    /// Call one program hook with a fresh context.
+    #[allow(clippy::too_many_arguments)]
+    fn invoke(
+        &mut self,
+        i: usize,
+        timestep: usize,
+        superstep: usize,
+        timesteps: usize,
+        phase: Phase,
+        msgs: &[Envelope<P::Msg>],
+        outbox: &mut Outbox<P::Msg>,
+    ) {
+        let mut program = self.programs[i].take().expect("program present");
+        let sg = self.pg.subgraph(self.sg_ids[i]);
+        let pg = self.pg;
+        let start_time = self.provider.start_time();
+        let period = self.provider.period();
+        let provider = &mut self.provider;
+        let memo = &mut self.memo;
+        let mut fetch = |sg: &tempograph_partition::Subgraph,
+                         t: usize|
+         -> Arc<SubgraphInstance> {
+            memo.entry(sg.id())
+                .or_insert_with(|| provider.fetch(sg, t))
+                .clone()
+        };
+        let mut ctx = Context {
+            sg,
+            pg,
+            phase,
+            timestep,
+            superstep,
+            num_timesteps: timesteps,
+            start_time,
+            period,
+            instance: None,
+            fetch: &mut fetch,
+            out: outbox,
+        };
+        match phase {
+            Phase::Compute => program.compute(&mut ctx, msgs),
+            Phase::EndOfTimestep => program.end_of_timestep(&mut ctx),
+            Phase::Merge => program.merge(&mut ctx, msgs),
+        }
+        drop(ctx);
+        self.programs[i] = Some(program);
+    }
+
+    /// Pull counters/emits/merge messages out of an outbox; superstep and
+    /// next-timestep messages are handed back for routing.
+    fn absorb_outbox(
+        &mut self,
+        i: usize,
+        timestep: usize,
+        outbox: &mut Outbox<P::Msg>,
+        next_out: &mut Vec<Envelope<P::Msg>>,
+        superstep_out: Option<&mut Vec<Envelope<P::Msg>>>,
+    ) {
+        for (name, v) in outbox.counters.drain(..) {
+            *self.cur_counters.entry(name).or_insert(0) += v;
+        }
+        let phase_timestep = timestep;
+        for (vertex, value) in outbox.emits.drain(..) {
+            self.out.emits.push(Emit {
+                timestep: phase_timestep,
+                vertex,
+                value,
+            });
+        }
+        self.merge_inbox[i].append(&mut outbox.merge_msgs);
+        next_out.append(&mut outbox.next_timestep_msgs);
+        if let Some(out) = superstep_out {
+            out.append(&mut outbox.superstep_msgs);
+        } else {
+            debug_assert!(outbox.superstep_msgs.is_empty());
+        }
+    }
+
+    /// Deliver local messages directly; serialise and ship remote ones.
+    fn route(&mut self, msgs: Vec<Envelope<P::Msg>>, kind: u8, m: &mut TimestepMetrics) {
+        if msgs.is_empty() {
+            return;
+        }
+        let mut remote: HashMap<u16, (BytesMut, u32)> = HashMap::new();
+        for e in msgs {
+            let target_part = self.pg.subgraph(e.to).partition();
+            if target_part == self.partition {
+                m.msgs_local += 1;
+                let idx = self.index_of[&e.to];
+                match kind {
+                    KIND_SUPERSTEP => self.inbox[idx].push(e),
+                    _ => self.next_inbox[idx].push(e),
+                }
+            } else {
+                m.msgs_remote += 1;
+                let (buf, count) = remote
+                    .entry(target_part)
+                    .or_insert_with(|| (BytesMut::new(), 0));
+                e.encode(buf);
+                *count += 1;
+            }
+        }
+        for (part, (buf, count)) in remote {
+            let bytes = buf.freeze();
+            m.bytes_remote += bytes.len() as u64;
+            self.txs[part as usize]
+                .send(Batch { kind, count, bytes })
+                .expect("receiver alive for the whole job");
+        }
+    }
+
+    /// Drain every queued batch into the right inbox.
+    fn drain(&mut self) {
+        while let Ok(batch) = self.rx.try_recv() {
+            let mut bytes = batch.bytes;
+            for _ in 0..batch.count {
+                let e = Envelope::<P::Msg>::decode(&mut bytes);
+                let idx = self.index_of[&e.to];
+                match batch.kind {
+                    KIND_SUPERSTEP => self.inbox[idx].push(e),
+                    _ => self.next_inbox[idx].push(e),
+                }
+            }
+            debug_assert_eq!(bytes.remaining(), 0);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # tempograph-engine — the Temporally Iterative BSP (TI-BSP) runtime
+//!
+//! Implements the paper's core contribution (§II.C–D): a subgraph-centric
+//! BSP engine extended with a temporal outer loop. Timesteps over graph
+//! instances form the outer loop; barrier-synchronised supersteps over
+//! subgraphs form the inner loop (the paper's Fig. 3). Three design
+//! patterns — independent, eventually dependent, sequentially dependent —
+//! govern how state moves between timesteps (§II.B).
+//!
+//! The "cluster" is simulated: one worker thread per partition plays one
+//! GoFFish host, remote messages are genuinely serialised and shipped over
+//! channels, and instance data is loaded lazily (from GoFS slice files or an
+//! in-memory collection). Per-partition, per-timestep metrics record
+//! compute time, partition overhead (marshalling), sync overhead (barrier
+//! waits) and I/O — everything needed to regenerate the paper's Figures 6
+//! and 7.
+//!
+//! ```no_run
+//! use tempograph_engine::{run_job, JobConfig, InstanceSource, SubgraphProgram, Context, Envelope};
+//!
+//! struct CountVertices;
+//! impl SubgraphProgram for CountVertices {
+//!     type Msg = ();
+//!     fn compute(&mut self, ctx: &mut Context<'_, ()>, _msgs: &[Envelope<()>]) {
+//!         ctx.add_counter("vertices", ctx.subgraph().num_vertices() as u64);
+//!         ctx.vote_to_halt();
+//!     }
+//! }
+//! # fn demo(pg: std::sync::Arc<tempograph_partition::PartitionedGraph>, src: InstanceSource) {
+//! let result = run_job(&pg, &src, |_, _| CountVertices, JobConfig::independent(10));
+//! # }
+//! ```
+
+pub mod executor;
+pub mod metrics;
+pub mod program;
+pub mod provider;
+pub mod sync;
+pub mod wire;
+
+pub use executor::{run_job, JobConfig, Pattern, TimestepMode};
+pub use metrics::{Emit, JobResult, TimestepMetrics};
+pub use program::{Context, Phase, SubgraphProgram};
+pub use provider::{GofsProvider, InstanceProvider, InstanceSource, IoStats, MemoryProvider};
+pub use sync::{Aggregate, Contribution, SyncPoint};
+pub use wire::{Envelope, WireMsg};

@@ -1,0 +1,327 @@
+//! Execution metrics: the raw material for the paper's Figures 6 and 7.
+
+use std::collections::HashMap;
+use tempograph_core::VertexIdx;
+
+/// Per-(timestep, partition) timing and traffic breakdown.
+///
+/// Terminology follows the paper's Fig. 7: **compute** is user `Compute`
+/// time; **partition overhead** is message marshalling/transfer time after
+/// compute completes; **sync overhead** is time blocked on the BSP barrier
+/// (including idling while stragglers finish).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TimestepMetrics {
+    /// Nanoseconds inside user `Compute`/`EndOfTimestep` calls.
+    pub compute_ns: u64,
+    /// Nanoseconds encoding and handing off messages (partition overhead).
+    pub msg_ns: u64,
+    /// Nanoseconds blocked at barriers (sync overhead).
+    pub sync_ns: u64,
+    /// Nanoseconds reading/decoding instance data (GoFS loads or in-memory
+    /// projection).
+    pub io_ns: u64,
+    /// Wall-clock nanoseconds for this partition's timestep.
+    pub wall_ns: u64,
+    /// Supersteps executed in this timestep's BSP.
+    pub supersteps: u32,
+    /// Messages delivered within this partition.
+    pub msgs_local: u64,
+    /// Messages sent to other partitions.
+    pub msgs_remote: u64,
+    /// Serialised bytes shipped to other partitions.
+    pub bytes_remote: u64,
+    /// Slice files loaded from disk (GoFS source only).
+    pub slice_loads: u64,
+    /// Compute nanoseconds per superstep within this timestep. Feeds the
+    /// *virtual makespan* model (see [`JobResult::virtual_timestep_ns`]):
+    /// on a single-core host, worker threads timeshare one CPU, so wall
+    /// clock cannot show strong scaling — but per-partition compute time is
+    /// still measured faithfully, and the barrier structure lets us derive
+    /// the makespan a real cluster would see.
+    pub superstep_compute_ns: Vec<u64>,
+}
+
+impl TimestepMetrics {
+    /// Merge another metrics record into this one.
+    pub fn absorb(&mut self, other: &TimestepMetrics) {
+        self.compute_ns += other.compute_ns;
+        self.msg_ns += other.msg_ns;
+        self.sync_ns += other.sync_ns;
+        self.io_ns += other.io_ns;
+        self.wall_ns = self.wall_ns.max(other.wall_ns);
+        self.supersteps = self.supersteps.max(other.supersteps);
+        self.msgs_local += other.msgs_local;
+        self.msgs_remote += other.msgs_remote;
+        self.bytes_remote += other.bytes_remote;
+        self.slice_loads += other.slice_loads;
+        // Per-superstep series are per-partition detail; aggregation across
+        // partitions would need a max-reduce per superstep, which callers do
+        // through `JobResult::virtual_timestep_ns` instead.
+        self.superstep_compute_ns.clear();
+    }
+
+    /// Fraction of accounted time spent in compute (Fig. 7b/7d's "Compute").
+    pub fn compute_fraction(&self) -> f64 {
+        let total = self.compute_ns + self.msg_ns + self.sync_ns;
+        if total == 0 {
+            return 0.0;
+        }
+        self.compute_ns as f64 / total as f64
+    }
+}
+
+/// One value emitted by an algorithm via `Context::emit` (e.g. a finalized
+/// TDSP label or a newly coloured meme vertex).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Emit {
+    /// Timestep at which the value was produced (`usize::MAX` ⇒ merge phase).
+    pub timestep: usize,
+    /// Subject vertex.
+    pub vertex: VertexIdx,
+    /// Emitted value (algorithm-defined meaning).
+    pub value: f64,
+}
+
+/// Everything a TI-BSP run reports back.
+#[derive(Clone, Debug, Default)]
+pub struct JobResult {
+    /// Timesteps actually executed (≤ configured range for While mode).
+    pub timesteps_run: usize,
+    /// `metrics[timestep][partition]`.
+    pub metrics: Vec<Vec<TimestepMetrics>>,
+    /// Merge-phase metrics per partition (eventually-dependent runs only).
+    pub merge_metrics: Vec<TimestepMetrics>,
+    /// User counters: name → `[timestep][partition]` sums.
+    pub counters: HashMap<String, Vec<Vec<u64>>>,
+    /// Merge-phase counters: name → per-partition sums.
+    pub merge_counters: HashMap<String, Vec<u64>>,
+    /// All emitted values, sorted by (timestep, vertex).
+    pub emitted: Vec<Emit>,
+    /// End-to-end wall nanoseconds (includes merge phase).
+    pub total_wall_ns: u64,
+}
+
+impl JobResult {
+    /// Global wall time of one timestep: the slowest partition's wall time.
+    pub fn timestep_wall_ns(&self, t: usize) -> u64 {
+        self.metrics[t].iter().map(|m| m.wall_ns).max().unwrap_or(0)
+    }
+
+    /// Sum a counter across partitions for one timestep.
+    pub fn counter_at(&self, name: &str, t: usize) -> u64 {
+        self.counters
+            .get(name)
+            .and_then(|per_t| per_t.get(t))
+            .map(|per_p| per_p.iter().sum())
+            .unwrap_or(0)
+    }
+
+    /// Per-partition totals of a counter across all timesteps.
+    pub fn counter_by_partition(&self, name: &str) -> Vec<u64> {
+        let Some(per_t) = self.counters.get(name) else {
+            return Vec::new();
+        };
+        let parts = per_t.first().map_or(0, |p| p.len());
+        let mut out = vec![0u64; parts];
+        for per_p in per_t {
+            for (i, &v) in per_p.iter().enumerate() {
+                out[i] += v;
+            }
+        }
+        out
+    }
+
+    /// Aggregate per-partition time breakdown across all timesteps —
+    /// the Fig. 7b/7d stacked bars.
+    pub fn partition_breakdown(&self) -> Vec<TimestepMetrics> {
+        let parts = self.metrics.first().map_or(0, |t| t.len());
+        let mut out = vec![TimestepMetrics::default(); parts];
+        for per_t in &self.metrics {
+            for (i, m) in per_t.iter().enumerate() {
+                let wall = out[i].wall_ns;
+                out[i].absorb(m);
+                out[i].wall_ns = wall + m.wall_ns; // sum, not max, across time
+            }
+        }
+        for (i, m) in self.merge_metrics.iter().enumerate() {
+            if i < out.len() {
+                let wall = out[i].wall_ns;
+                out[i].absorb(m);
+                out[i].wall_ns = wall + m.wall_ns;
+            }
+        }
+        out
+    }
+
+    /// Emitted values at one timestep.
+    pub fn emitted_at(&self, t: usize) -> impl Iterator<Item = &Emit> {
+        self.emitted.iter().filter(move |e| e.timestep == t)
+    }
+
+    // ---- virtual (simulated-cluster) time model -------------------------
+    //
+    // The engine's worker threads stand in for cluster hosts. On a
+    // multi-core machine their wall clock approximates a real cluster; on a
+    // single-core machine the threads timeshare one CPU and wall clock
+    // degenerates to the *sum* of all partitions' work. Per-partition
+    // compute time is measured faithfully either way, so the BSP barrier
+    // structure lets us reconstruct the makespan a real cluster would see:
+    // within each superstep every host waits for the slowest one, so the
+    // superstep costs `max_p(compute_p)`; message marshalling and I/O are
+    // similarly bounded by the slowest partition per timestep.
+
+    /// Simulated cluster makespan of one timestep:
+    /// `Σ_ss max_p(compute[ss][p]) + max_p(msg_p) + max_p(io_p)`.
+    pub fn virtual_timestep_ns(&self, t: usize) -> u64 {
+        let parts = &self.metrics[t];
+        let max_ss = parts
+            .iter()
+            .map(|m| m.superstep_compute_ns.len())
+            .max()
+            .unwrap_or(0);
+        let mut total = 0u64;
+        for ss in 0..max_ss {
+            total += parts
+                .iter()
+                .map(|m| m.superstep_compute_ns.get(ss).copied().unwrap_or(0))
+                .max()
+                .unwrap_or(0);
+        }
+        total += parts.iter().map(|m| m.msg_ns).max().unwrap_or(0);
+        total += parts.iter().map(|m| m.io_ns).max().unwrap_or(0);
+        total
+    }
+
+    /// Simulated cluster makespan of the whole job (timesteps + merge).
+    pub fn virtual_total_ns(&self) -> u64 {
+        let steps: u64 = (0..self.timesteps_run)
+            .map(|t| self.virtual_timestep_ns(t))
+            .sum();
+        let merge = self
+            .merge_metrics
+            .iter()
+            .map(|m| m.compute_ns + m.msg_ns)
+            .max()
+            .unwrap_or(0);
+        steps + merge
+    }
+
+    /// Per-partition `(compute_ns, overhead_ns, idle_ns)` under the virtual
+    /// model — the paper's Fig. 7b/7d stacked bars. `idle` is time a
+    /// partition spends waiting at barriers for slower peers
+    /// (`Σ_ss (max_q compute[ss][q] − compute[ss][p])`), which the paper
+    /// folds into "Sync Overhead".
+    pub fn virtual_partition_breakdown(&self) -> Vec<(u64, u64, u64)> {
+        let parts = self.metrics.first().map_or(0, |t| t.len());
+        let mut out = vec![(0u64, 0u64, 0u64); parts];
+        for t in 0..self.timesteps_run {
+            let row = &self.metrics[t];
+            let max_ss = row
+                .iter()
+                .map(|m| m.superstep_compute_ns.len())
+                .max()
+                .unwrap_or(0);
+            for ss in 0..max_ss {
+                let slowest = row
+                    .iter()
+                    .map(|m| m.superstep_compute_ns.get(ss).copied().unwrap_or(0))
+                    .max()
+                    .unwrap_or(0);
+                for (p, m) in row.iter().enumerate() {
+                    let own = m.superstep_compute_ns.get(ss).copied().unwrap_or(0);
+                    out[p].0 += own;
+                    out[p].2 += slowest - own;
+                }
+            }
+            for (p, m) in row.iter().enumerate() {
+                out[p].1 += m.msg_ns + m.io_ns;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(compute: u64, msg: u64, sync: u64) -> TimestepMetrics {
+        TimestepMetrics {
+            compute_ns: compute,
+            msg_ns: msg,
+            sync_ns: sync,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn compute_fraction_basic() {
+        assert_eq!(m(50, 25, 25).compute_fraction(), 0.5);
+        assert_eq!(m(0, 0, 0).compute_fraction(), 0.0);
+        assert_eq!(m(10, 0, 0).compute_fraction(), 1.0);
+    }
+
+    #[test]
+    fn absorb_sums_and_maxes() {
+        let mut a = m(10, 5, 1);
+        a.wall_ns = 100;
+        a.supersteps = 3;
+        let mut b = m(20, 1, 1);
+        b.wall_ns = 80;
+        b.supersteps = 7;
+        a.absorb(&b);
+        assert_eq!(a.compute_ns, 30);
+        assert_eq!(a.wall_ns, 100);
+        assert_eq!(a.supersteps, 7);
+    }
+
+    #[test]
+    fn job_result_accessors() {
+        let mut r = JobResult {
+            timesteps_run: 2,
+            metrics: vec![
+                vec![m(10, 0, 0), m(5, 0, 0)],
+                vec![m(1, 0, 0), m(2, 0, 0)],
+            ],
+            ..Default::default()
+        };
+        r.metrics[0][0].wall_ns = 7;
+        r.metrics[0][1].wall_ns = 9;
+        assert_eq!(r.timestep_wall_ns(0), 9);
+
+        r.counters.insert(
+            "colored".into(),
+            vec![vec![3, 4], vec![1, 0]],
+        );
+        assert_eq!(r.counter_at("colored", 0), 7);
+        assert_eq!(r.counter_at("colored", 1), 1);
+        assert_eq!(r.counter_at("missing", 0), 0);
+        assert_eq!(r.counter_by_partition("colored"), vec![4, 4]);
+
+        let breakdown = r.partition_breakdown();
+        assert_eq!(breakdown[0].compute_ns, 11);
+        assert_eq!(breakdown[1].compute_ns, 7);
+        assert_eq!(breakdown[0].wall_ns, 7); // only t0 had wall time
+    }
+
+    #[test]
+    fn emitted_at_filters() {
+        let r = JobResult {
+            emitted: vec![
+                Emit {
+                    timestep: 0,
+                    vertex: VertexIdx(1),
+                    value: 1.0,
+                },
+                Emit {
+                    timestep: 1,
+                    vertex: VertexIdx(2),
+                    value: 2.0,
+                },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(r.emitted_at(1).count(), 1);
+        assert_eq!(r.emitted_at(9).count(), 0);
+    }
+}

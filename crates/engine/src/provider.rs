@@ -1,0 +1,252 @@
+//! Instance providers: where a worker gets its subgraph instance data.
+//!
+//! Two sources mirror the paper's setup: [`GofsProvider`] streams slices
+//! lazily off disk (the real GoFS path used by the evaluation) and
+//! [`MemoryProvider`] projects from an in-memory
+//! [`TimeSeriesCollection`] (convenient for tests and small examples).
+
+use std::sync::Arc;
+use tempograph_core::TimeSeriesCollection;
+use tempograph_gofs::{GofsStore, InstanceLoader, SubgraphInstance};
+use tempograph_partition::{PartitionedGraph, Subgraph};
+
+/// Cumulative I/O counters a provider reports to the engine's metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Slice files (or projections) materialised.
+    pub loads: u64,
+    /// Bytes read from disk (0 for in-memory).
+    pub bytes: u64,
+    /// Nanoseconds spent fetching/decoding.
+    pub ns: u64,
+}
+
+/// A per-worker source of projected instance data.
+pub trait InstanceProvider: Send {
+    /// Fetch the projection of instance `timestep` onto `sg`.
+    fn fetch(&mut self, sg: &Subgraph, timestep: usize) -> Arc<SubgraphInstance>;
+
+    /// Drain cumulative I/O counters (returns stats since the last call).
+    fn take_io_stats(&mut self) -> IoStats;
+
+    /// Number of instances available.
+    fn num_timesteps(&self) -> usize;
+
+    /// `t0` of the series.
+    fn start_time(&self) -> i64;
+
+    /// `δ` of the series.
+    fn period(&self) -> i64;
+}
+
+/// Projects instances from a shared in-memory collection on demand.
+pub struct MemoryProvider {
+    collection: Arc<TimeSeriesCollection>,
+    stats: IoStats,
+}
+
+impl MemoryProvider {
+    /// Wrap a collection.
+    pub fn new(collection: Arc<TimeSeriesCollection>) -> Self {
+        MemoryProvider {
+            collection,
+            stats: IoStats::default(),
+        }
+    }
+}
+
+impl InstanceProvider for MemoryProvider {
+    fn fetch(&mut self, sg: &Subgraph, timestep: usize) -> Arc<SubgraphInstance> {
+        let started = std::time::Instant::now();
+        let g = self
+            .collection
+            .get(timestep)
+            .expect("timestep within collection");
+        let si = Arc::new(SubgraphInstance::project(g, sg, timestep));
+        self.stats.loads += 1;
+        self.stats.ns += started.elapsed().as_nanos() as u64;
+        si
+    }
+
+    fn take_io_stats(&mut self) -> IoStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    fn num_timesteps(&self) -> usize {
+        self.collection.len()
+    }
+
+    fn start_time(&self) -> i64 {
+        self.collection.start_time()
+    }
+
+    fn period(&self) -> i64 {
+        self.collection.period()
+    }
+}
+
+/// Streams slices lazily from a GoFS dataset directory — each worker opens
+/// its own loader over its partition, as each GoFFish host reads its local
+/// GoFS shard.
+pub struct GofsProvider {
+    loader: InstanceLoader,
+    num_timesteps: usize,
+    start_time: i64,
+    period: i64,
+}
+
+impl GofsProvider {
+    /// Open the provider for one partition of a stored dataset.
+    pub fn new(store: GofsStore, pg: &PartitionedGraph, partition: u16) -> Self {
+        let meta = store.meta().clone();
+        GofsProvider {
+            loader: InstanceLoader::with_default_capacity(store, pg, partition),
+            num_timesteps: meta.num_timesteps,
+            start_time: meta.start_time,
+            period: meta.period,
+        }
+    }
+}
+
+impl InstanceProvider for GofsProvider {
+    fn fetch(&mut self, sg: &Subgraph, timestep: usize) -> Arc<SubgraphInstance> {
+        self.loader
+            .load(sg.id(), timestep)
+            .expect("stored dataset must cover requested timestep")
+    }
+
+    fn take_io_stats(&mut self) -> IoStats {
+        let s = self.loader.stats().clone();
+        self.loader.reset_stats();
+        IoStats {
+            loads: s.slice_loads,
+            bytes: s.bytes_read,
+            ns: s.load_ns,
+        }
+    }
+
+    fn num_timesteps(&self) -> usize {
+        self.num_timesteps
+    }
+
+    fn start_time(&self) -> i64 {
+        self.start_time
+    }
+
+    fn period(&self) -> i64 {
+        self.period
+    }
+}
+
+/// Where the engine should read instances from.
+#[derive(Clone)]
+pub enum InstanceSource {
+    /// Shared in-memory collection.
+    Memory(Arc<TimeSeriesCollection>),
+    /// A GoFS dataset directory written by
+    /// [`tempograph_gofs::GofsWriter`].
+    Gofs(std::path::PathBuf),
+}
+
+impl InstanceSource {
+    /// Build the per-worker provider for `partition`.
+    pub fn provider(
+        &self,
+        pg: &PartitionedGraph,
+        partition: u16,
+    ) -> Box<dyn InstanceProvider> {
+        match self {
+            InstanceSource::Memory(c) => Box::new(MemoryProvider::new(c.clone())),
+            InstanceSource::Gofs(dir) => {
+                let store = GofsStore::open(dir).expect("dataset directory must open");
+                Box::new(GofsProvider::new(store, pg, partition))
+            }
+        }
+    }
+
+    /// Number of stored timesteps.
+    pub fn num_timesteps(&self) -> usize {
+        match self {
+            InstanceSource::Memory(c) => c.len(),
+            InstanceSource::Gofs(dir) => {
+                GofsStore::open(dir)
+                    .expect("dataset directory must open")
+                    .meta()
+                    .num_timesteps
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempograph_core::{AttrType, TemplateBuilder};
+    use tempograph_gofs::store::write_dataset;
+    use tempograph_partition::{discover_subgraphs, Partitioning};
+
+    fn setup() -> (Arc<PartitionedGraph>, Arc<TimeSeriesCollection>) {
+        let mut b = TemplateBuilder::new("prov", false);
+        b.vertex_schema().add("x", AttrType::Long);
+        for i in 0..6 {
+            b.add_vertex(i);
+        }
+        for i in 0..5u64 {
+            b.add_edge(i, i, i + 1).unwrap();
+        }
+        let t = Arc::new(b.finalize().unwrap());
+        let pg = Arc::new(discover_subgraphs(
+            t.clone(),
+            Partitioning {
+                assignment: vec![0, 0, 0, 1, 1, 1],
+                k: 2,
+            },
+        ));
+        let mut coll = TimeSeriesCollection::new(t, 0, 10);
+        for ts in 0..4 {
+            let mut g = coll.new_instance();
+            for (i, x) in g.vertex_i64_mut("x").unwrap().iter_mut().enumerate() {
+                *x = (ts * 10 + i) as i64;
+            }
+            coll.push(g).unwrap();
+        }
+        (pg, Arc::new(coll))
+    }
+
+    #[test]
+    fn memory_provider_projects_correctly() {
+        let (pg, coll) = setup();
+        let mut p = MemoryProvider::new(coll);
+        let sg = pg.subgraph(pg.subgraphs_of_partition(1)[0]);
+        let si = p.fetch(sg, 2);
+        assert_eq!(si.vertex_i64(0).unwrap(), &[23, 24, 25]);
+        assert_eq!(p.num_timesteps(), 4);
+        assert_eq!(p.period(), 10);
+        let io = p.take_io_stats();
+        assert_eq!(io.loads, 1);
+        assert_eq!(p.take_io_stats().loads, 0, "take drains");
+    }
+
+    #[test]
+    fn gofs_provider_matches_memory_provider() {
+        let (pg, coll) = setup();
+        let dir = std::env::temp_dir().join(format!(
+            "provider-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        write_dataset(&dir, pg.clone(), &coll, 2, 5).unwrap();
+
+        let source = InstanceSource::Gofs(dir.clone());
+        assert_eq!(source.num_timesteps(), 4);
+        let mut gp = source.provider(&pg, 0);
+        let mut mp = MemoryProvider::new(coll);
+        let sg = pg.subgraph(pg.subgraphs_of_partition(0)[0]);
+        for t in 0..4 {
+            assert_eq!(*gp.fetch(sg, t), *mp.fetch(sg, t), "timestep {t}");
+        }
+        assert!(gp.take_io_stats().bytes > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

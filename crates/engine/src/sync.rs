@@ -1,0 +1,187 @@
+//! Barrier with reduction: the BSP synchronisation point.
+//!
+//! Each worker ends a superstep by calling [`SyncPoint::arrive`] with its
+//! local contribution (messages sent, whether all its subgraphs voted to
+//! halt). The last arriver aggregates the contributions, stores the global
+//! [`Aggregate`], resets the accumulators and wakes everyone — one blocking
+//! rendezvous per superstep, exactly the structure whose wait time the paper
+//! reports as "Sync Overhead" (Fig. 7b/7d).
+
+use parking_lot::{Condvar, Mutex};
+
+/// Per-worker contribution folded at the barrier.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Contribution {
+    /// Messages this worker emitted during the phase.
+    pub msgs_sent: u64,
+    /// True when every subgraph owned by this worker voted to halt.
+    pub all_halted: bool,
+}
+
+/// Global reduction of all workers' contributions.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Aggregate {
+    /// Total messages emitted across the cluster during the phase.
+    pub total_msgs: u64,
+    /// True when every subgraph in the cluster voted to halt.
+    pub all_halted: bool,
+}
+
+impl Aggregate {
+    /// BSP termination rule: stop when nobody sent anything and everyone
+    /// voted to halt.
+    pub fn should_stop(&self) -> bool {
+        self.total_msgs == 0 && self.all_halted
+    }
+}
+
+struct State {
+    arrived: usize,
+    generation: u64,
+    msgs: u64,
+    halted: bool,
+    result: Aggregate,
+}
+
+/// Reusable barrier-with-reduction for `n` workers. See module docs.
+pub struct SyncPoint {
+    n: usize,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl SyncPoint {
+    /// A sync point for `n` workers (`n ≥ 1`).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "need at least one worker");
+        SyncPoint {
+            n,
+            state: Mutex::new(State {
+                arrived: 0,
+                generation: 0,
+                msgs: 0,
+                halted: true,
+                result: Aggregate::default(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Number of participating workers.
+    pub fn workers(&self) -> usize {
+        self.n
+    }
+
+    /// Block until all `n` workers arrive; returns the folded [`Aggregate`].
+    pub fn arrive(&self, c: Contribution) -> Aggregate {
+        let mut s = self.state.lock();
+        s.msgs += c.msgs_sent;
+        s.halted &= c.all_halted;
+        s.arrived += 1;
+        if s.arrived == self.n {
+            s.result = Aggregate {
+                total_msgs: s.msgs,
+                all_halted: s.halted,
+            };
+            s.arrived = 0;
+            s.msgs = 0;
+            s.halted = true;
+            s.generation += 1;
+            self.cv.notify_all();
+            s.result
+        } else {
+            let gen = s.generation;
+            while s.generation == gen {
+                self.cv.wait(&mut s);
+            }
+            s.result
+        }
+    }
+
+    /// Pure barrier: arrive with an empty contribution.
+    pub fn barrier(&self) {
+        self.arrive(Contribution {
+            msgs_sent: 0,
+            all_halted: true,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_worker_reduction() {
+        let sp = SyncPoint::new(1);
+        let agg = sp.arrive(Contribution {
+            msgs_sent: 3,
+            all_halted: false,
+        });
+        assert_eq!(agg.total_msgs, 3);
+        assert!(!agg.all_halted);
+        assert!(!agg.should_stop());
+        // Reusable: accumulators were reset.
+        let agg2 = sp.arrive(Contribution {
+            msgs_sent: 0,
+            all_halted: true,
+        });
+        assert!(agg2.should_stop());
+    }
+
+    #[test]
+    fn multi_worker_fold_and_broadcast() {
+        let sp = Arc::new(SyncPoint::new(4));
+        let handles: Vec<_> = (0..4u64)
+            .map(|i| {
+                let sp = sp.clone();
+                std::thread::spawn(move || {
+                    sp.arrive(Contribution {
+                        msgs_sent: i,
+                        all_halted: i != 2,
+                    })
+                })
+            })
+            .collect();
+        for h in handles {
+            let agg = h.join().unwrap();
+            assert_eq!(agg.total_msgs, 6);
+            assert!(!agg.all_halted);
+        }
+    }
+
+    #[test]
+    fn many_generations_stay_in_lockstep() {
+        let sp = Arc::new(SyncPoint::new(3));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let sp = sp.clone();
+                std::thread::spawn(move || {
+                    let mut seen = Vec::new();
+                    for round in 0..100u64 {
+                        let agg = sp.arrive(Contribution {
+                            msgs_sent: round,
+                            all_halted: true,
+                        });
+                        seen.push(agg.total_msgs);
+                    }
+                    seen
+                })
+            })
+            .collect();
+        let expect: Vec<u64> = (0..100u64).map(|r| r * 3).collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), expect);
+        }
+    }
+
+    #[test]
+    fn barrier_is_just_an_empty_arrive() {
+        let sp = Arc::new(SyncPoint::new(2));
+        let sp2 = sp.clone();
+        let t = std::thread::spawn(move || sp2.barrier());
+        sp.barrier();
+        t.join().unwrap();
+    }
+}

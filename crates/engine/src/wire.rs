@@ -1,0 +1,262 @@
+//! Message wire format.
+//!
+//! Messages between subgraphs in the *same* partition are moved as values
+//! (same address space — GoFFish's intra-host messages stay inside one JVM).
+//! Messages crossing partitions are **really serialised** through this
+//! module and deserialised on the receiving worker, so the engine's
+//! "partition overhead" metric measures genuine marshalling work and the
+//! byte counters reflect actual on-the-wire sizes.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use tempograph_core::VertexIdx;
+use tempograph_partition::SubgraphId;
+
+/// A message payload that can cross partition boundaries.
+///
+/// Implementations must be exact round-trips: `decode(encode(m)) == m`.
+/// Decoding panics on malformed input — wire buffers are engine-internal and
+/// always produced by `encode`, so corruption is a bug, not an input error.
+pub trait WireMsg: Send + Clone + 'static {
+    /// Append this message to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+    /// Read one message back from `buf`.
+    fn decode(buf: &mut Bytes) -> Self;
+}
+
+impl WireMsg for () {
+    fn encode(&self, _buf: &mut BytesMut) {}
+    fn decode(_buf: &mut Bytes) -> Self {}
+}
+
+impl WireMsg for u32 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(*self);
+    }
+    fn decode(buf: &mut Bytes) -> Self {
+        buf.get_u32_le()
+    }
+}
+
+impl WireMsg for u64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(*self);
+    }
+    fn decode(buf: &mut Bytes) -> Self {
+        buf.get_u64_le()
+    }
+}
+
+impl WireMsg for i64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_i64_le(*self);
+    }
+    fn decode(buf: &mut Bytes) -> Self {
+        buf.get_i64_le()
+    }
+}
+
+impl WireMsg for f64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_f64_le(*self);
+    }
+    fn decode(buf: &mut Bytes) -> Self {
+        buf.get_f64_le()
+    }
+}
+
+impl WireMsg for bool {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(*self as u8);
+    }
+    fn decode(buf: &mut Bytes) -> Self {
+        buf.get_u8() != 0
+    }
+}
+
+impl WireMsg for VertexIdx {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.0);
+    }
+    fn decode(buf: &mut Bytes) -> Self {
+        VertexIdx(buf.get_u32_le())
+    }
+}
+
+impl WireMsg for SubgraphId {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.0);
+    }
+    fn decode(buf: &mut Bytes) -> Self {
+        SubgraphId(buf.get_u32_le())
+    }
+}
+
+impl WireMsg for String {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.len() as u32);
+        buf.put_slice(self.as_bytes());
+    }
+    fn decode(buf: &mut Bytes) -> Self {
+        let len = buf.get_u32_le() as usize;
+        let raw = buf.split_to(len);
+        String::from_utf8(raw.to_vec()).expect("engine-internal wire buffer")
+    }
+}
+
+impl<T: WireMsg> WireMsg for Vec<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.len() as u32);
+        for x in self {
+            x.encode(buf);
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Self {
+        let len = buf.get_u32_le() as usize;
+        (0..len).map(|_| T::decode(buf)).collect()
+    }
+}
+
+impl<T: WireMsg> WireMsg for Option<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            None => buf.put_u8(0),
+            Some(x) => {
+                buf.put_u8(1);
+                x.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Self {
+        match buf.get_u8() {
+            0 => None,
+            _ => Some(T::decode(buf)),
+        }
+    }
+}
+
+impl<A: WireMsg, B: WireMsg> WireMsg for (A, B) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Self {
+        (A::decode(buf), B::decode(buf))
+    }
+}
+
+impl<A: WireMsg, B: WireMsg, C: WireMsg> WireMsg for (A, B, C) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Self {
+        (A::decode(buf), B::decode(buf), C::decode(buf))
+    }
+}
+
+/// A routed message: payload plus source/destination subgraphs and a
+/// per-sender sequence number used for deterministic delivery ordering.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Envelope<M> {
+    /// Sending subgraph.
+    pub from: SubgraphId,
+    /// Destination subgraph.
+    pub to: SubgraphId,
+    /// Sender-assigned sequence number (unique per sender per phase).
+    pub seq: u32,
+    /// The payload.
+    pub payload: M,
+}
+
+impl<M: WireMsg> Envelope<M> {
+    /// Append the envelope (header + payload) to `buf`.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.from.0);
+        buf.put_u32_le(self.to.0);
+        buf.put_u32_le(self.seq);
+        self.payload.encode(buf);
+    }
+
+    /// Read one envelope back.
+    pub fn decode(buf: &mut Bytes) -> Self {
+        let from = SubgraphId(buf.get_u32_le());
+        let to = SubgraphId(buf.get_u32_le());
+        let seq = buf.get_u32_le();
+        Envelope {
+            from,
+            to,
+            seq,
+            payload: M::decode(buf),
+        }
+    }
+}
+
+/// Sort envelopes into the engine's canonical deterministic delivery order.
+pub fn sort_envelopes<M>(envelopes: &mut [Envelope<M>]) {
+    envelopes.sort_by_key(|e| (e.from, e.seq));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<M: WireMsg + PartialEq + std::fmt::Debug>(m: M) {
+        let mut buf = BytesMut::new();
+        m.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        assert_eq!(M::decode(&mut bytes), m);
+        assert_eq!(bytes.remaining(), 0, "must consume exactly");
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(());
+        roundtrip(42u32);
+        roundtrip(u64::MAX);
+        roundtrip(-17i64);
+        roundtrip(2.5f64);
+        roundtrip(true);
+        roundtrip(VertexIdx(9));
+        roundtrip(SubgraphId(3));
+        roundtrip(String::from("héllo"));
+    }
+
+    #[test]
+    fn composite_roundtrips() {
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Vec::<String>::new());
+        roundtrip(Some((VertexIdx(1), 2.5f64)));
+        roundtrip(None::<u32>);
+        roundtrip((VertexIdx(5), 1.25f64, 99u64));
+        roundtrip(vec![vec![VertexIdx(0)], vec![]]);
+    }
+
+    #[test]
+    fn envelope_roundtrip() {
+        let e = Envelope {
+            from: SubgraphId(1),
+            to: SubgraphId(2),
+            seq: 7,
+            payload: (VertexIdx(3), 1.5f64),
+        };
+        let mut buf = BytesMut::new();
+        e.encode(&mut buf);
+        let back = Envelope::<(VertexIdx, f64)>::decode(&mut buf.freeze());
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn canonical_order_is_by_sender_then_seq() {
+        let mk = |from: u32, seq: u32| Envelope {
+            from: SubgraphId(from),
+            to: SubgraphId(0),
+            seq,
+            payload: (),
+        };
+        let mut v = vec![mk(2, 0), mk(1, 1), mk(1, 0), mk(0, 5)];
+        sort_envelopes(&mut v);
+        let order: Vec<(u32, u32)> = v.iter().map(|e| (e.from.0, e.seq)).collect();
+        assert_eq!(order, vec![(0, 5), (1, 0), (1, 1), (2, 0)]);
+    }
+}

@@ -1,0 +1,180 @@
+//! Topology-churn instance generator (`isExists`).
+//!
+//! §II.A: *"a slow changing topology can be captured using an `isExists`
+//! attribute that simulates the appearance or disappearance of vertices or
+//! edges at different instances."* This generator produces instances whose
+//! `isExists` vertex column flips slowly over time, modelled on the paper's
+//! Facebook arithmetic (≈ 0.04 % vertex churn per day): churn is *rare*
+//! relative to attribute change.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tempograph_core::{GraphTemplate, TimeSeriesCollection};
+use std::sync::Arc;
+
+/// Parameters for [`generate_topology_churn`].
+#[derive(Clone, Debug)]
+pub struct ChurnConfig {
+    /// Number of instances.
+    pub timesteps: usize,
+    /// Timestamp of the first instance.
+    pub start_time: i64,
+    /// Period δ.
+    pub period: i64,
+    /// Per-vertex, per-timestep probability of toggling existence.
+    /// Keep small — the model's premise is slow-changing topology.
+    pub flip_prob: f64,
+    /// Fraction of vertices that exist at `t0`.
+    pub initial_alive: f64,
+    /// Vertices that must exist in every instance (e.g. a traversal source).
+    pub pinned_alive: Vec<tempograph_core::VertexIdx>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            timesteps: 50,
+            start_time: 0,
+            period: 300,
+            flip_prob: 0.002,
+            initial_alive: 0.95,
+            pinned_alive: Vec::new(),
+            seed: 0xC4_0E_11,
+        }
+    }
+}
+
+/// Generate instances whose `isExists` vertex attribute churns slowly.
+/// The template must declare a `Bool` vertex attribute named
+/// [`GraphTemplate::IS_EXISTS`].
+pub fn generate_topology_churn(
+    template: Arc<GraphTemplate>,
+    cfg: &ChurnConfig,
+) -> TimeSeriesCollection {
+    assert!((0.0..=1.0).contains(&cfg.flip_prob), "flip_prob ∉ [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&cfg.initial_alive),
+        "initial_alive ∉ [0,1]"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = template.num_vertices();
+    let mut alive: Vec<bool> = (0..n).map(|_| rng.gen_bool(cfg.initial_alive)).collect();
+    for &v in &cfg.pinned_alive {
+        alive[v.idx()] = true;
+    }
+
+    let mut coll = TimeSeriesCollection::new(template.clone(), cfg.start_time, cfg.period);
+    for _ in 0..cfg.timesteps {
+        let mut g = coll.new_instance();
+        g.vertex_bool_mut(GraphTemplate::IS_EXISTS)
+            .expect("template must declare `isExists: Bool` on vertices")
+            .copy_from_slice(&alive);
+        coll.push(g).expect("conforming instance");
+
+        for (i, a) in alive.iter_mut().enumerate() {
+            if rng.gen_bool(cfg.flip_prob) {
+                *a = !*a;
+            }
+            let _ = i;
+        }
+        for &v in &cfg.pinned_alive {
+            alive[v.idx()] = true;
+        }
+    }
+    coll
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempograph_core::{AttrType, TemplateBuilder, VertexIdx};
+
+    fn template(n: u64) -> Arc<GraphTemplate> {
+        let mut b = TemplateBuilder::new("churn", false);
+        b.vertex_schema()
+            .add(GraphTemplate::IS_EXISTS, AttrType::Bool);
+        for i in 0..n {
+            b.add_vertex(i);
+        }
+        for i in 0..n - 1 {
+            b.add_edge(i, i, i + 1).unwrap();
+        }
+        Arc::new(b.finalize().unwrap())
+    }
+
+    #[test]
+    fn churn_is_slow() {
+        let t = template(200);
+        let c = generate_topology_churn(
+            t,
+            &ChurnConfig {
+                timesteps: 20,
+                flip_prob: 0.01,
+                ..Default::default()
+            },
+        );
+        // Consecutive instances differ in only a few vertices.
+        for i in 1..20 {
+            let a = c.get(i - 1).unwrap().vertex_bool(GraphTemplate::IS_EXISTS).unwrap();
+            let b = c.get(i).unwrap().vertex_bool(GraphTemplate::IS_EXISTS).unwrap();
+            let diff = a.iter().zip(b).filter(|(x, y)| x != y).count();
+            assert!(diff <= 15, "churn too fast: {diff} flips");
+        }
+    }
+
+    #[test]
+    fn pinned_vertices_always_exist() {
+        let t = template(50);
+        let pinned = vec![VertexIdx(0), VertexIdx(7)];
+        let c = generate_topology_churn(
+            t,
+            &ChurnConfig {
+                timesteps: 30,
+                flip_prob: 0.2, // aggressive churn to stress the pin
+                pinned_alive: pinned.clone(),
+                ..Default::default()
+            },
+        );
+        for i in 0..30 {
+            let alive = c.get(i).unwrap().vertex_bool(GraphTemplate::IS_EXISTS).unwrap();
+            for &v in &pinned {
+                assert!(alive[v.idx()], "pinned vertex dead at t = {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let t = template(40);
+        let cfg = ChurnConfig {
+            timesteps: 10,
+            ..Default::default()
+        };
+        let a = generate_topology_churn(t.clone(), &cfg);
+        let b = generate_topology_churn(t, &cfg);
+        for i in 0..10 {
+            assert_eq!(
+                a.get(i).unwrap().vertex_bool(GraphTemplate::IS_EXISTS).unwrap(),
+                b.get(i).unwrap().vertex_bool(GraphTemplate::IS_EXISTS).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn initial_alive_fraction_respected() {
+        let t = template(1000);
+        let c = generate_topology_churn(
+            t,
+            &ChurnConfig {
+                timesteps: 1,
+                initial_alive: 0.5,
+                ..Default::default()
+            },
+        );
+        let alive = c.get(0).unwrap().vertex_bool(GraphTemplate::IS_EXISTS).unwrap();
+        let frac = alive.iter().filter(|&&a| a).count() as f64 / 1000.0;
+        assert!((0.4..0.6).contains(&frac), "fraction {frac}");
+    }
+}

@@ -1,0 +1,43 @@
+//! # tempograph-gen — synthetic time-series graph datasets
+//!
+//! The paper evaluates on two SNAP templates — the California Road Network
+//! (CARN: ~2 M vertices, diameter 849, uniform degree ≈ 2.8) and the
+//! Wikipedia Talk network (WIKI: ~2.4 M vertices, diameter 9, power-law
+//! degrees) — with synthetically generated instance data (random road
+//! latencies; SIR-model meme cascades). SNAP downloads are unavailable
+//! offline, so this crate generates **structural analogues**:
+//!
+//! * [`road_network`] — a perturbed lattice: a random spanning tree of the
+//!   grid plus a tunable fraction of the remaining grid edges. Connected,
+//!   uniform small degree, diameter `O(√n)` — the properties the paper's
+//!   evaluation leans on (tiny edge cuts, 47-timestep TDSP convergence).
+//! * [`small_world`] — preferential attachment: power-law in-degrees and a
+//!   very small diameter, like WIKI (4-timestep TDSP convergence, edge cuts
+//!   that blow up with partition count).
+//!
+//! Instance generators reproduce §IV.A's two workloads:
+//!
+//! * [`generate_road_latencies`] — i.i.d. random travel time per edge per
+//!   timestep ("no correlation between the values in space or time").
+//! * [`generate_sir_tweets`] — SIR epidemic cascade of a meme hashtag with a
+//!   configurable per-edge hit probability (30 % CARN / 2 % WIKI in the
+//!   paper), plus background hashtag noise for the aggregation workload.
+//!
+//! Everything is deterministic given a seed.
+
+pub mod churn;
+pub mod instances;
+pub mod presets;
+pub mod rmat;
+pub mod road;
+pub mod smallworld;
+
+pub use instances::{
+    generate_road_latencies, generate_sir_tweets, RoadLatencyConfig, SirConfig, LATENCY_ATTR,
+    TWEETS_ATTR,
+};
+pub use churn::{generate_topology_churn, ChurnConfig};
+pub use presets::{carn_like, wiki_like, DatasetPreset};
+pub use rmat::{rmat, RmatConfig};
+pub use road::{road_network, RoadNetConfig};
+pub use smallworld::{small_world, SmallWorldConfig};

@@ -1,0 +1,182 @@
+//! R-MAT recursive-matrix graph generator.
+//!
+//! The classic Chakrabarti–Zhan–Faloutsos generator: each edge picks its
+//! endpoints by recursively descending into one of four adjacency-matrix
+//! quadrants with probabilities `(a, b, c, d)`. Skewed parameters produce
+//! power-law-ish graphs; used here to stress the partitioner with a third
+//! topology family beyond the lattice and preferential attachment.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tempograph_core::{AttrType, GraphTemplate, TemplateBuilder};
+
+/// Parameters for [`rmat`].
+#[derive(Clone, Debug)]
+pub struct RmatConfig {
+    /// log2 of the vertex count (n = 2^scale_exp).
+    pub scale_exp: u32,
+    /// Average edges per vertex (total edges ≈ n · edge_factor).
+    pub edge_factor: usize,
+    /// Quadrant probabilities; must sum to ≈ 1. Kronecker defaults
+    /// (0.57, 0.19, 0.19, 0.05).
+    pub probs: (f64, f64, f64, f64),
+    /// Whether the template is directed.
+    pub directed: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RmatConfig {
+    fn default() -> Self {
+        RmatConfig {
+            scale_exp: 12,
+            edge_factor: 8,
+            probs: (0.57, 0.19, 0.19, 0.05),
+            directed: true,
+            seed: 0x0044_AA7,
+        }
+    }
+}
+
+/// Generate an R-MAT template (self-loops and duplicate edges are dropped,
+/// so the edge count is slightly below `n · edge_factor`). Declares the
+/// standard `tweets` / `latency` workload attributes.
+pub fn rmat(cfg: &RmatConfig) -> GraphTemplate {
+    let (a, b, c, d) = cfg.probs;
+    assert!(
+        (a + b + c + d - 1.0).abs() < 1e-6 && a > 0.0 && b >= 0.0 && c >= 0.0 && d >= 0.0,
+        "quadrant probabilities must be a distribution"
+    );
+    assert!(cfg.scale_exp >= 1 && cfg.scale_exp <= 26, "scale_exp out of range");
+    let n: u64 = 1 << cfg.scale_exp;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let mut b_ = TemplateBuilder::new(format!("rmat-{}", n), cfg.directed);
+    b_.vertex_schema().add(crate::TWEETS_ATTR, AttrType::TextList);
+    b_.edge_schema().add(crate::LATENCY_ATTR, AttrType::Double);
+    for v in 0..n {
+        b_.add_vertex(v);
+    }
+
+    let mut seen = std::collections::HashSet::new();
+    let target = n as usize * cfg.edge_factor;
+    let mut eid = 0u64;
+    let mut attempts = 0usize;
+    while (eid as usize) < target && attempts < target * 8 {
+        attempts += 1;
+        let (mut lo_s, mut hi_s) = (0u64, n);
+        let (mut lo_d, mut hi_d) = (0u64, n);
+        while hi_s - lo_s > 1 {
+            let r: f64 = rng.gen();
+            let (src_hi, dst_hi) = if r < a {
+                (false, false)
+            } else if r < a + b {
+                (false, true)
+            } else if r < a + b + c {
+                (true, false)
+            } else {
+                (true, true)
+            };
+            let mid_s = (lo_s + hi_s) / 2;
+            let mid_d = (lo_d + hi_d) / 2;
+            if src_hi {
+                lo_s = mid_s;
+            } else {
+                hi_s = mid_s;
+            }
+            if dst_hi {
+                lo_d = mid_d;
+            } else {
+                hi_d = mid_d;
+            }
+        }
+        let (s, t) = (lo_s, lo_d);
+        if s == t {
+            continue;
+        }
+        let key = if cfg.directed {
+            (s, t)
+        } else {
+            (s.min(t), s.max(t))
+        };
+        if seen.insert(key) {
+            b_.add_edge(eid, s, t).expect("unique by seen-set");
+            eid += 1;
+        }
+    }
+    b_.finalize().expect("rmat template is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_size() {
+        let g = rmat(&RmatConfig {
+            scale_exp: 8,
+            edge_factor: 4,
+            ..Default::default()
+        });
+        assert_eq!(g.num_vertices(), 256);
+        // Dedup/self-loop losses are bounded.
+        assert!(g.num_edges() > 256 * 3 && g.num_edges() <= 256 * 4);
+    }
+
+    #[test]
+    fn skewed_probs_make_hubs() {
+        let g = rmat(&RmatConfig {
+            scale_exp: 10,
+            edge_factor: 8,
+            ..Default::default()
+        });
+        let mut deg = vec![0usize; g.num_vertices()];
+        for e in g.edges() {
+            let (s, d) = g.endpoints(e);
+            deg[s.idx()] += 1;
+            deg[d.idx()] += 1;
+        }
+        let max = *deg.iter().max().unwrap();
+        let avg = deg.iter().sum::<usize>() as f64 / deg.len() as f64;
+        assert!(max as f64 > 5.0 * avg, "hub expected: max {max}, avg {avg}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = RmatConfig {
+            scale_exp: 7,
+            ..Default::default()
+        };
+        let a = rmat(&cfg);
+        let b = rmat(&cfg);
+        assert_eq!(a.num_edges(), b.num_edges());
+        for e in a.edges() {
+            assert_eq!(a.endpoints(e), b.endpoints(e));
+        }
+    }
+
+    #[test]
+    fn undirected_mode_dedups_both_directions() {
+        let g = rmat(&RmatConfig {
+            scale_exp: 6,
+            edge_factor: 4,
+            directed: false,
+            ..Default::default()
+        });
+        let mut seen = std::collections::HashSet::new();
+        for e in g.edges() {
+            let (s, d) = g.endpoints(e);
+            let key = (s.min(d), s.max(d));
+            assert!(seen.insert(key), "duplicate undirected edge");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distribution")]
+    fn rejects_bad_probs() {
+        rmat(&RmatConfig {
+            probs: (0.5, 0.5, 0.5, 0.5),
+            ..Default::default()
+        });
+    }
+}

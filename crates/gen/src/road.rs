@@ -1,0 +1,245 @@
+//! Road-network template generator (CARN analogue).
+//!
+//! Construction: take a `width × height` lattice; compute a uniformly random
+//! spanning tree over the grid edges (shuffled Kruskal) so the result is
+//! always connected; then independently keep each remaining grid edge with
+//! probability [`RoadNetConfig::extra_edge_prob`]. With the default 0.4 this
+//! lands at average degree ≈ 2.8, matching CARN's 2·|E|/|V| = 2.82, while
+//! the lattice embedding preserves the `O(√n)` diameter that drives the
+//! paper's TDSP behaviour (the frontier crosses the network in ~47 of 50
+//! timesteps).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use tempograph_core::{AttrType, GraphTemplate, TemplateBuilder};
+
+/// Parameters for [`road_network`].
+#[derive(Clone, Debug)]
+pub struct RoadNetConfig {
+    /// Lattice width (vertices per row).
+    pub width: usize,
+    /// Lattice height (rows).
+    pub height: usize,
+    /// Probability of keeping a non-spanning-tree grid edge. 0.4 ≈ CARN's
+    /// average degree of 2.8.
+    pub extra_edge_prob: f64,
+    /// RNG seed; the same seed always yields the same template.
+    pub seed: u64,
+}
+
+impl Default for RoadNetConfig {
+    fn default() -> Self {
+        RoadNetConfig {
+            width: 100,
+            height: 100,
+            extra_edge_prob: 0.4,
+            seed: 0x0CA1_F0A0,
+        }
+    }
+}
+
+/// Minimal union-find for the spanning-tree construction.
+struct Dsu {
+    parent: Vec<u32>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.parent[ra as usize] = rb;
+        true
+    }
+}
+
+/// Generate an undirected road-network template with a `latency` edge
+/// attribute slot declared (values are filled per instance by
+/// [`crate::generate_road_latencies`]).
+pub fn road_network(cfg: &RoadNetConfig) -> GraphTemplate {
+    assert!(cfg.width >= 2 && cfg.height >= 2, "lattice must be ≥ 2×2");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.width * cfg.height;
+    let at = |x: usize, y: usize| (y * cfg.width + x) as u32;
+
+    // All candidate grid edges (right + down neighbours).
+    let mut candidates: Vec<(u32, u32)> = Vec::with_capacity(2 * n);
+    for y in 0..cfg.height {
+        for x in 0..cfg.width {
+            if x + 1 < cfg.width {
+                candidates.push((at(x, y), at(x + 1, y)));
+            }
+            if y + 1 < cfg.height {
+                candidates.push((at(x, y), at(x, y + 1)));
+            }
+        }
+    }
+    candidates.shuffle(&mut rng);
+
+    let mut dsu = Dsu::new(n);
+    let mut keep: Vec<(u32, u32)> = Vec::with_capacity(candidates.len());
+    let mut rest: Vec<(u32, u32)> = Vec::with_capacity(candidates.len());
+    for &(a, b) in &candidates {
+        if dsu.union(a, b) {
+            keep.push((a, b)); // spanning-tree edge: mandatory
+        } else {
+            rest.push((a, b));
+        }
+    }
+    for &(a, b) in &rest {
+        if rng.gen_bool(cfg.extra_edge_prob) {
+            keep.push((a, b));
+        }
+    }
+    // Deterministic edge ordering regardless of shuffle: sort by endpoints.
+    keep.sort_unstable();
+
+    let mut b = TemplateBuilder::new(format!("road-{}x{}", cfg.width, cfg.height), false);
+    // Both workload attributes are declared so the same template serves the
+    // TDSP (road latency) and MEME/HASH (tweet) generators, as in the paper
+    // where CARN and WIKI are each paired with both instance generators.
+    b.edge_schema().add(crate::LATENCY_ATTR, AttrType::Double);
+    b.vertex_schema().add(crate::TWEETS_ATTR, AttrType::TextList);
+    for v in 0..n as u64 {
+        b.add_vertex(v);
+    }
+    for (eid, &(s, d)) in keep.iter().enumerate() {
+        b.add_edge(eid as u64, s as u64, d as u64)
+            .expect("grid edges are unique");
+    }
+    b.finalize().expect("road template is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempograph_core::VertexIdx;
+
+    fn connected(g: &GraphTemplate) -> bool {
+        if g.num_vertices() == 0 {
+            return true;
+        }
+        let mut seen = vec![false; g.num_vertices()];
+        let mut stack = vec![VertexIdx(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for n in g.neighbors(v) {
+                if !seen[n.vertex.idx()] {
+                    seen[n.vertex.idx()] = true;
+                    count += 1;
+                    stack.push(n.vertex);
+                }
+            }
+        }
+        count == g.num_vertices()
+    }
+
+    #[test]
+    fn generates_connected_lattice() {
+        let g = road_network(&RoadNetConfig {
+            width: 30,
+            height: 30,
+            ..Default::default()
+        });
+        assert_eq!(g.num_vertices(), 900);
+        assert!(connected(&g), "spanning tree guarantees connectivity");
+    }
+
+    #[test]
+    fn average_degree_near_carn() {
+        let g = road_network(&RoadNetConfig {
+            width: 60,
+            height: 60,
+            ..Default::default()
+        });
+        let avg = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!((2.4..3.2).contains(&avg), "avg degree {avg} outside CARN band");
+    }
+
+    #[test]
+    fn diameter_scales_with_grid() {
+        let small = road_network(&RoadNetConfig {
+            width: 10,
+            height: 10,
+            ..Default::default()
+        });
+        let large = road_network(&RoadNetConfig {
+            width: 40,
+            height: 40,
+            ..Default::default()
+        });
+        assert!(large.approx_diameter() > small.approx_diameter());
+        // A 40×40 perturbed lattice must have diameter well above a small-world graph's.
+        assert!(large.approx_diameter() >= 40);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let cfg = RoadNetConfig {
+            width: 12,
+            height: 9,
+            seed: 7,
+            ..Default::default()
+        };
+        let a = road_network(&cfg);
+        let b = road_network(&cfg);
+        assert_eq!(a.num_edges(), b.num_edges());
+        for e in a.edges() {
+            assert_eq!(a.endpoints(e), b.endpoints(e));
+        }
+    }
+
+    #[test]
+    fn different_seed_different_graph() {
+        let a = road_network(&RoadNetConfig {
+            width: 20,
+            height: 20,
+            seed: 1,
+            ..Default::default()
+        });
+        let b = road_network(&RoadNetConfig {
+            width: 20,
+            height: 20,
+            seed: 2,
+            ..Default::default()
+        });
+        // Edge sets almost surely differ.
+        let ea: Vec<_> = a.edges().map(|e| a.endpoints(e)).collect();
+        let eb: Vec<_> = b.edges().map(|e| b.endpoints(e)).collect();
+        assert_ne!(ea, eb);
+    }
+
+    #[test]
+    fn declares_latency_attribute() {
+        let g = road_network(&RoadNetConfig::default());
+        assert!(g.edge_schema().index_of(crate::LATENCY_ATTR).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "lattice")]
+    fn rejects_degenerate_grid() {
+        road_network(&RoadNetConfig {
+            width: 1,
+            height: 5,
+            ..Default::default()
+        });
+    }
+}

@@ -1,0 +1,235 @@
+//! Small-world template generator (WIKI analogue).
+//!
+//! Barabási–Albert preferential attachment: vertices arrive one at a time
+//! and attach [`SmallWorldConfig::edges_per_vertex`] edges to existing
+//! vertices sampled proportionally to degree (implemented with the standard
+//! repeated-endpoints trick). The result has a power-law degree tail, a tiny
+//! diameter and — crucial for the paper's Table 2 reproduction — edge cuts
+//! that grow steeply with partition count, unlike the road network.
+//!
+//! The template is built **directed** (WIKI is a directed talk network;
+//! new user → existing user), but because every vertex attaches to an
+//! earlier one the underlying undirected graph is connected.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tempograph_core::{AttrType, GraphTemplate, TemplateBuilder};
+
+/// Parameters for [`small_world`].
+#[derive(Clone, Debug)]
+pub struct SmallWorldConfig {
+    /// Total vertex count.
+    pub vertices: usize,
+    /// Edges attached by each arriving vertex (m in BA). WIKI's
+    /// |E|/|V| ≈ 2.1, so the default is 2.
+    pub edges_per_vertex: usize,
+    /// Whether the template is directed (new user → existing user). The
+    /// WIKI preset uses `false`: the paper's algorithms treat talk edges as
+    /// plain connectivity ("the unweighted edges show connectivity between
+    /// users", §III.B).
+    pub directed: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SmallWorldConfig {
+    fn default() -> Self {
+        SmallWorldConfig {
+            vertices: 10_000,
+            edges_per_vertex: 2,
+            directed: true,
+            seed: 0x51CA_11ED,
+        }
+    }
+}
+
+/// Generate a directed small-world template with a `tweets` vertex
+/// attribute slot declared (filled per instance by
+/// [`crate::generate_sir_tweets`]).
+pub fn small_world(cfg: &SmallWorldConfig) -> GraphTemplate {
+    assert!(
+        cfg.vertices > cfg.edges_per_vertex && cfg.edges_per_vertex >= 1,
+        "need more vertices than edges_per_vertex ≥ 1"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let m = cfg.edges_per_vertex;
+
+    let mut b = TemplateBuilder::new(format!("smallworld-{}", cfg.vertices), cfg.directed);
+    // Both workload attributes, as for `road_network`.
+    b.vertex_schema().add(crate::TWEETS_ATTR, AttrType::TextList);
+    b.edge_schema().add(crate::LATENCY_ATTR, AttrType::Double);
+    for v in 0..cfg.vertices as u64 {
+        b.add_vertex(v);
+    }
+
+    // Repeated-endpoints list: vertex v appears deg(v) times; preferential
+    // sampling is a uniform draw from this list.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * m * cfg.vertices);
+    // Seed clique over the first m+1 vertices.
+    let mut eid: u64 = 0;
+    for i in 0..=(m as u32) {
+        for j in 0..i {
+            b.add_edge(eid, i as u64, j as u64).expect("unique");
+            eid += 1;
+            endpoints.push(i);
+            endpoints.push(j);
+        }
+    }
+    for v in (m as u32 + 1)..cfg.vertices as u32 {
+        let mut chosen: Vec<u32> = Vec::with_capacity(m);
+        let mut guard = 0usize;
+        while chosen.len() < m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != v && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+            guard += 1;
+            if guard > 64 * m {
+                // Degenerate corner (tiny graphs): fall back to uniform.
+                let t = rng.gen_range(0..v);
+                if !chosen.contains(&t) {
+                    chosen.push(t);
+                }
+            }
+        }
+        for t in chosen {
+            b.add_edge(eid, v as u64, t as u64).expect("unique");
+            eid += 1;
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    b.finalize().expect("small-world template is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempograph_core::VertexIdx;
+
+    fn undirected_connected(g: &GraphTemplate) -> bool {
+        // Build symmetric adjacency on the fly.
+        let mut adj = vec![Vec::new(); g.num_vertices()];
+        for e in g.edges() {
+            let (s, d) = g.endpoints(e);
+            adj[s.idx()].push(d);
+            adj[d.idx()].push(s);
+        }
+        let mut seen = vec![false; g.num_vertices()];
+        let mut stack = vec![VertexIdx(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for &n in &adj[v.idx()] {
+                if !seen[n.idx()] {
+                    seen[n.idx()] = true;
+                    count += 1;
+                    stack.push(n);
+                }
+            }
+        }
+        count == g.num_vertices()
+    }
+
+    #[test]
+    fn size_and_connectivity() {
+        let g = small_world(&SmallWorldConfig {
+            vertices: 2000,
+            ..Default::default()
+        });
+        assert_eq!(g.num_vertices(), 2000);
+        // |E| ≈ m·n
+        assert!(g.num_edges() >= 2 * (2000 - 3));
+        assert!(undirected_connected(&g));
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let g = small_world(&SmallWorldConfig {
+            vertices: 5000,
+            ..Default::default()
+        });
+        // In-degree skew: compute max in-degree vs average.
+        let mut indeg = vec![0usize; g.num_vertices()];
+        for e in g.edges() {
+            let (_, d) = g.endpoints(e);
+            indeg[d.idx()] += 1;
+        }
+        let max = *indeg.iter().max().unwrap();
+        let avg = indeg.iter().sum::<usize>() as f64 / indeg.len() as f64;
+        assert!(
+            max as f64 > 15.0 * avg,
+            "power-law hub expected: max {max}, avg {avg}"
+        );
+    }
+
+    #[test]
+    fn diameter_is_small() {
+        // approx_diameter uses out-neighbours only on directed templates;
+        // for a WIKI-like reachability check we assert on the undirected
+        // structure instead via a manual double sweep over symmetric adjacency.
+        let g = small_world(&SmallWorldConfig {
+            vertices: 5000,
+            ..Default::default()
+        });
+        let mut adj = vec![Vec::new(); g.num_vertices()];
+        for e in g.edges() {
+            let (s, d) = g.endpoints(e);
+            adj[s.idx()].push(d);
+            adj[d.idx()].push(s);
+        }
+        let bfs = |src: usize| -> usize {
+            let mut dist = vec![usize::MAX; adj.len()];
+            let mut q = std::collections::VecDeque::new();
+            dist[src] = 0;
+            q.push_back(src);
+            let mut far = 0;
+            while let Some(u) = q.pop_front() {
+                for &n in &adj[u] {
+                    if dist[n.idx()] == usize::MAX {
+                        dist[n.idx()] = dist[u] + 1;
+                        far = far.max(dist[n.idx()]);
+                        q.push_back(n.idx());
+                    }
+                }
+            }
+            far
+        };
+        let d = bfs(0);
+        assert!(d <= 12, "small-world diameter should be tiny, got {d}");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let cfg = SmallWorldConfig {
+            vertices: 500,
+            seed: 99,
+            ..Default::default()
+        };
+        let a = small_world(&cfg);
+        let b = small_world(&cfg);
+        let ea: Vec<_> = a.edges().map(|e| a.endpoints(e)).collect();
+        let eb: Vec<_> = b.edges().map(|e| b.endpoints(e)).collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn declares_tweets_attribute() {
+        let g = small_world(&SmallWorldConfig {
+            vertices: 100,
+            ..Default::default()
+        });
+        assert!(g.vertex_schema().index_of(crate::TWEETS_ATTR).is_some());
+        assert!(g.directed());
+    }
+
+    #[test]
+    #[should_panic(expected = "need more vertices")]
+    fn rejects_degenerate_config() {
+        small_world(&SmallWorldConfig {
+            vertices: 2,
+            edges_per_vertex: 2,
+            ..Default::default()
+        });
+    }
+}

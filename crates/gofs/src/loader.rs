@@ -1,0 +1,289 @@
+//! Lazy per-partition instance loading with slice caching.
+//!
+//! GoFFish "only loads an instance if it is accessed. So inactive instances
+//! are not loaded from disk, and fetched only when they perform a
+//! computation or receive a message" (§IV.D). [`InstanceLoader`] reproduces
+//! this: the first access to any (subgraph, timestep) inside a slice reads
+//! and decodes the whole slice file; subsequent accesses hit the cache. The
+//! cache holds a bounded number of slices, evicting least-recently-used
+//! packs, so long runs stream through disk just like GoFS.
+
+use crate::error::{GofsError, Result};
+use crate::slice::{decode_slice, SliceData, SliceKey};
+use crate::store::{bins_for_partition, GofsStore};
+use crate::view::SubgraphInstance;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+use tempograph_partition::{PartitionedGraph, SubgraphId};
+
+/// Counters describing a loader's I/O behaviour — the raw material for the
+/// Fig. 6 spike analysis and ablation A2.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LoaderStats {
+    /// Slice files read and decoded.
+    pub slice_loads: u64,
+    /// Bytes read from disk.
+    pub bytes_read: u64,
+    /// Cache hits (requests served without touching disk).
+    pub cache_hits: u64,
+    /// Slices evicted to respect the cache budget.
+    pub evictions: u64,
+    /// Nanoseconds spent reading + decoding slices.
+    pub load_ns: u64,
+}
+
+/// Lazy reader for one partition of a GoFS dataset. Single-threaded by
+/// design: each engine worker owns its partition's loader (as each GoFFish
+/// host owns its local GoFS shard).
+pub struct InstanceLoader {
+    store: GofsStore,
+    partition: u16,
+    /// `bin_of_sg[sg] = bin index` for this partition's subgraphs.
+    bin_of_sg: HashMap<SubgraphId, u32>,
+    cache: HashMap<SliceKey, (Arc<SliceData>, u64)>,
+    /// Monotonic counter for LRU ordering.
+    tick: u64,
+    /// Max slices kept in cache.
+    capacity: usize,
+    stats: LoaderStats,
+}
+
+impl InstanceLoader {
+    /// Create a loader for `partition`. `capacity` bounds the number of
+    /// cached slices (≥ 1); the number of bins is the natural choice so one
+    /// full pack per bin stays resident.
+    pub fn new(
+        store: GofsStore,
+        pg: &PartitionedGraph,
+        partition: u16,
+        capacity: usize,
+    ) -> Self {
+        assert!(capacity >= 1, "cache capacity must be ≥ 1");
+        let bins = bins_for_partition(pg, partition, store.meta().binning);
+        let mut bin_of_sg = HashMap::new();
+        for (bi, bin) in bins.iter().enumerate() {
+            for &sg in bin {
+                bin_of_sg.insert(sg, bi as u32);
+            }
+        }
+        InstanceLoader {
+            store,
+            partition,
+            bin_of_sg,
+            cache: HashMap::new(),
+            tick: 0,
+            capacity,
+            stats: LoaderStats::default(),
+        }
+    }
+
+    /// A loader whose capacity holds one pack per bin (the sensible default).
+    pub fn with_default_capacity(store: GofsStore, pg: &PartitionedGraph, partition: u16) -> Self {
+        let bins = bins_for_partition(pg, partition, store.meta().binning).len();
+        Self::new(store, pg, partition, bins.max(1) * 2)
+    }
+
+    /// I/O counters so far.
+    pub fn stats(&self) -> &LoaderStats {
+        &self.stats
+    }
+
+    /// Reset the counters (e.g. between timesteps when sampling per-step I/O).
+    pub fn reset_stats(&mut self) {
+        self.stats = LoaderStats::default();
+    }
+
+    /// Fetch the projected instance for `sg` at `timestep`, reading the
+    /// covering slice from disk if it is not cached.
+    pub fn load(&mut self, sg: SubgraphId, timestep: usize) -> Result<Arc<SubgraphInstance>> {
+        let meta = self.store.meta();
+        if timestep >= meta.num_timesteps {
+            return Err(GofsError::OutOfRange(format!(
+                "timestep {timestep} ≥ {}",
+                meta.num_timesteps
+            )));
+        }
+        let &bin = self.bin_of_sg.get(&sg).ok_or_else(|| {
+            GofsError::OutOfRange(format!(
+                "{sg} does not belong to partition {}",
+                self.partition
+            ))
+        })?;
+        let pack = (timestep / meta.packing) as u32;
+        let key = SliceKey { bin, pack };
+
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((slice, last_used)) = self.cache.get_mut(&key) {
+            *last_used = tick;
+            self.stats.cache_hits += 1;
+            let slice = slice.clone();
+            return slice
+                .get(sg, timestep)
+                .cloned()
+                .ok_or_else(|| GofsError::Corrupt(format!("slice {key:?} missing {sg}@{timestep}")));
+        }
+
+        // Miss: read + decode the slice file.
+        let started = Instant::now();
+        let path = self.store.slice_path(self.partition, key);
+        let data = std::fs::read(&path)?;
+        let slice = Arc::new(decode_slice(&data)?);
+        self.stats.slice_loads += 1;
+        self.stats.bytes_read += data.len() as u64;
+        self.stats.load_ns += started.elapsed().as_nanos() as u64;
+
+        if self.cache.len() >= self.capacity {
+            // Evict the least-recently-used slice.
+            if let Some(&victim) = self
+                .cache
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k)
+            {
+                self.cache.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        self.cache.insert(key, (slice.clone(), tick));
+        slice
+            .get(sg, timestep)
+            .cloned()
+            .ok_or_else(|| GofsError::Corrupt(format!("slice {key:?} missing {sg}@{timestep}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::write_dataset;
+    use std::path::PathBuf;
+    use tempograph_core::{AttrType, TemplateBuilder, TimeSeriesCollection};
+    use tempograph_partition::{discover_subgraphs, MultilevelPartitioner, Partitioner};
+
+    fn tmp(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "gofs-loader-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn dataset(dir: &PathBuf, timesteps: usize, packing: usize, binning: usize) -> (Arc<PartitionedGraph>, GofsStore) {
+        let mut b = TemplateBuilder::new("loader-test", false);
+        b.vertex_schema().add("v", AttrType::Long);
+        for i in 0..30 {
+            b.add_vertex(i);
+        }
+        for i in 0..29u64 {
+            b.add_edge(i, i, i + 1).unwrap();
+        }
+        let t = Arc::new(b.finalize().unwrap());
+        let part = MultilevelPartitioner::default().partition(&t, 2);
+        let pg = Arc::new(discover_subgraphs(t.clone(), part));
+        let mut coll = TimeSeriesCollection::new(t, 0, 1);
+        for ts in 0..timesteps {
+            let mut g = coll.new_instance();
+            for (i, x) in g.vertex_i64_mut("v").unwrap().iter_mut().enumerate() {
+                *x = (ts * 1000 + i) as i64;
+            }
+            coll.push(g).unwrap();
+        }
+        write_dataset(dir, pg.clone(), &coll, packing, binning).unwrap();
+        (pg, GofsStore::open(dir).unwrap())
+    }
+
+    #[test]
+    fn lazy_load_and_cache_hits() {
+        let dir = tmp("basic");
+        let (pg, store) = dataset(&dir, 20, 10, 5);
+        let partition = 0u16;
+        let sg = pg.subgraphs_of_partition(partition)[0];
+        let mut loader = InstanceLoader::with_default_capacity(store, &pg, partition);
+
+        // First access: one slice load.
+        let si = loader.load(sg, 0).unwrap();
+        assert_eq!(si.timestep, 0);
+        assert_eq!(loader.stats().slice_loads, 1);
+
+        // Timesteps 1..9 in the same pack: all cache hits.
+        for t in 1..10 {
+            loader.load(sg, t).unwrap();
+        }
+        assert_eq!(loader.stats().slice_loads, 1);
+        assert_eq!(loader.stats().cache_hits, 9);
+
+        // Timestep 10 crosses into the next pack: a new load — the Fig. 6
+        // "every 10th timestep" spike.
+        loader.load(sg, 10).unwrap();
+        assert_eq!(loader.stats().slice_loads, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn loaded_values_are_correct() {
+        let dir = tmp("values");
+        let (pg, store) = dataset(&dir, 12, 4, 2);
+        let partition = 1u16;
+        let mut loader = InstanceLoader::with_default_capacity(store, &pg, partition);
+        for &sg_id in pg.subgraphs_of_partition(partition) {
+            let sg = pg.subgraph(sg_id);
+            for t in [0usize, 5, 11] {
+                let si = loader.load(sg_id, t).unwrap();
+                let vals = si.vertex_i64(0).unwrap();
+                for (pos, &v) in sg.vertices().iter().enumerate() {
+                    assert_eq!(vals[pos], (t * 1000 + v.idx()) as i64);
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn eviction_respects_capacity() {
+        let dir = tmp("evict");
+        let (pg, store) = dataset(&dir, 30, 5, 5); // 6 packs
+        let partition = 0u16;
+        let sg = pg.subgraphs_of_partition(partition)[0];
+        let mut loader = InstanceLoader::new(store, &pg, partition, 2);
+        for t in 0..30 {
+            loader.load(sg, t).unwrap();
+        }
+        assert_eq!(loader.stats().slice_loads, 6);
+        assert_eq!(loader.stats().evictions, 4);
+        // Going back to an evicted pack re-loads it.
+        loader.load(sg, 0).unwrap();
+        assert_eq!(loader.stats().slice_loads, 7);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn out_of_range_requests_fail() {
+        let dir = tmp("range");
+        let (pg, store) = dataset(&dir, 5, 10, 5);
+        let partition = 0u16;
+        let sg = pg.subgraphs_of_partition(partition)[0];
+        let mut loader = InstanceLoader::with_default_capacity(store, &pg, partition);
+        assert!(loader.load(sg, 5).is_err());
+        // A subgraph of the *other* partition is rejected.
+        let foreign = pg.subgraphs_of_partition(1)[0];
+        assert!(loader.load(foreign, 0).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reset_stats_zeroes_counters() {
+        let dir = tmp("reset");
+        let (pg, store) = dataset(&dir, 5, 5, 5);
+        let sg = pg.subgraphs_of_partition(0)[0];
+        let mut loader = InstanceLoader::with_default_capacity(store, &pg, 0);
+        loader.load(sg, 0).unwrap();
+        assert_ne!(loader.stats(), &LoaderStats::default());
+        loader.reset_stats();
+        assert_eq!(loader.stats(), &LoaderStats::default());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

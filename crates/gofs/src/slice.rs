@@ -1,0 +1,242 @@
+//! The slice-file format.
+//!
+//! One slice file holds the projected instance data for one **bin** of up to
+//! `binning` subgraphs across one **pack** of up to `packing` consecutive
+//! timesteps — the paper's "temporal packing of 10 and subgraph binning of
+//! 5" (§IV.A). Loading is all-or-nothing per slice, which is precisely what
+//! produces the every-`packing`-timesteps load spike in Fig. 6.
+
+use crate::codec::{self, frame, unframe};
+use crate::error::{GofsError, Result};
+use crate::view::SubgraphInstance;
+use bytes::{BufMut, Bytes, BytesMut};
+use std::sync::Arc;
+use tempograph_partition::SubgraphId;
+
+const SLICE_MAGIC: [u8; 4] = *b"GFSL";
+
+/// Identifies one slice within a partition's directory.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SliceKey {
+    /// Bin index (subgraph group) within the partition.
+    pub bin: u32,
+    /// Pack index (timestep group).
+    pub pack: u32,
+}
+
+impl SliceKey {
+    /// Conventional file name for this slice.
+    pub fn file_name(&self) -> String {
+        format!("slice-b{:04}-p{:04}.slice", self.bin, self.pack)
+    }
+}
+
+/// A decoded slice: `instances[sg_index * n_timesteps + (t - t_start)]`.
+#[derive(Clone, Debug)]
+pub struct SliceData {
+    /// Owning partition.
+    pub partition: u16,
+    /// Which slice this is.
+    pub key: SliceKey,
+    /// Subgraphs in this bin, in stored order.
+    pub sg_ids: Vec<SubgraphId>,
+    /// First timestep covered.
+    pub t_start: usize,
+    /// Number of timesteps covered.
+    pub n_timesteps: usize,
+    /// Projected instances, row-major by (subgraph, timestep).
+    pub instances: Vec<Arc<SubgraphInstance>>,
+}
+
+impl SliceData {
+    /// The projected instance for `sg` at absolute timestep `t`, if covered.
+    pub fn get(&self, sg: SubgraphId, t: usize) -> Option<&Arc<SubgraphInstance>> {
+        let sg_index = self.sg_ids.iter().position(|&s| s == sg)?;
+        if t < self.t_start || t >= self.t_start + self.n_timesteps {
+            return None;
+        }
+        self.instances.get(sg_index * self.n_timesteps + (t - self.t_start))
+    }
+
+    /// Total approximate heap bytes of all held instances.
+    pub fn approx_bytes(&self) -> usize {
+        self.instances.iter().map(|i| i.approx_bytes()).sum()
+    }
+}
+
+/// Encode a slice file.
+///
+/// `rows` is indexed `[sg_index][timestep_offset]` and must be rectangular.
+pub fn encode_slice(
+    partition: u16,
+    key: SliceKey,
+    sg_ids: &[SubgraphId],
+    t_start: usize,
+    rows: &[Vec<SubgraphInstance>],
+) -> Bytes {
+    assert_eq!(rows.len(), sg_ids.len(), "one row per subgraph");
+    let n_timesteps = rows.first().map_or(0, |r| r.len());
+    assert!(
+        rows.iter().all(|r| r.len() == n_timesteps),
+        "rows must be rectangular"
+    );
+
+    let mut buf = BytesMut::new();
+    buf.put_u16_le(partition);
+    buf.put_u32_le(key.bin);
+    buf.put_u32_le(key.pack);
+    buf.put_u32_le(t_start as u32);
+    buf.put_u32_le(n_timesteps as u32);
+    buf.put_u32_le(sg_ids.len() as u32);
+    for sg in sg_ids {
+        buf.put_u32_le(sg.0);
+    }
+    for row in rows {
+        for si in row {
+            buf.put_i64_le(si.timestamp);
+            buf.put_u32_le(si.vertex_cols.len() as u32);
+            for c in &si.vertex_cols {
+                codec::put_column(&mut buf, c);
+            }
+            buf.put_u32_le(si.edge_cols.len() as u32);
+            for c in &si.edge_cols {
+                codec::put_column(&mut buf, c);
+            }
+        }
+    }
+    frame(SLICE_MAGIC, &buf)
+}
+
+/// Decode a slice file.
+pub fn decode_slice(data: &[u8]) -> Result<SliceData> {
+    let mut buf = unframe(SLICE_MAGIC, data)?;
+    if buf.len() < 18 {
+        return Err(GofsError::Corrupt("slice header truncated".into()));
+    }
+    let partition = {
+        use bytes::Buf;
+        buf.get_u16_le()
+    };
+    let bin = codec::get_u32(&mut buf)?;
+    let pack = codec::get_u32(&mut buf)?;
+    let t_start = codec::get_u32(&mut buf)? as usize;
+    let n_timesteps = codec::get_u32(&mut buf)? as usize;
+    let n_sg = codec::get_u32(&mut buf)? as usize;
+    let mut sg_ids = Vec::with_capacity(n_sg);
+    for _ in 0..n_sg {
+        sg_ids.push(SubgraphId(codec::get_u32(&mut buf)?));
+    }
+    let mut instances = Vec::with_capacity(n_sg * n_timesteps);
+    for _sg in 0..n_sg {
+        for toff in 0..n_timesteps {
+            let timestamp = codec::get_i64(&mut buf)?;
+            let nvc = codec::get_u32(&mut buf)? as usize;
+            let mut vertex_cols = Vec::with_capacity(nvc);
+            for _ in 0..nvc {
+                vertex_cols.push(codec::get_column(&mut buf)?);
+            }
+            let nec = codec::get_u32(&mut buf)? as usize;
+            let mut edge_cols = Vec::with_capacity(nec);
+            for _ in 0..nec {
+                edge_cols.push(codec::get_column(&mut buf)?);
+            }
+            instances.push(Arc::new(SubgraphInstance {
+                timestep: t_start + toff,
+                timestamp,
+                vertex_cols,
+                edge_cols,
+            }));
+        }
+    }
+    use bytes::Buf;
+    if buf.remaining() != 0 {
+        return Err(GofsError::Corrupt(format!(
+            "{} trailing bytes after slice payload",
+            buf.remaining()
+        )));
+    }
+    Ok(SliceData {
+        partition,
+        key: SliceKey { bin, pack },
+        sg_ids,
+        t_start,
+        n_timesteps,
+        instances,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempograph_core::Column;
+
+    fn si(timestep: usize, val: f64) -> SubgraphInstance {
+        SubgraphInstance {
+            timestep,
+            timestamp: timestep as i64 * 10,
+            vertex_cols: vec![Column::Double(vec![val, val + 1.0])],
+            edge_cols: vec![Column::Double(vec![val * 2.0])],
+        }
+    }
+
+    #[test]
+    fn slice_roundtrip() {
+        let sg_ids = vec![SubgraphId(4), SubgraphId(9)];
+        let rows = vec![
+            vec![si(20, 1.0), si(21, 2.0)],
+            vec![si(20, 5.0), si(21, 6.0)],
+        ];
+        let key = SliceKey { bin: 1, pack: 2 };
+        let data = encode_slice(3, key, &sg_ids, 20, &rows);
+        let back = decode_slice(&data).unwrap();
+        assert_eq!(back.partition, 3);
+        assert_eq!(back.key, key);
+        assert_eq!(back.sg_ids, sg_ids);
+        assert_eq!(back.t_start, 20);
+        assert_eq!(back.n_timesteps, 2);
+
+        let got = back.get(SubgraphId(9), 21).unwrap();
+        assert_eq!(got.vertex_cols[0], Column::Double(vec![6.0, 7.0]));
+        assert_eq!(got.timestep, 21);
+        assert_eq!(got.timestamp, 210);
+    }
+
+    #[test]
+    fn get_out_of_range_returns_none() {
+        let sg_ids = vec![SubgraphId(0)];
+        let rows = vec![vec![si(5, 1.0)]];
+        let data = encode_slice(0, SliceKey { bin: 0, pack: 0 }, &sg_ids, 5, &rows);
+        let back = decode_slice(&data).unwrap();
+        assert!(back.get(SubgraphId(0), 4).is_none());
+        assert!(back.get(SubgraphId(0), 6).is_none());
+        assert!(back.get(SubgraphId(1), 5).is_none());
+        assert!(back.get(SubgraphId(0), 5).is_some());
+    }
+
+    #[test]
+    fn corrupt_slice_rejected() {
+        let sg_ids = vec![SubgraphId(0)];
+        let rows = vec![vec![si(0, 1.0)]];
+        let data = encode_slice(0, SliceKey { bin: 0, pack: 0 }, &sg_ids, 0, &rows);
+        let mut evil = data.to_vec();
+        let mid = evil.len() / 2;
+        evil[mid] ^= 0xFF;
+        assert!(decode_slice(&evil).is_err());
+    }
+
+    #[test]
+    fn file_name_is_stable() {
+        assert_eq!(
+            SliceKey { bin: 3, pack: 12 }.file_name(),
+            "slice-b0003-p0012.slice"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rectangular")]
+    fn ragged_rows_rejected() {
+        let sg_ids = vec![SubgraphId(0), SubgraphId(1)];
+        let rows = vec![vec![si(0, 1.0)], vec![]];
+        encode_slice(0, SliceKey { bin: 0, pack: 0 }, &sg_ids, 0, &rows);
+    }
+}

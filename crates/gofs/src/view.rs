@@ -1,0 +1,213 @@
+//! Instance data projected onto one subgraph.
+
+use tempograph_core::{AttrType, Column, CoreError, GraphInstance};
+use tempograph_partition::Subgraph;
+
+/// The slice of one [`GraphInstance`] visible to one subgraph:
+///
+/// * vertex attribute rows in **local-position order** (row `p` belongs to
+///   `subgraph.vertex_at(p)`);
+/// * edge attribute rows in **edge-position order** (row `q` belongs to
+///   `subgraph.edges()[q]`; translate with
+///   [`Subgraph::edge_pos`](tempograph_partition::Subgraph::edge_pos)).
+///
+/// This is what GoFS stores in slice files and what the engine hands to the
+/// user's `Compute` for each timestep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SubgraphInstance {
+    /// Timestep index within the dataset (0-based).
+    pub timestep: usize,
+    /// Wall-clock timestamp `t0 + timestep·δ`.
+    pub timestamp: i64,
+    /// Vertex columns, schema order; rows by local position.
+    pub vertex_cols: Vec<Column>,
+    /// Edge columns, schema order; rows by subgraph edge position.
+    pub edge_cols: Vec<Column>,
+}
+
+impl SubgraphInstance {
+    /// Project a full instance onto `subgraph`.
+    pub fn project(instance: &GraphInstance, subgraph: &Subgraph, timestep: usize) -> Self {
+        let vrows: Vec<usize> = subgraph.vertices().iter().map(|v| v.idx()).collect();
+        let erows: Vec<usize> = subgraph.edges().iter().map(|e| e.idx()).collect();
+        SubgraphInstance {
+            timestep,
+            timestamp: instance.timestamp(),
+            vertex_cols: instance
+                .vertex_columns()
+                .iter()
+                .map(|c| gather(c, &vrows))
+                .collect(),
+            edge_cols: instance
+                .edge_columns()
+                .iter()
+                .map(|c| gather(c, &erows))
+                .collect(),
+        }
+    }
+
+    /// Borrow a `Double` vertex column by schema position.
+    pub fn vertex_f64(&self, col: usize) -> Result<&[f64], CoreError> {
+        match &self.vertex_cols[col] {
+            Column::Double(v) => Ok(v),
+            c => Err(mismatch(c.ty(), AttrType::Double)),
+        }
+    }
+
+    /// Borrow a `Long` vertex column by schema position.
+    pub fn vertex_i64(&self, col: usize) -> Result<&[i64], CoreError> {
+        match &self.vertex_cols[col] {
+            Column::Long(v) => Ok(v),
+            c => Err(mismatch(c.ty(), AttrType::Long)),
+        }
+    }
+
+    /// Borrow a `TextList` vertex column by schema position.
+    pub fn vertex_text_list(&self, col: usize) -> Result<&[Vec<String>], CoreError> {
+        match &self.vertex_cols[col] {
+            Column::TextList(v) => Ok(v),
+            c => Err(mismatch(c.ty(), AttrType::TextList)),
+        }
+    }
+
+    /// Borrow a `Bool` vertex column by schema position.
+    pub fn vertex_bool(&self, col: usize) -> Result<&[bool], CoreError> {
+        match &self.vertex_cols[col] {
+            Column::Bool(v) => Ok(v),
+            c => Err(mismatch(c.ty(), AttrType::Bool)),
+        }
+    }
+
+    /// Borrow a `Double` edge column by schema position.
+    pub fn edge_f64(&self, col: usize) -> Result<&[f64], CoreError> {
+        match &self.edge_cols[col] {
+            Column::Double(v) => Ok(v),
+            c => Err(mismatch(c.ty(), AttrType::Double)),
+        }
+    }
+
+    /// Borrow a `Long` edge column by schema position.
+    pub fn edge_i64(&self, col: usize) -> Result<&[i64], CoreError> {
+        match &self.edge_cols[col] {
+            Column::Long(v) => Ok(v),
+            c => Err(mismatch(c.ty(), AttrType::Long)),
+        }
+    }
+
+    /// Approximate heap bytes, for loader cache accounting.
+    pub fn approx_bytes(&self) -> usize {
+        fn col_bytes(c: &Column) -> usize {
+            match c {
+                Column::Long(v) => v.len() * 8,
+                Column::Double(v) => v.len() * 8,
+                Column::Bool(v) => v.len(),
+                Column::Text(v) => v.iter().map(|s| s.len() + 24).sum(),
+                Column::LongList(v) => v.iter().map(|l| l.len() * 8 + 24).sum(),
+                Column::TextList(v) => v
+                    .iter()
+                    .map(|l| l.iter().map(|s| s.len() + 24).sum::<usize>() + 24)
+                    .sum(),
+            }
+        }
+        self.vertex_cols.iter().map(col_bytes).sum::<usize>()
+            + self.edge_cols.iter().map(col_bytes).sum::<usize>()
+    }
+}
+
+fn mismatch(expected: AttrType, got: AttrType) -> CoreError {
+    CoreError::AttributeTypeMismatch {
+        name: "<projected column>".into(),
+        expected,
+        got,
+    }
+}
+
+/// Gather `rows` out of a column into a new dense column.
+fn gather(col: &Column, rows: &[usize]) -> Column {
+    match col {
+        Column::Long(v) => Column::Long(rows.iter().map(|&i| v[i]).collect()),
+        Column::Double(v) => Column::Double(rows.iter().map(|&i| v[i]).collect()),
+        Column::Bool(v) => Column::Bool(rows.iter().map(|&i| v[i]).collect()),
+        Column::Text(v) => Column::Text(rows.iter().map(|&i| v[i].clone()).collect()),
+        Column::LongList(v) => Column::LongList(rows.iter().map(|&i| v[i].clone()).collect()),
+        Column::TextList(v) => Column::TextList(rows.iter().map(|&i| v[i].clone()).collect()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tempograph_core::{AttrType, TemplateBuilder, VertexIdx};
+    use tempograph_partition::{discover_subgraphs, Partitioning};
+
+    /// Path 0-1-2-3 split into partitions {0,1} and {2,3}.
+    fn setup() -> (
+        Arc<tempograph_core::GraphTemplate>,
+        tempograph_partition::PartitionedGraph,
+        GraphInstance,
+    ) {
+        let mut b = TemplateBuilder::new("t", false);
+        b.vertex_schema().add("load", AttrType::Double);
+        b.edge_schema().add("lat", AttrType::Double);
+        for i in 0..4 {
+            b.add_vertex(i);
+        }
+        for i in 0..3u64 {
+            b.add_edge(i, i, i + 1).unwrap();
+        }
+        let t = Arc::new(b.finalize().unwrap());
+        let pg = discover_subgraphs(
+            t.clone(),
+            Partitioning {
+                assignment: vec![0, 0, 1, 1],
+                k: 2,
+            },
+        );
+        let mut g = GraphInstance::new(&t, 0);
+        g.vertex_f64_mut("load").unwrap().copy_from_slice(&[10.0, 11.0, 12.0, 13.0]);
+        g.edge_f64_mut("lat").unwrap().copy_from_slice(&[0.5, 1.5, 2.5]);
+        (t, pg, g)
+    }
+
+    #[test]
+    fn projection_selects_member_rows() {
+        let (_, pg, g) = setup();
+        let sg = pg.subgraph(pg.subgraph_of_vertex(VertexIdx(2)));
+        let si = SubgraphInstance::project(&g, sg, 0);
+        // Subgraph {2,3}: loads 12, 13.
+        assert_eq!(si.vertex_f64(0).unwrap(), &[12.0, 13.0]);
+        // Edges touching {2,3}: edge 1 (1-2, crossing) and edge 2 (2-3).
+        assert_eq!(sg.edges().len(), 2);
+        assert_eq!(si.edge_f64(0).unwrap(), &[1.5, 2.5]);
+    }
+
+    #[test]
+    fn edge_pos_maps_into_projected_rows() {
+        let (t, pg, g) = setup();
+        let sg = pg.subgraph(pg.subgraph_of_vertex(VertexIdx(2)));
+        let si = SubgraphInstance::project(&g, sg, 0);
+        let crossing = t.edge_by_id(1).unwrap();
+        let q = sg.edge_pos(crossing).unwrap();
+        assert_eq!(si.edge_f64(0).unwrap()[q as usize], 1.5);
+    }
+
+    #[test]
+    fn type_mismatch_on_wrong_accessor() {
+        let (_, pg, g) = setup();
+        let sg = pg.subgraph(pg.subgraph_of_vertex(VertexIdx(0)));
+        let si = SubgraphInstance::project(&g, sg, 3);
+        assert_eq!(si.timestep, 3);
+        assert!(si.vertex_i64(0).is_err());
+        assert!(si.vertex_text_list(0).is_err());
+    }
+
+    #[test]
+    fn approx_bytes_counts_rows() {
+        let (_, pg, g) = setup();
+        let sg = pg.subgraph(pg.subgraph_of_vertex(VertexIdx(0)));
+        let si = SubgraphInstance::project(&g, sg, 0);
+        // 2 vertices × 8 bytes + 2 edges × 8 bytes
+        assert_eq!(si.approx_bytes(), 32);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests for the GoFS binary codec and slice format.
+
+use bytes::BytesMut;
+use proptest::prelude::*;
+use tempograph_core::{AttrType, Column, Schema, TemplateBuilder};
+use tempograph_gofs::codec::{
+    decode_template, encode_template, frame, get_column, get_schema, put_column, put_schema,
+    unframe,
+};
+use tempograph_gofs::slice::{decode_slice, encode_slice, SliceKey};
+use tempograph_gofs::SubgraphInstance;
+use tempograph_partition::SubgraphId;
+
+fn arb_column() -> impl Strategy<Value = Column> {
+    prop_oneof![
+        proptest::collection::vec(any::<i64>(), 0..50).prop_map(Column::Long),
+        proptest::collection::vec(any::<f64>().prop_filter("no NaN eq issues", |x| !x.is_nan()), 0..50)
+            .prop_map(Column::Double),
+        proptest::collection::vec(any::<bool>(), 0..70).prop_map(Column::Bool),
+        proptest::collection::vec("[\\PC]{0,16}".prop_map(String::from), 0..20)
+            .prop_map(Column::Text),
+        proptest::collection::vec(proptest::collection::vec(any::<i64>(), 0..5), 0..15)
+            .prop_map(Column::LongList),
+        proptest::collection::vec(
+            proptest::collection::vec("[a-z#0-9]{0,10}".prop_map(String::from), 0..4),
+            0..12
+        )
+        .prop_map(Column::TextList),
+    ]
+}
+
+proptest! {
+    /// Every column round-trips exactly and consumes exactly its bytes.
+    #[test]
+    fn column_roundtrip(col in arb_column()) {
+        let mut buf = BytesMut::new();
+        put_column(&mut buf, &col);
+        let mut bytes = buf.freeze();
+        let back = get_column(&mut bytes).unwrap();
+        prop_assert_eq!(back, col);
+        prop_assert_eq!(bytes.len(), 0);
+    }
+
+    /// Sequences of columns decode in order (no framing bleed).
+    #[test]
+    fn column_sequences_roundtrip(cols in proptest::collection::vec(arb_column(), 0..6)) {
+        let mut buf = BytesMut::new();
+        for c in &cols {
+            put_column(&mut buf, c);
+        }
+        let mut bytes = buf.freeze();
+        for c in &cols {
+            prop_assert_eq!(&get_column(&mut bytes).unwrap(), c);
+        }
+        prop_assert_eq!(bytes.len(), 0);
+    }
+
+    /// Schemas with unique names round-trip.
+    #[test]
+    fn schema_roundtrip(names in proptest::collection::hash_set("[a-z]{1,10}", 0..8)) {
+        let mut s = Schema::new();
+        let types = [
+            AttrType::Long, AttrType::Double, AttrType::Bool,
+            AttrType::Text, AttrType::LongList, AttrType::TextList,
+        ];
+        for (i, name) in names.iter().enumerate() {
+            s.add(name.clone(), types[i % types.len()]);
+        }
+        let mut buf = BytesMut::new();
+        put_schema(&mut buf, &s);
+        prop_assert_eq!(get_schema(&mut buf.freeze()).unwrap(), s);
+    }
+
+    /// Any single-byte corruption of a framed payload is detected (either
+    /// by the checksum, magic, version or length checks).
+    #[test]
+    fn frame_detects_any_single_byte_flip(
+        payload in proptest::collection::vec(any::<u8>(), 1..200),
+        pos_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let framed = frame(*b"TEST", &payload);
+        let mut evil = framed.to_vec();
+        let pos = ((evil.len() - 1) as f64 * pos_frac) as usize;
+        evil[pos] ^= flip;
+        prop_assert!(unframe(*b"TEST", &evil).is_err());
+    }
+
+    /// Any truncation of a framed payload is detected.
+    #[test]
+    fn frame_detects_truncation(
+        payload in proptest::collection::vec(any::<u8>(), 1..200),
+        keep_frac in 0.0f64..1.0,
+    ) {
+        let framed = frame(*b"TEST", &payload);
+        let keep = ((framed.len() - 1) as f64 * keep_frac) as usize;
+        prop_assert!(unframe(*b"TEST", &framed[..keep]).is_err());
+    }
+
+    /// Random templates survive the codec byte-for-byte semantically.
+    #[test]
+    fn template_roundtrip(
+        n in 1u64..40,
+        edges in proptest::collection::vec((0u64..40, 0u64..40), 0..80),
+        directed in any::<bool>(),
+    ) {
+        let mut b = TemplateBuilder::new("prop", directed);
+        b.vertex_schema().add("x", AttrType::Double);
+        b.edge_schema().add("y", AttrType::TextList);
+        for v in 0..n {
+            b.add_vertex(v * 3 + 1); // non-dense external ids
+        }
+        for (i, (s, d)) in edges.iter().enumerate() {
+            b.add_edge(i as u64, (s % n) * 3 + 1, (d % n) * 3 + 1).unwrap();
+        }
+        let t = b.finalize().unwrap();
+        let back = decode_template(&encode_template(&t)).unwrap();
+        prop_assert_eq!(back.num_vertices(), t.num_vertices());
+        prop_assert_eq!(back.num_edges(), t.num_edges());
+        prop_assert_eq!(back.directed(), t.directed());
+        prop_assert_eq!(back.vertex_schema(), t.vertex_schema());
+        prop_assert_eq!(back.edge_schema(), t.edge_schema());
+        for v in t.vertices() {
+            prop_assert_eq!(back.vertex_id(v), t.vertex_id(v));
+            prop_assert_eq!(back.neighbors(v), t.neighbors(v));
+        }
+    }
+
+    /// Slice files round-trip arbitrary projected instances.
+    #[test]
+    fn slice_roundtrip(
+        n_sg in 1usize..4,
+        n_ts in 1usize..6,
+        t_start in 0usize..40,
+        cols in proptest::collection::vec(arb_column(), 1..3),
+    ) {
+        let sg_ids: Vec<SubgraphId> = (0..n_sg as u32).map(SubgraphId).collect();
+        let rows: Vec<Vec<SubgraphInstance>> = (0..n_sg)
+            .map(|_| {
+                (0..n_ts)
+                    .map(|toff| SubgraphInstance {
+                        timestep: t_start + toff,
+                        timestamp: (t_start + toff) as i64 * 10,
+                        vertex_cols: cols.clone(),
+                        edge_cols: vec![],
+                    })
+                    .collect()
+            })
+            .collect();
+        let data = encode_slice(2, SliceKey { bin: 1, pack: 3 }, &sg_ids, t_start, &rows);
+        let back = decode_slice(&data).unwrap();
+        prop_assert_eq!(back.partition, 2);
+        prop_assert_eq!(back.n_timesteps, n_ts);
+        for (i, sg) in sg_ids.iter().enumerate() {
+            for toff in 0..n_ts {
+                let got = back.get(*sg, t_start + toff).unwrap();
+                prop_assert_eq!(&**got, &rows[i][toff]);
+            }
+        }
+    }
+}

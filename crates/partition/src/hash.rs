@@ -1,0 +1,91 @@
+//! Hash partitioner: the Pregel-default baseline.
+//!
+//! Assigns vertex `v` to partition `h(id(v)) mod k`. Ignores structure
+//! entirely — expected cut fraction `(k−1)/k` — which is exactly why the
+//! subgraph-centric papers use METIS instead; kept as the ablation floor.
+
+use crate::{Partitioner, Partitioning};
+use tempograph_core::GraphTemplate;
+
+/// See module docs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HashPartitioner;
+
+/// SplitMix64: tiny, high-quality 64-bit mixer (public domain constants) —
+/// avoids pulling in a hashing crate for one function.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl Partitioner for HashPartitioner {
+    fn partition(&self, template: &GraphTemplate, k: usize) -> Partitioning {
+        assert!(k >= 1 && k <= u16::MAX as usize, "k out of range");
+        let assignment = template
+            .vertices()
+            .map(|v| (splitmix64(template.vertex_id(v)) % k as u64) as u16)
+            .collect();
+        Partitioning {
+            assignment,
+            k,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "hash"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::{balance, cut_fraction};
+    use tempograph_core::TemplateBuilder;
+
+    fn line(n: u64) -> GraphTemplate {
+        let mut b = TemplateBuilder::new("line", false);
+        for i in 0..n {
+            b.add_vertex(i);
+        }
+        for i in 0..n - 1 {
+            b.add_edge(i, i, i + 1).unwrap();
+        }
+        b.finalize().unwrap()
+    }
+
+    #[test]
+    fn covers_all_partitions_roughly_evenly() {
+        let t = line(3000);
+        let p = HashPartitioner.partition(&t, 3);
+        p.validate(&t).unwrap();
+        assert!(balance(&t, &p) < 1.15, "hash should be near-balanced");
+    }
+
+    #[test]
+    fn cut_is_near_random_expectation() {
+        let t = line(5000);
+        let p = HashPartitioner.partition(&t, 4);
+        let f = cut_fraction(&t, &p);
+        // Expected (k-1)/k = 0.75 for random assignment.
+        assert!((0.6..0.9).contains(&f), "cut fraction {f}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let t = line(100);
+        assert_eq!(
+            HashPartitioner.partition(&t, 5).assignment,
+            HashPartitioner.partition(&t, 5).assignment
+        );
+    }
+
+    #[test]
+    fn k_equals_one() {
+        let t = line(10);
+        let p = HashPartitioner.partition(&t, 1);
+        assert!(p.assignment.iter().all(|&x| x == 0));
+    }
+}

@@ -1,0 +1,509 @@
+//! METIS-like multilevel k-way partitioner.
+//!
+//! Three classic phases:
+//!
+//! 1. **Coarsening** — repeated heavy-edge matching (HEM): each unmatched
+//!    vertex matches its unmatched neighbour with the heaviest connecting
+//!    edge; matched pairs collapse into one coarse vertex whose weight is the
+//!    pair's sum and whose parallel edges merge by weight.
+//! 2. **Initial partitioning** — greedy graph growing on the coarsest graph:
+//!    regions grow one partition at a time from a seed, always absorbing the
+//!    frontier vertex most connected to the region, until the weight target
+//!    is met.
+//! 3. **Uncoarsening + refinement** — the assignment is projected back level
+//!    by level; at each level several greedy boundary-refinement passes move
+//!    vertices to the neighbouring partition with the highest edge-weight
+//!    gain, subject to the load-factor constraint (1.03 by default — the
+//!    METIS setting the paper cites).
+//!
+//! On lattice-like road networks this yields sub-0.1 % cuts; on power-law
+//! small-world graphs cuts grow steeply with k — the contrast the paper's
+//! edge-cut table documents.
+
+use crate::{Partitioner, Partitioning};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use tempograph_core::GraphTemplate;
+
+/// Tuning knobs for [`MultilevelPartitioner`].
+#[derive(Clone, Debug)]
+pub struct MultilevelConfig {
+    /// Stop coarsening when the graph has at most `coarsen_to_per_part * k`
+    /// vertices.
+    pub coarsen_to_per_part: usize,
+    /// Greedy boundary-refinement passes per uncoarsening level.
+    pub refine_passes: usize,
+    /// Allowed load factor: max partition weight ≤ `load_factor · W/k`.
+    /// METIS's default (and the paper's) is 1.03.
+    pub load_factor: f64,
+    /// RNG seed (matching order, seed selection).
+    pub seed: u64,
+}
+
+impl Default for MultilevelConfig {
+    fn default() -> Self {
+        MultilevelConfig {
+            coarsen_to_per_part: 60,
+            refine_passes: 6,
+            load_factor: 1.03,
+            seed: 0x4E71_5000,
+        }
+    }
+}
+
+/// See module docs.
+#[derive(Clone, Debug, Default)]
+pub struct MultilevelPartitioner {
+    /// Configuration; `Default` matches METIS-like settings.
+    pub config: MultilevelConfig,
+}
+
+/// Weighted working graph used during coarsening.
+struct WGraph {
+    vwgt: Vec<u64>,
+    /// Adjacency as (neighbor, edge weight); symmetric, no self loops.
+    adj: Vec<Vec<(u32, u64)>>,
+}
+
+impl WGraph {
+    fn n(&self) -> usize {
+        self.vwgt.len()
+    }
+
+    fn total_weight(&self) -> u64 {
+        self.vwgt.iter().sum()
+    }
+
+    fn from_template(t: &GraphTemplate) -> WGraph {
+        let n = t.num_vertices();
+        let mut adj: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n];
+        for e in t.edges() {
+            let (s, d) = t.endpoints(e);
+            if s == d {
+                continue;
+            }
+            adj[s.idx()].push((d.0, 1));
+            adj[d.idx()].push((s.0, 1));
+        }
+        // Merge parallel edges.
+        for list in &mut adj {
+            list.sort_unstable_by_key(|&(v, _)| v);
+            list.dedup_by(|a, b| {
+                if a.0 == b.0 {
+                    b.1 += a.1;
+                    true
+                } else {
+                    false
+                }
+            });
+        }
+        WGraph {
+            vwgt: vec![1; n],
+            adj,
+        }
+    }
+}
+
+impl MultilevelPartitioner {
+    /// Coarsen once with heavy-edge matching. Returns the coarse graph and
+    /// the fine→coarse vertex map.
+    fn coarsen(g: &WGraph, rng: &mut StdRng) -> (WGraph, Vec<u32>) {
+        let n = g.n();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.shuffle(rng);
+        let mut matched: Vec<u32> = vec![u32::MAX; n];
+        let mut n_coarse = 0u32;
+        let mut coarse_of = vec![u32::MAX; n];
+        for &v in &order {
+            if matched[v as usize] != u32::MAX {
+                continue;
+            }
+            // Heaviest unmatched neighbour.
+            let mut best: Option<(u32, u64)> = None;
+            for &(nb, w) in &g.adj[v as usize] {
+                if matched[nb as usize] == u32::MAX
+                    && best.map_or(true, |(_, bw)| w > bw)
+                {
+                    best = Some((nb, w));
+                }
+            }
+            match best {
+                Some((nb, _)) => {
+                    matched[v as usize] = nb;
+                    matched[nb as usize] = v;
+                    coarse_of[v as usize] = n_coarse;
+                    coarse_of[nb as usize] = n_coarse;
+                }
+                None => {
+                    matched[v as usize] = v;
+                    coarse_of[v as usize] = n_coarse;
+                }
+            }
+            n_coarse += 1;
+        }
+
+        let nc = n_coarse as usize;
+        let mut vwgt = vec![0u64; nc];
+        for v in 0..n {
+            vwgt[coarse_of[v] as usize] += g.vwgt[v];
+        }
+        let mut adj: Vec<Vec<(u32, u64)>> = vec![Vec::new(); nc];
+        for v in 0..n {
+            let cv = coarse_of[v];
+            for &(nb, w) in &g.adj[v] {
+                let cn = coarse_of[nb as usize];
+                if cn != cv {
+                    adj[cv as usize].push((cn, w));
+                }
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable_by_key(|&(v, _)| v);
+            list.dedup_by(|a, b| {
+                if a.0 == b.0 {
+                    b.1 += a.1;
+                    true
+                } else {
+                    false
+                }
+            });
+        }
+        (WGraph { vwgt, adj }, coarse_of)
+    }
+
+    /// Greedy graph growing initial partitioning on the coarsest graph.
+    fn initial_partition(g: &WGraph, k: usize, rng: &mut StdRng) -> Vec<u16> {
+        let n = g.n();
+        let total = g.total_weight();
+        let target = total / k as u64;
+        let mut part = vec![u16::MAX; n];
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.shuffle(rng);
+        let mut cursor = 0usize;
+
+        for p in 0..k - 1 {
+            // Seed: first unassigned vertex in shuffled order.
+            while cursor < n && part[order[cursor] as usize] != u16::MAX {
+                cursor += 1;
+            }
+            if cursor >= n {
+                break;
+            }
+            let seed = order[cursor];
+            let mut region_weight = 0u64;
+            // Frontier with connection strength to the region.
+            let mut conn: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+            conn.insert(seed, 0);
+            while region_weight < target && !conn.is_empty() {
+                // Absorb the most-connected frontier vertex.
+                let (&v, _) = conn
+                    .iter()
+                    .max_by_key(|&(&v, &w)| (w, std::cmp::Reverse(v)))
+                    .expect("non-empty");
+                conn.remove(&v);
+                if part[v as usize] != u16::MAX {
+                    continue;
+                }
+                part[v as usize] = p as u16;
+                region_weight += g.vwgt[v as usize];
+                for &(nb, w) in &g.adj[v as usize] {
+                    if part[nb as usize] == u16::MAX {
+                        *conn.entry(nb).or_insert(0) += w;
+                    }
+                }
+            }
+        }
+        // Remainder to the last partition.
+        for x in part.iter_mut() {
+            if *x == u16::MAX {
+                *x = (k - 1) as u16;
+            }
+        }
+        part
+    }
+
+    /// Greedy boundary refinement: move vertices to the neighbour partition
+    /// with the highest positive gain, subject to the balance constraint.
+    fn refine(g: &WGraph, part: &mut [u16], k: usize, passes: usize, load_factor: f64) {
+        let total = g.total_weight();
+        let max_weight = ((total as f64 / k as f64) * load_factor).ceil() as u64;
+        let mut weights = vec![0u64; k];
+        for (v, &p) in part.iter().enumerate() {
+            weights[p as usize] += g.vwgt[v];
+        }
+        let mut gain = vec![0i64; k];
+        for _ in 0..passes {
+            let mut moved = 0usize;
+            for v in 0..g.n() {
+                let own = part[v] as usize;
+                if g.adj[v].is_empty() {
+                    continue;
+                }
+                // Edge weight towards each partition.
+                gain.iter_mut().for_each(|x| *x = 0);
+                let mut is_boundary = false;
+                for &(nb, w) in &g.adj[v] {
+                    let p = part[nb as usize] as usize;
+                    gain[p] += w as i64;
+                    if p != own {
+                        is_boundary = true;
+                    }
+                }
+                if !is_boundary {
+                    continue;
+                }
+                let own_conn = gain[own];
+                let mut best: Option<(usize, i64)> = None;
+                for (p, &conn) in gain.iter().enumerate() {
+                    if p == own {
+                        continue;
+                    }
+                    let gp = conn - own_conn;
+                    if gp > 0
+                        && weights[p] + g.vwgt[v] <= max_weight
+                        && best.map_or(true, |(_, bg)| gp > bg)
+                    {
+                        best = Some((p, gp));
+                    }
+                }
+                if let Some((p, _)) = best {
+                    weights[own] -= g.vwgt[v];
+                    weights[p] += g.vwgt[v];
+                    part[v] = p as u16;
+                    moved += 1;
+                }
+            }
+            if moved == 0 {
+                break;
+            }
+        }
+
+        // Rebalance: greedy gain moves never fix overweight partitions, so
+        // explicitly drain them — move boundary vertices of overweight
+        // partitions to their least-loaded neighbouring partition (accepting
+        // negative gain) until the load factor holds or no move helps.
+        let ideal = (total as f64 / k as f64).ceil() as u64;
+        for _ in 0..passes.max(4) {
+            if weights.iter().all(|&w| w <= max_weight) {
+                break;
+            }
+            let mut moved = 0usize;
+            for v in 0..g.n() {
+                let own = part[v] as usize;
+                if weights[own] <= max_weight {
+                    continue;
+                }
+                gain.iter_mut().for_each(|x| *x = 0);
+                let mut has_neighbor_partition = false;
+                for &(nb, w) in &g.adj[v] {
+                    let p = part[nb as usize] as usize;
+                    gain[p] += w as i64;
+                    if p != own {
+                        has_neighbor_partition = true;
+                    }
+                }
+                // Prefer a connected partition; fall back to the lightest.
+                let target = if has_neighbor_partition {
+                    (0..k)
+                        .filter(|&p| p != own && gain[p] > 0 && weights[p] + g.vwgt[v] <= ideal)
+                        .max_by_key(|&p| gain[p])
+                } else {
+                    None
+                }
+                .or_else(|| {
+                    let lightest = (0..k).filter(|&p| p != own).min_by_key(|&p| weights[p])?;
+                    (weights[lightest] + g.vwgt[v] <= ideal).then_some(lightest)
+                });
+                if let Some(p) = target {
+                    weights[own] -= g.vwgt[v];
+                    weights[p] += g.vwgt[v];
+                    part[v] = p as u16;
+                    moved += 1;
+                    if weights[own] <= max_weight {
+                        continue;
+                    }
+                }
+            }
+            if moved == 0 {
+                break;
+            }
+        }
+    }
+}
+
+impl Partitioner for MultilevelPartitioner {
+    fn partition(&self, template: &GraphTemplate, k: usize) -> Partitioning {
+        assert!(k >= 1 && k <= u16::MAX as usize, "k out of range");
+        let n = template.num_vertices();
+        if k == 1 || n == 0 {
+            return Partitioning {
+                assignment: vec![0; n],
+                k,
+            };
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+
+        // Coarsening ladder.
+        let mut graphs: Vec<WGraph> = vec![WGraph::from_template(template)];
+        let mut maps: Vec<Vec<u32>> = Vec::new();
+        let stop_at = (self.config.coarsen_to_per_part * k).max(2 * k);
+        loop {
+            let top = graphs.last().expect("non-empty ladder");
+            if top.n() <= stop_at {
+                break;
+            }
+            let (coarse, map) = Self::coarsen(top, &mut rng);
+            // Bail if matching stalls (< 10 % shrink), e.g. on star graphs.
+            if coarse.n() as f64 > top.n() as f64 * 0.9 {
+                break;
+            }
+            graphs.push(coarse);
+            maps.push(map);
+        }
+
+        // Initial partition at the coarsest level.
+        let coarsest = graphs.last().expect("non-empty ladder");
+        let mut part = Self::initial_partition(coarsest, k, &mut rng);
+        Self::refine(
+            coarsest,
+            &mut part,
+            k,
+            self.config.refine_passes * 2,
+            self.config.load_factor,
+        );
+
+        // Uncoarsen with refinement at each level.
+        for level in (0..maps.len()).rev() {
+            let fine = &graphs[level];
+            let map = &maps[level];
+            let mut fine_part = vec![0u16; fine.n()];
+            for v in 0..fine.n() {
+                fine_part[v] = part[map[v] as usize];
+            }
+            Self::refine(
+                fine,
+                &mut fine_part,
+                k,
+                self.config.refine_passes,
+                self.config.load_factor,
+            );
+            part = fine_part;
+        }
+
+        Partitioning {
+            assignment: part,
+            k,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "multilevel"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::HashPartitioner;
+    use crate::ldg::LdgPartitioner;
+    use crate::quality::{balance, cut_fraction};
+    use tempograph_gen::{road_network, small_world, RoadNetConfig, SmallWorldConfig};
+
+    #[test]
+    fn road_network_cut_is_tiny() {
+        let t = road_network(&RoadNetConfig {
+            width: 50,
+            height: 50,
+            ..Default::default()
+        });
+        let p = MultilevelPartitioner::default().partition(&t, 3);
+        p.validate(&t).unwrap();
+        let f = cut_fraction(&t, &p);
+        assert!(f < 0.03, "road cut fraction should be tiny, got {f}");
+    }
+
+    #[test]
+    fn balance_respects_load_factor_band() {
+        let t = road_network(&RoadNetConfig {
+            width: 40,
+            height: 40,
+            ..Default::default()
+        });
+        for k in [3, 6, 9] {
+            let p = MultilevelPartitioner::default().partition(&t, k);
+            let b = balance(&t, &p);
+            assert!(b <= 1.10, "k = {k}: balance {b} too loose");
+        }
+    }
+
+    #[test]
+    fn beats_ldg_and_hash_on_road() {
+        let t = road_network(&RoadNetConfig {
+            width: 40,
+            height: 40,
+            ..Default::default()
+        });
+        let ml = cut_fraction(&t, &MultilevelPartitioner::default().partition(&t, 6));
+        let ldg = cut_fraction(&t, &LdgPartitioner.partition(&t, 6));
+        let hash = cut_fraction(&t, &HashPartitioner.partition(&t, 6));
+        assert!(ml < ldg, "multilevel {ml} ≥ ldg {ldg}");
+        assert!(ml < hash / 10.0, "multilevel {ml} not ≪ hash {hash}");
+    }
+
+    #[test]
+    fn wiki_cut_grows_with_k_and_exceeds_road() {
+        let wiki = small_world(&SmallWorldConfig {
+            vertices: 4000,
+            ..Default::default()
+        });
+        let road = road_network(&RoadNetConfig {
+            width: 63,
+            height: 63,
+            ..Default::default()
+        });
+        let ml = MultilevelPartitioner::default();
+        let w3 = cut_fraction(&wiki, &ml.partition(&wiki, 3));
+        let w9 = cut_fraction(&wiki, &ml.partition(&wiki, 9));
+        let r3 = cut_fraction(&road, &ml.partition(&road, 3));
+        // The paper's table: WIKI cuts ≫ CARN cuts, and WIKI grows with k.
+        assert!(w3 > 10.0 * r3, "wiki {w3} vs road {r3}");
+        assert!(w9 > w3, "wiki cut must grow with k: {w3} → {w9}");
+    }
+
+    #[test]
+    fn k_one_trivial() {
+        let t = road_network(&RoadNetConfig {
+            width: 10,
+            height: 10,
+            ..Default::default()
+        });
+        let p = MultilevelPartitioner::default().partition(&t, 1);
+        assert!(p.assignment.iter().all(|&x| x == 0));
+        assert_eq!(cut_fraction(&t, &p), 0.0);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let t = road_network(&RoadNetConfig {
+            width: 20,
+            height: 20,
+            ..Default::default()
+        });
+        let a = MultilevelPartitioner::default().partition(&t, 4);
+        let b = MultilevelPartitioner::default().partition(&t, 4);
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn handles_graph_smaller_than_k() {
+        let mut b = tempograph_core::TemplateBuilder::new("tiny", false);
+        for i in 0..3 {
+            b.add_vertex(i);
+        }
+        b.add_edge(0, 0, 1).unwrap();
+        let t = b.finalize().unwrap();
+        let p = MultilevelPartitioner::default().partition(&t, 9);
+        p.validate(&t).unwrap();
+    }
+}

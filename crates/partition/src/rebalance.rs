@@ -1,0 +1,222 @@
+//! Subgraph rebalancing — the paper's §IV.D research direction.
+//!
+//! *"Partitions which are active at a given timestep can pass some of their
+//! subgraphs to an idle partition if the potential improvements in average
+//! CPU utilization outweighs the cost of rebalancing. … partitioning
+//! produces a long tail of small subgraphs in each partition and one large
+//! subgraph dominates. So these small subgraphs could be candidates for
+//! moving."*
+//!
+//! This module implements that proposal as an offline analyzer: given the
+//! measured per-partition compute cost of a finished run, it greedily moves
+//! *small* subgraphs (never each partition's dominant one) from overloaded
+//! to underloaded partitions, attributing cost to a subgraph proportionally
+//! to its vertex count, and predicts the makespan improvement. The ablation
+//! bench applies the plan and re-runs to check the prediction.
+
+use crate::{PartitionedGraph, Partitioning, SubgraphId};
+
+/// One proposed move.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Move {
+    /// Subgraph to relocate.
+    pub subgraph: SubgraphId,
+    /// Current partition.
+    pub from: u16,
+    /// Proposed partition.
+    pub to: u16,
+    /// Estimated cost (ns) this move shifts.
+    pub est_cost: u64,
+}
+
+/// A rebalancing proposal.
+#[derive(Clone, Debug, Default)]
+pub struct RebalancePlan {
+    /// Moves, in application order.
+    pub moves: Vec<Move>,
+    /// Makespan (max per-partition cost) before, in the cost model's unit.
+    pub makespan_before: u64,
+    /// Predicted makespan after applying all moves.
+    pub makespan_after: u64,
+}
+
+impl RebalancePlan {
+    /// Predicted speedup factor.
+    pub fn predicted_speedup(&self) -> f64 {
+        if self.makespan_after == 0 {
+            return 1.0;
+        }
+        self.makespan_before as f64 / self.makespan_after as f64
+    }
+
+    /// Apply the plan to a partitioning, producing the new vertex→partition
+    /// assignment (subgraph members move wholesale).
+    pub fn apply(&self, pg: &PartitionedGraph) -> Partitioning {
+        let mut assignment = pg.partitioning().assignment.clone();
+        for mv in &self.moves {
+            for &v in pg.subgraph(mv.subgraph).vertices() {
+                assignment[v.idx()] = mv.to;
+            }
+        }
+        Partitioning {
+            assignment,
+            k: pg.partitioning().k,
+        }
+    }
+}
+
+/// Propose up to `max_moves` subgraph relocations given measured
+/// per-partition costs (e.g. compute nanoseconds from a run's metrics).
+///
+/// Cost attribution: a partition's measured cost is split across its
+/// subgraphs proportionally to vertex count — the best estimate available
+/// without per-subgraph instrumentation, and conservative because the
+/// dominant subgraph (which the paper says should *not* move) absorbs most
+/// of the cost and is excluded from candidacy.
+pub fn suggest_rebalance(
+    pg: &PartitionedGraph,
+    per_partition_cost: &[u64],
+    max_moves: usize,
+) -> RebalancePlan {
+    let k = pg.num_partitions();
+    assert_eq!(per_partition_cost.len(), k, "one cost per partition");
+    let mut load: Vec<u64> = per_partition_cost.to_vec();
+    let makespan_before = load.iter().copied().max().unwrap_or(0);
+
+    // Per-subgraph cost estimate.
+    let mut sg_cost: Vec<u64> = vec![0; pg.subgraphs().len()];
+    let mut dominant: Vec<Option<SubgraphId>> = vec![None; k];
+    for p in 0..k as u16 {
+        let ids = pg.subgraphs_of_partition(p);
+        let total_vertices: usize = ids.iter().map(|&id| pg.subgraph(id).num_vertices()).sum();
+        if total_vertices == 0 {
+            continue;
+        }
+        for &id in ids {
+            let share = pg.subgraph(id).num_vertices() as u128;
+            sg_cost[id.idx()] =
+                ((per_partition_cost[p as usize] as u128 * share) / total_vertices as u128) as u64;
+        }
+        dominant[p as usize] = ids
+            .iter()
+            .copied()
+            .max_by_key(|&id| pg.subgraph(id).num_vertices());
+    }
+
+    let mut moved: Vec<bool> = vec![false; pg.subgraphs().len()];
+    let mut moves = Vec::new();
+    for _ in 0..max_moves {
+        let busiest = (0..k).max_by_key(|&p| load[p]).expect("k ≥ 1") as u16;
+        let idlest = (0..k).min_by_key(|&p| load[p]).expect("k ≥ 1") as u16;
+        if busiest == idlest {
+            break;
+        }
+        let gap = load[busiest as usize] - load[idlest as usize];
+        // Best candidate: the movable subgraph whose cost is closest to
+        // half the gap (moving more than the gap inverts the imbalance).
+        let candidate = pg
+            .subgraphs_of_partition(busiest)
+            .iter()
+            .copied()
+            .filter(|&id| Some(id) != dominant[busiest as usize] && !moved[id.idx()])
+            .filter(|&id| sg_cost[id.idx()] > 0 && sg_cost[id.idx()] < gap)
+            .min_by_key(|&id| (gap / 2).abs_diff(sg_cost[id.idx()]));
+        let Some(id) = candidate else { break };
+        let cost = sg_cost[id.idx()];
+        load[busiest as usize] -= cost;
+        load[idlest as usize] += cost;
+        moved[id.idx()] = true;
+        moves.push(Move {
+            subgraph: id,
+            from: busiest,
+            to: idlest,
+            est_cost: cost,
+        });
+    }
+
+    RebalancePlan {
+        moves,
+        makespan_before,
+        makespan_after: load.into_iter().max().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discover_subgraphs;
+    use std::sync::Arc;
+    use tempograph_core::TemplateBuilder;
+
+    /// Partition 0: one big subgraph (8 vertices) + two small (2 each);
+    /// partition 1: one small subgraph (2 vertices).
+    fn fixture() -> PartitionedGraph {
+        let mut b = TemplateBuilder::new("rb", false);
+        for i in 0..14 {
+            b.add_vertex(i);
+        }
+        let mut eid = 0;
+        // big component 0..8 in partition 0
+        for i in 0..7u64 {
+            b.add_edge(eid, i, i + 1).unwrap();
+            eid += 1;
+        }
+        // small components {8,9} and {10,11} in partition 0
+        b.add_edge(eid, 8, 9).unwrap();
+        eid += 1;
+        b.add_edge(eid, 10, 11).unwrap();
+        eid += 1;
+        // small component {12,13} in partition 1
+        b.add_edge(eid, 12, 13).unwrap();
+        let t = Arc::new(b.finalize().unwrap());
+        let mut assignment = vec![0u16; 14];
+        assignment[12] = 1;
+        assignment[13] = 1;
+        discover_subgraphs(t, Partitioning { assignment, k: 2 })
+    }
+
+    #[test]
+    fn moves_small_subgraphs_not_the_dominant_one() {
+        let pg = fixture();
+        // Partition 0 is 6× busier.
+        let plan = suggest_rebalance(&pg, &[600, 100], 4);
+        assert!(!plan.moves.is_empty());
+        for mv in &plan.moves {
+            assert_eq!(mv.from, 0);
+            assert_eq!(mv.to, 1);
+            // Never the 8-vertex dominant subgraph.
+            assert!(pg.subgraph(mv.subgraph).num_vertices() <= 2);
+        }
+        assert!(plan.makespan_after < plan.makespan_before);
+        assert!(plan.predicted_speedup() > 1.0);
+    }
+
+    #[test]
+    fn apply_produces_valid_partitioning() {
+        let pg = fixture();
+        let plan = suggest_rebalance(&pg, &[600, 100], 4);
+        let newp = plan.apply(&pg);
+        newp.validate(pg.template()).unwrap();
+        // Moved subgraphs' vertices now live in the target partition.
+        for mv in &plan.moves {
+            for &v in pg.subgraph(mv.subgraph).vertices() {
+                assert_eq!(newp.assignment[v.idx()], mv.to);
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_load_yields_empty_plan() {
+        let pg = fixture();
+        let plan = suggest_rebalance(&pg, &[100, 100], 4);
+        assert!(plan.moves.is_empty());
+        assert_eq!(plan.predicted_speedup(), 1.0);
+    }
+
+    #[test]
+    fn respects_max_moves() {
+        let pg = fixture();
+        let plan = suggest_rebalance(&pg, &[1000, 10], 1);
+        assert!(plan.moves.len() <= 1);
+    }
+}

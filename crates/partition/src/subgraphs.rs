@@ -1,0 +1,448 @@
+//! Subgraph discovery: the unit of computation in the subgraph-centric model.
+//!
+//! §II.C: *"A subgraph within a partition is a maximal set of vertices that
+//! are weakly connected through only local edges."* This module finds those
+//! components with a union-find over intra-partition edges and freezes them
+//! into a [`PartitionedGraph`]: per-subgraph CSR adjacency split into
+//! **local** neighbours (same subgraph, traversed in-memory) and **remote**
+//! neighbours (other partitions' subgraphs, reached by message passing).
+
+use crate::Partitioning;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+use tempograph_core::{EdgeIdx, GraphTemplate, VertexIdx};
+
+/// Globally unique subgraph identifier (dense, across all partitions).
+#[derive(
+    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+pub struct SubgraphId(pub u32);
+
+impl SubgraphId {
+    /// Index as `usize`.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for SubgraphId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sg{}", self.0)
+    }
+}
+
+/// An adjacency entry crossing partitions: the far endpoint lives in another
+/// partition's subgraph and is reachable only via messaging.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RemoteNeighbor {
+    /// Remote endpoint (template index).
+    pub vertex: VertexIdx,
+    /// Connecting edge (template index) — lets algorithms read edge
+    /// attributes such as latency for the crossing edge.
+    pub edge: EdgeIdx,
+    /// Subgraph owning the remote endpoint.
+    pub subgraph: SubgraphId,
+    /// Partition owning the remote endpoint.
+    pub partition: u16,
+}
+
+/// One weakly-connected component over local edges, with frozen CSR
+/// adjacency. Local neighbours are addressed by *local position* (index into
+/// [`Subgraph::vertices`]) so algorithm state can live in dense per-subgraph
+/// vectors.
+#[derive(Clone, Debug)]
+pub struct Subgraph {
+    id: SubgraphId,
+    partition: u16,
+    /// Member vertices (template indices), sorted ascending.
+    vertices: Vec<VertexIdx>,
+    /// All distinct edges touching this subgraph (local edges + remote
+    /// crossing edges), sorted ascending — the subgraph's edge universe for
+    /// GoFS attribute projection.
+    edges: Vec<EdgeIdx>,
+    local_offsets: Vec<u32>,
+    /// (local position of target, connecting edge).
+    local_adj: Vec<(u32, EdgeIdx)>,
+    remote_offsets: Vec<u32>,
+    remote_adj: Vec<RemoteNeighbor>,
+}
+
+impl Subgraph {
+    /// Globally unique id.
+    pub fn id(&self) -> SubgraphId {
+        self.id
+    }
+
+    /// Owning partition.
+    pub fn partition(&self) -> u16 {
+        self.partition
+    }
+
+    /// Number of member vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Member vertices (sorted by template index).
+    pub fn vertices(&self) -> &[VertexIdx] {
+        &self.vertices
+    }
+
+    /// Template index of the vertex at local position `pos`.
+    #[inline]
+    pub fn vertex_at(&self, pos: u32) -> VertexIdx {
+        self.vertices[pos as usize]
+    }
+
+    /// Local position of template vertex `v`, if it belongs to this subgraph.
+    pub fn local_pos(&self, v: VertexIdx) -> Option<u32> {
+        self.vertices.binary_search(&v).ok().map(|i| i as u32)
+    }
+
+    /// Intra-subgraph neighbours of the vertex at local position `pos`.
+    #[inline]
+    pub fn local_neighbors(&self, pos: u32) -> &[(u32, EdgeIdx)] {
+        let lo = self.local_offsets[pos as usize] as usize;
+        let hi = self.local_offsets[pos as usize + 1] as usize;
+        &self.local_adj[lo..hi]
+    }
+
+    /// Cross-partition neighbours of the vertex at local position `pos`.
+    #[inline]
+    pub fn remote_neighbors(&self, pos: u32) -> &[RemoteNeighbor] {
+        let lo = self.remote_offsets[pos as usize] as usize;
+        let hi = self.remote_offsets[pos as usize + 1] as usize;
+        &self.remote_adj[lo..hi]
+    }
+
+    /// Total number of remote edges leaving this subgraph.
+    pub fn num_remote_edges(&self) -> usize {
+        self.remote_adj.len()
+    }
+
+    /// All distinct edges touching this subgraph (local + crossing), sorted.
+    pub fn edges(&self) -> &[EdgeIdx] {
+        &self.edges
+    }
+
+    /// Number of distinct edges touching this subgraph.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Position of template edge `e` within [`Subgraph::edges`], if present.
+    /// Edge-attribute rows in a projected subgraph instance use this index.
+    pub fn edge_pos(&self, e: EdgeIdx) -> Option<u32> {
+        self.edges.binary_search(&e).ok().map(|i| i as u32)
+    }
+
+    /// Iterate all local positions.
+    pub fn positions(&self) -> impl Iterator<Item = u32> + '_ {
+        0..self.vertices.len() as u32
+    }
+}
+
+/// The engine's world view: template + partitioning + frozen subgraphs.
+#[derive(Clone, Debug)]
+pub struct PartitionedGraph {
+    template: Arc<GraphTemplate>,
+    partitioning: Partitioning,
+    subgraphs: Vec<Subgraph>,
+    partition_subgraphs: Vec<Vec<SubgraphId>>,
+    vertex_to_subgraph: Vec<SubgraphId>,
+}
+
+impl PartitionedGraph {
+    /// The shared template.
+    pub fn template(&self) -> &Arc<GraphTemplate> {
+        &self.template
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitioning.k
+    }
+
+    /// The vertex→partition assignment this graph was built from.
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.partitioning
+    }
+
+    /// All subgraphs, ordered by [`SubgraphId`].
+    pub fn subgraphs(&self) -> &[Subgraph] {
+        &self.subgraphs
+    }
+
+    /// One subgraph by id.
+    pub fn subgraph(&self, id: SubgraphId) -> &Subgraph {
+        &self.subgraphs[id.idx()]
+    }
+
+    /// Ids of the subgraphs living in partition `p`.
+    pub fn subgraphs_of_partition(&self, p: u16) -> &[SubgraphId] {
+        &self.partition_subgraphs[p as usize]
+    }
+
+    /// The subgraph owning template vertex `v`.
+    pub fn subgraph_of_vertex(&self, v: VertexIdx) -> SubgraphId {
+        self.vertex_to_subgraph[v.idx()]
+    }
+
+    /// The largest subgraph (by vertex count) in partition `p` — the paper's
+    /// Hashtag Aggregation designates "the largest subgraph present in the
+    /// 1st partition" as the master aggregator.
+    pub fn largest_subgraph_in_partition(&self, p: u16) -> Option<SubgraphId> {
+        self.partition_subgraphs[p as usize]
+            .iter()
+            .copied()
+            .max_by_key(|id| self.subgraphs[id.idx()].num_vertices())
+    }
+}
+
+/// Discover subgraphs (weakly-connected components over local edges) and
+/// freeze the partitioned view. `partitioning` must be valid for `template`.
+pub fn discover_subgraphs(
+    template: Arc<GraphTemplate>,
+    partitioning: Partitioning,
+) -> PartitionedGraph {
+    partitioning
+        .validate(&template)
+        .expect("partitioning must match template");
+    let n = template.num_vertices();
+    let assignment = &partitioning.assignment;
+
+    // Union-find over local edges (weakly connected: ignore direction).
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            let gp = parent[parent[x as usize] as usize];
+            parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+    for e in template.edges() {
+        let (s, d) = template.endpoints(e);
+        if assignment[s.idx()] == assignment[d.idx()] {
+            let (rs, rd) = (find(&mut parent, s.0), find(&mut parent, d.0));
+            if rs != rd {
+                parent[rs as usize] = rd;
+            }
+        }
+    }
+
+    // Root → subgraph id, ids assigned in (partition, min-root-vertex) order
+    // for determinism.
+    let mut roots: Vec<(u16, u32)> = Vec::new();
+    let mut root_of = vec![0u32; n];
+    for v in 0..n as u32 {
+        let r = find(&mut parent, v);
+        root_of[v as usize] = r;
+        if r == v {
+            roots.push((assignment[v as usize], v));
+        }
+    }
+    roots.sort_unstable();
+    let mut sg_of_root: HashMap<u32, SubgraphId> = HashMap::with_capacity(roots.len());
+    for (i, &(_, r)) in roots.iter().enumerate() {
+        sg_of_root.insert(r, SubgraphId(i as u32));
+    }
+    let vertex_to_subgraph: Vec<SubgraphId> = (0..n)
+        .map(|v| sg_of_root[&root_of[v]])
+        .collect();
+
+    // Gather members per subgraph (ascending vertex order by construction).
+    let num_sg = roots.len();
+    let mut members: Vec<Vec<VertexIdx>> = vec![Vec::new(); num_sg];
+    for v in 0..n as u32 {
+        members[vertex_to_subgraph[v as usize].idx()].push(VertexIdx(v));
+    }
+
+    // Freeze each subgraph's CSR.
+    let mut subgraphs = Vec::with_capacity(num_sg);
+    let mut partition_subgraphs: Vec<Vec<SubgraphId>> = vec![Vec::new(); partitioning.k];
+    for (i, verts) in members.into_iter().enumerate() {
+        let id = SubgraphId(i as u32);
+        let part = assignment[verts[0].idx()];
+        partition_subgraphs[part as usize].push(id);
+
+        let mut edges: Vec<EdgeIdx> = Vec::new();
+        let mut local_offsets = Vec::with_capacity(verts.len() + 1);
+        let mut local_adj = Vec::new();
+        let mut remote_offsets = Vec::with_capacity(verts.len() + 1);
+        let mut remote_adj = Vec::new();
+        local_offsets.push(0u32);
+        remote_offsets.push(0u32);
+
+        // Position lookup within this subgraph (verts is sorted).
+        let pos_of = |v: VertexIdx| -> u32 {
+            verts.binary_search(&v).expect("member") as u32
+        };
+
+        for &v in &verts {
+            for nb in template.neighbors(v) {
+                edges.push(nb.edge);
+                if assignment[nb.vertex.idx()] == part {
+                    local_adj.push((pos_of(nb.vertex), nb.edge));
+                } else {
+                    remote_adj.push(RemoteNeighbor {
+                        vertex: nb.vertex,
+                        edge: nb.edge,
+                        subgraph: vertex_to_subgraph[nb.vertex.idx()],
+                        partition: assignment[nb.vertex.idx()],
+                    });
+                }
+            }
+            local_offsets.push(local_adj.len() as u32);
+            remote_offsets.push(remote_adj.len() as u32);
+        }
+
+        edges.sort_unstable();
+        edges.dedup();
+        subgraphs.push(Subgraph {
+            id,
+            partition: part,
+            vertices: verts,
+            edges,
+            local_offsets,
+            local_adj,
+            remote_offsets,
+            remote_adj,
+        });
+    }
+
+    PartitionedGraph {
+        template,
+        partitioning,
+        subgraphs,
+        partition_subgraphs,
+        vertex_to_subgraph,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MultilevelPartitioner, Partitioner};
+    use tempograph_core::TemplateBuilder;
+    use tempograph_gen::{road_network, RoadNetConfig};
+
+    /// 0-1-2   3-4-5 (two components), partitioned as {0,1,3,4} / {2,5}.
+    fn two_paths() -> (Arc<GraphTemplate>, Partitioning) {
+        let mut b = TemplateBuilder::new("2p", false);
+        for i in 0..6 {
+            b.add_vertex(i);
+        }
+        b.add_edge(0, 0, 1).unwrap();
+        b.add_edge(1, 1, 2).unwrap();
+        b.add_edge(2, 3, 4).unwrap();
+        b.add_edge(3, 4, 5).unwrap();
+        let t = Arc::new(b.finalize().unwrap());
+        let p = Partitioning {
+            assignment: vec![0, 0, 1, 0, 0, 1],
+            k: 2,
+        };
+        (t, p)
+    }
+
+    #[test]
+    fn discovers_expected_components() {
+        let (t, p) = two_paths();
+        let pg = discover_subgraphs(t, p);
+        // Partition 0: {0,1} and {3,4} — two subgraphs.
+        // Partition 1: {2} and {5} — two singleton subgraphs.
+        assert_eq!(pg.subgraphs().len(), 4);
+        assert_eq!(pg.subgraphs_of_partition(0).len(), 2);
+        assert_eq!(pg.subgraphs_of_partition(1).len(), 2);
+        let sg01 = pg.subgraph_of_vertex(VertexIdx(0));
+        assert_eq!(pg.subgraph_of_vertex(VertexIdx(1)), sg01);
+        assert_ne!(pg.subgraph_of_vertex(VertexIdx(3)), sg01);
+    }
+
+    #[test]
+    fn remote_edges_point_to_right_subgraph() {
+        let (t, p) = two_paths();
+        let pg = discover_subgraphs(t, p);
+        let sg = pg.subgraph(pg.subgraph_of_vertex(VertexIdx(1)));
+        let pos = sg.local_pos(VertexIdx(1)).unwrap();
+        let remotes = sg.remote_neighbors(pos);
+        assert_eq!(remotes.len(), 1);
+        assert_eq!(remotes[0].vertex, VertexIdx(2));
+        assert_eq!(remotes[0].partition, 1);
+        assert_eq!(remotes[0].subgraph, pg.subgraph_of_vertex(VertexIdx(2)));
+    }
+
+    #[test]
+    fn local_adjacency_within_subgraph() {
+        let (t, p) = two_paths();
+        let pg = discover_subgraphs(t, p);
+        let sg = pg.subgraph(pg.subgraph_of_vertex(VertexIdx(0)));
+        assert_eq!(sg.num_vertices(), 2);
+        let pos0 = sg.local_pos(VertexIdx(0)).unwrap();
+        let locals = sg.local_neighbors(pos0);
+        assert_eq!(locals.len(), 1);
+        assert_eq!(sg.vertex_at(locals[0].0), VertexIdx(1));
+    }
+
+    #[test]
+    fn vertices_partition_into_subgraphs_completely() {
+        let t = Arc::new(road_network(&RoadNetConfig {
+            width: 25,
+            height: 25,
+            ..Default::default()
+        }));
+        let p = MultilevelPartitioner::default().partition(&t, 4);
+        let pg = discover_subgraphs(t.clone(), p);
+        let total: usize = pg.subgraphs().iter().map(|s| s.num_vertices()).sum();
+        assert_eq!(total, t.num_vertices());
+        // Every vertex's recorded subgraph actually contains it.
+        for v in t.vertices() {
+            let sg = pg.subgraph(pg.subgraph_of_vertex(v));
+            assert!(sg.local_pos(v).is_some());
+        }
+    }
+
+    #[test]
+    fn local_plus_remote_degrees_match_template() {
+        let t = Arc::new(road_network(&RoadNetConfig {
+            width: 15,
+            height: 15,
+            ..Default::default()
+        }));
+        let p = MultilevelPartitioner::default().partition(&t, 3);
+        let pg = discover_subgraphs(t.clone(), p);
+        for v in t.vertices() {
+            let sg = pg.subgraph(pg.subgraph_of_vertex(v));
+            let pos = sg.local_pos(v).unwrap();
+            let total = sg.local_neighbors(pos).len() + sg.remote_neighbors(pos).len();
+            assert_eq!(total, t.degree(v), "degree mismatch at {v:?}");
+        }
+    }
+
+    #[test]
+    fn largest_subgraph_selection() {
+        let (t, p) = two_paths();
+        let pg = discover_subgraphs(t, p);
+        let largest = pg.largest_subgraph_in_partition(0).unwrap();
+        assert_eq!(pg.subgraph(largest).num_vertices(), 2);
+        // Partition indices out of subgraph range handled: partition 1 has
+        // singletons only.
+        let l1 = pg.largest_subgraph_in_partition(1).unwrap();
+        assert_eq!(pg.subgraph(l1).num_vertices(), 1);
+    }
+
+    #[test]
+    fn subgraph_ids_are_dense_and_ordered_by_partition() {
+        let (t, p) = two_paths();
+        let pg = discover_subgraphs(t, p);
+        for (i, sg) in pg.subgraphs().iter().enumerate() {
+            assert_eq!(sg.id().idx(), i);
+        }
+        // Ids in partition 0 precede ids in partition 1.
+        let max_p0 = pg.subgraphs_of_partition(0).iter().max().unwrap();
+        let min_p1 = pg.subgraphs_of_partition(1).iter().min().unwrap();
+        assert!(max_p0 < min_p1);
+    }
+}

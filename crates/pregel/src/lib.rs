@@ -1,0 +1,20 @@
+//! # tempograph-pregel — a Giraph/Pregel-style vertex-centric baseline
+//!
+//! The paper's §IV.C baseline is Apache Giraph, a vertex-centric BSP system:
+//! user logic runs per *vertex*, messages travel per vertex, and every
+//! traversal hop costs a full barriered superstep — which is exactly why the
+//! subgraph-centric model wins on high-diameter graphs (a subgraph crosses
+//! its whole interior in one superstep; a vertex program needs one superstep
+//! per hop).
+//!
+//! This crate is a from-scratch vertex-centric engine on the same simulated
+//! cluster substrate as `tempograph-engine` (one worker thread per
+//! partition, serialised cross-partition batches, barrier-with-reduction
+//! sync), so Fig. 5b's comparison measures model differences, not substrate
+//! differences.
+
+pub mod engine;
+pub mod programs;
+
+pub use engine::{run_pregel, PregelMetrics, PregelResult, VertexContext, VertexProgram};
+pub use programs::{BfsVertex, PageRankVertex, SsspVertex, WccVertex};

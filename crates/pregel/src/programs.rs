@@ -1,0 +1,290 @@
+//! Standard vertex programs: SSSP, BFS, WCC.
+
+use crate::engine::{VertexContext, VertexProgram};
+use tempograph_core::{GraphTemplate, VertexIdx};
+
+/// Vertex-centric SSSP (Giraph's canonical example, and the paper's
+/// baseline workload). `latencies` is an optional per-edge weight table
+/// indexed by dense edge index; `None` ⇒ unit weights (BFS-equivalent,
+/// matching the paper's unweighted-graph setup for Giraph).
+pub struct SsspVertex {
+    /// Source vertex.
+    pub source: VertexIdx,
+    /// Optional per-edge weights (dense edge index).
+    pub latencies: Option<Vec<f64>>,
+}
+
+impl VertexProgram for SsspVertex {
+    type Msg = f64;
+    type State = f64;
+
+    fn init(&self, _v: VertexIdx, _t: &GraphTemplate) -> f64 {
+        f64::INFINITY
+    }
+
+    fn compute(&self, ctx: &mut VertexContext<'_, f64, f64>, msgs: &[f64]) {
+        let mut best = *ctx.state();
+        if ctx.superstep == 0 && ctx.vertex == self.source {
+            best = 0.0;
+        }
+        for &m in msgs {
+            if m < best {
+                best = m;
+            }
+        }
+        if best < *ctx.state() || (ctx.superstep == 0 && ctx.vertex == self.source) {
+            *ctx.state() = best;
+            let neighbors = ctx.neighbors().to_vec();
+            for n in neighbors {
+                let w = self
+                    .latencies
+                    .as_ref()
+                    .map_or(1.0, |l| l[n.edge.idx()]);
+                ctx.send(n.vertex, best + w);
+            }
+        }
+        ctx.vote_to_halt();
+    }
+}
+
+/// Vertex-centric BFS: hop counts from a source (unit-weight SSSP with
+/// integer levels).
+pub struct BfsVertex {
+    /// Source vertex.
+    pub source: VertexIdx,
+}
+
+impl VertexProgram for BfsVertex {
+    type Msg = u64;
+    type State = i64;
+
+    fn init(&self, _v: VertexIdx, _t: &GraphTemplate) -> i64 {
+        -1
+    }
+
+    fn compute(&self, ctx: &mut VertexContext<'_, i64, u64>, msgs: &[u64]) {
+        if *ctx.state() < 0 {
+            let level = if ctx.superstep == 0 && ctx.vertex == self.source {
+                Some(0u64)
+            } else {
+                msgs.iter().min().copied()
+            };
+            if let Some(l) = level {
+                *ctx.state() = l as i64;
+                ctx.send_to_neighbors(l + 1);
+            }
+        }
+        ctx.vote_to_halt();
+    }
+}
+
+/// Vertex-centric PageRank with a fixed iteration count — one superstep per
+/// iteration, messages carry `rank/degree` shares (cf. the subgraph-centric
+/// variant in `tempograph-algos`; the results are identical, the messaging
+/// volume is not).
+pub struct PageRankVertex {
+    /// Iterations to run.
+    pub iterations: usize,
+    /// Total vertex count (for the teleport term).
+    pub n: f64,
+}
+
+impl VertexProgram for PageRankVertex {
+    type Msg = f64;
+    type State = f64;
+
+    fn init(&self, _v: VertexIdx, _t: &GraphTemplate) -> f64 {
+        1.0 / self.n
+    }
+
+    fn compute(&self, ctx: &mut VertexContext<'_, f64, f64>, msgs: &[f64]) {
+        if ctx.superstep > 0 {
+            let incoming: f64 = msgs.iter().sum();
+            *ctx.state() = 0.15 / self.n + 0.85 * incoming;
+        }
+        if ctx.superstep == self.iterations {
+            ctx.vote_to_halt();
+            return;
+        }
+        let deg = ctx.neighbors().len();
+        if deg > 0 {
+            let share = *ctx.state() / deg as f64;
+            ctx.send_to_neighbors(share);
+        } else {
+            // Keep the dangling vertex alive through the fixed iterations.
+            let me = ctx.vertex;
+            ctx.send(me, 0.0);
+        }
+    }
+}
+
+/// Vertex-centric WCC: hash-min label propagation over external vertex ids.
+pub struct WccVertex;
+
+impl VertexProgram for WccVertex {
+    type Msg = u64;
+    type State = u64;
+
+    fn init(&self, v: VertexIdx, t: &GraphTemplate) -> u64 {
+        t.vertex_id(v)
+    }
+
+    fn compute(&self, ctx: &mut VertexContext<'_, u64, u64>, msgs: &[u64]) {
+        let mut best = *ctx.state();
+        for &m in msgs {
+            best = best.min(m);
+        }
+        if best < *ctx.state() || ctx.superstep == 0 {
+            *ctx.state() = best;
+            ctx.send_to_neighbors(best);
+        }
+        ctx.vote_to_halt();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_pregel;
+    use std::sync::Arc;
+    use tempograph_core::TemplateBuilder;
+    use tempograph_partition::Partitioning;
+
+    fn grid(side: u64) -> Arc<GraphTemplate> {
+        let mut b = TemplateBuilder::new("grid", false);
+        for i in 0..side * side {
+            b.add_vertex(i);
+        }
+        let mut eid = 0;
+        for y in 0..side {
+            for x in 0..side {
+                let v = y * side + x;
+                if x + 1 < side {
+                    b.add_edge(eid, v, v + 1).unwrap();
+                    eid += 1;
+                }
+                if y + 1 < side {
+                    b.add_edge(eid, v, v + side).unwrap();
+                    eid += 1;
+                }
+            }
+        }
+        Arc::new(b.finalize().unwrap())
+    }
+
+    fn stripes(n: usize, k: usize) -> Partitioning {
+        Partitioning {
+            assignment: (0..n).map(|v| ((v * k) / n) as u16).collect(),
+            k,
+        }
+    }
+
+    #[test]
+    fn bfs_levels_match_manhattan_distance_on_grid() {
+        let side = 6u64;
+        let t = grid(side);
+        let part = stripes(t.num_vertices(), 3);
+        let r = run_pregel(&t, &part, &BfsVertex { source: VertexIdx(0) }, 1000);
+        for y in 0..side {
+            for x in 0..side {
+                let v = (y * side + x) as usize;
+                assert_eq!(r.states[v], (x + y) as i64, "vertex ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn sssp_weighted_respects_weights() {
+        // Path 0-1-2 with weights 5, 1.
+        let mut b = TemplateBuilder::new("p3", false);
+        for i in 0..3 {
+            b.add_vertex(i);
+        }
+        b.add_edge(0, 0, 1).unwrap();
+        b.add_edge(1, 1, 2).unwrap();
+        let t = Arc::new(b.finalize().unwrap());
+        let prog = SsspVertex {
+            source: VertexIdx(0),
+            latencies: Some(vec![5.0, 1.0]),
+        };
+        let r = run_pregel(&t, &stripes(3, 2), &prog, 100);
+        assert_eq!(r.states, vec![0.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn sssp_unweighted_equals_bfs() {
+        let t = grid(5);
+        let part = stripes(t.num_vertices(), 2);
+        let sssp = run_pregel(
+            &t,
+            &part,
+            &SsspVertex {
+                source: VertexIdx(0),
+                latencies: None,
+            },
+            1000,
+        );
+        let bfs = run_pregel(&t, &part, &BfsVertex { source: VertexIdx(0) }, 1000);
+        for v in 0..t.num_vertices() {
+            assert_eq!(sssp.states[v] as i64, bfs.states[v]);
+        }
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_and_matches_power_iteration() {
+        let t = grid(5);
+        let n = t.num_vertices();
+        let part = stripes(n, 2);
+        let r = run_pregel(
+            &t,
+            &part,
+            &PageRankVertex {
+                iterations: 8,
+                n: n as f64,
+            },
+            100,
+        );
+        let total: f64 = r.states.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "ranks sum to {total}");
+        // Reference power iteration.
+        let mut adj = vec![Vec::new(); n];
+        for e in t.edges() {
+            let (s, d) = t.endpoints(e);
+            adj[s.idx()].push(d.idx());
+            adj[d.idx()].push(s.idx());
+        }
+        let mut rank = vec![1.0 / n as f64; n];
+        for _ in 0..8 {
+            let mut next = vec![0.15 / n as f64; n];
+            for u in 0..n {
+                let share = 0.85 * rank[u] / adj[u].len() as f64;
+                for &v in &adj[u] {
+                    next[v] += share;
+                }
+            }
+            rank = next;
+        }
+        for v in 0..n {
+            assert!((r.states[v] - rank[v]).abs() < 1e-12, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn wcc_finds_components() {
+        // Two disjoint paths.
+        let mut b = TemplateBuilder::new("2p", false);
+        for i in 0..8 {
+            b.add_vertex(i);
+        }
+        b.add_edge(0, 0, 1).unwrap();
+        b.add_edge(1, 1, 2).unwrap();
+        b.add_edge(2, 4, 5).unwrap();
+        b.add_edge(3, 5, 6).unwrap();
+        b.add_edge(4, 6, 7).unwrap();
+        let t = Arc::new(b.finalize().unwrap());
+        let r = run_pregel(&t, &stripes(8, 2), &WccVertex, 100);
+        assert_eq!(&r.states[0..3], &[0, 0, 0]);
+        assert_eq!(r.states[3], 3); // isolated vertex
+        assert_eq!(&r.states[4..8], &[4, 4, 4, 4]);
+    }
+}

@@ -1,0 +1,385 @@
+//! `tempograph` — command-line driver for the time-series graph stack.
+//!
+//! ```text
+//! tempograph generate --preset carn --scale 0.5 --workload road \
+//!                     --partitions 6 --out /tmp/carn-road
+//! tempograph inspect  /tmp/carn-road
+//! tempograph run      --algo tdsp --data /tmp/carn-road --source 0
+//! tempograph partition --preset wiki --scale 0.5 --k 9 --algorithm ldg
+//! ```
+//!
+//! Argument parsing is deliberately dependency-free: `--key value` pairs
+//! after a subcommand.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::sync::Arc;
+use tempograph::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_opts(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&opts),
+        "inspect" => cmd_inspect(&opts, rest),
+        "partition" => cmd_partition(&opts),
+        "run" => cmd_run(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+tempograph — distributed programming over time-series graphs
+
+USAGE:
+  tempograph generate  --out DIR [--preset carn|wiki] [--scale F]
+                       [--workload road|tweets|churn] [--timesteps N]
+                       [--partitions K] [--packing N] [--binning N]
+                       [--partitioner multilevel|ldg|hash]
+      Generate a synthetic time-series graph dataset as a GoFS store.
+
+  tempograph inspect   DIR
+      Print a stored dataset's metadata, template and partition stats.
+
+  tempograph partition [--preset carn|wiki] [--scale F] [--k K]
+                       [--partitioner multilevel|ldg|hash]
+      Partition a generated template and report edge cut / balance.
+
+  tempograph run       --algo ALGO --data DIR [--source V] [--meme TAG]
+                       [--timesteps N]
+      Run an algorithm over a stored dataset.
+      ALGO: tdsp | meme | hash | sssp | bfs | wcc | pagerank | topn | stats";
+
+fn parse_opts(rest: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut opts = HashMap::new();
+    let mut it = rest.iter();
+    while let Some(key) = it.next() {
+        if let Some(name) = key.strip_prefix("--") {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("missing value for --{name}"))?;
+            opts.insert(name.to_string(), value.clone());
+        }
+        // bare positionals (e.g. inspect DIR) handled by the commands
+    }
+    Ok(opts)
+}
+
+fn opt<'a>(opts: &'a HashMap<String, String>, key: &str, default: &'a str) -> &'a str {
+    opts.get(key).map(String::as_str).unwrap_or(default)
+}
+
+fn parse<T: std::str::FromStr>(opts: &HashMap<String, String>, key: &str, default: T) -> Result<T, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value for --{key}: `{v}`")),
+    }
+}
+
+fn preset_of(opts: &HashMap<String, String>) -> Result<DatasetPreset, String> {
+    match opt(opts, "preset", "carn") {
+        "carn" => Ok(DatasetPreset::Carn),
+        "wiki" => Ok(DatasetPreset::Wiki),
+        other => Err(format!("unknown preset `{other}` (carn|wiki)")),
+    }
+}
+
+fn partitioner_of(name: &str) -> Result<Box<dyn Partitioner>, String> {
+    Ok(match name {
+        "multilevel" => Box::new(MultilevelPartitioner::default()),
+        "ldg" => Box::new(LdgPartitioner),
+        "hash" => Box::new(HashPartitioner),
+        other => return Err(format!("unknown partitioner `{other}`")),
+    })
+}
+
+fn cmd_generate(opts: &HashMap<String, String>) -> Result<(), String> {
+    let out = opts.get("out").ok_or("--out DIR is required")?;
+    let preset = preset_of(opts)?;
+    let scale: f64 = parse(opts, "scale", 0.5)?;
+    let timesteps: usize = parse(opts, "timesteps", 50)?;
+    let k: usize = parse(opts, "partitions", 6)?;
+    let packing: usize = parse(opts, "packing", 10)?;
+    let binning: usize = parse(opts, "binning", 5)?;
+    let workload = opt(opts, "workload", "road");
+
+    println!("generating {} template at scale {scale}…", preset.name());
+    let base = preset.template(scale);
+    // Churn workloads need the isExists attribute; rebuild with it declared.
+    let template = if workload == "churn" {
+        let mut b = TemplateBuilder::new(base.name().to_string(), base.directed());
+        b.vertex_schema()
+            .add(GraphTemplate::IS_EXISTS, AttrType::Bool);
+        for v in base.vertices() {
+            b.add_vertex(base.vertex_id(v));
+        }
+        for e in base.edges() {
+            let (s, d) = base.endpoints(e);
+            b.add_edge(base.edge_id(e), base.vertex_id(s), base.vertex_id(d))
+                .map_err(|e| e.to_string())?;
+        }
+        Arc::new(b.finalize().map_err(|e| e.to_string())?)
+    } else {
+        Arc::new(base)
+    };
+    println!(
+        "  {} vertices, {} edges",
+        template.num_vertices(),
+        template.num_edges()
+    );
+
+    println!("generating {timesteps} instances ({workload})…");
+    let series = match workload {
+        "road" => generate_road_latencies(
+            template.clone(),
+            &RoadLatencyConfig {
+                timesteps,
+                ..Default::default()
+            },
+        ),
+        "tweets" => generate_sir_tweets(
+            template.clone(),
+            &SirConfig {
+                timesteps,
+                hit_prob: preset.hit_prob(),
+                ..Default::default()
+            },
+        ),
+        "churn" => tempograph::gen::generate_topology_churn(
+            template.clone(),
+            &tempograph::gen::ChurnConfig {
+                timesteps,
+                pinned_alive: vec![VertexIdx(0)],
+                ..Default::default()
+            },
+        ),
+        other => return Err(format!("unknown workload `{other}` (road|tweets|churn)")),
+    };
+
+    println!("partitioning into {k} parts…");
+    let partitioner = partitioner_of(opt(opts, "partitioner", "multilevel"))?;
+    let parts = partitioner.partition(&template, k);
+    println!(
+        "  edge cut {:.3}%, balance {:.3}",
+        100.0 * tempograph::partition::cut_fraction(&template, &parts),
+        tempograph::partition::balance(&template, &parts)
+    );
+    let pg = Arc::new(discover_subgraphs(template, parts));
+    println!("  {} subgraphs", pg.subgraphs().len());
+
+    println!("writing GoFS store to {out} (packing {packing} × binning {binning})…");
+    let meta = tempograph::gofs::store::write_dataset(out, pg, &series, packing, binning)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "done: {} timesteps, {} partitions",
+        meta.num_timesteps, meta.num_partitions
+    );
+    Ok(())
+}
+
+fn cmd_inspect(opts: &HashMap<String, String>, rest: &[String]) -> Result<(), String> {
+    let dir = rest
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .or_else(|| opts.get("data").map(|_| unreachable!()))
+        .ok_or("usage: tempograph inspect DIR")?;
+    let store = GofsStore::open(dir).map_err(|e| e.to_string())?;
+    let meta = store.meta();
+    println!("dataset  : {}", meta.name);
+    println!("dir      : {dir}");
+    println!(
+        "series   : {} instances from t0 = {} every δ = {}s",
+        meta.num_timesteps, meta.start_time, meta.period
+    );
+    println!(
+        "layout   : {} partitions, packing {} × binning {}",
+        meta.num_partitions, meta.packing, meta.binning
+    );
+    let t = store.template();
+    println!(
+        "template : {} vertices, {} edges, {}",
+        t.num_vertices(),
+        t.num_edges(),
+        if t.directed() { "directed" } else { "undirected" }
+    );
+    print!("v-schema : ");
+    for a in t.vertex_schema().iter() {
+        print!("{}: {:?}  ", a.name, a.ty);
+    }
+    println!();
+    print!("e-schema : ");
+    for a in t.edge_schema().iter() {
+        print!("{}: {:?}  ", a.name, a.ty);
+    }
+    println!();
+    let pg = store.partitioned_graph();
+    println!(
+        "subgraphs: {} total; per partition: {:?}",
+        pg.subgraphs().len(),
+        (0..meta.num_partitions as u16)
+            .map(|p| pg.subgraphs_of_partition(p).len())
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "edge cut : {:.3}%",
+        100.0 * tempograph::partition::cut_fraction(t, store.partitioning())
+    );
+    Ok(())
+}
+
+fn cmd_partition(opts: &HashMap<String, String>) -> Result<(), String> {
+    let preset = preset_of(opts)?;
+    let scale: f64 = parse(opts, "scale", 0.5)?;
+    let k: usize = parse(opts, "k", 6)?;
+    let name = opt(opts, "partitioner", "multilevel");
+    let partitioner = partitioner_of(name)?;
+    let template = preset.template(scale);
+    let started = std::time::Instant::now();
+    let parts = partitioner.partition(&template, k);
+    let elapsed = started.elapsed();
+    println!(
+        "{} on {} ({} V, {} E), k = {k}:",
+        name,
+        preset.name(),
+        template.num_vertices(),
+        template.num_edges()
+    );
+    println!(
+        "  edge cut {:.3}%  balance {:.3}  time {:.2?}",
+        100.0 * tempograph::partition::cut_fraction(&template, &parts),
+        tempograph::partition::balance(&template, &parts),
+        elapsed
+    );
+    println!("  sizes: {:?}", parts.sizes());
+    Ok(())
+}
+
+fn cmd_run(opts: &HashMap<String, String>) -> Result<(), String> {
+    let dir = opts.get("data").ok_or("--data DIR is required")?;
+    let algo = opts.get("algo").ok_or("--algo is required")?;
+    let store = GofsStore::open(dir).map_err(|e| e.to_string())?;
+    let t = store.template().clone();
+    let pg = Arc::new(store.partitioned_graph());
+    let max_ts = store.meta().num_timesteps;
+    let timesteps: usize = parse(opts, "timesteps", max_ts)?.min(max_ts);
+    let source = VertexIdx(parse(opts, "source", 0u32)?);
+    let meme = opt(opts, "meme", "#meme").to_string();
+    let src = InstanceSource::Gofs(dir.into());
+
+    let find_v = |name: &str| t.vertex_schema().index_of(name);
+    let find_e = |name: &str| t.edge_schema().index_of(name);
+
+    println!("running {algo} over {timesteps} timesteps on {} partitions…", pg.num_partitions());
+    let started = std::time::Instant::now();
+    let result = match algo.as_str() {
+        "tdsp" => {
+            let col = find_e(LATENCY_ATTR).ok_or("dataset lacks a latency column")?;
+            run_job(
+                &pg,
+                &src,
+                Tdsp::factory(source, col),
+                JobConfig::sequentially_dependent(timesteps).while_active(timesteps),
+            )
+        }
+        "meme" => {
+            let col = find_v(TWEETS_ATTR).ok_or("dataset lacks a tweets column")?;
+            run_job(
+                &pg,
+                &src,
+                MemeTracking::factory(meme, col),
+                JobConfig::sequentially_dependent(timesteps),
+            )
+        }
+        "hash" => {
+            let col = find_v(TWEETS_ATTR).ok_or("dataset lacks a tweets column")?;
+            run_job(
+                &pg,
+                &src,
+                HashtagAggregation::factory(meme, col),
+                JobConfig::eventually_dependent(timesteps),
+            )
+        }
+        "sssp" => {
+            let col = find_e(LATENCY_ATTR);
+            run_job(
+                &pg,
+                &src,
+                Sssp::factory(source, col),
+                JobConfig::independent(1),
+            )
+        }
+        "bfs" => run_job(
+            &pg,
+            &src,
+            Sssp::factory(source, None),
+            JobConfig::independent(1),
+        ),
+        "wcc" => run_job(&pg, &src, Wcc::factory(), JobConfig::independent(1)),
+        "pagerank" => run_job(&pg, &src, PageRank::factory(10), JobConfig::independent(1)),
+        "topn" => {
+            let col = find_v(TWEETS_ATTR).ok_or("dataset lacks a tweets column")?;
+            run_job(
+                &pg,
+                &src,
+                TopNActivity::factory(5, col),
+                JobConfig::independent(timesteps),
+            )
+        }
+        "stats" => run_job(
+            &pg,
+            &src,
+            tempograph::algos::InstanceStats::factory(
+                find_v(TWEETS_ATTR),
+                find_e(LATENCY_ATTR),
+                200.0,
+            ),
+            JobConfig::independent(timesteps),
+        ),
+        other => return Err(format!("unknown algorithm `{other}`")),
+    };
+    let elapsed = started.elapsed();
+
+    println!("finished in {elapsed:.2?} ({} timesteps run)", result.timesteps_run);
+    println!("emitted values : {}", result.emitted.len());
+    for (name, per_t) in &result.counters {
+        let total: u64 = per_t.iter().flatten().sum();
+        println!("counter {name:24} total {total}");
+    }
+    for (name, per_p) in &result.merge_counters {
+        let total: u64 = per_p.iter().sum();
+        println!("merge counter {name:18} total {total}");
+    }
+    let m: u64 = result
+        .metrics
+        .iter()
+        .flatten()
+        .map(|m| m.msgs_local + m.msgs_remote)
+        .sum();
+    let loads: u64 = result.metrics.iter().flatten().map(|m| m.slice_loads).sum();
+    println!("messages       : {m}");
+    println!("slice loads    : {loads}");
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! # tempograph — distributed programming over time-series graphs
+//!
+//! A Rust reproduction of *"Distributed Programming over Time-series
+//! Graphs"* (IPDPS 2015): the time-series graph data model, the
+//! **Temporally Iterative BSP (TI-BSP)** abstraction on a subgraph-centric
+//! engine, GoFS-style slice storage, a METIS-like partitioner, a
+//! vertex-centric baseline, and the paper's algorithms (Hashtag
+//! Aggregation, Meme Tracking, Time-Dependent Shortest Path).
+//!
+//! This facade crate re-exports every subsystem; see the README for a tour
+//! and `examples/` for runnable end-to-end scenarios.
+//!
+//! ```
+//! use tempograph::prelude::*;
+//!
+//! // Build a tiny road network that changes every 5 minutes.
+//! let mut b = TemplateBuilder::new("demo", false);
+//! b.edge_schema().add("latency", AttrType::Double);
+//! b.add_vertex(0); b.add_vertex(1);
+//! b.add_edge(0, 0, 1).unwrap();
+//! let template = std::sync::Arc::new(b.finalize().unwrap());
+//! let mut series = TimeSeriesCollection::new(template, 0, 300);
+//! series.push(series.new_instance()).unwrap();
+//! assert_eq!(series.len(), 1);
+//! ```
+
+pub use tempograph_algos as algos;
+pub use tempograph_core as core;
+pub use tempograph_engine as engine;
+pub use tempograph_gen as gen;
+pub use tempograph_gofs as gofs;
+pub use tempograph_partition as partition;
+pub use tempograph_pregel as pregel;
+
+/// The names most programs need, in one import.
+pub mod prelude {
+    pub use tempograph_algos::{
+        HashtagAggregation, MemeTracking, PageRank, Sssp, Tdsp, TopNActivity, Wcc,
+    };
+    pub use tempograph_core::{
+        AttrType, AttrValue, GraphInstance, GraphTemplate, Schema, TemplateBuilder,
+        TimeSeriesCollection, VertexIdx,
+    };
+    pub use tempograph_engine::{
+        run_job, Context, Envelope, InstanceSource, JobConfig, JobResult, Pattern,
+        SubgraphProgram, TimestepMode,
+    };
+    pub use tempograph_gen::{
+        carn_like, generate_road_latencies, generate_sir_tweets, road_network, small_world,
+        wiki_like, DatasetPreset, RoadLatencyConfig, RoadNetConfig, SirConfig, SmallWorldConfig,
+        LATENCY_ATTR, TWEETS_ATTR,
+    };
+    pub use tempograph_gofs::{GofsStore, GofsWriter, InstanceLoader};
+    pub use tempograph_partition::{
+        discover_subgraphs, HashPartitioner, LdgPartitioner, MultilevelPartitioner,
+        PartitionedGraph, Partitioner, Partitioning, Subgraph, SubgraphId,
+    };
+}
