@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Local CI: formatting, lints, and the tier-1 verification gate.
+# Usage: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+if cargo fmt --version >/dev/null 2>&1; then
+    cargo fmt --all --check
+else
+    echo "    rustfmt not installed; skipping"
+fi
+
+echo "==> cargo clippy -D warnings"
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "    clippy not installed; skipping"
+fi
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release --workspace
+cargo test -q --workspace
+
+echo "CI OK"

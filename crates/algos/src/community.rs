@@ -160,11 +160,16 @@ impl CommunityEvolution {
     /// Apply incoming relaxations: lower a component's label when an active
     /// remote neighbour carries a smaller one. Returns whether anything
     /// changed.
-    fn relax(&mut self, ctx: &mut Context<'_, CommunityMsg>, msgs: &[Envelope<CommunityMsg>]) -> bool {
+    fn relax(
+        &mut self,
+        ctx: &mut Context<'_, CommunityMsg>,
+        msgs: &[Envelope<CommunityMsg>],
+    ) -> bool {
         let sg = ctx.subgraph();
         let mut changed = false;
         // Collect candidate improvements per component label.
-        let mut improvements: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        let mut improvements: std::collections::HashMap<u64, u64> =
+            std::collections::HashMap::new();
         for e in msgs {
             if let CommunityMsg::Relax(v, incoming) = &e.payload {
                 let pos = sg.local_pos(*v).expect("member") as usize;

@@ -12,8 +12,33 @@
 //! tabular output, not a per-vertex result).
 
 use tempograph_core::VertexIdx;
-use tempograph_engine::{Context, Envelope, SubgraphProgram};
+use tempograph_engine::{Combiner, Context, Envelope, SubgraphProgram};
 use tempograph_partition::Subgraph;
+
+/// Sender-side sum-combiner for the Merge BSP: the per-timestep count
+/// vectors every subgraph forwards to the master are summed element-wise
+/// per partition before crossing the wire, so the master receives one
+/// partial-sum vector per partition instead of one vector per subgraph.
+/// Element-wise addition is associative and commutative, and the master
+/// sums whatever it receives — totals are unchanged. (The per-timestep
+/// `SendMessageToMerge` counts never pass through routing, so their
+/// chronological ordering is untouched.)
+pub struct HashtagSumCombiner;
+
+impl Combiner<Vec<u64>> for HashtagSumCombiner {
+    fn key(&self, _msg: &Vec<u64>) -> Option<u64> {
+        Some(0)
+    }
+
+    fn combine(&self, acc: &mut Vec<u64>, incoming: Vec<u64>) {
+        if incoming.len() > acc.len() {
+            acc.resize(incoming.len(), 0);
+        }
+        for (a, b) in acc.iter_mut().zip(incoming) {
+            *a += b;
+        }
+    }
+}
 
 /// The hashtag-aggregation program; instantiate via
 /// [`HashtagAggregation::factory`].
@@ -88,9 +113,9 @@ impl SubgraphProgram for HashtagAggregation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
     use tempograph_core::{AttrType, TemplateBuilder};
     use tempograph_partition::{discover_subgraphs, Partitioning};
-    use std::sync::Arc;
 
     #[test]
     fn factory_captures_hashtag() {

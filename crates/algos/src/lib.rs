@@ -32,12 +32,12 @@ pub mod topn;
 pub mod wcc;
 
 pub use community::CommunityEvolution;
-pub use hashtag::HashtagAggregation;
-pub use meme::MemeTracking;
+pub use hashtag::{HashtagAggregation, HashtagSumCombiner};
+pub use meme::{MemeDedupCombiner, MemeTracking};
 pub use pagerank::PageRank;
 pub use reachability::TemporalReachability;
-pub use sssp::Sssp;
+pub use sssp::{Sssp, SsspCombiner};
 pub use stats::InstanceStats;
-pub use tdsp::Tdsp;
+pub use tdsp::{Tdsp, TdspCombiner};
 pub use topn::TopNActivity;
 pub use wcc::Wcc;

@@ -10,8 +10,25 @@
 //! output and the Fig. 7c per-timestep colouring counts.
 
 use tempograph_core::VertexIdx;
-use tempograph_engine::{Context, Envelope, SubgraphProgram};
+use tempograph_engine::{Combiner, Context, Envelope, SubgraphProgram};
 use tempograph_partition::Subgraph;
+
+/// Sender-side dedup-combiner for meme notifications: a notification is
+/// just the target vertex id, so duplicates bound for the same vertex
+/// (from different subgraphs of one partition) collapse to one. "Keep the
+/// first of identical payloads" is trivially associative and commutative,
+/// and the receiver ignores repeat notifications anyway.
+pub struct MemeDedupCombiner;
+
+impl Combiner<VertexIdx> for MemeDedupCombiner {
+    fn key(&self, msg: &VertexIdx) -> Option<u64> {
+        Some(msg.0 as u64)
+    }
+
+    fn combine(&self, _acc: &mut VertexIdx, _incoming: VertexIdx) {
+        // Payloads with equal keys are identical; keep the accumulator.
+    }
+}
 
 /// The meme-tracking program; instantiate via [`MemeTracking::factory`].
 pub struct MemeTracking {
@@ -164,9 +181,9 @@ mod tests {
     // Engine-level behaviour is exercised in the workspace integration
     // tests; here we only check factory wiring.
     use super::*;
+    use std::sync::Arc;
     use tempograph_core::{AttrType, TemplateBuilder};
     use tempograph_partition::{discover_subgraphs, Partitioning};
-    use std::sync::Arc;
 
     #[test]
     fn factory_sizes_state_to_subgraph() {

@@ -8,10 +8,10 @@
 //! batched `(vertex, contribution)` messages. Runs a fixed number of
 //! iterations on a single instance (pattern: independent, one timestep).
 
+use std::collections::HashMap;
 use tempograph_core::VertexIdx;
 use tempograph_engine::{Context, Envelope, SubgraphProgram};
 use tempograph_partition::Subgraph;
-use std::collections::HashMap;
 
 /// The PageRank program; instantiate via [`PageRank::factory`].
 pub struct PageRank {
@@ -63,8 +63,7 @@ impl SubgraphProgram for PageRank {
         if ctx.superstep() > 0 {
             // Finish iteration `superstep-1`: apply teleport + damping.
             for pos in 0..self.rank.len() {
-                self.rank[pos] =
-                    (1.0 - self.damping) / self.n + self.damping * self.incoming[pos];
+                self.rank[pos] = (1.0 - self.damping) / self.n + self.damping * self.incoming[pos];
                 self.incoming[pos] = 0.0;
             }
         }

@@ -10,11 +10,28 @@
 //! SSSP on an unweighted graph degenerates to a BFS traversal").
 
 use crate::tdsp::ordered_f64::F64;
-use tempograph_core::VertexIdx;
-use tempograph_engine::{Context, Envelope, SubgraphProgram};
-use tempograph_partition::Subgraph;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use tempograph_core::VertexIdx;
+use tempograph_engine::{Combiner, Context, Envelope, SubgraphProgram};
+use tempograph_partition::Subgraph;
+
+/// Sender-side min-combiner for SSSP relaxations: several distances bound
+/// for the same vertex collapse to the smallest. The receiver takes the
+/// minimum anyway, so results are identical with or without it.
+pub struct SsspCombiner;
+
+impl Combiner<(VertexIdx, f64)> for SsspCombiner {
+    fn key(&self, msg: &(VertexIdx, f64)) -> Option<u64> {
+        Some(msg.0 .0 as u64)
+    }
+
+    fn combine(&self, acc: &mut (VertexIdx, f64), incoming: (VertexIdx, f64)) {
+        if incoming.1 < acc.1 {
+            acc.1 = incoming.1;
+        }
+    }
+}
 
 /// The SSSP/BFS program; instantiate via [`Sssp::factory`].
 pub struct Sssp {
@@ -50,7 +67,11 @@ impl Sssp {
 impl SubgraphProgram for Sssp {
     type Msg = (VertexIdx, f64);
 
-    fn compute(&mut self, ctx: &mut Context<'_, (VertexIdx, f64)>, msgs: &[Envelope<(VertexIdx, f64)>]) {
+    fn compute(
+        &mut self,
+        ctx: &mut Context<'_, (VertexIdx, f64)>,
+        msgs: &[Envelope<(VertexIdx, f64)>],
+    ) {
         if ctx.superstep() == 0 {
             if let Some(pos) = ctx.subgraph().local_pos(self.source) {
                 self.label[pos as usize] = 0.0;
@@ -89,8 +110,10 @@ impl SubgraphProgram for Sssp {
             }
             self.roots.clear();
 
-            let mut remote: std::collections::HashMap<VertexIdx, (tempograph_partition::SubgraphId, f64)> =
-                std::collections::HashMap::new();
+            let mut remote: std::collections::HashMap<
+                VertexIdx,
+                (tempograph_partition::SubgraphId, f64),
+            > = std::collections::HashMap::new();
             while let Some(Reverse((F64(d), u))) = heap.pop() {
                 if d > self.label[u as usize] {
                     continue;
@@ -113,7 +136,7 @@ impl SubgraphProgram for Sssp {
                 }
             }
             let mut out: Vec<_> = remote.into_iter().collect();
-            out.sort_by(|a, b| a.0.cmp(&b.0));
+            out.sort_by_key(|a| a.0);
             for (v, (sgid, d)) in out {
                 ctx.send_to_subgraph(sgid, (v, d));
             }

@@ -18,11 +18,11 @@
 //!
 //! Labels are measured as elapsed time since departure at `t0`.
 
-use tempograph_core::VertexIdx;
-use tempograph_engine::{Context, Envelope, SubgraphProgram, WireMsg};
-use tempograph_partition::Subgraph;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use tempograph_core::VertexIdx;
+use tempograph_engine::{Combiner, Context, Envelope, SubgraphProgram, WireMsg};
+use tempograph_partition::Subgraph;
 
 /// TDSP message: either a remote relaxation or a liveness token for the
 /// `WhileActive` termination mode.
@@ -50,6 +50,30 @@ impl WireMsg for TdspMsg {
         match bytes::Buf::get_u8(buf) {
             0 => TdspMsg::Relax(VertexIdx::decode(buf), f64::decode(buf)),
             _ => TdspMsg::Continue,
+        }
+    }
+}
+
+/// Sender-side min-combiner for TDSP traffic: relaxations of the same
+/// vertex collapse to the smallest arrival before serialisation. Min is
+/// associative and commutative and the receiver keeps the minimum anyway,
+/// so results are byte-identical with or without it. `Continue` liveness
+/// tokens are never combined.
+pub struct TdspCombiner;
+
+impl Combiner<TdspMsg> for TdspCombiner {
+    fn key(&self, msg: &TdspMsg) -> Option<u64> {
+        match msg {
+            TdspMsg::Relax(v, _) => Some(v.0 as u64),
+            TdspMsg::Continue => None,
+        }
+    }
+
+    fn combine(&self, acc: &mut TdspMsg, incoming: TdspMsg) {
+        if let (TdspMsg::Relax(_, a), TdspMsg::Relax(_, b)) = (acc, incoming) {
+            if b < *a {
+                *a = b;
+            }
         }
     }
 }
@@ -111,8 +135,10 @@ impl Tdsp {
         }
         self.roots.clear();
 
-        let mut remote: std::collections::HashMap<VertexIdx, (tempograph_partition::SubgraphId, f64)> =
-            std::collections::HashMap::new();
+        let mut remote: std::collections::HashMap<
+            VertexIdx,
+            (tempograph_partition::SubgraphId, f64),
+        > = std::collections::HashMap::new();
         while let Some(Reverse((ordered_f64::F64(d), u))) = heap.pop() {
             if d > self.label[u as usize] {
                 continue; // stale heap entry
@@ -126,10 +152,14 @@ impl Tdsp {
                 }
             }
             for rn in sg.remote_neighbors(u) {
-                let q = sg.edge_pos(rn.edge).expect("crossing edge belongs to subgraph");
+                let q = sg
+                    .edge_pos(rn.edge)
+                    .expect("crossing edge belongs to subgraph");
                 let arrival = d + latencies[q as usize];
                 if arrival <= horizon {
-                    let entry = remote.entry(rn.vertex).or_insert((rn.subgraph, f64::INFINITY));
+                    let entry = remote
+                        .entry(rn.vertex)
+                        .or_insert((rn.subgraph, f64::INFINITY));
                     if arrival < entry.1 {
                         *entry = (rn.subgraph, arrival);
                     }
@@ -140,7 +170,7 @@ impl Tdsp {
             .into_iter()
             .map(|(v, (sgid, label))| (sgid, v, label))
             .collect();
-        out.sort_by(|a, b| (a.1, ordered_f64::F64(a.2)).cmp(&(b.1, ordered_f64::F64(b.2))));
+        out.sort_by_key(|a| (a.1, ordered_f64::F64(a.2)));
         out
     }
 }

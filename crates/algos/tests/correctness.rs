@@ -4,14 +4,16 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use tempograph_algos::{HashtagAggregation, MemeTracking, PageRank, Sssp, Tdsp, TopNActivity, Wcc};
 use tempograph_core::{GraphTemplate, TimeSeriesCollection, VertexIdx};
 use tempograph_engine::{run_job, InstanceSource, JobConfig};
 use tempograph_gen::{
     generate_road_latencies, generate_sir_tweets, road_network, RoadLatencyConfig, RoadNetConfig,
     SirConfig, LATENCY_ATTR, TWEETS_ATTR,
 };
-use tempograph_algos::{HashtagAggregation, MemeTracking, PageRank, Sssp, Tdsp, TopNActivity, Wcc};
-use tempograph_partition::{discover_subgraphs, MultilevelPartitioner, PartitionedGraph, Partitioner};
+use tempograph_partition::{
+    discover_subgraphs, MultilevelPartitioner, PartitionedGraph, Partitioner,
+};
 
 fn road(width: usize, height: usize, seed: u64) -> Arc<GraphTemplate> {
     Arc::new(road_network(&RoadNetConfig {
@@ -58,14 +60,19 @@ fn ref_tdsp(coll: &TimeSeriesCollection, source: VertexIdx) -> Vec<f64> {
         // Working labels: finalized vertices depart at max(dist, step·δ).
         let mut label: Vec<f64> = dist
             .iter()
-            .map(|&d| if d.is_finite() { d.max(departure) } else { f64::INFINITY })
+            .map(|&d| {
+                if d.is_finite() {
+                    d.max(departure)
+                } else {
+                    f64::INFINITY
+                }
+            })
             .collect();
         // Dijkstra bounded by the horizon.
-        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u32)>> =
-            (0..n as u32)
-                .filter(|&v| label[v as usize].is_finite())
-                .map(|v| std::cmp::Reverse((label[v as usize].to_bits(), v)))
-                .collect();
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u32)>> = (0..n as u32)
+            .filter(|&v| label[v as usize].is_finite())
+            .map(|v| std::cmp::Reverse((label[v as usize].to_bits(), v)))
+            .collect();
         while let Some(std::cmp::Reverse((bits, u))) = heap.pop() {
             let d = f64::from_bits(bits);
             if d > label[u as usize] {
@@ -94,7 +101,11 @@ fn ref_meme(coll: &TimeSeriesCollection, meme: &str) -> HashMap<VertexIdx, usize
     let adj = sym_adj(t);
     let mut colored_at: HashMap<VertexIdx, usize> = HashMap::new();
     for step in 0..coll.len() {
-        let tweets = coll.get(step).unwrap().vertex_text_list(TWEETS_ATTR).unwrap();
+        let tweets = coll
+            .get(step)
+            .unwrap()
+            .vertex_text_list(TWEETS_ATTR)
+            .unwrap();
         let has = |v: usize| tweets[v].iter().any(|x| x == meme);
         let mut stack: Vec<u32> = if step == 0 {
             let seeds: Vec<u32> = (0..t.num_vertices() as u32)
@@ -200,7 +211,12 @@ fn tdsp_with_one_huge_period_degenerates_to_sssp() {
             ..Default::default()
         },
     ));
-    let lat = coll.get(0).unwrap().edge_f64(LATENCY_ATTR).unwrap().to_vec();
+    let lat = coll
+        .get(0)
+        .unwrap()
+        .edge_f64(LATENCY_ATTR)
+        .unwrap()
+        .to_vec();
     let expect = ref_sssp(&t, Some(&lat), VertexIdx(0));
     let lat_col = t.edge_schema().index_of(LATENCY_ATTR).unwrap();
     let pg = partitioned(&t, 3);
@@ -390,7 +406,12 @@ fn sssp_weighted_matches_dijkstra() {
             ..Default::default()
         },
     ));
-    let lat = coll.get(0).unwrap().edge_f64(LATENCY_ATTR).unwrap().to_vec();
+    let lat = coll
+        .get(0)
+        .unwrap()
+        .edge_f64(LATENCY_ATTR)
+        .unwrap()
+        .to_vec();
     let expect = ref_sssp(&t, Some(&lat), VertexIdx(7));
     let lat_col = t.edge_schema().index_of(LATENCY_ATTR).unwrap();
     let pg = partitioned(&t, 4);
@@ -433,7 +454,12 @@ fn sssp_unweighted_is_bfs() {
         JobConfig::independent(1),
     );
     for e in &result.emitted {
-        assert_eq!(e.value, expect[e.vertex.idx()], "hop count at {:?}", e.vertex);
+        assert_eq!(
+            e.value,
+            expect[e.vertex.idx()],
+            "hop count at {:?}",
+            e.vertex
+        );
     }
     assert_eq!(result.emitted.len(), t.num_vertices());
 }
@@ -444,8 +470,10 @@ fn sssp_unweighted_is_bfs() {
 fn wcc_labels_components_correctly() {
     // Two disjoint road networks glued into one template.
     let mut b = tempograph_core::TemplateBuilder::new("two-comps", false);
-    b.vertex_schema().add(TWEETS_ATTR, tempograph_core::AttrType::TextList);
-    b.edge_schema().add(LATENCY_ATTR, tempograph_core::AttrType::Double);
+    b.vertex_schema()
+        .add(TWEETS_ATTR, tempograph_core::AttrType::TextList);
+    b.edge_schema()
+        .add(LATENCY_ATTR, tempograph_core::AttrType::Double);
     for i in 0..40 {
         b.add_vertex(i);
     }

@@ -35,10 +35,7 @@ fn road_with_exists(side: usize, seed: u64) -> Arc<GraphTemplate> {
 }
 
 /// Single-threaded reference for temporal reachability.
-fn ref_reachability(
-    coll: &TimeSeriesCollection,
-    source: VertexIdx,
-) -> HashMap<VertexIdx, usize> {
+fn ref_reachability(coll: &TimeSeriesCollection, source: VertexIdx) -> HashMap<VertexIdx, usize> {
     let t = coll.template();
     let mut adj = vec![Vec::new(); t.num_vertices()];
     for e in t.edges() {
@@ -155,7 +152,11 @@ fn ref_community_stability(coll: &TimeSeriesCollection) -> Vec<u64> {
         adj[d.idx()].push(s.0);
     }
     let labels_at = |step: usize| -> Vec<u64> {
-        let tweets = coll.get(step).unwrap().vertex_text_list(TWEETS_ATTR).unwrap();
+        let tweets = coll
+            .get(step)
+            .unwrap()
+            .vertex_text_list(TWEETS_ATTR)
+            .unwrap();
         let active: Vec<bool> = tweets.iter().map(|r| !r.is_empty()).collect();
         let mut label = vec![u64::MAX; n];
         for v in 0..n {
@@ -174,7 +175,11 @@ fn ref_community_stability(coll: &TimeSeriesCollection) -> Vec<u64> {
                     }
                 }
             }
-            let min_id = comp.iter().map(|&x| t.vertex_id(VertexIdx(x))).min().unwrap();
+            let min_id = comp
+                .iter()
+                .map(|&x| t.vertex_id(VertexIdx(x)))
+                .min()
+                .unwrap();
             for &x in &comp {
                 label[x as usize] = min_id;
             }

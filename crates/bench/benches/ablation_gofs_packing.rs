@@ -16,7 +16,10 @@ use tempograph_engine::{run_job, InstanceSource, JobConfig};
 use tempograph_gen::{DatasetPreset, LATENCY_ATTR};
 
 fn main() {
-    banner("A2", "GoFS packing × binning sweep (TDSP on CARN, 6 partitions)");
+    banner(
+        "A2",
+        "GoFS packing × binning sweep (TDSP on CARN, 6 partitions)",
+    );
     let k = 6;
     let t = template(DatasetPreset::Carn);
     let road = road_collection(t.clone());

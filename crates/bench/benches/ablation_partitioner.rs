@@ -9,6 +9,7 @@
 //! Expected: runtime and remote messages track edge cut; multilevel ≪ LDG
 //! ≪ hash on CARN, with a smaller (but same-ordered) gap on WIKI.
 
+use std::sync::Arc;
 use tempograph_algos::MemeTracking;
 use tempograph_bench::*;
 use tempograph_engine::{run_job, InstanceSource, JobConfig};
@@ -17,7 +18,6 @@ use tempograph_partition::{
     cut_fraction, discover_subgraphs, HashPartitioner, LdgPartitioner, MultilevelPartitioner,
     Partitioner,
 };
-use std::sync::Arc;
 
 fn main() {
     banner("A3", "partitioner ablation (MEME, 6 partitions)");
@@ -45,7 +45,12 @@ fn main() {
                 JobConfig::sequentially_dependent(TIMESTEPS),
             );
             let remote: u64 = result.metrics.iter().flatten().map(|m| m.msgs_remote).sum();
-            let bytes: u64 = result.metrics.iter().flatten().map(|m| m.bytes_remote).sum();
+            let bytes: u64 = result
+                .metrics
+                .iter()
+                .flatten()
+                .map(|m| m.bytes_remote)
+                .sum();
             rows.push(vec![
                 format!("{}: {name}", preset.name()),
                 format!("{cut:.3}%"),
@@ -57,7 +62,14 @@ fn main() {
         }
     }
     print_table(
-        &["experiment", "edge_cut", "subgraphs", "virtual_s", "remote_msgs", "remote_bytes"],
+        &[
+            "experiment",
+            "edge_cut",
+            "subgraphs",
+            "virtual_s",
+            "remote_msgs",
+            "remote_bytes",
+        ],
         &rows,
     );
     println!("\n  expected: runtime and remote traffic track edge cut: multilevel < ldg < hash");

@@ -17,13 +17,13 @@
 //! which is *dynamic* rebalancing ("partitions which are active at a given
 //! timestep can pass some of their subgraphs to an idle partition").
 
+use std::sync::Arc;
 use tempograph_algos::{MemeTracking, Tdsp};
 use tempograph_bench::*;
 use tempograph_core::VertexIdx;
 use tempograph_engine::{run_job, InstanceSource, JobConfig, JobResult};
 use tempograph_gen::{DatasetPreset, LATENCY_ATTR, TWEETS_ATTR};
 use tempograph_partition::{discover_subgraphs, suggest_rebalance, LdgPartitioner, Partitioner};
-use std::sync::Arc;
 
 fn per_partition_compute(result: &JobResult) -> Vec<u64> {
     result

@@ -40,7 +40,10 @@ fn barrier_free_virtual(result: &JobResult) -> f64 {
 }
 
 fn main() {
-    banner("A1", "temporal parallelism ablation (HASH + TopN, 6 partitions)");
+    banner(
+        "A1",
+        "temporal parallelism ablation (HASH + TopN, 6 partitions)",
+    );
     let k = 6;
     let mut rows = Vec::new();
 
@@ -51,7 +54,10 @@ fn main() {
         let pg = partitioned(&t, k);
         let src = InstanceSource::Memory(tweets);
 
-        for (algo, pattern) in [("HASH", Pattern::EventuallyDependent), ("TopN", Pattern::Independent)] {
+        for (algo, pattern) in [
+            ("HASH", Pattern::EventuallyDependent),
+            ("TopN", Pattern::Independent),
+        ] {
             let base_cfg = match pattern {
                 Pattern::EventuallyDependent => JobConfig::eventually_dependent(TIMESTEPS),
                 _ => JobConfig::independent(TIMESTEPS),
@@ -90,7 +96,12 @@ fn main() {
         }
     }
     print_table(
-        &["experiment", "barriered_virtual_s", "temporal_parallel_virtual_s", "speedup"],
+        &[
+            "experiment",
+            "barriered_virtual_s",
+            "temporal_parallel_virtual_s",
+            "speedup",
+        ],
         &rows,
     );
     println!(

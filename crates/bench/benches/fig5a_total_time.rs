@@ -88,7 +88,13 @@ fn main() {
     }
 
     print_table(
-        &["experiment", "partitions", "virtual_s", "wall_s", "timesteps_run"],
+        &[
+            "experiment",
+            "partitions",
+            "virtual_s",
+            "wall_s",
+            "timesteps_run",
+        ],
         &rows,
     );
     println!("\n  strong scaling (virtual clock):");

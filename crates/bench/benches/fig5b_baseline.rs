@@ -19,7 +19,10 @@ use tempograph_gen::{DatasetPreset, LATENCY_ATTR};
 use tempograph_pregel::{run_pregel, SsspVertex};
 
 fn main() {
-    banner("F5b", "Giraph SSSP 1x vs GoFFish TDSP 50x vs GoFFish SSSP 1x (6 partitions)");
+    banner(
+        "F5b",
+        "Giraph SSSP 1x vs GoFFish TDSP 50x vs GoFFish SSSP 1x (6 partitions)",
+    );
     let k = 6;
     let mut rows = Vec::new();
 
@@ -78,7 +81,13 @@ fn main() {
         );
         cleanup(&dir);
         let (tdsp_wall, tdsp_virtual) = clocks(&tdsp);
-        let tdsp_supersteps: u32 = tdsp.metrics.iter().flatten().map(|m| m.supersteps).max().unwrap_or(0);
+        let tdsp_supersteps: u32 = tdsp
+            .metrics
+            .iter()
+            .flatten()
+            .map(|m| m.supersteps)
+            .max()
+            .unwrap_or(0);
         rows.push(vec![
             format!("GoFFish TDSP 50x: {}", preset.name()),
             format!("{tdsp_virtual:.3}"),
@@ -104,7 +113,12 @@ fn main() {
             format!("GoFFish SSSP 1x: {}", preset.name()),
             format!("{sssp_virtual:.3}"),
             format!("{sssp_wall:.3}"),
-            sssp.metrics[0].iter().map(|m| m.supersteps).max().unwrap_or(0).to_string(),
+            sssp.metrics[0]
+                .iter()
+                .map(|m| m.supersteps)
+                .max()
+                .unwrap_or(0)
+                .to_string(),
             sssp.metrics
                 .iter()
                 .flatten()
@@ -114,7 +128,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["experiment", "virtual_s", "wall_s", "supersteps", "messages"],
+        &[
+            "experiment",
+            "virtual_s",
+            "wall_s",
+            "supersteps",
+            "messages",
+        ],
         &rows,
     );
     println!(

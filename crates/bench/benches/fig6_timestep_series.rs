@@ -47,7 +47,10 @@ fn print_series(tag: &str, per_k: &[(usize, Vec<f64>, Vec<u64>)]) {
 }
 
 fn main() {
-    banner("F6", "time per timestep: (a) TDSP on CARN, (b) MEME on WIKI");
+    banner(
+        "F6",
+        "time per timestep: (a) TDSP on CARN, (b) MEME on WIKI",
+    );
     let ks = [3usize, 6, 9];
 
     // (a) TDSP on CARN.

@@ -43,13 +43,7 @@ fn print_progress(tag: &str, result: &JobResult, counter: &str, k: usize) {
     let first: Vec<String> = (0..k)
         .map(|p| {
             (0..result.timesteps_run)
-                .find(|&t| {
-                    result
-                        .counters
-                        .get(counter)
-                        .map_or(0, |c| c[t][p])
-                        > 0
-                })
+                .find(|&t| result.counters.get(counter).map_or(0, |c| c[t][p]) > 0)
                 .map_or("never".to_string(), |t| t.to_string())
         })
         .collect();
@@ -72,7 +66,10 @@ fn print_utilization(tag: &str, result: &JobResult) {
             ]
         })
         .collect();
-    print_table(&["partition", "compute", "partition O/H", "sync O/H (idle)"], &rows);
+    print_table(
+        &["partition", "compute", "partition O/H", "sync O/H (idle)"],
+        &rows,
+    );
 }
 
 fn main() {

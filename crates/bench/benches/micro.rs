@@ -8,9 +8,7 @@ use tempograph_algos::MemeTracking;
 use tempograph_bench::MEME;
 use tempograph_core::Column;
 use tempograph_engine::{run_job, InstanceSource, JobConfig};
-use tempograph_gen::{
-    generate_sir_tweets, road_network, RoadNetConfig, SirConfig, TWEETS_ATTR,
-};
+use tempograph_gen::{generate_sir_tweets, road_network, RoadNetConfig, SirConfig, TWEETS_ATTR};
 use tempograph_gofs::codec;
 use tempograph_partition::{discover_subgraphs, MultilevelPartitioner, Partitioner};
 

@@ -1,0 +1,200 @@
+//! M2 — microbenchmark for the inter-partition message path.
+//!
+//! Compares the **legacy reference path** (per-envelope 12-byte headers,
+//! fresh allocations, receiver-side global sort — `engine::batch::legacy`)
+//! against the **batched pipeline** (per-peer `MessageBatch` frames, pooled
+//! buffers, optional sender-side combining, k-way merge) on a TDSP-like
+//! duplicate-heavy workload: many senders relaxing a small set of hot
+//! destination vertices.
+//!
+//! Besides the criterion samples, the binary performs a same-run timed
+//! comparison and asserts the combiner-enabled batched path is at least
+//! 2× faster than the legacy path (the PR's acceptance bar).
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use std::collections::BTreeMap;
+use std::time::Instant;
+use tempograph_algos::SsspCombiner;
+use tempograph_core::VertexIdx;
+use tempograph_engine::batch::{
+    combine_envelopes, legacy, merge_sorted_runs, BufferPool, MessageBatch,
+};
+use tempograph_engine::wire::{sort_envelopes, Envelope};
+use tempograph_partition::SubgraphId;
+
+type Msg = (VertexIdx, f64);
+
+/// Sender partitions feeding one receiver.
+const SENDERS: u32 = 8;
+/// Envelopes per sender per superstep.
+const PER_SENDER: usize = 4096;
+/// Distinct destination vertices — small, so the same vertex is relaxed
+/// many times per superstep (the combiner's whole reason to exist).
+const HOT_KEYS: u64 = 256;
+/// Destination subgraphs at the receiving partition.
+const DESTS: u32 = 16;
+
+/// Deterministic TDSP-like traffic: sorted (from, seq), duplicate-heavy
+/// destination vertices, f64 "arrival" payloads.
+fn gen_sender(sender: u32) -> Vec<Envelope<Msg>> {
+    let mut x = 0x9E37_79B9_7F4A_7C15u64 ^ ((sender as u64) << 32);
+    (0..PER_SENDER)
+        .map(|i| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = x % HOT_KEYS;
+            Envelope {
+                from: SubgraphId(sender),
+                to: SubgraphId(1000 + (key as u32 % DESTS)),
+                seq: i as u32,
+                payload: (VertexIdx(key as u32), (x >> 16) as f64 / 1e6),
+            }
+        })
+        .collect()
+}
+
+fn workload() -> Vec<Vec<Envelope<Msg>>> {
+    (0..SENDERS).map(gen_sender).collect()
+}
+
+/// The pre-PR path: each sender encodes envelopes one by one (full 12-byte
+/// headers) into a fresh buffer; the receiver decodes every stream, funnels
+/// envelopes into per-destination inboxes, and sorts each inbox globally.
+fn legacy_superstep(inputs: &[Vec<Envelope<Msg>>]) -> BTreeMap<SubgraphId, Vec<Envelope<Msg>>> {
+    let frames: Vec<(u32, bytes::Bytes)> = inputs
+        .iter()
+        .map(|msgs| legacy::encode_envelopes(msgs))
+        .collect();
+    let mut inbox: BTreeMap<SubgraphId, Vec<Envelope<Msg>>> = BTreeMap::new();
+    for (count, mut bytes) in frames {
+        for e in legacy::decode_envelopes::<Msg>(count, &mut bytes) {
+            inbox.entry(e.to).or_default().push(e);
+        }
+    }
+    for msgs in inbox.values_mut() {
+        sort_envelopes(msgs);
+    }
+    inbox
+}
+
+/// The new path: optional sender-side combine, one `MessageBatch` frame per
+/// sender encoded into a pooled buffer, receiver decodes per-destination
+/// runs and k-way merges them; buffers recycle through the pool.
+fn batched_superstep(
+    inputs: Vec<Vec<Envelope<Msg>>>,
+    pool: &mut BufferPool,
+    combine: bool,
+) -> BTreeMap<SubgraphId, Vec<Envelope<Msg>>> {
+    let combiner = SsspCombiner;
+    let frames: Vec<bytes::Bytes> = inputs
+        .into_iter()
+        .map(|mut msgs| {
+            if combine {
+                msgs = combine_envelopes(&combiner, msgs);
+            }
+            let mut batch = MessageBatch::new();
+            for e in msgs {
+                batch.push(e);
+            }
+            let mut buf = pool.get();
+            batch.encode(&mut buf);
+            buf.freeze()
+        })
+        .collect();
+    let mut staged: BTreeMap<SubgraphId, Vec<Vec<Envelope<Msg>>>> = BTreeMap::new();
+    for mut bytes in frames {
+        for (to, run) in MessageBatch::<Msg>::decode(&mut bytes) {
+            staged.entry(to).or_default().push(run);
+        }
+        pool.reclaim(bytes);
+    }
+    staged
+        .into_iter()
+        .map(|(to, runs)| (to, merge_sorted_runs(runs)))
+        .collect()
+}
+
+fn bench_messaging(c: &mut Criterion) {
+    let inputs = workload();
+
+    // Delivery equivalence (uncombined): the batched pipeline must produce
+    // the exact envelope sequences of the legacy reference.
+    {
+        let mut pool = BufferPool::new();
+        let legacy_out = legacy_superstep(&inputs);
+        let batched_out = batched_superstep(inputs.clone(), &mut pool, false);
+        assert_eq!(
+            legacy_out, batched_out,
+            "batched path diverged from reference"
+        );
+    }
+
+    c.bench_function("messaging_legacy_8x4096", |b| {
+        b.iter(|| legacy_superstep(black_box(&inputs)))
+    });
+
+    let mut pool = BufferPool::new();
+    c.bench_function("messaging_batched_8x4096", |b| {
+        b.iter_batched(
+            || inputs.clone(),
+            |msgs| batched_superstep(msgs, &mut pool, false),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let mut pool = BufferPool::new();
+    c.bench_function("messaging_batched_combined_8x4096", |b| {
+        b.iter_batched(
+            || inputs.clone(),
+            |msgs| batched_superstep(msgs, &mut pool, true),
+            BatchSize::SmallInput,
+        )
+    });
+
+    assert_speedup(&inputs);
+}
+
+/// Same-run acceptance check: combiner-enabled batched path ≥2× the legacy
+/// reference (median of interleaved samples, so CPU-frequency drift hits
+/// both sides equally).
+fn assert_speedup(inputs: &[Vec<Envelope<Msg>>]) {
+    const ROUNDS: usize = 15;
+    let mut pool = BufferPool::new();
+    // Warm both paths (and the pool) before sampling.
+    black_box(legacy_superstep(inputs));
+    black_box(batched_superstep(inputs.to_vec(), &mut pool, true));
+
+    let mut legacy_ns = Vec::with_capacity(ROUNDS);
+    let mut batched_ns = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        let t0 = Instant::now();
+        black_box(legacy_superstep(inputs));
+        legacy_ns.push(t0.elapsed().as_nanos() as u64);
+
+        let cloned = inputs.to_vec();
+        let t1 = Instant::now();
+        black_box(batched_superstep(cloned, &mut pool, true));
+        batched_ns.push(t1.elapsed().as_nanos() as u64);
+    }
+    legacy_ns.sort_unstable();
+    batched_ns.sort_unstable();
+    let legacy_med = legacy_ns[ROUNDS / 2];
+    let batched_med = batched_ns[ROUNDS / 2];
+    let speedup = legacy_med as f64 / batched_med as f64;
+    println!(
+        "messaging speedup (combiner-enabled batched vs legacy): {speedup:.2}x \
+         (legacy {legacy_med} ns, batched {batched_med} ns)"
+    );
+    assert!(
+        speedup >= 2.0,
+        "batched+combined message path must be ≥2x the legacy path, got {speedup:.2}x"
+    );
+}
+
+criterion_group!(
+    name = micro_messaging;
+    config = Criterion::default().sample_size(12);
+    targets = bench_messaging
+);
+criterion_main!(micro_messaging);

@@ -34,7 +34,14 @@ fn main() {
         ]);
     }
     print_table(
-        &["graph", "vertices", "edges", "diameter~", "avg_deg", "max_deg"],
+        &[
+            "graph",
+            "vertices",
+            "edges",
+            "diameter~",
+            "avg_deg",
+            "max_deg",
+        ],
         &rows,
     );
     println!(

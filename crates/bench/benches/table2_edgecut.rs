@@ -12,7 +12,7 @@
 
 use tempograph_bench::{banner, print_table, template};
 use tempograph_gen::DatasetPreset;
-use tempograph_partition::{cut_fraction, balance, MultilevelPartitioner, Partitioner};
+use tempograph_partition::{balance, cut_fraction, MultilevelPartitioner, Partitioner};
 
 fn main() {
     banner("T2", "% edges cut across partitions (multilevel k-way)");
@@ -21,7 +21,10 @@ fn main() {
         ("WIKI", [10.750, 17.190, 26.170]),
     ];
     let mut rows = Vec::new();
-    for (i, preset) in [DatasetPreset::Carn, DatasetPreset::Wiki].iter().enumerate() {
+    for (i, preset) in [DatasetPreset::Carn, DatasetPreset::Wiki]
+        .iter()
+        .enumerate()
+    {
         let t = template(*preset);
         let ml = MultilevelPartitioner::default();
         let mut row = vec![preset.name().to_string()];
@@ -29,10 +32,16 @@ fn main() {
             let p = ml.partition(&t, *k);
             let cut = 100.0 * cut_fraction(&t, &p);
             let bal = balance(&t, &p);
-            row.push(format!("{cut:.3}% (paper {:.3}%, bal {bal:.2})", paper[i].1[j]));
+            row.push(format!(
+                "{cut:.3}% (paper {:.3}%, bal {bal:.2})",
+                paper[i].1[j]
+            ));
         }
         rows.push(row);
     }
-    print_table(&["graph", "3 partitions", "6 partitions", "9 partitions"], &rows);
+    print_table(
+        &["graph", "3 partitions", "6 partitions", "9 partitions"],
+        &rows,
+    );
     println!("\n  expected shape: WIKI cut ≫ CARN cut; both grow with k, WIKI steeply");
 }

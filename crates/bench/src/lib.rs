@@ -89,10 +89,7 @@ pub fn road_collection(t: Arc<GraphTemplate>) -> Arc<TimeSeriesCollection> {
 /// The paper's SIR tweet workload with the preset's hit probability
 /// (30 % CARN / 2 % WIKI), tuned like the paper "to get a stable
 /// propagation across 50 time steps".
-pub fn tweet_collection(
-    t: Arc<GraphTemplate>,
-    preset: DatasetPreset,
-) -> Arc<TimeSeriesCollection> {
+pub fn tweet_collection(t: Arc<GraphTemplate>, preset: DatasetPreset) -> Arc<TimeSeriesCollection> {
     let n = t.num_vertices();
     Arc::new(generate_sir_tweets(
         t,
@@ -127,10 +124,7 @@ pub fn stage_gofs(
     packing: usize,
     binning: usize,
 ) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "tempograph-bench-{tag}-{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("tempograph-bench-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     write_dataset(&dir, pg.clone(), coll, packing, binning).expect("stage dataset");
     dir
@@ -234,7 +228,11 @@ pub fn virtual_timestep_with_barriers(result: &JobResult, t: usize) -> f64 {
 /// Simulated makespan of a vertex-centric (pregel) run: per-superstep
 /// compute is assumed balanced across `k` hosts (the engine reports only
 /// aggregate compute), plus one barrier per superstep at `barrier_ns`.
-pub fn pregel_virtual(metrics: &tempograph_pregel::PregelMetrics, k: usize, barrier_ns: u64) -> f64 {
+pub fn pregel_virtual(
+    metrics: &tempograph_pregel::PregelMetrics,
+    k: usize,
+    barrier_ns: u64,
+) -> f64 {
     secs(metrics.compute_ns / k as u64 + metrics.supersteps as u64 * barrier_ns)
 }
 

@@ -7,10 +7,9 @@
 //! attributes whose values are carried by graph instances.
 
 use crate::error::{CoreError, Result};
-use serde::{Deserialize, Serialize};
 
 /// The type of one attribute column.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum AttrType {
     /// 64-bit signed integer.
     Long,
@@ -56,7 +55,7 @@ impl AttrType {
 /// A dynamically-typed attribute value; the row-oriented view of a column
 /// cell. Used at API boundaries — hot paths use the typed column slices on
 /// [`crate::GraphInstance`] instead.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum AttrValue {
     /// See [`AttrType::Long`].
     Long(i64),
@@ -99,7 +98,7 @@ impl AttrValue {
 }
 
 /// Definition of one attribute: a name and a type.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AttrDef {
     /// Attribute name, unique within its schema.
     pub name: String,
@@ -110,7 +109,7 @@ pub struct AttrDef {
 /// An ordered set of [`AttrDef`]s shared by all vertices (or all edges) of a
 /// template. Attribute positions are stable: instance columns are addressed
 /// by the schema position.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Schema {
     attrs: Vec<AttrDef>,
 }

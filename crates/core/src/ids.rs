@@ -5,11 +5,10 @@
 //! access, message routing — use the dense indices; external ids only appear
 //! at the API boundary.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Dense index of a vertex within a [`crate::GraphTemplate`].
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VertexIdx(pub u32);
 
 /// Dense index of an edge within a [`crate::GraphTemplate`].
@@ -17,7 +16,7 @@ pub struct VertexIdx(pub u32);
 /// For undirected templates each *physical* edge has a single `EdgeIdx`
 /// shared by both traversal directions, so edge attributes (e.g. road
 /// latency) are stored once per road segment.
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EdgeIdx(pub u32);
 
 impl VertexIdx {

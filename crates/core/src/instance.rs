@@ -11,10 +11,9 @@ use crate::attr::{AttrType, AttrValue, Schema};
 use crate::error::{CoreError, Result};
 use crate::ids::{EdgeIdx, VertexIdx};
 use crate::template::GraphTemplate;
-use serde::{Deserialize, Serialize};
 
 /// A dense, typed column of attribute values.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Column {
     /// `i64` values.
     Long(Vec<i64>),
@@ -106,7 +105,7 @@ impl Column {
 }
 
 /// Time-variant attribute values for one timestep.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct GraphInstance {
     timestamp: i64,
     vertex_schema: Schema,
@@ -428,7 +427,8 @@ mod tests {
         b.vertex_schema().add("load", AttrType::Double);
         b.vertex_schema().add("tweets", AttrType::TextList);
         b.vertex_schema().add("count", AttrType::Long);
-        b.vertex_schema().add(GraphTemplate::IS_EXISTS, AttrType::Bool);
+        b.vertex_schema()
+            .add(GraphTemplate::IS_EXISTS, AttrType::Bool);
         b.edge_schema().add("latency", AttrType::Double);
         for i in 0..3 {
             b.add_vertex(i);
@@ -492,7 +492,9 @@ mod tests {
             .unwrap();
         assert_eq!(g.get_vertex(load, VertexIdx(0)), AttrValue::Double(1.25));
         // type mismatch rejected
-        assert!(g.set_vertex(load, VertexIdx(0), AttrValue::Long(1)).is_err());
+        assert!(g
+            .set_vertex(load, VertexIdx(0), AttrValue::Long(1))
+            .is_err());
     }
 
     #[test]

@@ -8,11 +8,10 @@
 use crate::attr::Schema;
 use crate::error::{CoreError, Result};
 use crate::ids::{EdgeIdx, VertexIdx};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One adjacency entry: the neighbouring vertex and the edge connecting it.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct Neighbor {
     /// The vertex at the other end of the edge.
     pub vertex: VertexIdx,
@@ -22,7 +21,7 @@ pub struct Neighbor {
 }
 
 /// Time-invariant topology and attribute schemas shared by all instances.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct GraphTemplate {
     name: String,
     directed: bool,

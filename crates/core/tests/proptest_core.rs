@@ -1,10 +1,10 @@
 //! Property-based tests for the core data model.
 
 use proptest::prelude::*;
+use std::sync::Arc;
 use tempograph_core::{
     AttrType, AttrValue, Column, GraphInstance, TemplateBuilder, TimeSeriesCollection, VertexIdx,
 };
-use std::sync::Arc;
 
 fn arb_attr_type() -> impl Strategy<Value = AttrType> {
     prop_oneof![
@@ -86,11 +86,9 @@ proptest! {
         for v in 0..n {
             b.add_vertex(v);
         }
-        let mut eid = 0u64;
-        for (s, d) in edges {
+        for (eid, (s, d)) in edges.into_iter().enumerate() {
             let (s, d) = (s % n, d % n);
-            b.add_edge(eid, s, d).unwrap();
-            eid += 1;
+            b.add_edge(eid as u64, s, d).unwrap();
         }
         let g = b.finalize().unwrap();
         let total_deg: usize = g.vertices().map(|v| g.degree(v)).sum();

@@ -21,18 +21,28 @@
 //! job's emitted results are identical across runs and partition layouts
 //! don't leak scheduling nondeterminism into algorithm output.
 
+use crate::batch::{combine_envelopes, merge_sorted_runs, BufferPool, Combiner, MessageBatch};
 use crate::metrics::{Emit, JobResult, TimestepMetrics};
 use crate::program::{Context, Outbox, Phase, SubgraphProgram};
 use crate::provider::{InstanceProvider, InstanceSource};
 use crate::sync::{Contribution, SyncPoint};
 use crate::wire::{sort_envelopes, Envelope};
-use bytes::{Buf, Bytes, BytesMut};
+use bytes::{Buf, Bytes};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 use tempograph_gofs::SubgraphInstance;
 use tempograph_partition::{PartitionedGraph, SubgraphId};
+
+/// One unit of work for the intra-partition compute pool: the subgraph's
+/// index, its program slot (taken while the worker thread runs it), and
+/// its delivered inbox.
+type WorkItem<'a, P> = (
+    usize,
+    &'a mut Option<P>,
+    Vec<Envelope<<P as SubgraphProgram>::Msg>>,
+);
 
 /// The paper's three design patterns for time-series graph algorithms.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -63,7 +73,7 @@ pub enum TimestepMode {
 }
 
 /// TI-BSP job configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct JobConfig<M> {
     /// Design pattern (decides merge phase and cross-timestep rules).
     pub pattern: Pattern,
@@ -78,13 +88,35 @@ pub struct JobConfig<M> {
     /// superstep messaging only). The paper notes GoFFish does *not* exploit
     /// this; defaults to `false` for fidelity.
     pub temporal_parallelism: bool,
-    /// Run a worker's subgraphs in parallel within each superstep (rayon) —
+    /// Run a worker's subgraphs in parallel within each superstep (scoped
+    /// threads) —
     /// the multi-core use of a host that GoFFish gets from the JVM (the
     /// paper's m3.large VMs have 2 cores). Instances for active subgraphs
     /// are prefetched eagerly in this mode, trading per-subgraph lazy
     /// loading for parallelism. Deterministic: outboxes are merged in
     /// subgraph order regardless of completion order.
     pub intra_partition_parallelism: bool,
+    /// Optional sender-side message combiner (see [`Combiner`]). Sound only
+    /// for order-insensitive (associative + commutative) reductions; with
+    /// such a reduction, results are byte-identical with or without it.
+    pub combiner: Option<Arc<dyn Combiner<M>>>,
+}
+
+impl<M> std::fmt::Debug for JobConfig<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobConfig")
+            .field("pattern", &self.pattern)
+            .field("mode", &self.mode)
+            .field("max_supersteps", &self.max_supersteps)
+            .field("initial_messages", &self.initial_messages.len())
+            .field("temporal_parallelism", &self.temporal_parallelism)
+            .field(
+                "intra_partition_parallelism",
+                &self.intra_partition_parallelism,
+            )
+            .field("combiner", &self.combiner.is_some())
+            .finish()
+    }
 }
 
 impl<M> JobConfig<M> {
@@ -111,6 +143,7 @@ impl<M> JobConfig<M> {
             initial_messages: Vec::new(),
             temporal_parallelism: false,
             intra_partition_parallelism: false,
+            combiner: None,
         }
     }
 
@@ -132,10 +165,15 @@ impl<M> JobConfig<M> {
         self
     }
 
-    /// Enable rayon parallelism across a partition's subgraphs (see field
-    /// docs).
+    /// Enable parallelism across a partition's subgraphs (see field docs).
     pub fn with_intra_partition_parallelism(mut self) -> Self {
         self.intra_partition_parallelism = true;
+        self
+    }
+
+    /// Install a sender-side message combiner (see field docs).
+    pub fn with_combiner(mut self, combiner: Arc<dyn Combiner<M>>) -> Self {
+        self.combiner = Some(combiner);
         self
     }
 }
@@ -143,10 +181,10 @@ impl<M> JobConfig<M> {
 const KIND_SUPERSTEP: u8 = 0;
 const KIND_NEXT_TIMESTEP: u8 = 1;
 
-/// One serialised bundle of envelopes between two partitions.
+/// One serialised [`MessageBatch`] frame between two partitions (the
+/// message count lives inside the frame).
 struct Batch {
     kind: u8,
-    count: u32,
     bytes: Bytes,
 }
 
@@ -209,11 +247,10 @@ where
     let job_start = Instant::now();
     let outputs: Vec<WorkerOutput> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(k);
-        for p in 0..k {
-            let rx = rxs[p].take().expect("receiver unclaimed");
+        for (p, rx_slot) in rxs.iter_mut().enumerate() {
+            let rx = rx_slot.take().expect("receiver unclaimed");
             let txs = txs.clone();
             let sync = &sync;
-            let pg = pg;
             let factory = &factory;
             let config = config.clone();
             let source = source.clone();
@@ -292,13 +329,26 @@ struct Worker<'a, P: SubgraphProgram> {
     txs: Vec<Sender<Batch>>,
     sync: &'a SyncPoint,
 
+    /// Delivered inboxes, sorted by `(from, seq)`.
     inbox: Vec<Vec<Envelope<P::Msg>>>,
-    next_inbox: Vec<Vec<Envelope<P::Msg>>>,
+    /// Per-subgraph staged sorted runs for the *next superstep* (locals
+    /// routed this superstep + decoded remote runs). Merged into `inbox`
+    /// once per superstep by [`Worker::deliver_staged`].
+    inbox_runs: Vec<Vec<Vec<Envelope<P::Msg>>>>,
+    /// Per-subgraph staged sorted runs for the *next timestep*.
+    next_runs: Vec<Vec<Vec<Envelope<P::Msg>>>>,
     merge_inbox: Vec<Vec<Envelope<P::Msg>>>,
     halted: Vec<bool>,
     voted_halt_ts: Vec<bool>,
     merge_seq: Vec<u32>,
+    /// Persistent per-subgraph send-sequence counters (never reset for the
+    /// life of the job), making `(from, seq)` globally unique — see
+    /// [`Outbox::seq`].
+    next_seq: Vec<u32>,
     memo: HashMap<SubgraphId, Arc<SubgraphInstance>>,
+    /// Recycled frame buffers (see [`BufferPool`]).
+    pool: BufferPool,
+    combiner: Option<Arc<dyn Combiner<P::Msg>>>,
 
     out: WorkerOutput,
     cur_counters: HashMap<&'static str, u64>,
@@ -333,12 +383,16 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
             txs,
             sync,
             inbox: vec![Vec::new(); n],
-            next_inbox: vec![Vec::new(); n],
+            inbox_runs: vec![Vec::new(); n],
+            next_runs: vec![Vec::new(); n],
             merge_inbox: vec![Vec::new(); n],
             halted: vec![false; n],
             voted_halt_ts: vec![false; n],
             merge_seq: vec![0; n],
+            next_seq: vec![0; n],
             memo: HashMap::new(),
+            pool: BufferPool::new(),
+            combiner: config.combiner.clone(),
             out: WorkerOutput {
                 metrics: Vec::new(),
                 merge_metrics: TimestepMetrics::default(),
@@ -387,12 +441,18 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
             self.voted_halt_ts.iter_mut().for_each(|h| *h = false);
 
             // Messages from the previous timestep become this timestep's
-            // superstep-0 inbox.
-            std::mem::swap(&mut self.inbox, &mut self.next_inbox);
-            for list in &mut self.next_inbox {
-                list.clear();
+            // superstep-0 inbox. Each staged run is (from, seq)-sorted, so
+            // the k-way merge reproduces the canonical delivery order.
+            for i in 0..self.inbox.len() {
+                debug_assert!(
+                    self.inbox[i].is_empty(),
+                    "prior timestep consumed its inbox"
+                );
+                self.inbox[i] = merge_sorted_runs(std::mem::take(&mut self.next_runs[i]));
             }
             if t == 0 {
+                // Initial messages self-address (from == to) with ascending
+                // seq, so each inbox stays sorted without a sort.
                 for (i, (to, msg)) in config.initial_messages.iter().enumerate() {
                     if let Some(&idx) = self.index_of.get(to) {
                         self.inbox[idx].push(Envelope {
@@ -404,22 +464,39 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
                     }
                 }
             }
-            for list in &mut self.inbox {
-                sort_envelopes(list);
-            }
 
             let mut next_msgs_total = 0u64;
-            let supersteps = self.run_bsp(t, timesteps, config, Phase::Compute, &mut m, &mut next_msgs_total);
+            let supersteps = self.run_bsp(
+                t,
+                timesteps,
+                config,
+                Phase::Compute,
+                &mut m,
+                &mut next_msgs_total,
+            );
             m.supersteps = supersteps;
 
             // EndOfTimestep on every subgraph.
             let eot_start = Instant::now();
             let mut next_out: Vec<Envelope<P::Msg>> = Vec::new();
             for i in 0..self.sg_ids.len() {
-                let mut outbox =
-                    Outbox::new(false, self.allow_next_timestep, self.merge_seq[i]);
-                self.invoke(i, t, supersteps as usize, timesteps, Phase::EndOfTimestep, &[], &mut outbox);
+                let mut outbox = Outbox::new(
+                    false,
+                    self.allow_next_timestep,
+                    self.merge_seq[i],
+                    self.next_seq[i],
+                );
+                self.invoke(
+                    i,
+                    t,
+                    supersteps as usize,
+                    timesteps,
+                    Phase::EndOfTimestep,
+                    &[],
+                    &mut outbox,
+                );
                 self.merge_seq[i] = outbox.merge_seq;
+                self.next_seq[i] = outbox.seq;
                 self.absorb_outbox(i, t, &mut outbox, &mut next_out, None);
                 if outbox.voted_halt_timestep {
                     self.voted_halt_ts[i] = true;
@@ -456,7 +533,9 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
             m.slice_loads += io.loads;
             m.wall_ns = ts_start.elapsed().as_nanos() as u64;
             self.out.metrics.push(m);
-            self.out.counters.push(std::mem::take(&mut self.cur_counters));
+            self.out
+                .counters
+                .push(std::mem::take(&mut self.cur_counters));
             self.out.timesteps_run = t + 1;
 
             if matches!(config.mode, TimestepMode::WhileActive { .. }) && agg.should_stop() {
@@ -484,10 +563,10 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
                 .map(|i| ss == 0 || !self.halted[i] || !self.inbox[i].is_empty())
                 .collect();
             if config.intra_partition_parallelism && active.iter().filter(|&&a| a).count() > 1 {
-                let outboxes =
-                    self.compute_phase_parallel(t, ss, timesteps, phase, &active);
+                let outboxes = self.compute_phase_parallel(t, ss, timesteps, phase, &active);
                 for (i, mut outbox) in outboxes {
                     self.merge_seq[i] = outbox.merge_seq;
+                    self.next_seq[i] = outbox.seq;
                     self.halted[i] = outbox.voted_halt;
                     if outbox.voted_halt_timestep {
                         self.voted_halt_ts[i] = true;
@@ -495,9 +574,9 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
                     self.absorb_outbox(i, t, &mut outbox, &mut next_out, Some(&mut superstep_out));
                 }
             } else {
-                for i in 0..self.sg_ids.len() {
+                for (i, &is_active) in active.iter().enumerate() {
                     let msgs = std::mem::take(&mut self.inbox[i]);
-                    if !active[i] {
+                    if !is_active {
                         continue;
                     }
                     self.halted[i] = false;
@@ -505,9 +584,11 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
                         true,
                         self.allow_next_timestep && phase == Phase::Compute,
                         self.merge_seq[i],
+                        self.next_seq[i],
                     );
                     self.invoke(i, t, ss, timesteps, phase, &msgs, &mut outbox);
                     self.merge_seq[i] = outbox.merge_seq;
+                    self.next_seq[i] = outbox.seq;
                     if outbox.voted_halt {
                         self.halted[i] = true;
                     }
@@ -536,9 +617,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
             m.sync_ns += wait.elapsed().as_nanos() as u64;
 
             self.drain();
-            for list in &mut self.inbox {
-                sort_envelopes(list);
-            }
+            self.deliver_staged();
             // Second rendezvous: a fast worker must not start the next
             // superstep (and send new batches) before every worker finished
             // draining this one — otherwise a batch from superstep s+1
@@ -554,8 +633,11 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
     }
 
     /// Parallel compute phase: prefetch instances for active subgraphs,
-    /// then run their programs concurrently with rayon. Returns per-index
-    /// outboxes in subgraph order (deterministic merge).
+    ///
+    /// (See [`WorkItem`] for the shape of a queued unit of work.)
+    /// then run their programs concurrently on scoped threads pulling from
+    /// a shared work queue. Returns per-index outboxes in subgraph order
+    /// (deterministic merge).
     fn compute_phase_parallel(
         &mut self,
         t: usize,
@@ -564,8 +646,6 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
         phase: Phase,
         active: &[bool],
     ) -> Vec<(usize, Outbox<P::Msg>)> {
-        use rayon::prelude::*;
-
         // Eager prefetch (sequential: the provider owns the disk handle).
         if phase != Phase::Merge {
             for (i, &is_active) in active.iter().enumerate() {
@@ -579,11 +659,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
             }
         }
 
-        let taken: Vec<Vec<Envelope<P::Msg>>> = self
-            .inbox
-            .iter_mut()
-            .map(std::mem::take)
-            .collect();
+        let taken: Vec<Vec<Envelope<P::Msg>>> = self.inbox.iter_mut().map(std::mem::take).collect();
         let pg = self.pg;
         let sg_ids = &self.sg_ids;
         let memo = &self.memo;
@@ -591,46 +667,92 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
         let period = self.provider.period();
         let allow_next = self.allow_next_timestep && phase == Phase::Compute;
         let merge_seq = &self.merge_seq;
+        let next_seq = &self.next_seq;
 
-        let mut results: Vec<(usize, Outbox<P::Msg>)> = self
-            .programs
-            .par_iter_mut()
-            .zip(taken.into_par_iter())
-            .enumerate()
-            .filter(|(i, _)| active[*i])
-            .map(|(i, (program_slot, msgs))| {
-                let sg = pg.subgraph(sg_ids[i]);
-                let mut outbox = Outbox::new(true, allow_next, merge_seq[i]);
-                let mut fetch = |sg: &tempograph_partition::Subgraph,
-                                 _t: usize|
-                 -> Arc<SubgraphInstance> {
+        let run_one = |i: usize,
+                       program_slot: &mut Option<P>,
+                       msgs: Vec<Envelope<P::Msg>>|
+         -> (usize, Outbox<P::Msg>) {
+            let sg = pg.subgraph(sg_ids[i]);
+            let mut outbox = Outbox::new(true, allow_next, merge_seq[i], next_seq[i]);
+            let mut fetch =
+                |sg: &tempograph_partition::Subgraph, _t: usize| -> Arc<SubgraphInstance> {
                     memo.get(&sg.id())
                         .expect("active subgraphs are prefetched")
                         .clone()
                 };
-                let mut ctx = Context {
-                    sg,
-                    pg,
-                    phase,
-                    timestep: t,
-                    superstep: ss,
-                    num_timesteps: timesteps,
-                    start_time,
-                    period,
-                    instance: None,
-                    fetch: &mut fetch,
-                    out: &mut outbox,
-                };
-                let program = program_slot.as_mut().expect("program present");
-                match phase {
-                    Phase::Compute => program.compute(&mut ctx, &msgs),
-                    Phase::EndOfTimestep => program.end_of_timestep(&mut ctx),
-                    Phase::Merge => program.merge(&mut ctx, &msgs),
-                }
-                drop(ctx);
-                (i, outbox)
-            })
+            let mut ctx = Context {
+                sg,
+                pg,
+                phase,
+                timestep: t,
+                superstep: ss,
+                num_timesteps: timesteps,
+                start_time,
+                period,
+                instance: None,
+                fetch: &mut fetch,
+                out: &mut outbox,
+            };
+            let program = program_slot.as_mut().expect("program present");
+            match phase {
+                Phase::Compute => program.compute(&mut ctx, &msgs),
+                Phase::EndOfTimestep => program.end_of_timestep(&mut ctx),
+                Phase::Merge => program.merge(&mut ctx, &msgs),
+            }
+            drop(ctx);
+            (i, outbox)
+        };
+
+        // One work item per active subgraph, served lowest-index first.
+        let mut work: Vec<WorkItem<'_, P>> = self
+            .programs
+            .iter_mut()
+            .zip(taken)
+            .enumerate()
+            .filter(|(i, _)| active[*i])
+            .map(|(i, (slot, msgs))| (i, slot, msgs))
             .collect();
+        work.reverse();
+
+        // Each of the k partition workers runs its own compute pool; divide
+        // the host's cores among them to avoid oversubscription.
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let n_threads = (cores / self.txs.len().max(1)).max(1).min(work.len());
+
+        let mut results: Vec<(usize, Outbox<P::Msg>)> = if n_threads <= 1 {
+            work.into_iter()
+                .rev()
+                .map(|(i, slot, msgs)| run_one(i, slot, msgs))
+                .collect()
+        } else {
+            let queue = parking_lot::Mutex::new(work);
+            std::thread::scope(|scope| {
+                let queue = &queue;
+                let run_one = &run_one;
+                let handles: Vec<_> = (0..n_threads)
+                    .map(|_| {
+                        scope.spawn(move || {
+                            let mut local = Vec::new();
+                            loop {
+                                let item = queue.lock().pop();
+                                match item {
+                                    Some((i, slot, msgs)) => local.push(run_one(i, slot, msgs)),
+                                    None => break,
+                                }
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("compute thread must not panic"))
+                    .collect()
+            })
+        };
         results.sort_by_key(|(i, _)| *i);
         results
     }
@@ -651,7 +773,14 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
         self.cur_counters = HashMap::new();
         let wall = Instant::now();
         let mut ignored = 0u64;
-        let supersteps = self.run_bsp(timesteps, timesteps, config, Phase::Merge, &mut m, &mut ignored);
+        let supersteps = self.run_bsp(
+            timesteps,
+            timesteps,
+            config,
+            Phase::Merge,
+            &mut m,
+            &mut ignored,
+        );
         m.supersteps = supersteps;
         m.wall_ns = wall.elapsed().as_nanos() as u64;
         self.out.merge_metrics = m;
@@ -665,24 +794,25 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
         // (subgraph, timestep) pairs. Valid only for programs whose compute
         // never uses superstep messaging (Context enforces this).
         let mut per_t = vec![TimestepMetrics::default(); timesteps];
-        let mut per_t_counters: Vec<HashMap<&'static str, u64>> =
-            vec![HashMap::new(); timesteps];
+        let mut per_t_counters: Vec<HashMap<&'static str, u64>> = vec![HashMap::new(); timesteps];
         let wall = Instant::now();
         for i in 0..self.sg_ids.len() {
             for t in 0..timesteps {
                 self.memo.clear();
                 let start = Instant::now();
-                let mut outbox = Outbox::new(false, false, self.merge_seq[i]);
+                let mut outbox = Outbox::new(false, false, self.merge_seq[i], self.next_seq[i]);
                 self.invoke(i, t, 0, timesteps, Phase::Compute, &[], &mut outbox);
                 self.merge_seq[i] = outbox.merge_seq;
+                self.next_seq[i] = outbox.seq;
                 let mut none = Vec::new();
                 self.cur_counters = std::mem::take(&mut per_t_counters[t]);
                 self.absorb_outbox(i, t, &mut outbox, &mut none, None);
                 debug_assert!(none.is_empty());
 
-                let mut outbox = Outbox::new(false, false, self.merge_seq[i]);
+                let mut outbox = Outbox::new(false, false, self.merge_seq[i], self.next_seq[i]);
                 self.invoke(i, t, 1, timesteps, Phase::EndOfTimestep, &[], &mut outbox);
                 self.merge_seq[i] = outbox.merge_seq;
+                self.next_seq[i] = outbox.seq;
                 self.absorb_outbox(i, t, &mut outbox, &mut none, None);
                 per_t_counters[t] = std::mem::take(&mut self.cur_counters);
                 per_t[t].compute_ns += start.elapsed().as_nanos() as u64;
@@ -728,9 +858,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
         let period = self.provider.period();
         let provider = &mut self.provider;
         let memo = &mut self.memo;
-        let mut fetch = |sg: &tempograph_partition::Subgraph,
-                         t: usize|
-         -> Arc<SubgraphInstance> {
+        let mut fetch = |sg: &tempograph_partition::Subgraph, t: usize| -> Arc<SubgraphInstance> {
             memo.entry(sg.id())
                 .or_insert_with(|| provider.fetch(sg, t))
                 .clone()
@@ -787,52 +915,81 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
         }
     }
 
-    /// Deliver local messages directly; serialise and ship remote ones.
-    fn route(&mut self, msgs: Vec<Envelope<P::Msg>>, kind: u8, m: &mut TimestepMetrics) {
+    /// Stage local messages as sorted runs; pack remote ones into one
+    /// pooled [`MessageBatch`] frame per peer (one allocation-free encode
+    /// and one channel send per (src, dst) pair and phase).
+    ///
+    /// `msgs` arrives (from, seq)-sorted — senders are drained in ascending
+    /// subgraph order and each sender's seq only grows — so every
+    /// per-destination bucket formed here is itself a sorted run.
+    fn route(&mut self, mut msgs: Vec<Envelope<P::Msg>>, kind: u8, m: &mut TimestepMetrics) {
         if msgs.is_empty() {
             return;
         }
-        let mut remote: HashMap<u16, (BytesMut, u32)> = HashMap::new();
+        if let Some(combiner) = &self.combiner {
+            let before = msgs.len();
+            msgs = combine_envelopes(combiner.as_ref(), msgs);
+            m.msgs_combined += (before - msgs.len()) as u64;
+        }
+        let mut local: MessageBatch<P::Msg> = MessageBatch::new();
+        let mut remote: Vec<Option<MessageBatch<P::Msg>>> =
+            (0..self.txs.len()).map(|_| None).collect();
         for e in msgs {
             let target_part = self.pg.subgraph(e.to).partition();
             if target_part == self.partition {
                 m.msgs_local += 1;
-                let idx = self.index_of[&e.to];
-                match kind {
-                    KIND_SUPERSTEP => self.inbox[idx].push(e),
-                    _ => self.next_inbox[idx].push(e),
-                }
+                local.push(e);
             } else {
                 m.msgs_remote += 1;
-                let (buf, count) = remote
-                    .entry(target_part)
-                    .or_insert_with(|| (BytesMut::new(), 0));
-                e.encode(buf);
-                *count += 1;
+                remote[target_part as usize]
+                    .get_or_insert_with(MessageBatch::new)
+                    .push(e);
             }
         }
-        for (part, (buf, count)) in remote {
+        for (to, run) in local.into_runs() {
+            let idx = self.index_of[&to];
+            match kind {
+                KIND_SUPERSTEP => self.inbox_runs[idx].push(run),
+                _ => self.next_runs[idx].push(run),
+            }
+        }
+        for (part, batch) in remote.into_iter().enumerate() {
+            let Some(batch) = batch else { continue };
+            let mut buf = self.pool.get();
+            batch.encode(&mut buf);
             let bytes = buf.freeze();
             m.bytes_remote += bytes.len() as u64;
-            self.txs[part as usize]
-                .send(Batch { kind, count, bytes })
+            m.batches_remote += 1;
+            self.txs[part]
+                .send(Batch { kind, bytes })
                 .expect("receiver alive for the whole job");
         }
     }
 
-    /// Drain every queued batch into the right inbox.
+    /// Drain every queued frame into per-subgraph staged runs, recycling
+    /// the frame allocations into this worker's pool.
     fn drain(&mut self) {
         while let Ok(batch) = self.rx.try_recv() {
             let mut bytes = batch.bytes;
-            for _ in 0..batch.count {
-                let e = Envelope::<P::Msg>::decode(&mut bytes);
-                let idx = self.index_of[&e.to];
+            for (to, run) in MessageBatch::<P::Msg>::decode(&mut bytes) {
+                let idx = self.index_of[&to];
                 match batch.kind {
-                    KIND_SUPERSTEP => self.inbox[idx].push(e),
-                    _ => self.next_inbox[idx].push(e),
+                    KIND_SUPERSTEP => self.inbox_runs[idx].push(run),
+                    _ => self.next_runs[idx].push(run),
                 }
             }
             debug_assert_eq!(bytes.remaining(), 0);
+            self.pool.reclaim(bytes);
+        }
+    }
+
+    /// Merge each subgraph's staged superstep runs into its inbox — the
+    /// O(n) replacement for the old concatenate-and-stable-sort delivery,
+    /// yielding the identical (from, seq) order.
+    fn deliver_staged(&mut self) {
+        for i in 0..self.inbox.len() {
+            debug_assert!(self.inbox[i].is_empty(), "compute consumed the inbox");
+            self.inbox[i] = merge_sorted_runs(std::mem::take(&mut self.inbox_runs[i]));
         }
     }
 }

@@ -31,6 +31,7 @@
 //! # }
 //! ```
 
+pub mod batch;
 pub mod executor;
 pub mod metrics;
 pub mod program;
@@ -38,6 +39,7 @@ pub mod provider;
 pub mod sync;
 pub mod wire;
 
+pub use batch::{combine_envelopes, merge_sorted_runs, BufferPool, Combiner, MessageBatch};
 pub use executor::{run_job, JobConfig, Pattern, TimestepMode};
 pub use metrics::{Emit, JobResult, TimestepMetrics};
 pub use program::{Context, Phase, SubgraphProgram};

@@ -30,6 +30,12 @@ pub struct TimestepMetrics {
     pub msgs_remote: u64,
     /// Serialised bytes shipped to other partitions.
     pub bytes_remote: u64,
+    /// Messages eliminated by the sender-side combiner (counted before the
+    /// local/remote split).
+    pub msgs_combined: u64,
+    /// Serialised frames shipped to other partitions (one per (src, dst)
+    /// pair per phase that had traffic).
+    pub batches_remote: u64,
     /// Slice files loaded from disk (GoFS source only).
     pub slice_loads: u64,
     /// Compute nanoseconds per superstep within this timestep. Feeds the
@@ -53,6 +59,8 @@ impl TimestepMetrics {
         self.msgs_local += other.msgs_local;
         self.msgs_remote += other.msgs_remote;
         self.bytes_remote += other.bytes_remote;
+        self.msgs_combined += other.msgs_combined;
+        self.batches_remote += other.batches_remote;
         self.slice_loads += other.slice_loads;
         // Per-superstep series are per-partition detail; aggregation across
         // partitions would need a max-reduce per superstep, which callers do
@@ -279,20 +287,15 @@ mod tests {
     fn job_result_accessors() {
         let mut r = JobResult {
             timesteps_run: 2,
-            metrics: vec![
-                vec![m(10, 0, 0), m(5, 0, 0)],
-                vec![m(1, 0, 0), m(2, 0, 0)],
-            ],
+            metrics: vec![vec![m(10, 0, 0), m(5, 0, 0)], vec![m(1, 0, 0), m(2, 0, 0)]],
             ..Default::default()
         };
         r.metrics[0][0].wall_ns = 7;
         r.metrics[0][1].wall_ns = 9;
         assert_eq!(r.timestep_wall_ns(0), 9);
 
-        r.counters.insert(
-            "colored".into(),
-            vec![vec![3, 4], vec![1, 0]],
-        );
+        r.counters
+            .insert("colored".into(), vec![vec![3, 4], vec![1, 0]]);
         assert_eq!(r.counter_at("colored", 0), 7);
         assert_eq!(r.counter_at("colored", 1), 1);
         assert_eq!(r.counter_at("missing", 0), 0);

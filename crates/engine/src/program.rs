@@ -46,6 +46,10 @@ pub(crate) struct Outbox<M> {
     pub voted_halt_timestep: bool,
     pub counters: Vec<(&'static str, u64)>,
     pub emits: Vec<(VertexIdx, f64)>,
+    /// Next sequence number for superstep/next-timestep sends. Seeded from
+    /// the worker's persistent per-subgraph counter and written back after
+    /// every invocation, so `(from, seq)` is unique for the whole job — a
+    /// prerequisite for the unstable sort / k-way merge on the receive path.
     pub seq: u32,
     pub merge_seq: u32,
     /// False in the temporal-parallelism fast path, where per-superstep
@@ -57,7 +61,7 @@ pub(crate) struct Outbox<M> {
 }
 
 impl<M> Outbox<M> {
-    pub(crate) fn new(allow_superstep: bool, allow_next: bool, merge_seq: u32) -> Self {
+    pub(crate) fn new(allow_superstep: bool, allow_next: bool, merge_seq: u32, seq: u32) -> Self {
         Outbox {
             superstep_msgs: Vec::new(),
             next_timestep_msgs: Vec::new(),
@@ -66,7 +70,7 @@ impl<M> Outbox<M> {
             voted_halt_timestep: false,
             counters: Vec::new(),
             emits: Vec::new(),
-            seq: 0,
+            seq,
             merge_seq,
             allow_superstep_msgs: allow_superstep,
             allow_next_timestep_msgs: allow_next,

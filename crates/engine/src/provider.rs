@@ -150,11 +150,7 @@ pub enum InstanceSource {
 
 impl InstanceSource {
     /// Build the per-worker provider for `partition`.
-    pub fn provider(
-        &self,
-        pg: &PartitionedGraph,
-        partition: u16,
-    ) -> Box<dyn InstanceProvider> {
+    pub fn provider(&self, pg: &PartitionedGraph, partition: u16) -> Box<dyn InstanceProvider> {
         match self {
             InstanceSource::Memory(c) => Box::new(MemoryProvider::new(c.clone())),
             InstanceSource::Gofs(dir) => {

@@ -99,7 +99,11 @@ impl WireMsg for String {
     fn decode(buf: &mut Bytes) -> Self {
         let len = buf.get_u32_le() as usize;
         let raw = buf.split_to(len);
-        String::from_utf8(raw.to_vec()).expect("engine-internal wire buffer")
+        // Validate in place, then copy once — `String::from_utf8(to_vec())`
+        // would copy before validating.
+        std::str::from_utf8(&raw)
+            .expect("engine-internal wire buffer")
+            .to_owned()
     }
 }
 
@@ -112,7 +116,11 @@ impl<T: WireMsg> WireMsg for Vec<T> {
     }
     fn decode(buf: &mut Bytes) -> Self {
         let len = buf.get_u32_le() as usize;
-        (0..len).map(|_| T::decode(buf)).collect()
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            v.push(T::decode(buf));
+        }
+        v
     }
 }
 
@@ -193,8 +201,15 @@ impl<M: WireMsg> Envelope<M> {
 }
 
 /// Sort envelopes into the engine's canonical deterministic delivery order.
+///
+/// `(from, seq)` keys are unique within any delivery scope (per-subgraph
+/// send counters are never reset — see `Outbox::seq`), so the unstable sort
+/// is fully deterministic. This is the *reference* delivery order: the hot
+/// path reproduces it run-merge-wise via
+/// [`crate::batch::merge_sorted_runs`], and property tests hold the two
+/// equal.
 pub fn sort_envelopes<M>(envelopes: &mut [Envelope<M>]) {
-    envelopes.sort_by_key(|e| (e.from, e.seq));
+    envelopes.sort_unstable_by_key(|e| (e.from, e.seq));
 }
 
 #[cfg(test)]

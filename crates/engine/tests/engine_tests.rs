@@ -3,9 +3,7 @@
 
 use std::sync::Arc;
 use tempograph_core::{AttrType, TemplateBuilder, TimeSeriesCollection, VertexIdx};
-use tempograph_engine::{
-    run_job, Context, Envelope, InstanceSource, JobConfig, SubgraphProgram,
-};
+use tempograph_engine::{run_job, Context, Envelope, InstanceSource, JobConfig, SubgraphProgram};
 use tempograph_gofs::store::write_dataset;
 use tempograph_partition::{
     discover_subgraphs, MultilevelPartitioner, PartitionedGraph, Partitioner, Partitioning,
@@ -14,7 +12,11 @@ use tempograph_partition::{
 
 /// Path graph 0-1-…-(n-1), k equal chunks, one i64 vertex attr "x" where
 /// x(v, t) = t*1000 + v.
-fn fixture(n: u64, k: usize, timesteps: usize) -> (Arc<PartitionedGraph>, Arc<TimeSeriesCollection>) {
+fn fixture(
+    n: u64,
+    k: usize,
+    timesteps: usize,
+) -> (Arc<PartitionedGraph>, Arc<TimeSeriesCollection>) {
     let mut b = TemplateBuilder::new("fixture", false);
     b.vertex_schema().add("x", AttrType::Long);
     for i in 0..n {
@@ -28,7 +30,10 @@ fn fixture(n: u64, k: usize, timesteps: usize) -> (Arc<PartitionedGraph>, Arc<Ti
     let assignment = (0..n as usize)
         .map(|v| ((v / chunk).min(k - 1)) as u16)
         .collect();
-    let pg = Arc::new(discover_subgraphs(t.clone(), Partitioning { assignment, k }));
+    let pg = Arc::new(discover_subgraphs(
+        t.clone(),
+        Partitioning { assignment, k },
+    ));
     let mut coll = TimeSeriesCollection::new(t, 0, 10);
     for ts in 0..timesteps {
         let mut g = coll.new_instance();
@@ -137,10 +142,7 @@ fn sequentially_dependent_threads_state() {
     let expect: i64 = (0..4i64)
         .flat_map(|t| (0..12i64).map(move |v| 1000 * t + v))
         .sum();
-    let got: i64 = result
-        .emitted_at(3)
-        .map(|e| e.value as i64)
-        .sum();
+    let got: i64 = result.emitted_at(3).map(|e| e.value as i64).sum();
     assert_eq!(got, expect);
     assert_eq!(result.timesteps_run, 4);
 }
@@ -189,7 +191,12 @@ fn eventually_dependent_merges_across_timesteps() {
         JobConfig::eventually_dependent(5),
     );
     // 20 vertices × 5 timesteps = 100.
-    let grand: u64 = result.merge_counters.get("grand_total").unwrap().iter().sum();
+    let grand: u64 = result
+        .merge_counters
+        .get("grand_total")
+        .unwrap()
+        .iter()
+        .sum();
     assert_eq!(grand, 100);
 }
 
@@ -279,12 +286,7 @@ fn gofs_and_memory_sources_agree() {
     );
     assert_eq!(mem.emitted, gofs.emitted);
     // GoFS run must actually have hit the disk.
-    let loads: u64 = gofs
-        .metrics
-        .iter()
-        .flatten()
-        .map(|m| m.slice_loads)
-        .sum();
+    let loads: u64 = gofs.metrics.iter().flatten().map(|m| m.slice_loads).sum();
     assert!(loads > 0, "expected real slice loads");
     std::fs::remove_dir_all(&dir).unwrap();
 }
@@ -346,7 +348,10 @@ impl SubgraphProgram for TouchOne {
     fn compute(&mut self, ctx: &mut Context<'_, ()>, _msgs: &[Envelope<()>]) {
         if ctx.subgraph().local_pos(VertexIdx(0)).is_some() {
             let inst = ctx.instance();
-            ctx.add_counter("sum", inst.vertex_i64(0).unwrap().iter().sum::<i64>() as u64);
+            ctx.add_counter(
+                "sum",
+                inst.vertex_i64(0).unwrap().iter().sum::<i64>() as u64,
+            );
         }
         ctx.vote_to_halt();
     }
@@ -411,9 +416,10 @@ fn works_with_multilevel_partitioning() {
         JobConfig::independent(1),
     );
     // Every subgraph must eventually be reached (grid is connected).
-    let reached_count = result.counters.get("reached_at").map(|rows| {
-        rows[0].iter().sum::<u64>()
-    });
+    let reached_count = result
+        .counters
+        .get("reached_at")
+        .map(|rows| rows[0].iter().sum::<u64>());
     assert!(reached_count.is_some());
 }
 

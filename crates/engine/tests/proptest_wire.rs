@@ -3,8 +3,9 @@
 use bytes::BytesMut;
 use proptest::prelude::*;
 use tempograph_core::VertexIdx;
-use tempograph_engine::wire::{sort_envelopes, Envelope, WireMsg};
+use tempograph_engine::batch::{legacy, merge_sorted_runs, MessageBatch};
 use tempograph_engine::sync::{Contribution, SyncPoint};
+use tempograph_engine::wire::{sort_envelopes, Envelope, WireMsg};
 use tempograph_partition::SubgraphId;
 
 fn roundtrip<M: WireMsg + PartialEq + std::fmt::Debug>(m: &M) -> M {
@@ -107,6 +108,122 @@ proptest! {
         sort_envelopes(&mut a);
         sort_envelopes(&mut b);
         prop_assert_eq!(a, b);
+    }
+
+    /// `MessageBatch` frames round-trip for any envelope stream — including
+    /// the empty frame and single-message batches (the 0..40 length range
+    /// covers both, and shrinking drives failures toward them).
+    #[test]
+    fn message_batch_frame_roundtrip(
+        envs in proptest::collection::vec(
+            (any::<u32>(), 0u32..20, any::<u32>(), any::<i64>()),
+            0..40,
+        ),
+    ) {
+        let mut batch = MessageBatch::new();
+        for &(f, t, s, p) in &envs {
+            batch.push(Envelope {
+                from: SubgraphId(f),
+                to: SubgraphId(t),
+                seq: s,
+                payload: p,
+            });
+        }
+        prop_assert_eq!(batch.len(), envs.len());
+        let mut buf = BytesMut::new();
+        batch.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        let decoded = MessageBatch::<i64>::decode(&mut bytes);
+        prop_assert_eq!(bytes.len(), 0, "frame decodes with exact consumption");
+        // Decoded runs must equal the sender-side grouping: one run per
+        // destination in first-push order, envelopes in push order within
+        // each run.
+        let mut expect: Vec<(SubgraphId, Vec<Envelope<i64>>)> = Vec::new();
+        for &(f, t, s, p) in &envs {
+            let e = Envelope {
+                from: SubgraphId(f),
+                to: SubgraphId(t),
+                seq: s,
+                payload: p,
+            };
+            match expect.iter_mut().find(|(to, _)| *to == e.to) {
+                Some((_, run)) => run.push(e),
+                None => expect.push((e.to, vec![e])),
+            }
+        }
+        prop_assert_eq!(decoded, expect);
+    }
+
+    /// An explicitly empty and an explicitly single-message frame
+    /// round-trip (the degenerate cases the receiver must tolerate).
+    #[test]
+    fn message_batch_degenerate_frames(f in any::<u32>(), t in any::<u32>(), s in any::<u32>(), p in any::<i64>()) {
+        let empty = MessageBatch::<i64>::new();
+        prop_assert!(empty.is_empty());
+        let mut buf = BytesMut::new();
+        empty.encode(&mut buf);
+        prop_assert!(MessageBatch::<i64>::decode(&mut buf.freeze()).is_empty());
+
+        let mut single = MessageBatch::new();
+        let e = Envelope { from: SubgraphId(f), to: SubgraphId(t), seq: s, payload: p };
+        single.push(e.clone());
+        let mut buf = BytesMut::new();
+        single.encode(&mut buf);
+        let runs = MessageBatch::<i64>::decode(&mut buf.freeze());
+        prop_assert_eq!(runs, vec![(SubgraphId(t), vec![e])]);
+    }
+
+    /// The receiver's k-way merge of sorted per-sender runs delivers the
+    /// exact order of the reference implementation (concatenate + global
+    /// `sort_envelopes`), for any distribution of unique (from, seq) keys
+    /// across any number of runs.
+    #[test]
+    fn merge_sorted_runs_matches_reference_sort(
+        mut keys in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..60),
+        n_runs in 1usize..8,
+    ) {
+        keys.sort_unstable();
+        keys.dedup(); // delivery keys are globally unique in the engine
+        let mut runs: Vec<Vec<Envelope<u64>>> = vec![Vec::new(); n_runs];
+        for (i, &(f, s)) in keys.iter().enumerate() {
+            runs[i % n_runs].push(Envelope {
+                from: SubgraphId(f),
+                to: SubgraphId(0),
+                seq: s,
+                payload: i as u64,
+            });
+        }
+        for run in &mut runs {
+            sort_envelopes(run); // each per-sender run arrives sorted
+        }
+        let merged = merge_sorted_runs(runs.clone());
+        let reference = legacy::deliver(runs);
+        prop_assert_eq!(merged, reference);
+    }
+
+    /// Legacy per-envelope encoding and the batched frame carry the same
+    /// payloads (the microbench compares like for like).
+    #[test]
+    fn legacy_envelopes_roundtrip(
+        envs in proptest::collection::vec(
+            (any::<u32>(), any::<u32>(), any::<u32>(), any::<u64>()),
+            0..40,
+        ),
+    ) {
+        let envelopes: Vec<Envelope<u64>> = envs
+            .iter()
+            .map(|&(f, t, s, p)| Envelope {
+                from: SubgraphId(f),
+                to: SubgraphId(t),
+                seq: s,
+                payload: p,
+            })
+            .collect();
+        let (count, mut bytes) = legacy::encode_envelopes(&envelopes);
+        prop_assert_eq!(count as usize, envelopes.len());
+        let decoded = legacy::decode_envelopes::<u64>(count, &mut bytes);
+        prop_assert_eq!(bytes.len(), 0);
+        prop_assert_eq!(decoded, envelopes);
     }
 
     /// The barrier reduction equals the sequential fold for any worker

@@ -9,8 +9,8 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tempograph_core::{GraphTemplate, TimeSeriesCollection};
 use std::sync::Arc;
+use tempograph_core::{GraphTemplate, TimeSeriesCollection};
 
 /// Parameters for [`generate_topology_churn`].
 #[derive(Clone, Debug)]
@@ -117,8 +117,16 @@ mod tests {
         );
         // Consecutive instances differ in only a few vertices.
         for i in 1..20 {
-            let a = c.get(i - 1).unwrap().vertex_bool(GraphTemplate::IS_EXISTS).unwrap();
-            let b = c.get(i).unwrap().vertex_bool(GraphTemplate::IS_EXISTS).unwrap();
+            let a = c
+                .get(i - 1)
+                .unwrap()
+                .vertex_bool(GraphTemplate::IS_EXISTS)
+                .unwrap();
+            let b = c
+                .get(i)
+                .unwrap()
+                .vertex_bool(GraphTemplate::IS_EXISTS)
+                .unwrap();
             let diff = a.iter().zip(b).filter(|(x, y)| x != y).count();
             assert!(diff <= 15, "churn too fast: {diff} flips");
         }
@@ -138,7 +146,11 @@ mod tests {
             },
         );
         for i in 0..30 {
-            let alive = c.get(i).unwrap().vertex_bool(GraphTemplate::IS_EXISTS).unwrap();
+            let alive = c
+                .get(i)
+                .unwrap()
+                .vertex_bool(GraphTemplate::IS_EXISTS)
+                .unwrap();
             for &v in &pinned {
                 assert!(alive[v.idx()], "pinned vertex dead at t = {i}");
             }
@@ -156,8 +168,14 @@ mod tests {
         let b = generate_topology_churn(t, &cfg);
         for i in 0..10 {
             assert_eq!(
-                a.get(i).unwrap().vertex_bool(GraphTemplate::IS_EXISTS).unwrap(),
-                b.get(i).unwrap().vertex_bool(GraphTemplate::IS_EXISTS).unwrap()
+                a.get(i)
+                    .unwrap()
+                    .vertex_bool(GraphTemplate::IS_EXISTS)
+                    .unwrap(),
+                b.get(i)
+                    .unwrap()
+                    .vertex_bool(GraphTemplate::IS_EXISTS)
+                    .unwrap()
             );
         }
     }
@@ -173,7 +191,11 @@ mod tests {
                 ..Default::default()
             },
         );
-        let alive = c.get(0).unwrap().vertex_bool(GraphTemplate::IS_EXISTS).unwrap();
+        let alive = c
+            .get(0)
+            .unwrap()
+            .vertex_bool(GraphTemplate::IS_EXISTS)
+            .unwrap();
         let frac = alive.iter().filter(|&&a| a).count() as f64 / 1000.0;
         assert!((0.4..0.6).contains(&frac), "fraction {frac}");
     }

@@ -2,8 +2,8 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tempograph_core::{GraphTemplate, TimeSeriesCollection, VertexIdx};
 use std::sync::Arc;
+use tempograph_core::{GraphTemplate, TimeSeriesCollection, VertexIdx};
 
 /// Name of the `Double` edge attribute carrying per-timestep travel time.
 pub const LATENCY_ATTR: &str = "latency";
@@ -65,7 +65,8 @@ pub fn generate_road_latencies(
                 *x = rng.gen_range(cfg.min_latency..cfg.max_latency);
             }
         }
-        coll.push(g).expect("generator produces conforming instances");
+        coll.push(g)
+            .expect("generator produces conforming instances");
     }
     coll
 }
@@ -132,10 +133,7 @@ enum State {
 ///
 /// Propagation follows the *undirected* structure (a talk edge exposes both
 /// endpoints), matching the paper's meme-BFS which traverses template edges.
-pub fn generate_sir_tweets(
-    template: Arc<GraphTemplate>,
-    cfg: &SirConfig,
-) -> TimeSeriesCollection {
+pub fn generate_sir_tweets(template: Arc<GraphTemplate>, cfg: &SirConfig) -> TimeSeriesCollection {
     assert!((0.0..=1.0).contains(&cfg.hit_prob), "hit_prob ∉ [0,1]");
     let nv = template.num_vertices();
     assert!(cfg.initial_infected <= nv, "more seeds than vertices");
@@ -185,28 +183,26 @@ pub fn generate_sir_tweets(
                 }
             }
         }
-        coll.push(g).expect("generator produces conforming instances");
+        coll.push(g)
+            .expect("generator produces conforming instances");
 
         // Advance SIR: infections happen between this instance and the next.
         let mut next = state.clone();
         for v in 0..nv {
-            match state[v] {
-                State::Infected(remaining) => {
-                    for &n in &adj[v] {
-                        if state[n as usize] == State::Susceptible
-                            && next[n as usize] == State::Susceptible
-                            && rng.gen_bool(cfg.hit_prob)
-                        {
-                            next[n as usize] = State::Infected(cfg.infectious_steps as u32);
-                        }
+            if let State::Infected(remaining) = state[v] {
+                for &n in &adj[v] {
+                    if state[n as usize] == State::Susceptible
+                        && next[n as usize] == State::Susceptible
+                        && rng.gen_bool(cfg.hit_prob)
+                    {
+                        next[n as usize] = State::Infected(cfg.infectious_steps as u32);
                     }
-                    next[v] = if remaining <= 1 {
-                        State::Recovered
-                    } else {
-                        State::Infected(remaining - 1)
-                    };
                 }
-                _ => {}
+                next[v] = if remaining <= 1 {
+                    State::Recovered
+                } else {
+                    State::Infected(remaining - 1)
+                };
             }
         }
         state = next;

@@ -32,11 +32,11 @@ pub mod rmat;
 pub mod road;
 pub mod smallworld;
 
+pub use churn::{generate_topology_churn, ChurnConfig};
 pub use instances::{
     generate_road_latencies, generate_sir_tweets, RoadLatencyConfig, SirConfig, LATENCY_ATTR,
     TWEETS_ATTR,
 };
-pub use churn::{generate_topology_churn, ChurnConfig};
 pub use presets::{carn_like, wiki_like, DatasetPreset};
 pub use rmat::{rmat, RmatConfig};
 pub use road::{road_network, RoadNetConfig};

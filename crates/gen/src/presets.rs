@@ -70,7 +70,7 @@ pub fn wiki_like(scale: f64) -> GraphTemplate {
         vertices: n,
         edges_per_vertex: 2,
         directed: false,
-        seed: 0x317_B1,
+        seed: 0x31_7B1,
     })
 }
 
@@ -95,7 +95,10 @@ mod tests {
             indeg[wiki.endpoints(e).1.idx()] += 1;
         }
         let max = *indeg.iter().max().unwrap();
-        assert!(max > 50, "WIKI analogue must have hubs, max in-degree {max}");
+        assert!(
+            max > 50,
+            "WIKI analogue must have hubs, max in-degree {max}"
+        );
     }
 
     #[test]

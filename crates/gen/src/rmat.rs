@@ -33,7 +33,7 @@ impl Default for RmatConfig {
             edge_factor: 8,
             probs: (0.57, 0.19, 0.19, 0.05),
             directed: true,
-            seed: 0x0044_AA7,
+            seed: 0x4_4AA7,
         }
     }
 }
@@ -47,12 +47,16 @@ pub fn rmat(cfg: &RmatConfig) -> GraphTemplate {
         (a + b + c + d - 1.0).abs() < 1e-6 && a > 0.0 && b >= 0.0 && c >= 0.0 && d >= 0.0,
         "quadrant probabilities must be a distribution"
     );
-    assert!(cfg.scale_exp >= 1 && cfg.scale_exp <= 26, "scale_exp out of range");
+    assert!(
+        cfg.scale_exp >= 1 && cfg.scale_exp <= 26,
+        "scale_exp out of range"
+    );
     let n: u64 = 1 << cfg.scale_exp;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     let mut b_ = TemplateBuilder::new(format!("rmat-{}", n), cfg.directed);
-    b_.vertex_schema().add(crate::TWEETS_ATTR, AttrType::TextList);
+    b_.vertex_schema()
+        .add(crate::TWEETS_ATTR, AttrType::TextList);
     b_.edge_schema().add(crate::LATENCY_ATTR, AttrType::Double);
     for v in 0..n {
         b_.add_vertex(v);

@@ -116,7 +116,8 @@ pub fn road_network(cfg: &RoadNetConfig) -> GraphTemplate {
     // TDSP (road latency) and MEME/HASH (tweet) generators, as in the paper
     // where CARN and WIKI are each paired with both instance generators.
     b.edge_schema().add(crate::LATENCY_ATTR, AttrType::Double);
-    b.vertex_schema().add(crate::TWEETS_ATTR, AttrType::TextList);
+    b.vertex_schema()
+        .add(crate::TWEETS_ATTR, AttrType::TextList);
     for v in 0..n as u64 {
         b.add_vertex(v);
     }
@@ -171,7 +172,10 @@ mod tests {
             ..Default::default()
         });
         let avg = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
-        assert!((2.4..3.2).contains(&avg), "avg degree {avg} outside CARN band");
+        assert!(
+            (2.4..3.2).contains(&avg),
+            "avg degree {avg} outside CARN band"
+        );
     }
 
     #[test]

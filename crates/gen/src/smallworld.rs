@@ -56,7 +56,8 @@ pub fn small_world(cfg: &SmallWorldConfig) -> GraphTemplate {
 
     let mut b = TemplateBuilder::new(format!("smallworld-{}", cfg.vertices), cfg.directed);
     // Both workload attributes, as for `road_network`.
-    b.vertex_schema().add(crate::TWEETS_ATTR, AttrType::TextList);
+    b.vertex_schema()
+        .add(crate::TWEETS_ATTR, AttrType::TextList);
     b.edge_schema().add(crate::LATENCY_ATTR, AttrType::Double);
     for v in 0..cfg.vertices as u64 {
         b.add_vertex(v);

@@ -369,7 +369,9 @@ mod tests {
         let cols = vec![
             Column::Long(vec![1, -2, i64::MAX]),
             Column::Double(vec![0.5, -1e300, f64::INFINITY]),
-            Column::Bool(vec![true, false, true, true, false, true, false, true, true]),
+            Column::Bool(vec![
+                true, false, true, true, false, true, false, true, true,
+            ]),
             Column::Text(vec!["".into(), "héllo".into(), "x".repeat(300)]),
             Column::LongList(vec![vec![], vec![1, 2, 3]]),
             Column::TextList(vec![vec!["#a".into()], vec![]]),

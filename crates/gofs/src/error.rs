@@ -39,7 +39,10 @@ impl fmt::Display for GofsError {
             GofsError::BadMagic { found } => write!(f, "bad magic {found:?}"),
             GofsError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
             GofsError::ChecksumMismatch { expected, actual } => {
-                write!(f, "checksum mismatch: footer {expected:#x}, payload {actual:#x}")
+                write!(
+                    f,
+                    "checksum mismatch: footer {expected:#x}, payload {actual:#x}"
+                )
             }
             GofsError::Corrupt(what) => write!(f, "corrupt file: {what}"),
             GofsError::OutOfRange(what) => write!(f, "out of range: {what}"),

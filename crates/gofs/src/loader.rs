@@ -53,12 +53,7 @@ impl InstanceLoader {
     /// Create a loader for `partition`. `capacity` bounds the number of
     /// cached slices (≥ 1); the number of bins is the natural choice so one
     /// full pack per bin stays resident.
-    pub fn new(
-        store: GofsStore,
-        pg: &PartitionedGraph,
-        partition: u16,
-        capacity: usize,
-    ) -> Self {
+    pub fn new(store: GofsStore, pg: &PartitionedGraph, partition: u16, capacity: usize) -> Self {
         assert!(capacity >= 1, "cache capacity must be ≥ 1");
         let bins = bins_for_partition(pg, partition, store.meta().binning);
         let mut bin_of_sg = HashMap::new();
@@ -119,10 +114,9 @@ impl InstanceLoader {
             *last_used = tick;
             self.stats.cache_hits += 1;
             let slice = slice.clone();
-            return slice
-                .get(sg, timestep)
-                .cloned()
-                .ok_or_else(|| GofsError::Corrupt(format!("slice {key:?} missing {sg}@{timestep}")));
+            return slice.get(sg, timestep).cloned().ok_or_else(|| {
+                GofsError::Corrupt(format!("slice {key:?} missing {sg}@{timestep}"))
+            });
         }
 
         // Miss: read + decode the slice file.
@@ -172,7 +166,12 @@ mod tests {
         d
     }
 
-    fn dataset(dir: &PathBuf, timesteps: usize, packing: usize, binning: usize) -> (Arc<PartitionedGraph>, GofsStore) {
+    fn dataset(
+        dir: &PathBuf,
+        timesteps: usize,
+        packing: usize,
+        binning: usize,
+    ) -> (Arc<PartitionedGraph>, GofsStore) {
         let mut b = TemplateBuilder::new("loader-test", false);
         b.vertex_schema().add("v", AttrType::Long);
         for i in 0..30 {

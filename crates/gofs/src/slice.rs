@@ -55,7 +55,8 @@ impl SliceData {
         if t < self.t_start || t >= self.t_start + self.n_timesteps {
             return None;
         }
-        self.instances.get(sg_index * self.n_timesteps + (t - self.t_start))
+        self.instances
+            .get(sg_index * self.n_timesteps + (t - self.t_start))
     }
 
     /// Total approximate heap bytes of all held instances.

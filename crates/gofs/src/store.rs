@@ -103,7 +103,11 @@ fn decode_partitioning(data: &[u8]) -> Result<Partitioning> {
 /// Split a partition's subgraph list into bins of at most `binning`, in
 /// [`SubgraphId`] order. Writer and loader both derive bins through this
 /// single function so they always agree.
-pub fn bins_for_partition(pg: &PartitionedGraph, partition: u16, binning: usize) -> Vec<Vec<SubgraphId>> {
+pub fn bins_for_partition(
+    pg: &PartitionedGraph,
+    partition: u16,
+    binning: usize,
+) -> Vec<Vec<SubgraphId>> {
     pg.subgraphs_of_partition(partition)
         .chunks(binning)
         .map(|c| c.to_vec())
@@ -185,7 +189,7 @@ impl GofsWriter {
             }
         }
         self.next_timestep += 1;
-        if self.next_timestep % self.packing == 0 {
+        if self.next_timestep.is_multiple_of(self.packing) {
             self.flush_pack()?;
         }
         Ok(())
@@ -197,7 +201,7 @@ impl GofsWriter {
             for (bi, bin) in self.bins[p].iter().enumerate() {
                 let rows: Vec<Vec<SubgraphInstance>> =
                     self.pending[p][bi].iter_mut().map(std::mem::take).collect();
-                if rows.first().map_or(true, |r| r.is_empty()) {
+                if rows.first().is_none_or(|r| r.is_empty()) {
                     continue;
                 }
                 let key = SliceKey {
@@ -218,7 +222,7 @@ impl GofsWriter {
 
     /// Flush any partial pack and write `meta.bin`. Returns the final meta.
     pub fn finish(mut self) -> Result<DatasetMeta> {
-        if self.next_timestep % self.packing != 0 {
+        if !self.next_timestep.is_multiple_of(self.packing) {
             self.flush_pack()?;
         }
         let meta = DatasetMeta {
@@ -419,8 +423,7 @@ mod tests {
         // Pick a subgraph + timestep and compare against direct projection.
         let sg = &pg.subgraphs()[0];
         let slice = decode_slice(
-            &std::fs::read(store.slice_path(sg.partition(), SliceKey { bin: 0, pack: 0 }))
-                .unwrap(),
+            &std::fs::read(store.slice_path(sg.partition(), SliceKey { bin: 0, pack: 0 })).unwrap(),
         )
         .unwrap();
         let from_disk = slice.get(sg.id(), 4).expect("covered");

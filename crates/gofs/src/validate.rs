@@ -102,9 +102,7 @@ pub fn validate_dataset(store: &GofsStore, pg: &PartitionedGraph) -> Result<Data
                         }
                         let cell = si * meta.num_timesteps + t;
                         if covered[cell] {
-                            return Err(GofsError::Corrupt(format!(
-                                "{sg_id}@{t} stored twice"
-                            )));
+                            return Err(GofsError::Corrupt(format!("{sg_id}@{t} stored twice")));
                         }
                         covered[cell] = true;
                         stats.records += 1;

@@ -165,8 +165,12 @@ mod tests {
             },
         );
         let mut g = GraphInstance::new(&t, 0);
-        g.vertex_f64_mut("load").unwrap().copy_from_slice(&[10.0, 11.0, 12.0, 13.0]);
-        g.edge_f64_mut("lat").unwrap().copy_from_slice(&[0.5, 1.5, 2.5]);
+        g.vertex_f64_mut("load")
+            .unwrap()
+            .copy_from_slice(&[10.0, 11.0, 12.0, 13.0]);
+        g.edge_f64_mut("lat")
+            .unwrap()
+            .copy_from_slice(&[0.5, 1.5, 2.5]);
         (t, pg, g)
     }
 

@@ -14,8 +14,11 @@ use tempograph_partition::SubgraphId;
 fn arb_column() -> impl Strategy<Value = Column> {
     prop_oneof![
         proptest::collection::vec(any::<i64>(), 0..50).prop_map(Column::Long),
-        proptest::collection::vec(any::<f64>().prop_filter("no NaN eq issues", |x| !x.is_nan()), 0..50)
-            .prop_map(Column::Double),
+        proptest::collection::vec(
+            any::<f64>().prop_filter("no NaN eq issues", |x| !x.is_nan()),
+            0..50
+        )
+        .prop_map(Column::Double),
         proptest::collection::vec(any::<bool>(), 0..70).prop_map(Column::Bool),
         proptest::collection::vec("[\\PC]{0,16}".prop_map(String::from), 0..20)
             .prop_map(Column::Text),
@@ -152,9 +155,9 @@ proptest! {
         prop_assert_eq!(back.partition, 2);
         prop_assert_eq!(back.n_timesteps, n_ts);
         for (i, sg) in sg_ids.iter().enumerate() {
-            for toff in 0..n_ts {
+            for (toff, row) in rows[i].iter().enumerate() {
                 let got = back.get(*sg, t_start + toff).unwrap();
-                prop_assert_eq!(&**got, &rows[i][toff]);
+                prop_assert_eq!(&**got, row);
             }
         }
     }

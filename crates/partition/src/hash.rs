@@ -28,10 +28,7 @@ impl Partitioner for HashPartitioner {
             .vertices()
             .map(|v| (splitmix64(template.vertex_id(v)) % k as u64) as u16)
             .collect();
-        Partitioning {
-            assignment,
-            k,
-        }
+        Partitioning { assignment, k }
     }
 
     fn name(&self) -> &'static str {

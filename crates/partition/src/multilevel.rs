@@ -122,9 +122,7 @@ impl MultilevelPartitioner {
             // Heaviest unmatched neighbour.
             let mut best: Option<(u32, u64)> = None;
             for &(nb, w) in &g.adj[v as usize] {
-                if matched[nb as usize] == u32::MAX
-                    && best.map_or(true, |(_, bw)| w > bw)
-                {
+                if matched[nb as usize] == u32::MAX && best.is_none_or(|(_, bw)| w > bw) {
                     best = Some((nb, w));
                 }
             }
@@ -262,7 +260,7 @@ impl MultilevelPartitioner {
                     let gp = conn - own_conn;
                     if gp > 0
                         && weights[p] + g.vwgt[v] <= max_weight
-                        && best.map_or(true, |(_, bg)| gp > bg)
+                        && best.is_none_or(|(_, bg)| gp > bg)
                     {
                         best = Some((p, gp));
                     }

@@ -8,15 +8,12 @@
 //! neighbours (other partitions' subgraphs, reached by message passing).
 
 use crate::Partitioning;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
 use tempograph_core::{EdgeIdx, GraphTemplate, VertexIdx};
 
 /// Globally unique subgraph identifier (dense, across all partitions).
-#[derive(
-    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct SubgraphId(pub u32);
 
 impl SubgraphId {
@@ -35,7 +32,7 @@ impl std::fmt::Display for SubgraphId {
 
 /// An adjacency entry crossing partitions: the far endpoint lives in another
 /// partition's subgraph and is reachable only via messaging.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct RemoteNeighbor {
     /// Remote endpoint (template index).
     pub vertex: VertexIdx,
@@ -249,9 +246,7 @@ pub fn discover_subgraphs(
     for (i, &(_, r)) in roots.iter().enumerate() {
         sg_of_root.insert(r, SubgraphId(i as u32));
     }
-    let vertex_to_subgraph: Vec<SubgraphId> = (0..n)
-        .map(|v| sg_of_root[&root_of[v]])
-        .collect();
+    let vertex_to_subgraph: Vec<SubgraphId> = (0..n).map(|v| sg_of_root[&root_of[v]]).collect();
 
     // Gather members per subgraph (ascending vertex order by construction).
     let num_sg = roots.len();
@@ -277,9 +272,7 @@ pub fn discover_subgraphs(
         remote_offsets.push(0u32);
 
         // Position lookup within this subgraph (verts is sorted).
-        let pos_of = |v: VertexIdx| -> u32 {
-            verts.binary_search(&v).expect("member") as u32
-        };
+        let pos_of = |v: VertexIdx| -> u32 { verts.binary_search(&v).expect("member") as u32 };
 
         for &v in &verts {
             for nb in template.neighbors(v) {

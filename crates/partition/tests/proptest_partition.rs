@@ -4,8 +4,8 @@ use proptest::prelude::*;
 use std::sync::Arc;
 use tempograph_core::{GraphTemplate, TemplateBuilder};
 use tempograph_partition::{
-    balance, discover_subgraphs, edge_cut, HashPartitioner, LdgPartitioner,
-    MultilevelPartitioner, Partitioner,
+    balance, discover_subgraphs, edge_cut, HashPartitioner, LdgPartitioner, MultilevelPartitioner,
+    Partitioner,
 };
 
 /// A random connected graph: a random tree plus extra random edges.

@@ -1,10 +1,13 @@
 //! The vertex-centric BSP engine.
 
-use bytes::{Buf, Bytes, BytesMut};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 use tempograph_core::{GraphTemplate, Neighbor, VertexIdx};
+use tempograph_engine::batch::BufferPool;
 use tempograph_engine::sync::{Contribution, SyncPoint};
 use tempograph_engine::wire::WireMsg;
 use tempograph_partition::Partitioning;
@@ -25,6 +28,19 @@ pub trait VertexProgram: Send + Sync + 'static {
     /// [`VertexContext::vote_to_halt`] deactivates it until a message
     /// arrives (Pregel semantics).
     fn compute(&self, ctx: &mut VertexContext<'_, Self::State, Self::Msg>, msgs: &[Self::Msg]);
+
+    /// Whether [`VertexProgram::combine`] should fold outgoing messages at
+    /// the sender (Pregel's combiners). Default: no combining.
+    fn has_combiner(&self) -> bool {
+        false
+    }
+
+    /// Fold `incoming` into `acc` — two messages bound for the same vertex.
+    /// Must be an associative, commutative reduction (min, max, sum); only
+    /// called when [`VertexProgram::has_combiner`] returns true.
+    fn combine(&self, _acc: &mut Self::Msg, _incoming: Self::Msg) {
+        unreachable!("combine() called without has_combiner()");
+    }
 }
 
 /// Context handed to one vertex invocation.
@@ -80,6 +96,8 @@ pub struct PregelMetrics {
     pub remote_messages: u64,
     /// Serialised bytes shipped across partitions.
     pub remote_bytes: u64,
+    /// Messages eliminated by the sender-side combiner.
+    pub combined_messages: u64,
     /// Total compute nanoseconds summed over workers.
     pub compute_ns: u64,
     /// Total barrier-wait nanoseconds summed over workers.
@@ -101,6 +119,7 @@ struct WorkerOut<S> {
     messages: u64,
     remote_messages: u64,
     remote_bytes: u64,
+    combined_messages: u64,
     compute_ns: u64,
     sync_ns: u64,
     supersteps: usize,
@@ -187,6 +206,7 @@ pub fn run_pregel<P: VertexProgram>(
         metrics.messages += o.messages;
         metrics.remote_messages += o.remote_messages;
         metrics.remote_bytes += o.remote_bytes;
+        metrics.combined_messages += o.combined_messages;
         metrics.compute_ns += o.compute_ns;
         metrics.sync_ns += o.sync_ns;
         metrics.supersteps = metrics.supersteps.max(o.supersteps);
@@ -222,10 +242,12 @@ fn worker<P: VertexProgram>(
         messages: 0,
         remote_messages: 0,
         remote_bytes: 0,
+        combined_messages: 0,
         compute_ns: 0,
         sync_ns: 0,
         supersteps: 0,
     };
+    let mut pool = BufferPool::new();
 
     let mut ss = 0usize;
     loop {
@@ -251,9 +273,29 @@ fn worker<P: VertexProgram>(
         }
         out.compute_ns += compute_start.elapsed().as_nanos() as u64;
 
-        // Route: local direct, remote serialised per partition.
+        // Sender-side combining (Pregel's combiners): fold messages bound
+        // for the same vertex before any of them is serialised.
         let n_sent = sent.len() as u64;
         out.messages += n_sent;
+        if program.has_combiner() && sent.len() > 1 {
+            let mut acc_at: HashMap<u32, usize> = HashMap::new();
+            let mut combined: Vec<(VertexIdx, P::Msg)> = Vec::with_capacity(sent.len());
+            for (to, msg) in sent {
+                match acc_at.entry(to.0) {
+                    Entry::Occupied(o) => program.combine(&mut combined[*o.get()].1, msg),
+                    Entry::Vacant(v) => {
+                        v.insert(combined.len());
+                        combined.push((to, msg));
+                    }
+                }
+            }
+            out.combined_messages += n_sent - combined.len() as u64;
+            sent = combined;
+        }
+
+        // Route: local direct; remote written straight into one pooled
+        // frame per peer (the count prefix is patched in place afterwards —
+        // no second copy).
         let mut remote: Vec<Option<(BytesMut, u32)>> = vec![None; txs.len()];
         for (to, msg) in sent {
             let tp = assignment[to.idx()] as usize;
@@ -261,18 +303,20 @@ fn worker<P: VertexProgram>(
                 inbox[local_pos[to.idx()] as usize].push(msg);
             } else {
                 out.remote_messages += 1;
-                let slot = remote[tp].get_or_insert_with(|| (BytesMut::new(), 0));
+                let slot = remote[tp].get_or_insert_with(|| {
+                    let mut buf = pool.get();
+                    buf.put_u32_le(0); // message count, patched below
+                    (buf, 0)
+                });
                 to.encode(&mut slot.0);
                 msg.encode(&mut slot.0);
                 slot.1 += 1;
             }
         }
         for (tp, slot) in remote.into_iter().enumerate() {
-            if let Some((buf, count)) = slot {
-                let mut framed = BytesMut::with_capacity(buf.len() + 4);
-                bytes::BufMut::put_u32_le(&mut framed, count);
-                framed.extend_from_slice(&buf);
-                let bytes = framed.freeze();
+            if let Some((mut buf, count)) = slot {
+                buf[..4].copy_from_slice(&count.to_le_bytes());
+                let bytes = buf.freeze();
                 out.remote_bytes += bytes.len() as u64;
                 txs[tp].send(bytes).expect("receiver alive");
             }
@@ -285,7 +329,7 @@ fn worker<P: VertexProgram>(
         });
         out.sync_ns += wait.elapsed().as_nanos() as u64;
 
-        // Drain remote batches.
+        // Drain remote batches, recycling frame allocations.
         while let Ok(mut bytes) = rx.try_recv() {
             let count = bytes.get_u32_le();
             for _ in 0..count {
@@ -293,6 +337,7 @@ fn worker<P: VertexProgram>(
                 let msg = P::Msg::decode(&mut bytes);
                 inbox[local_pos[to.idx()] as usize].push(msg);
             }
+            pool.reclaim(bytes);
         }
         // Post-drain rendezvous: see tempograph-engine — a fast worker must
         // not send superstep s+1 batches into a slow worker's s drain.
@@ -307,11 +352,7 @@ fn worker<P: VertexProgram>(
     }
 
     out.supersteps = ss;
-    out.states = verts
-        .iter()
-        .zip(states)
-        .map(|(&v, s)| (v, s))
-        .collect();
+    out.states = verts.iter().zip(states).map(|(&v, s)| (v, s)).collect();
     out
 }
 
@@ -371,7 +412,11 @@ mod tests {
             assert!(r.states.iter().all(|&s| s == 19), "k={k}");
             // A path of 20 vertices needs ~19 supersteps: vertex-centric
             // pays diameter in supersteps.
-            assert!(r.metrics.supersteps >= 19, "k={k}: {}", r.metrics.supersteps);
+            assert!(
+                r.metrics.supersteps >= 19,
+                "k={k}: {}",
+                r.metrics.supersteps
+            );
         }
     }
 

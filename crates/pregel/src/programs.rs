@@ -36,14 +36,24 @@ impl VertexProgram for SsspVertex {
             *ctx.state() = best;
             let neighbors = ctx.neighbors().to_vec();
             for n in neighbors {
-                let w = self
-                    .latencies
-                    .as_ref()
-                    .map_or(1.0, |l| l[n.edge.idx()]);
+                let w = self.latencies.as_ref().map_or(1.0, |l| l[n.edge.idx()]);
                 ctx.send(n.vertex, best + w);
             }
         }
         ctx.vote_to_halt();
+    }
+
+    // Min-combining: the vertex keeps the smallest incoming distance, so
+    // collapsing same-destination messages to their min at the sender is
+    // lossless (Pregel's canonical combiner example).
+    fn has_combiner(&self) -> bool {
+        true
+    }
+
+    fn combine(&self, acc: &mut f64, incoming: f64) {
+        if incoming < *acc {
+            *acc = incoming;
+        }
     }
 }
 
@@ -75,6 +85,18 @@ impl VertexProgram for BfsVertex {
             }
         }
         ctx.vote_to_halt();
+    }
+
+    // An unvisited vertex adopts the minimum incoming level, so min-combining
+    // at the sender is lossless.
+    fn has_combiner(&self) -> bool {
+        true
+    }
+
+    fn combine(&self, acc: &mut u64, incoming: u64) {
+        if incoming < *acc {
+            *acc = incoming;
+        }
     }
 }
 
@@ -184,7 +206,14 @@ mod tests {
         let side = 6u64;
         let t = grid(side);
         let part = stripes(t.num_vertices(), 3);
-        let r = run_pregel(&t, &part, &BfsVertex { source: VertexIdx(0) }, 1000);
+        let r = run_pregel(
+            &t,
+            &part,
+            &BfsVertex {
+                source: VertexIdx(0),
+            },
+            1000,
+        );
         for y in 0..side {
             for x in 0..side {
                 let v = (y * side + x) as usize;
@@ -224,7 +253,14 @@ mod tests {
             },
             1000,
         );
-        let bfs = run_pregel(&t, &part, &BfsVertex { source: VertexIdx(0) }, 1000);
+        let bfs = run_pregel(
+            &t,
+            &part,
+            &BfsVertex {
+                source: VertexIdx(0),
+            },
+            1000,
+        );
         for v in 0..t.num_vertices() {
             assert_eq!(sssp.states[v] as i64, bfs.states[v]);
         }
@@ -264,8 +300,8 @@ mod tests {
             }
             rank = next;
         }
-        for v in 0..n {
-            assert!((r.states[v] - rank[v]).abs() < 1e-12, "vertex {v}");
+        for (v, expect) in rank.iter().enumerate() {
+            assert!((r.states[v] - expect).abs() < 1e-12, "vertex {v}");
         }
     }
 

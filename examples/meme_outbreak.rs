@@ -40,7 +40,10 @@ fn main() {
         JobConfig::sequentially_dependent(50),
     );
 
-    println!("outbreak curve for {meme} ({} users):", template.num_vertices());
+    println!(
+        "outbreak curve for {meme} ({} users):",
+        template.num_vertices()
+    );
     let mut cumulative = 0u64;
     let mut peak = (0usize, 0u64);
     for t in 0..result.timesteps_run {

@@ -43,7 +43,7 @@ fn main() {
         template.clone(),
         &ChurnConfig {
             timesteps: 40,
-            flip_prob: 0.02,    // slow churn, per the model's premise
+            flip_prob: 0.02, // slow churn, per the model's premise
             initial_alive: 0.85,
             pinned_alive: vec![gateway],
             ..Default::default()
@@ -64,7 +64,10 @@ fn main() {
         JobConfig::sequentially_dependent(40).while_active(40),
     );
 
-    println!("firmware propagation from the gateway ({} sensors):", template.num_vertices());
+    println!(
+        "firmware propagation from the gateway ({} sensors):",
+        template.num_vertices()
+    );
     let mut cumulative = 0u64;
     for t in 0..result.timesteps_run {
         let newly = result.counter_at(TemporalReachability::REACHED, t);

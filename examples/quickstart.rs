@@ -65,7 +65,11 @@ fn main() {
         template.clone(),
         &RoadLatencyConfig::default(),
     ));
-    println!("series: {} instances, δ = {}s", series.len(), series.period());
+    println!(
+        "series: {} instances, δ = {}s",
+        series.len(),
+        series.period()
+    );
 
     // 3. Partition into 4 "hosts" and discover subgraphs.
     let parts = MultilevelPartitioner::default().partition(&template, 4);
@@ -102,14 +106,12 @@ fn main() {
     for t in (0..result.timesteps_run).step_by(10) {
         // The counter holds per-partition maxima ×1000; take the max.
         let per_p = &result.counters["max_latency_milli"][t];
-        println!("  t = {t:2}: {:.1}", *per_p.iter().max().unwrap() as f64 / 1e3);
+        println!(
+            "  t = {t:2}: {:.1}",
+            *per_p.iter().max().unwrap() as f64 / 1e3
+        );
     }
-    let loads: u64 = result
-        .metrics
-        .iter()
-        .flatten()
-        .map(|m| m.slice_loads)
-        .sum();
+    let loads: u64 = result.metrics.iter().flatten().map(|m| m.slice_loads).sum();
     println!("\nslice files loaded lazily from disk: {loads}");
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -90,9 +90,7 @@ fn main() {
         "static t0 plan: optimistic for {optimistic} destinations \
          (worst underestimate {worst_gap:.0}s, median |ETA error| {median:.0}s)"
     );
-    println!(
-        "\nper-timestep TDSP progress (vertices finalized):"
-    );
+    println!("\nper-timestep TDSP progress (vertices finalized):");
     for t in 0..tdsp.timesteps_run {
         let n = tdsp.counter_at(Tdsp::FINALIZED, t);
         if n > 0 {

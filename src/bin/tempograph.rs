@@ -90,7 +90,11 @@ fn opt<'a>(opts: &'a HashMap<String, String>, key: &str, default: &'a str) -> &'
     opts.get(key).map(String::as_str).unwrap_or(default)
 }
 
-fn parse<T: std::str::FromStr>(opts: &HashMap<String, String>, key: &str, default: T) -> Result<T, String> {
+fn parse<T: std::str::FromStr>(
+    opts: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
     match opts.get(key) {
         None => Ok(default),
         Some(v) => v
@@ -223,7 +227,11 @@ fn cmd_inspect(opts: &HashMap<String, String>, rest: &[String]) -> Result<(), St
         "template : {} vertices, {} edges, {}",
         t.num_vertices(),
         t.num_edges(),
-        if t.directed() { "directed" } else { "undirected" }
+        if t.directed() {
+            "directed"
+        } else {
+            "undirected"
+        }
     );
     print!("v-schema : ");
     for a in t.vertex_schema().iter() {
@@ -292,7 +300,10 @@ fn cmd_run(opts: &HashMap<String, String>) -> Result<(), String> {
     let find_v = |name: &str| t.vertex_schema().index_of(name);
     let find_e = |name: &str| t.edge_schema().index_of(name);
 
-    println!("running {algo} over {timesteps} timesteps on {} partitions…", pg.num_partitions());
+    println!(
+        "running {algo} over {timesteps} timesteps on {} partitions…",
+        pg.num_partitions()
+    );
     let started = std::time::Instant::now();
     let result = match algo.as_str() {
         "tdsp" => {
@@ -362,7 +373,10 @@ fn cmd_run(opts: &HashMap<String, String>) -> Result<(), String> {
     };
     let elapsed = started.elapsed();
 
-    println!("finished in {elapsed:.2?} ({} timesteps run)", result.timesteps_run);
+    println!(
+        "finished in {elapsed:.2?} ({} timesteps run)",
+        result.timesteps_run
+    );
     println!("emitted values : {}", result.emitted.len());
     for (name, per_t) in &result.counters {
         let total: u64 = per_t.iter().flatten().sum();

@@ -67,7 +67,7 @@ fn tdsp_results_independent_of_partition_count() {
         );
         let mut got: Vec<(VertexIdx, f64)> =
             result.emitted.iter().map(|e| (e.vertex, e.value)).collect();
-        got.sort_by(|a, b| a.0.cmp(&b.0));
+        got.sort_by_key(|a| a.0);
         match &reference {
             None => reference = Some(got),
             Some(r) => assert_eq!(&got, r, "k = {k} diverged"),
@@ -104,15 +104,16 @@ fn subgraph_centric_and_vertex_centric_sssp_agree() {
         100_000,
     );
 
-    for v in 0..t.num_vertices() {
-        assert_eq!(
-            sg_levels[v], pregel.states[v],
-            "engines disagree at vertex {v}"
-        );
+    for (v, (sg, vc)) in sg_levels.iter().zip(&pregel.states).enumerate() {
+        assert_eq!(sg, vc, "engines disagree at vertex {v}");
     }
     // The structural claim behind Fig. 5b: the vertex-centric engine needs
     // about `diameter` supersteps; the subgraph-centric one needs a handful.
-    let sg_ss = goffish.metrics[0].iter().map(|m| m.supersteps).max().unwrap();
+    let sg_ss = goffish.metrics[0]
+        .iter()
+        .map(|m| m.supersteps)
+        .max()
+        .unwrap();
     assert!(
         pregel.metrics.supersteps as u32 > 4 * sg_ss,
         "vertex-centric {} vs subgraph-centric {sg_ss} supersteps",
@@ -222,5 +223,8 @@ fn wcc_and_pagerank_run_through_the_facade() {
 
     let pr = run_job(&pg, &src, PageRank::factory(5), JobConfig::independent(1));
     let total: f64 = pr.emitted.iter().map(|e| e.value).sum();
-    assert!((total - 1.0).abs() < 1e-6, "ranks must sum to 1, got {total}");
+    assert!(
+        (total - 1.0).abs() < 1e-6,
+        "ranks must sum to 1, got {total}"
+    );
 }

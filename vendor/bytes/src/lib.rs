@@ -1,0 +1,430 @@
+//! Offline vendored subset of the `bytes` crate.
+//!
+//! The build environment has no network access and no crates.io mirror, so
+//! the workspace ships a minimal, API-compatible implementation of the
+//! `bytes` surface it actually uses: [`BytesMut`] as a growable write
+//! buffer, [`Bytes`] as a cheaply cloneable, sliceable read view backed by
+//! an `Arc`, and the [`Buf`]/[`BufMut`] cursor traits.
+//!
+//! Two deliberate extensions beyond a pure subset:
+//!
+//! * [`Bytes::try_into_mut`] recovers the underlying allocation when the
+//!   reference is unique — the engine's message-buffer pool uses it to
+//!   recycle frame buffers across supersteps without reallocating;
+//! * all getters panic on underflow (matching upstream `bytes`), which the
+//!   wire layer relies on for its "corruption is a bug" contract.
+
+use std::sync::Arc;
+
+/// A growable, contiguous write buffer (subset of `bytes::BytesMut`).
+#[derive(Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer with no allocation.
+    pub fn new() -> Self {
+        BytesMut { vec: Vec::new() }
+    }
+
+    /// An empty buffer with `cap` bytes pre-allocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            vec: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Written length in bytes.
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    /// Current allocation size.
+    pub fn capacity(&self) -> usize {
+        self.vec.capacity()
+    }
+
+    /// Drop the contents, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.vec.clear();
+    }
+
+    /// Ensure room for `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.vec.reserve(additional);
+    }
+
+    /// Append raw bytes.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.vec.extend_from_slice(src);
+    }
+
+    /// Convert into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        let len = self.vec.len();
+        Bytes {
+            data: Arc::new(self.vec),
+            start: 0,
+            end: len,
+        }
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.vec
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut({} bytes)", self.vec.len())
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(vec: Vec<u8>) -> Self {
+        BytesMut { vec }
+    }
+}
+
+/// An immutable, cheaply cloneable view of a byte buffer (subset of
+/// `bytes::Bytes`). Reading through [`Buf`] advances an internal cursor.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty view.
+    pub fn new() -> Self {
+        Bytes {
+            data: Arc::new(Vec::new()),
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Copy `src` into a fresh owned buffer.
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Bytes {
+            data: Arc::new(src.to_vec()),
+            start: 0,
+            end: src.len(),
+        }
+    }
+
+    /// Unread length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Split off and return the first `n` unread bytes as a new view; `self`
+    /// keeps the remainder. Panics if `n > self.len()`.
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len(), "split_to out of bounds");
+        let head = Bytes {
+            data: self.data.clone(),
+            start: self.start,
+            end: self.start + n,
+        };
+        self.start += n;
+        head
+    }
+
+    /// Copy the unread bytes into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self[..].to_vec()
+    }
+
+    /// Recover the underlying allocation as a [`BytesMut`] when this is the
+    /// only reference to it. The result holds the unread bytes (for a fully
+    /// consumed view: empty, with the original capacity) — the engine's
+    /// buffer pool uses this to recycle frame buffers. Returns `Err(self)`
+    /// when the allocation is shared.
+    pub fn try_into_mut(self) -> Result<BytesMut, Bytes> {
+        let (start, end) = (self.start, self.end);
+        match Arc::try_unwrap(self.data) {
+            Ok(mut vec) => {
+                vec.truncate(end);
+                if start > 0 {
+                    vec.drain(..start);
+                }
+                Ok(BytesMut { vec })
+            }
+            Err(data) => Err(Bytes { data, start, end }),
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(vec: Vec<u8>) -> Self {
+        let end = vec.len();
+        Bytes {
+            data: Arc::new(vec),
+            start: 0,
+            end,
+        }
+    }
+}
+
+macro_rules! get_impl {
+    ($self:ident, $ty:ty) => {{
+        const N: usize = std::mem::size_of::<$ty>();
+        let s = $self.chunk();
+        assert!(s.len() >= N, "buffer underflow");
+        let v = <$ty>::from_le_bytes(s[..N].try_into().unwrap());
+        $self.advance(N);
+        v
+    }};
+}
+
+/// Read cursor over a byte source (subset of `bytes::Buf`). All `get_*`
+/// methods read little-endian and panic on underflow.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// The unread bytes as a contiguous slice.
+    fn chunk(&self) -> &[u8];
+    /// Skip `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let s = self.chunk();
+        assert!(!s.is_empty(), "buffer underflow");
+        let v = s[0];
+        self.advance(1);
+        v
+    }
+    /// Read a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        get_impl!(self, u16)
+    }
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        get_impl!(self, u32)
+    }
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        get_impl!(self, u64)
+    }
+    /// Read a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64 {
+        get_impl!(self, i64)
+    }
+    /// Read a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+    /// Fill `dst` from the cursor.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let s = self.chunk();
+        assert!(s.len() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&s[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance out of bounds");
+        self.start += n;
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance out of bounds");
+        *self = &self[n..];
+    }
+}
+
+/// Write cursor over a byte sink (subset of `bytes::BufMut`). All `put_*`
+/// methods write little-endian.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Write one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Write a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Write a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Write a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Write a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Write a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.vec.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut b = BytesMut::new();
+        b.put_u8(7);
+        b.put_u16_le(300);
+        b.put_u32_le(70_000);
+        b.put_u64_le(u64::MAX - 3);
+        b.put_i64_le(-42);
+        b.put_f64_le(2.5);
+        b.put_slice(b"xyz");
+        let mut r = b.freeze();
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16_le(), 300);
+        assert_eq!(r.get_u32_le(), 70_000);
+        assert_eq!(r.get_u64_le(), u64::MAX - 3);
+        assert_eq!(r.get_i64_le(), -42);
+        assert_eq!(r.get_f64_le(), 2.5);
+        let mut dst = [0u8; 3];
+        r.copy_to_slice(&mut dst);
+        assert_eq!(&dst, b"xyz");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn split_to_partitions_the_view() {
+        let mut b = BytesMut::new();
+        b.put_slice(b"hello world");
+        let mut r = b.freeze();
+        let head = r.split_to(5);
+        assert_eq!(&head[..], b"hello");
+        assert_eq!(&r[..], b" world");
+    }
+
+    #[test]
+    fn try_into_mut_recycles_unique_buffers() {
+        let mut b = BytesMut::with_capacity(64);
+        b.put_slice(b"data");
+        let r = b.freeze();
+        let recycled = r.try_into_mut().expect("unique reference");
+        assert_eq!(&recycled[..], b"data");
+        assert!(recycled.capacity() >= 4);
+
+        // A fully consumed view recycles to an empty buffer that keeps
+        // its allocation.
+        let mut b = BytesMut::with_capacity(64);
+        b.put_u32_le(77);
+        let mut r = b.freeze();
+        assert_eq!(r.get_u32_le(), 77);
+        let recycled = r.try_into_mut().expect("unique reference");
+        assert!(recycled.is_empty());
+        assert!(recycled.capacity() >= 4);
+
+        let mut b = BytesMut::new();
+        b.put_slice(b"data");
+        let r = b.freeze();
+        let _clone = r.clone();
+        assert!(
+            r.try_into_mut().is_err(),
+            "shared reference must not recycle"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut r = BytesMut::new().freeze();
+        let _ = r.get_u32_le();
+    }
+}

@@ -1,0 +1,227 @@
+//! Offline vendored subset of the `criterion` crate.
+//!
+//! Supports the benchmarking surface this workspace uses: `Criterion` with
+//! `sample_size`/`bench_function`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, `black_box`, and both forms of `criterion_group!` plus
+//! `criterion_main!`. Reports min/median/max ns-per-iteration to stdout;
+//! no plots, no statistical regression analysis.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup (shim: only controls batch caps).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs; large batches are fine.
+    SmallInput,
+    /// Large per-iteration inputs; keep batches small.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+impl BatchSize {
+    fn max_batch(self) -> u64 {
+        match self {
+            BatchSize::SmallInput => 4096,
+            BatchSize::LargeInput => 64,
+            BatchSize::PerIteration => 1,
+        }
+    }
+}
+
+/// Benchmark driver; collects samples and prints a summary line.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed samples each benchmark records.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark, timing whatever `f` passes to the [`Bencher`].
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.report(id);
+        self
+    }
+}
+
+/// Target wall time per recorded sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(4);
+/// Wall time spent warming up before sampling.
+const WARMUP_TARGET: Duration = Duration::from_millis(40);
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    /// Nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Estimate the cost of one routine call (also serves as warm-up).
+    fn calibrate<R: FnMut()>(&self, routine: &mut R) -> u64 {
+        let start = Instant::now();
+        let mut calls = 0u64;
+        while start.elapsed() < WARMUP_TARGET {
+            routine();
+            calls += 1;
+            if calls >= 1_000_000 {
+                break;
+            }
+        }
+        let per_call = start.elapsed().as_nanos() as u64 / calls.max(1);
+        // Iterations per sample so one sample lasts ~SAMPLE_TARGET.
+        (SAMPLE_TARGET.as_nanos() as u64 / per_call.max(1)).clamp(1, 10_000_000)
+    }
+
+    /// Time `routine` repeatedly; the return value is black-boxed.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let iters = self.calibrate(&mut || {
+            black_box(routine());
+        });
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Time `routine` over inputs produced by `setup`; setup time is not
+    /// included in the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let iters = {
+            let mut input = Some(setup());
+            let mut probe = || {
+                let v = input.take().unwrap_or_else(&mut setup);
+                black_box(routine(v));
+            };
+            self.calibrate(&mut probe).min(size.max_batch())
+        };
+        for _ in 0..self.sample_size {
+            let batch: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in batch {
+                black_box(routine(input));
+            }
+            self.samples
+                .push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<40} (no samples recorded)");
+            return;
+        }
+        let mut s = self.samples.clone();
+        s.sort_by(|a, b| a.total_cmp(b));
+        let median = s[s.len() / 2];
+        println!(
+            "{id:<40} time: [{} {} {}]",
+            fmt_ns(s[0]),
+            fmt_ns(median),
+            fmt_ns(s[s.len() - 1]),
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Group benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target_a(c: &mut Criterion) {
+        c.bench_function("shim_iter", |b| b.iter(|| black_box(3u64).wrapping_mul(7)));
+    }
+
+    fn target_b(c: &mut Criterion) {
+        c.bench_function("shim_iter_batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 16],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    criterion_group!(
+        name = configured;
+        config = Criterion::default().sample_size(5);
+        targets = target_a, target_b
+    );
+    criterion_group!(plain, target_a);
+
+    #[test]
+    fn groups_run() {
+        configured();
+        plain();
+    }
+}

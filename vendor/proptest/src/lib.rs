@@ -1,0 +1,736 @@
+//! Offline vendored subset of the `proptest` crate.
+//!
+//! Implements the property-testing API surface this workspace uses:
+//! the `proptest!` macro, `any`, range and string-pattern strategies,
+//! `prop_map`/`prop_filter`/`prop_flat_map`/`boxed`, `prop_oneof!`, `Just`,
+//! tuple strategies, `collection::{vec, hash_set}`, `option::of`, and a
+//! deterministic `TestRunner`. Differences from upstream: no shrinking
+//! (failures report the raw generated case via the panic message), and
+//! generation is always deterministic for reproducible CI. Case count
+//! comes from `PROPTEST_CASES` (default 64).
+
+pub mod test_runner {
+    use rand::{rngs::StdRng, RngCore, SeedableRng};
+
+    /// Why a test case did not run to completion.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case was rejected (e.g. by `prop_assume!`); it counts as
+        /// skipped, not failed.
+        Reject(&'static str),
+    }
+
+    /// Drives test-case generation. Holds the RNG strategies draw from.
+    pub struct TestRunner {
+        rng: StdRng,
+        cases: u32,
+    }
+
+    fn default_cases() -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(64)
+    }
+
+    impl TestRunner {
+        /// A runner with a fixed seed — every run generates the same cases.
+        pub fn deterministic() -> Self {
+            TestRunner {
+                rng: StdRng::seed_from_u64(0x7465_6d70_6f67_7261),
+                cases: default_cases(),
+            }
+        }
+
+        /// Run `test` against `cases` generated values. Rejected cases are
+        /// regenerated (up to a cap); the first panic propagates as the
+        /// test failure.
+        pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), String>
+        where
+            S: crate::strategy::Strategy,
+            F: FnMut(S::Value) -> Result<(), TestCaseError>,
+        {
+            let target = self.cases;
+            let max_attempts = target.saturating_mul(16).max(256);
+            let mut passed = 0u32;
+            let mut attempts = 0u32;
+            while passed < target && attempts < max_attempts {
+                attempts += 1;
+                let value = strategy.generate(self);
+                match test(value) {
+                    Ok(()) => passed += 1,
+                    Err(TestCaseError::Reject(_)) => {}
+                }
+            }
+            if passed == 0 {
+                return Err(format!(
+                    "all {attempts} generated cases were rejected (prop_assume too strict?)"
+                ));
+            }
+            Ok(())
+        }
+    }
+
+    impl Default for TestRunner {
+        fn default() -> Self {
+            TestRunner::deterministic()
+        }
+    }
+
+    impl RngCore for TestRunner {
+        fn next_u64(&mut self) -> u64 {
+            self.rng.next_u64()
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRunner;
+    use rand::Rng;
+
+    /// A generated value plus (in upstream proptest) its shrink tree. This
+    /// shim keeps only the value.
+    pub struct ValueTree<V>(pub(crate) V);
+
+    impl<V: Clone> ValueTree<V> {
+        /// The current (= originally generated) value.
+        pub fn current(&self) -> V {
+            self.0.clone()
+        }
+    }
+
+    /// Something that can generate values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+        /// Draw one value wrapped in a [`ValueTree`] (upstream-compatible
+        /// entry point used with an explicit runner).
+        fn new_tree(&self, runner: &mut TestRunner) -> Result<ValueTree<Self::Value>, String> {
+            Ok(ValueTree(self.generate(runner)))
+        }
+
+        /// Transform generated values with `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Regenerate until `pred` accepts the value.
+        fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                reason,
+                pred,
+            }
+        }
+
+        /// Generate a value, then generate from the strategy it selects.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erase the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            self.0.generate(runner)
+        }
+    }
+
+    /// Always generates a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _runner: &mut TestRunner) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, runner: &mut TestRunner) -> U {
+            (self.f)(self.inner.generate(runner))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: &'static str,
+        pred: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn generate(&self, runner: &mut TestRunner) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(runner);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter rejected 1000 consecutive values: {}",
+                self.reason
+            );
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, runner: &mut TestRunner) -> S2::Value {
+            (self.f)(self.inner.generate(runner)).generate(runner)
+        }
+    }
+
+    /// Uniform choice between type-erased alternatives (`prop_oneof!`).
+    pub struct OneOf<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> OneOf<T> {
+        /// A strategy choosing uniformly among `options`.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            OneOf { options }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            let i = runner.gen_range(0..self.options.len());
+            self.options[i].generate(runner)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($ty:ty) => {
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, runner: &mut TestRunner) -> $ty {
+                    runner.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, runner: &mut TestRunner) -> $ty {
+                    runner.gen_range(self.clone())
+                }
+            }
+        };
+    }
+    range_strategy!(u8);
+    range_strategy!(u16);
+    range_strategy!(u32);
+    range_strategy!(u64);
+    range_strategy!(usize);
+    range_strategy!(i32);
+    range_strategy!(i64);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, runner: &mut TestRunner) -> f64 {
+            runner.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($S:ident . $idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                    ($(self.$idx.generate(runner),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A.0);
+    tuple_strategy!(A.0, B.1);
+    tuple_strategy!(A.0, B.1, C.2);
+    tuple_strategy!(A.0, B.1, C.2, D.3);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+    /// Characters drawn for the `\PC` (any non-control) pattern class:
+    /// printable ASCII plus multi-byte UTF-8 of widths 2, 3 and 4.
+    const PRINTABLE_EXTRA: [char; 8] = ['é', 'µ', 'Ω', 'λ', '→', '中', '🦀', '😀'];
+
+    fn pattern_alphabet(pat: &str) -> (Vec<char>, usize, usize) {
+        let cs: Vec<char> = pat.chars().collect();
+        assert!(
+            cs.first() == Some(&'['),
+            "unsupported string pattern (want `[set]{{min,max}}`): {pat}"
+        );
+        let mut alpha: Vec<char> = Vec::new();
+        let mut i = 1;
+        while i < cs.len() && cs[i] != ']' {
+            if cs[i] == '\\' {
+                match cs.get(i + 1) {
+                    Some('P') => {
+                        // `\PC`: any non-control character.
+                        assert!(
+                            cs.get(i + 2) == Some(&'C'),
+                            "only the \\PC class is supported: {pat}"
+                        );
+                        alpha.extend((0x20u8..=0x7e).map(char::from));
+                        alpha.extend(PRINTABLE_EXTRA);
+                        i += 3;
+                    }
+                    Some('d') => {
+                        alpha.extend('0'..='9');
+                        i += 2;
+                    }
+                    Some(&escaped) => {
+                        alpha.push(escaped);
+                        i += 2;
+                    }
+                    None => panic!("dangling escape in pattern: {pat}"),
+                }
+            } else if cs.get(i + 1) == Some(&'-') && cs.get(i + 2).is_some_and(|&c| c != ']') {
+                let (lo, hi) = (cs[i], cs[i + 2]);
+                assert!(lo <= hi, "inverted range in pattern: {pat}");
+                alpha.extend(lo..=hi);
+                i += 3;
+            } else {
+                alpha.push(cs[i]);
+                i += 1;
+            }
+        }
+        assert!(cs.get(i) == Some(&']'), "unterminated char set: {pat}");
+        i += 1;
+        // Repetition: {n} or {min,max}; absent means exactly one.
+        let (mut min, mut max) = (1usize, 1usize);
+        if cs.get(i) == Some(&'{') {
+            let close = cs[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated repetition: {pat}"));
+            let body: String = cs[i + 1..i + close].iter().collect();
+            if let Some((a, b)) = body.split_once(',') {
+                min = a.trim().parse().expect("repetition min");
+                max = b.trim().parse().expect("repetition max");
+            } else {
+                min = body.trim().parse().expect("repetition count");
+                max = min;
+            }
+            i += close + 1;
+        }
+        assert!(
+            i == cs.len(),
+            "trailing pattern syntax not supported: {pat}"
+        );
+        assert!(!alpha.is_empty(), "empty char set: {pat}");
+        (alpha, min, max)
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, runner: &mut TestRunner) -> String {
+            let (alpha, min, max) = pattern_alphabet(self);
+            let len = runner.gen_range(min..=max);
+            (0..len)
+                .map(|_| alpha[runner.gen_range(0..alpha.len())])
+                .collect()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+    use rand::RngCore;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw one unconstrained value.
+        fn arbitrary(runner: &mut TestRunner) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($ty:ty) => {
+            impl Arbitrary for $ty {
+                fn arbitrary(runner: &mut TestRunner) -> $ty {
+                    runner.next_u64() as $ty
+                }
+            }
+        };
+    }
+    arb_int!(u8);
+    arb_int!(u16);
+    arb_int!(u32);
+    arb_int!(u64);
+    arb_int!(usize);
+    arb_int!(i8);
+    arb_int!(i16);
+    arb_int!(i32);
+    arb_int!(i64);
+    arb_int!(isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(runner: &mut TestRunner) -> bool {
+            runner.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(runner: &mut TestRunner) -> f64 {
+            // Raw bit patterns: exercises subnormals, infinities and NaN.
+            f64::from_bits(runner.next_u64())
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(runner: &mut TestRunner) -> f32 {
+            f32::from_bits(runner.next_u64() as u32)
+        }
+    }
+
+    impl Arbitrary for () {
+        fn arbitrary(_runner: &mut TestRunner) {}
+    }
+
+    /// Strategy form of [`Arbitrary`]; construct with [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            T::arbitrary(runner)
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+    use rand::Rng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    /// Inclusive size band for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, runner: &mut TestRunner) -> usize {
+            runner.gen_range(self.min..=self.max)
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` of values from `element`, with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let len = self.size.sample(runner);
+            (0..len).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+
+    /// See [`hash_set`].
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `HashSet` of values from `element`. Duplicates are retried a
+    /// bounded number of times, so the set may come out smaller than the
+    /// sampled size when the element domain is narrow.
+    pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, runner: &mut TestRunner) -> HashSet<S::Value> {
+            let target = self.size.sample(runner);
+            let mut set = HashSet::with_capacity(target);
+            let mut attempts = 0;
+            while set.len() < target && attempts < target * 20 + 20 {
+                attempts += 1;
+                set.insert(self.element.generate(runner));
+            }
+            set
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+    use rand::Rng;
+
+    /// See [`of`].
+    pub struct OptionStrategy<S>(S);
+
+    /// `Some` values from `inner` (3 in 4) or `None` (1 in 4).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, runner: &mut TestRunner) -> Option<S::Value> {
+            if runner.gen_range(0u32..4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(runner))
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestRunner};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Define property tests: each `fn` runs its body against generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let strategy = ($($strat,)+);
+                let mut runner = $crate::test_runner::TestRunner::default();
+                runner
+                    .run(&strategy, |($($pat,)+)| {
+                        $body
+                        Ok(())
+                    })
+                    .unwrap();
+            }
+        )*
+    };
+}
+
+/// Uniform choice among strategy arms yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Assert within a property body (fails the whole test; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assert within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assert within a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skip cases that do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Reject(stringify!(
+                $cond
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_any(x in 3u64..100, y in any::<u32>(), _z in any::<f64>()) {
+            prop_assert!((3..100).contains(&x));
+            let _ = y;
+        }
+
+        /// Doc comments and multi-strategy args parse.
+        #[test]
+        fn composites(
+            v in crate::collection::vec((any::<u32>(), 0i64..5), 0..8),
+            o in crate::option::of(any::<bool>()),
+            s in "[a-z#]{0,12}",
+            mut w in crate::collection::vec(any::<u8>(), 3usize),
+        ) {
+            prop_assert!(v.len() < 8);
+            prop_assert!(s.len() <= 12);
+            prop_assert!(s.chars().all(|c| c == '#' || c.is_ascii_lowercase()));
+            prop_assert_eq!(w.len(), 3);
+            w.sort_unstable();
+            let _ = o;
+        }
+
+        #[test]
+        fn assume_rejects(n in 0u32..10) {
+            prop_assume!(n >= 5);
+            prop_assert!(n >= 5);
+        }
+
+        #[test]
+        fn oneof_map_filter_flatmap(
+            v in prop_oneof![Just(1u64), 10u64..20, any::<u64>().prop_filter("even", |x| x % 2 == 0)],
+            (len, items) in (1usize..5).prop_flat_map(|n| {
+                (Just(n), crate::collection::vec(any::<u64>().prop_map(|x| x % 7), n))
+            }),
+        ) {
+            prop_assert!(v == 1 || (10..20).contains(&v) || v % 2 == 0);
+            prop_assert_eq!(items.len(), len);
+            prop_assert!(items.iter().all(|&x| x < 7));
+        }
+    }
+
+    #[test]
+    fn deterministic_runner_and_new_tree() {
+        let runner = &mut crate::test_runner::TestRunner::deterministic();
+        let a = (0u64..1000).new_tree(runner).unwrap().current();
+        let runner2 = &mut crate::test_runner::TestRunner::deterministic();
+        let b = (0u64..1000).new_tree(runner2).unwrap().current();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn printable_pattern_excludes_controls() {
+        let runner = &mut crate::test_runner::TestRunner::deterministic();
+        for _ in 0..50 {
+            let s = "[\\PC]{0,40}".generate(runner);
+            assert!(s.chars().all(|c| !c.is_control()), "control char in {s:?}");
+            assert!(s.chars().count() <= 40);
+        }
+    }
+
+    #[test]
+    fn boxed_strategies_erase_types() {
+        let b: BoxedStrategy<u64> = (5u64..9).boxed();
+        let runner = &mut crate::test_runner::TestRunner::deterministic();
+        for _ in 0..20 {
+            let v = b.generate(runner);
+            assert!((5..9).contains(&v));
+        }
+    }
+}
