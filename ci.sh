@@ -22,4 +22,10 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release --workspace
 cargo test -q --workspace
 
+echo "==> trace crate under --all-features (deep-validate)"
+cargo test -q -p tempograph-trace --all-features
+
+echo "==> trace overhead smoke test (tracing disabled must be ~free)"
+cargo test -q --release --test trace_integration -- --ignored
+
 echo "CI OK"

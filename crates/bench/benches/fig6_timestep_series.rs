@@ -8,6 +8,9 @@
 //!   saturates);
 //! * (the paper's spikes at timesteps 20/40 are JVM `System.gc()` artifacts
 //!   — not applicable in Rust, documented in EXPERIMENTS.md).
+//!
+//! Set `TEMPOGRAPH_TRACE=1` to export each run as a Chrome trace-event
+//! JSON (Perfetto-loadable) under the system temp dir.
 
 use tempograph_algos::{MemeTracking, Tdsp};
 use tempograph_bench::*;
@@ -46,6 +49,22 @@ fn print_series(tag: &str, per_k: &[(usize, Vec<f64>, Vec<u64>)]) {
     print_table(&header_refs, &rows);
 }
 
+/// Apply the `TEMPOGRAPH_TRACE` opt-in to a job config.
+fn maybe_traced<M>(config: JobConfig<M>) -> JobConfig<M> {
+    match trace_config() {
+        Some(tc) => config.with_trace(tc),
+        None => config,
+    }
+}
+
+/// Export a traced run's Chrome JSON next to the other bench artifacts.
+fn maybe_export(tag: &str, k: usize, result: &JobResult) {
+    if let Some(trace) = &result.trace {
+        let path = std::env::temp_dir().join(format!("tempograph-{tag}-k{k}.trace.json"));
+        write_trace(trace, path);
+    }
+}
+
 fn main() {
     banner(
         "F6",
@@ -66,9 +85,10 @@ fn main() {
                 &pg,
                 &InstanceSource::Gofs(dir.clone()),
                 Tdsp::factory(VertexIdx(0), lat_col),
-                JobConfig::sequentially_dependent(TIMESTEPS).while_active(TIMESTEPS),
+                maybe_traced(JobConfig::sequentially_dependent(TIMESTEPS).while_active(TIMESTEPS)),
             );
             cleanup(&dir);
+            maybe_export("f6a-tdsp-carn", k, &result);
             let (v, l) = series(&result);
             per_k.push((k, v, l));
         }
@@ -88,9 +108,10 @@ fn main() {
                 &pg,
                 &InstanceSource::Gofs(dir.clone()),
                 MemeTracking::factory(MEME, tw_col),
-                JobConfig::sequentially_dependent(TIMESTEPS),
+                maybe_traced(JobConfig::sequentially_dependent(TIMESTEPS)),
             );
             cleanup(&dir);
+            maybe_export("f6b-meme-wiki", k, &result);
             let (v, l) = series(&result);
             per_k.push((k, v, l));
         }

@@ -21,7 +21,7 @@
 //!   virtual clock is the faithful analogue of the paper's cluster
 //!   wall-clock and is what the scaling tables quote.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use tempograph_core::{GraphTemplate, TimeSeriesCollection};
 use tempograph_engine::JobResult;
@@ -32,6 +32,7 @@ use tempograph_gofs::store::write_dataset;
 use tempograph_partition::{
     discover_subgraphs, MultilevelPartitioner, PartitionedGraph, Partitioner,
 };
+use tempograph_trace::{Trace, TraceConfig};
 
 /// The paper's instance count.
 pub const TIMESTEPS: usize = 50;
@@ -55,6 +56,40 @@ pub fn scale() -> f64 {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(1.0)
+}
+
+/// Tracing opt-in from `TEMPOGRAPH_TRACE` (unset/`0`/`off` ⇒ `None`).
+///
+/// * `1` / `full` — full trace, exported via [`write_trace`];
+/// * `flight` or `flight:<cap>` — flight-recorder mode (bounded ring,
+///   dumped to stderr only on worker panic or straggler barrier waits).
+pub fn trace_config() -> Option<TraceConfig> {
+    let v = std::env::var("TEMPOGRAPH_TRACE").ok()?;
+    let v = v.trim().to_ascii_lowercase();
+    match v.as_str() {
+        "" | "0" | "off" | "false" => None,
+        "flight" => Some(TraceConfig::new().flight_recorder(4096)),
+        s if s.starts_with("flight:") => {
+            let cap = s["flight:".len()..].parse().unwrap_or(4096);
+            Some(TraceConfig::new().flight_recorder(cap))
+        }
+        _ => Some(TraceConfig::new()),
+    }
+}
+
+/// Write a trace as Chrome trace-event JSON (open with Perfetto / \
+/// `chrome://tracing`) and print where it went plus a top-5 summary.
+pub fn write_trace(trace: &Trace, path: impl AsRef<Path>) {
+    let path = path.as_ref();
+    match std::fs::write(path, trace.to_chrome_json()) {
+        Ok(()) => println!(
+            "  trace: {} events -> {}\n{}",
+            trace.num_events(),
+            path.display(),
+            trace.summary(5)
+        ),
+        Err(e) => eprintln!("  trace: failed to write {}: {e}", path.display()),
+    }
 }
 
 /// Generate a preset's template at the ambient scale.
@@ -258,6 +293,20 @@ mod tests {
         assert_eq!(road.period(), PERIOD);
         let tweets = tweet_collection(t, DatasetPreset::Carn);
         assert_eq!(tweets.len(), TIMESTEPS);
+    }
+
+    #[test]
+    fn trace_config_parses_env_forms() {
+        // Single test owns the env var; no other test in this crate reads it.
+        std::env::remove_var("TEMPOGRAPH_TRACE");
+        assert!(trace_config().is_none());
+        std::env::set_var("TEMPOGRAPH_TRACE", "0");
+        assert!(trace_config().is_none());
+        std::env::set_var("TEMPOGRAPH_TRACE", "1");
+        assert!(trace_config().is_some());
+        std::env::set_var("TEMPOGRAPH_TRACE", "flight:128");
+        assert!(trace_config().is_some());
+        std::env::remove_var("TEMPOGRAPH_TRACE");
     }
 
     #[test]

@@ -48,6 +48,7 @@ use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use tempograph_partition::SubgraphId;
+use tempograph_trace::TraceSink;
 
 /// A multiply-rotate hasher (the rustc/Firefox "Fx" construction) for the
 /// per-message hot paths. The default SipHash is DoS-resistant but costs
@@ -249,6 +250,15 @@ impl<M: WireMsg> MessageBatch<M> {
         }
         runs
     }
+
+    /// [`Self::encode`] wrapped in a `"batch.encode"` trace span carrying
+    /// the message count. Zero extra cost when the sink is off (the span
+    /// start is a sentinel, no clock read).
+    pub fn encode_traced(&self, buf: &mut BytesMut, sink: &mut TraceSink) {
+        let span = sink.start();
+        self.encode(buf);
+        sink.span_arg_since("batch.encode", span, "msgs", self.len as u64);
+    }
 }
 
 /// Recycles frame buffers across supersteps.
@@ -370,6 +380,24 @@ pub fn merge_sorted_runs<M>(mut runs: Vec<Vec<Envelope<M>>>) -> Vec<Envelope<M>>
                 }
             }
         }
+    }
+    out
+}
+
+/// [`merge_sorted_runs`] wrapped in a `"batch.merge"` trace span carrying
+/// the merged message count. Trivial merges (≤ 1 non-empty run after
+/// retain would short-circuit anyway) still record when non-empty, so the
+/// trace accounts for every delivered message; empty merges record
+/// nothing.
+pub fn merge_sorted_runs_traced<M>(
+    runs: Vec<Vec<Envelope<M>>>,
+    sink: &mut TraceSink,
+) -> Vec<Envelope<M>> {
+    let total: u64 = runs.iter().map(|r| r.len() as u64).sum();
+    let span = sink.start();
+    let out = merge_sorted_runs(runs);
+    if total > 0 {
+        sink.span_arg_since("batch.merge", span, "msgs", total);
     }
     out
 }

@@ -21,11 +21,13 @@
 //! job's emitted results are identical across runs and partition layouts
 //! don't leak scheduling nondeterminism into algorithm output.
 
-use crate::batch::{combine_envelopes, merge_sorted_runs, BufferPool, Combiner, MessageBatch};
+use crate::batch::{
+    combine_envelopes, merge_sorted_runs_traced, BufferPool, Combiner, MessageBatch,
+};
 use crate::metrics::{Emit, JobResult, TimestepMetrics};
 use crate::program::{Context, Outbox, Phase, SubgraphProgram};
 use crate::provider::{InstanceProvider, InstanceSource};
-use crate::sync::{Contribution, SyncPoint};
+use crate::sync::{join_partition, Contribution, SyncPoint};
 use crate::wire::{sort_envelopes, Envelope};
 use bytes::{Buf, Bytes};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -34,6 +36,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use tempograph_gofs::SubgraphInstance;
 use tempograph_partition::{PartitionedGraph, SubgraphId};
+use tempograph_trace::{Trace, TraceConfig, TraceSink};
 
 /// One unit of work for the intra-partition compute pool: the subgraph's
 /// index, its program slot (taken while the worker thread runs it), and
@@ -100,6 +103,12 @@ pub struct JobConfig<M> {
     /// for order-insensitive (associative + commutative) reductions; with
     /// such a reduction, results are byte-identical with or without it.
     pub combiner: Option<Arc<dyn Combiner<M>>>,
+    /// Structured tracing (see [`tempograph_trace`]). When set, every
+    /// worker records timestep/superstep/compute/send/barrier spans and
+    /// traffic counters into a per-partition sink, and [`JobResult::trace`]
+    /// carries the assembled [`Trace`]. `None` (the default) keeps the
+    /// engine on the inert-sink path: clock reads only, no recording.
+    pub trace: Option<TraceConfig>,
 }
 
 impl<M> std::fmt::Debug for JobConfig<M> {
@@ -115,6 +124,7 @@ impl<M> std::fmt::Debug for JobConfig<M> {
                 &self.intra_partition_parallelism,
             )
             .field("combiner", &self.combiner.is_some())
+            .field("trace", &self.trace)
             .finish()
     }
 }
@@ -144,6 +154,7 @@ impl<M> JobConfig<M> {
             temporal_parallelism: false,
             intra_partition_parallelism: false,
             combiner: None,
+            trace: None,
         }
     }
 
@@ -176,6 +187,12 @@ impl<M> JobConfig<M> {
         self.combiner = Some(combiner);
         self
     }
+
+    /// Enable structured tracing (see field docs).
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = Some(trace);
+        self
+    }
 }
 
 const KIND_SUPERSTEP: u8 = 0;
@@ -196,6 +213,8 @@ struct WorkerOutput {
     merge_counters: HashMap<&'static str, u64>,
     emits: Vec<Emit>,
     timesteps_run: usize,
+    /// Drained trace sinks (worker + provider), named for track metadata.
+    sinks: Vec<(String, TraceSink)>,
 }
 
 /// Run a TI-BSP job and gather its results and metrics.
@@ -245,7 +264,7 @@ where
     }
 
     let job_start = Instant::now();
-    let outputs: Vec<WorkerOutput> = std::thread::scope(|scope| {
+    let mut outputs: Vec<WorkerOutput> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(k);
         for (p, rx_slot) in rxs.iter_mut().enumerate() {
             let rx = rx_slot.take().expect("receiver unclaimed");
@@ -255,7 +274,12 @@ where
             let config = config.clone();
             let source = source.clone();
             handles.push(scope.spawn(move || {
-                let provider = source.provider(pg, p as u16);
+                let mut provider = source.provider(pg, p as u16);
+                if let Some(tc) = config.trace {
+                    // The loader records onto the worker's track; its spans
+                    // nest inside the compute spans that trigger the loads.
+                    provider.install_trace(tc.sink(p as u32));
+                }
                 let mut worker = Worker::<P>::new(p as u16, pg, provider, rx, txs, sync, &config);
                 worker.init_programs(factory);
                 worker.run(timesteps, &config)
@@ -263,10 +287,15 @@ where
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker thread must not panic"))
+            .enumerate()
+            .map(|(p, h)| join_partition(p, h.join()))
             .collect()
     });
     let total_wall_ns = job_start.elapsed().as_nanos() as u64;
+
+    let trace = config
+        .trace
+        .map(|_| Trace::from_sinks(outputs.iter_mut().flat_map(|o| o.sinks.drain(..)).collect()));
 
     // Assemble the global result.
     let timesteps_run = outputs[0].timesteps_run;
@@ -314,6 +343,7 @@ where
         merge_counters,
         emitted,
         total_wall_ns,
+        trace,
     }
 }
 
@@ -349,6 +379,16 @@ struct Worker<'a, P: SubgraphProgram> {
     /// Recycled frame buffers (see [`BufferPool`]).
     pool: BufferPool,
     combiner: Option<Arc<dyn Combiner<P::Msg>>>,
+    /// Trace sink for this partition's track; inert when the job is
+    /// untraced. Also the worker's clock: the same `tracer.now()` readings
+    /// feed metric accumulation and span recording, so aggregates are
+    /// exactly derivable from the trace.
+    tracer: TraceSink,
+    /// Cumulative traffic totals, sampled as trace counters per timestep.
+    cum_msgs_local: u64,
+    cum_msgs_remote: u64,
+    cum_bytes_remote: u64,
+    cum_msgs_combined: u64,
 
     out: WorkerOutput,
     cur_counters: HashMap<&'static str, u64>,
@@ -393,6 +433,14 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
             memo: HashMap::new(),
             pool: BufferPool::new(),
             combiner: config.combiner.clone(),
+            tracer: config
+                .trace
+                .map(|tc| tc.sink(partition as u32))
+                .unwrap_or_else(TraceSink::inert),
+            cum_msgs_local: 0,
+            cum_msgs_remote: 0,
+            cum_bytes_remote: 0,
+            cum_msgs_combined: 0,
             out: WorkerOutput {
                 metrics: Vec::new(),
                 merge_metrics: TimestepMetrics::default(),
@@ -400,6 +448,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
                 merge_counters: HashMap::new(),
                 emits: Vec::new(),
                 timesteps_run: 0,
+                sinks: Vec::new(),
             },
             cur_counters: HashMap::new(),
             allow_next_timestep: config.pattern == Pattern::SequentiallyDependent,
@@ -426,6 +475,18 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
         if config.pattern == Pattern::EventuallyDependent {
             self.run_merge(config);
         }
+        // Drain the trace sinks into the output. The provider's (GoFS
+        // loader) sink shares this partition's track and is merged at
+        // assembly.
+        let tracer = std::mem::replace(&mut self.tracer, TraceSink::inert());
+        self.out
+            .sinks
+            .push((format!("partition {}", self.partition), tracer));
+        if let Some(sink) = self.provider.take_trace() {
+            self.out
+                .sinks
+                .push((format!("partition {} gofs", self.partition), sink));
+        }
         self.out
     }
 
@@ -433,7 +494,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
 
     fn run_timestep_loop(&mut self, timesteps: usize, config: &JobConfig<P::Msg>) {
         for t in 0..timesteps {
-            let ts_start = Instant::now();
+            let ts0 = self.tracer.now();
             let mut m = TimestepMetrics::default();
             self.cur_counters = HashMap::new();
             self.memo.clear();
@@ -448,7 +509,8 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
                     self.inbox[i].is_empty(),
                     "prior timestep consumed its inbox"
                 );
-                self.inbox[i] = merge_sorted_runs(std::mem::take(&mut self.next_runs[i]));
+                let runs = std::mem::take(&mut self.next_runs[i]);
+                self.inbox[i] = merge_sorted_runs_traced(runs, &mut self.tracer);
             }
             if t == 0 {
                 // Initial messages self-address (from == to) with ascending
@@ -477,7 +539,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
             m.supersteps = supersteps;
 
             // EndOfTimestep on every subgraph.
-            let eot_start = Instant::now();
+            let eot0 = self.tracer.now();
             let mut next_out: Vec<Envelope<P::Msg>> = Vec::new();
             for i in 0..self.sg_ids.len() {
                 let mut outbox = Outbox::new(
@@ -502,36 +564,50 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
                     self.voted_halt_ts[i] = true;
                 }
             }
-            let eot_elapsed = eot_start.elapsed().as_nanos() as u64;
+            let eot1 = self.tracer.now();
+            let eot_elapsed = eot1 - eot0;
             m.compute_ns += eot_elapsed;
             // EndOfTimestep is barriered like a superstep; record it so the
             // virtual-makespan model accounts for its skew too.
             m.superstep_compute_ns.push(eot_elapsed);
+            self.tracer.span_at("end_of_timestep", eot0, eot1);
 
             // Route cross-timestep messages.
-            let send_start = Instant::now();
+            let send0 = self.tracer.now();
             next_msgs_total += next_out.len() as u64;
             self.route(next_out, KIND_NEXT_TIMESTEP, &mut m);
-            m.msg_ns += send_start.elapsed().as_nanos() as u64;
+            let send1 = self.tracer.now();
+            m.msg_ns += send1 - send0;
+            self.tracer.span_at("send", send0, send1);
 
             // Timestep barrier + global while-loop decision.
-            let wait = Instant::now();
+            let wait0 = self.tracer.now();
             let agg = self.sync.arrive(Contribution {
                 msgs_sent: next_msgs_total,
                 all_halted: self.voted_halt_ts.iter().all(|&v| v),
             });
-            m.sync_ns += wait.elapsed().as_nanos() as u64;
+            let wait1 = self.tracer.now();
+            m.sync_ns += wait1 - wait0;
+            self.tracer.span_at("barrier.arrive", wait0, wait1);
+            self.tracer.straggler_check(wait1 - wait0);
+            let drain_span = self.tracer.start();
             self.drain();
+            self.tracer.span_since("drain", drain_span);
             // Late-arrival barrier: nobody starts the next timestep until
             // every worker has drained this one's traffic.
-            let wait = Instant::now();
+            let wait2 = self.tracer.now();
             self.sync.barrier();
-            m.sync_ns += wait.elapsed().as_nanos() as u64;
+            let wait3 = self.tracer.now();
+            m.sync_ns += wait3 - wait2;
+            self.tracer.span_at("barrier.post", wait2, wait3);
 
             let io = self.provider.take_io_stats();
             m.io_ns += io.ns;
             m.slice_loads += io.loads;
-            m.wall_ns = ts_start.elapsed().as_nanos() as u64;
+            self.sample_traffic_counters(&m);
+            let ts1 = self.tracer.now();
+            m.wall_ns = ts1 - ts0;
+            self.tracer.span_arg_at("timestep", ts0, ts1, "t", t as u64);
             self.out.metrics.push(m);
             self.out
                 .counters
@@ -556,7 +632,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
     ) -> u32 {
         let mut ss: usize = 0;
         loop {
-            let compute_start = Instant::now();
+            let compute0 = self.tracer.now();
             let mut superstep_out: Vec<Envelope<P::Msg>> = Vec::new();
             let mut next_out: Vec<Envelope<P::Msg>> = Vec::new();
             let active: Vec<bool> = (0..self.sg_ids.len())
@@ -598,33 +674,47 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
                     self.absorb_outbox(i, t, &mut outbox, &mut next_out, Some(&mut superstep_out));
                 }
             }
-            let compute_elapsed = compute_start.elapsed().as_nanos() as u64;
+            let compute1 = self.tracer.now();
+            let compute_elapsed = compute1 - compute0;
             m.compute_ns += compute_elapsed;
             m.superstep_compute_ns.push(compute_elapsed);
+            self.tracer
+                .span_arg_at("compute", compute0, compute1, "superstep", ss as u64);
 
-            let send_start = Instant::now();
+            let send0 = self.tracer.now();
             let sent = superstep_out.len() as u64;
             *next_msgs_total += next_out.len() as u64;
             self.route(superstep_out, KIND_SUPERSTEP, m);
             self.route(next_out, KIND_NEXT_TIMESTEP, m);
-            m.msg_ns += send_start.elapsed().as_nanos() as u64;
+            let send1 = self.tracer.now();
+            m.msg_ns += send1 - send0;
+            self.tracer.span_at("send", send0, send1);
 
-            let wait = Instant::now();
+            let wait0 = self.tracer.now();
             let agg = self.sync.arrive(Contribution {
                 msgs_sent: sent,
                 all_halted: self.halted.iter().all(|&h| h),
             });
-            m.sync_ns += wait.elapsed().as_nanos() as u64;
+            let wait1 = self.tracer.now();
+            m.sync_ns += wait1 - wait0;
+            self.tracer.span_at("barrier.arrive", wait0, wait1);
+            self.tracer.straggler_check(wait1 - wait0);
 
+            let drain_span = self.tracer.start();
             self.drain();
             self.deliver_staged();
+            self.tracer.span_since("drain", drain_span);
             // Second rendezvous: a fast worker must not start the next
             // superstep (and send new batches) before every worker finished
             // draining this one — otherwise a batch from superstep s+1
             // could sneak into a slow worker's superstep-s drain.
-            let wait = Instant::now();
+            let wait2 = self.tracer.now();
             self.sync.barrier();
-            m.sync_ns += wait.elapsed().as_nanos() as u64;
+            let wait3 = self.tracer.now();
+            m.sync_ns += wait3 - wait2;
+            self.tracer.span_at("barrier.post", wait2, wait3);
+            self.tracer
+                .span_arg_at("superstep", compute0, wait3, "superstep", ss as u64);
             ss += 1;
             if agg.should_stop() || ss >= config.max_supersteps {
                 return ss as u32;
@@ -660,6 +750,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
         }
 
         let taken: Vec<Vec<Envelope<P::Msg>>> = self.inbox.iter_mut().map(std::mem::take).collect();
+        let partition = self.partition as usize;
         let pg = self.pg;
         let sg_ids = &self.sg_ids;
         let memo = &self.memo;
@@ -749,7 +840,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
                     .collect();
                 handles
                     .into_iter()
-                    .flat_map(|h| h.join().expect("compute thread must not panic"))
+                    .flat_map(|h| join_partition(partition, h.join()))
                     .collect()
             })
         };
@@ -771,7 +862,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
         }
         let mut m = TimestepMetrics::default();
         self.cur_counters = HashMap::new();
-        let wall = Instant::now();
+        let wall0 = self.tracer.now();
         let mut ignored = 0u64;
         let supersteps = self.run_bsp(
             timesteps,
@@ -782,7 +873,10 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
             &mut ignored,
         );
         m.supersteps = supersteps;
-        m.wall_ns = wall.elapsed().as_nanos() as u64;
+        self.sample_traffic_counters(&m);
+        let wall1 = self.tracer.now();
+        m.wall_ns = wall1 - wall0;
+        self.tracer.span_at("merge_phase", wall0, wall1);
         self.out.merge_metrics = m;
         self.out.merge_counters = std::mem::take(&mut self.cur_counters);
     }
@@ -799,7 +893,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
         for i in 0..self.sg_ids.len() {
             for t in 0..timesteps {
                 self.memo.clear();
-                let start = Instant::now();
+                let c0 = self.tracer.now();
                 let mut outbox = Outbox::new(false, false, self.merge_seq[i], self.next_seq[i]);
                 self.invoke(i, t, 0, timesteps, Phase::Compute, &[], &mut outbox);
                 self.merge_seq[i] = outbox.merge_seq;
@@ -815,7 +909,9 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
                 self.next_seq[i] = outbox.seq;
                 self.absorb_outbox(i, t, &mut outbox, &mut none, None);
                 per_t_counters[t] = std::mem::take(&mut self.cur_counters);
-                per_t[t].compute_ns += start.elapsed().as_nanos() as u64;
+                let c1 = self.tracer.now();
+                per_t[t].compute_ns += c1 - c0;
+                self.tracer.span_arg_at("compute", c0, c1, "t", t as u64);
                 per_t[t].supersteps = 1;
             }
         }
@@ -956,7 +1052,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
         for (part, batch) in remote.into_iter().enumerate() {
             let Some(batch) = batch else { continue };
             let mut buf = self.pool.get();
-            batch.encode(&mut buf);
+            batch.encode_traced(&mut buf, &mut self.tracer);
             let bytes = buf.freeze();
             m.bytes_remote += bytes.len() as u64;
             m.batches_remote += 1;
@@ -989,7 +1085,21 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
     fn deliver_staged(&mut self) {
         for i in 0..self.inbox.len() {
             debug_assert!(self.inbox[i].is_empty(), "compute consumed the inbox");
-            self.inbox[i] = merge_sorted_runs(std::mem::take(&mut self.inbox_runs[i]));
+            let runs = std::mem::take(&mut self.inbox_runs[i]);
+            self.inbox[i] = merge_sorted_runs_traced(runs, &mut self.tracer);
         }
+    }
+
+    /// Sample cumulative traffic totals as trace counters (one sample per
+    /// timestep keeps the event volume O(timesteps), not O(messages)).
+    fn sample_traffic_counters(&mut self, m: &TimestepMetrics) {
+        self.cum_msgs_local += m.msgs_local;
+        self.cum_msgs_remote += m.msgs_remote;
+        self.cum_bytes_remote += m.bytes_remote;
+        self.cum_msgs_combined += m.msgs_combined;
+        self.tracer.counter("msgs.local", self.cum_msgs_local);
+        self.tracer.counter("msgs.remote", self.cum_msgs_remote);
+        self.tracer.counter("bytes.remote", self.cum_bytes_remote);
+        self.tracer.counter("msgs.combined", self.cum_msgs_combined);
     }
 }

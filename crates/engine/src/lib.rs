@@ -39,10 +39,14 @@ pub mod provider;
 pub mod sync;
 pub mod wire;
 
-pub use batch::{combine_envelopes, merge_sorted_runs, BufferPool, Combiner, MessageBatch};
+pub use batch::{
+    combine_envelopes, merge_sorted_runs, merge_sorted_runs_traced, BufferPool, Combiner,
+    MessageBatch,
+};
 pub use executor::{run_job, JobConfig, Pattern, TimestepMode};
 pub use metrics::{Emit, JobResult, TimestepMetrics};
 pub use program::{Context, Phase, SubgraphProgram};
 pub use provider::{GofsProvider, InstanceProvider, InstanceSource, IoStats, MemoryProvider};
-pub use sync::{Aggregate, Contribution, SyncPoint};
+pub use sync::{join_partition, Aggregate, Contribution, SyncPoint};
+pub use tempograph_trace::{Trace, TraceConfig, TraceMode, TraceSink};
 pub use wire::{Envelope, WireMsg};

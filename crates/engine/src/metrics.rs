@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 use tempograph_core::VertexIdx;
+use tempograph_trace::Trace;
 
 /// Per-(timestep, partition) timing and traffic breakdown.
 ///
@@ -62,10 +63,21 @@ impl TimestepMetrics {
         self.msgs_combined += other.msgs_combined;
         self.batches_remote += other.batches_remote;
         self.slice_loads += other.slice_loads;
-        // Per-superstep series are per-partition detail; aggregation across
-        // partitions would need a max-reduce per superstep, which callers do
-        // through `JobResult::virtual_timestep_ns` instead.
-        self.superstep_compute_ns.clear();
+        // Element-wise max: within one superstep every partition waits for
+        // the slowest, so the barrier-synchronised cost of superstep `ss` is
+        // `max_p(compute[ss][p])` — the same reduce
+        // `JobResult::virtual_timestep_ns` applies.
+        if other.superstep_compute_ns.len() > self.superstep_compute_ns.len() {
+            self.superstep_compute_ns
+                .resize(other.superstep_compute_ns.len(), 0);
+        }
+        for (mine, &theirs) in self
+            .superstep_compute_ns
+            .iter_mut()
+            .zip(&other.superstep_compute_ns)
+        {
+            *mine = (*mine).max(theirs);
+        }
     }
 
     /// Fraction of accounted time spent in compute (Fig. 7b/7d's "Compute").
@@ -107,6 +119,11 @@ pub struct JobResult {
     pub emitted: Vec<Emit>,
     /// End-to-end wall nanoseconds (includes merge phase).
     pub total_wall_ns: u64,
+    /// The assembled structured trace, when the job ran with
+    /// `JobConfig::with_trace`. Export via `Trace::to_chrome_json` /
+    /// `Trace::summary`; every `TimestepMetrics` aggregate is derivable
+    /// from it (asserted in `tests/trace_integration.rs`).
+    pub trace: Option<Trace>,
 }
 
 impl JobResult {
@@ -281,6 +298,81 @@ mod tests {
         assert_eq!(a.compute_ns, 30);
         assert_eq!(a.wall_ns, 100);
         assert_eq!(a.supersteps, 7);
+    }
+
+    #[test]
+    fn absorb_max_reduces_superstep_series() {
+        let mut a = m(0, 0, 0);
+        a.superstep_compute_ns = vec![10, 5];
+        let mut b = m(0, 0, 0);
+        b.superstep_compute_ns = vec![3, 8, 4];
+        a.absorb(&b);
+        assert_eq!(
+            a.superstep_compute_ns,
+            vec![10, 8, 4],
+            "element-wise max, ragged tail kept"
+        );
+        // Absorbing a shorter (or empty) series must not lose data.
+        a.absorb(&m(1, 1, 1));
+        assert_eq!(a.superstep_compute_ns, vec![10, 8, 4]);
+    }
+
+    #[test]
+    fn virtual_timestep_handles_ragged_superstep_series() {
+        // Partition 0 ran 3 supersteps, partition 1 halted after 1: the
+        // virtual model max-reduces per superstep, treating absent entries
+        // as zero.
+        let mut p0 = m(0, 4, 0);
+        p0.superstep_compute_ns = vec![10, 20, 30];
+        let mut p1 = m(0, 9, 0);
+        p1.superstep_compute_ns = vec![50];
+        let r = JobResult {
+            timesteps_run: 1,
+            metrics: vec![vec![p0, p1]],
+            ..Default::default()
+        };
+        // 50 (max of ss0) + 20 + 30 + max(msg) = 100 + 9.
+        assert_eq!(r.virtual_timestep_ns(0), 109);
+        let breakdown = r.virtual_partition_breakdown();
+        assert_eq!(breakdown[0], (60, 4, 50 - 10), "p0 idles in ss0");
+        assert_eq!(breakdown[1], (50, 9, 20 + 30), "p1 idles in ss1, ss2");
+    }
+
+    #[test]
+    fn virtual_model_zero_partitions_and_empty_job() {
+        let r = JobResult {
+            timesteps_run: 1,
+            metrics: vec![vec![]],
+            ..Default::default()
+        };
+        assert_eq!(r.virtual_timestep_ns(0), 0);
+        assert_eq!(r.virtual_total_ns(), 0);
+        assert!(r.virtual_partition_breakdown().is_empty());
+        assert!(JobResult::default()
+            .virtual_partition_breakdown()
+            .is_empty());
+        assert_eq!(JobResult::default().virtual_total_ns(), 0);
+    }
+
+    #[test]
+    fn virtual_total_counts_merge_only_jobs() {
+        // A merge-only job (zero timesteps, eventually-dependent pattern):
+        // virtual total is just the slowest partition's merge work.
+        let mut mm0 = m(40, 2, 0);
+        mm0.wall_ns = 50;
+        let mm1 = m(10, 30, 0);
+        let r = JobResult {
+            timesteps_run: 0,
+            metrics: vec![],
+            merge_metrics: vec![mm0, mm1],
+            ..Default::default()
+        };
+        assert_eq!(r.virtual_total_ns(), 42, "max_p(compute+msg) over merge");
+        let breakdown = r.partition_breakdown();
+        assert!(
+            breakdown.is_empty(),
+            "no timestep rows ⇒ partition count is unknown"
+        );
     }
 
     #[test]

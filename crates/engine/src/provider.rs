@@ -9,6 +9,7 @@ use std::sync::Arc;
 use tempograph_core::TimeSeriesCollection;
 use tempograph_gofs::{GofsStore, InstanceLoader, SubgraphInstance};
 use tempograph_partition::{PartitionedGraph, Subgraph};
+use tempograph_trace::TraceSink;
 
 /// Cumulative I/O counters a provider reports to the engine's metrics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -37,6 +38,18 @@ pub trait InstanceProvider: Send {
 
     /// `δ` of the series.
     fn period(&self) -> i64;
+
+    /// Install a trace sink so fetches record spans/counters (e.g.
+    /// `"gofs.load"`). Providers without interesting I/O may ignore it —
+    /// the default drops the sink.
+    fn install_trace(&mut self, _sink: TraceSink) {}
+
+    /// Hand back the sink given to [`Self::install_trace`] (with any final
+    /// counter samples) so the session can assemble the trace. Default:
+    /// `None`.
+    fn take_trace(&mut self) -> Option<TraceSink> {
+        None
+    }
 }
 
 /// Projects instances from a shared in-memory collection on demand.
@@ -135,6 +148,14 @@ impl InstanceProvider for GofsProvider {
 
     fn period(&self) -> i64 {
         self.period
+    }
+
+    fn install_trace(&mut self, sink: TraceSink) {
+        self.loader.set_trace_sink(sink);
+    }
+
+    fn take_trace(&mut self) -> Option<TraceSink> {
+        self.loader.take_trace_sink()
     }
 }
 

@@ -107,6 +107,30 @@ impl SyncPoint {
     }
 }
 
+/// Unwrap a worker thread's join result, resurfacing which partition's
+/// worker panicked.
+///
+/// A bare `handle.join().unwrap()` loses the panic's origin: the driver
+/// thread reports `Any { .. }` with no hint of *which* of the k workers
+/// died. This helper re-panics with the partition id (and the panic's
+/// message when it was a string), so a failing run names its straggler —
+/// pair it with the flight-recorder dump the dying worker already wrote to
+/// stderr. Takes the `join()` result rather than the handle so it works
+/// for plain and scoped threads alike: `join_partition(p, h.join())`.
+pub fn join_partition<T>(partition: usize, joined: std::thread::Result<T>) -> T {
+    match joined {
+        Ok(v) => v,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&'static str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            panic!("worker for partition {partition} panicked: {msg}");
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,8 +168,8 @@ mod tests {
                 })
             })
             .collect();
-        for h in handles {
-            let agg = h.join().unwrap();
+        for (p, h) in handles.into_iter().enumerate() {
+            let agg = join_partition(p, h.join());
             assert_eq!(agg.total_msgs, 6);
             assert!(!agg.all_halted);
         }
@@ -171,8 +195,8 @@ mod tests {
             })
             .collect();
         let expect: Vec<u64> = (0..100u64).map(|r| r * 3).collect();
-        for h in handles {
-            assert_eq!(h.join().unwrap(), expect);
+        for (p, h) in handles.into_iter().enumerate() {
+            assert_eq!(join_partition(p, h.join()), expect);
         }
     }
 
@@ -182,6 +206,23 @@ mod tests {
         let sp2 = sp.clone();
         let t = std::thread::spawn(move || sp2.barrier());
         sp.barrier();
-        t.join().unwrap();
+        join_partition(1, t.join());
+    }
+
+    #[test]
+    fn join_partition_names_the_dead_worker() {
+        let ok = std::thread::spawn(|| 42);
+        assert_eq!(join_partition(0, ok.join()), 42);
+
+        let dead = std::thread::spawn(|| panic!("inbox corrupted")).join();
+        let err =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| join_partition(3, dead)))
+                .expect_err("must re-panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("re-panic carries a String");
+        assert!(msg.contains("partition 3"), "{msg}");
+        assert!(msg.contains("inbox corrupted"), "{msg}");
     }
 }

@@ -16,6 +16,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 use tempograph_partition::{PartitionedGraph, SubgraphId};
+use tempograph_trace::TraceSink;
 
 /// Counters describing a loader's I/O behaviour — the raw material for the
 /// Fig. 6 spike analysis and ablation A2.
@@ -27,10 +28,26 @@ pub struct LoaderStats {
     pub bytes_read: u64,
     /// Cache hits (requests served without touching disk).
     pub cache_hits: u64,
+    /// Cache misses (requests that had to read a slice from disk). Kept
+    /// separately from [`LoaderStats::slice_loads`] so the hit rate stays
+    /// well-defined even if future load paths (prefetch, warm-up) read
+    /// slices without a triggering request.
+    pub cache_misses: u64,
     /// Slices evicted to respect the cache budget.
     pub evictions: u64,
     /// Nanoseconds spent reading + decoding slices.
     pub load_ns: u64,
+}
+
+impl LoaderStats {
+    /// Fraction of requests served from cache (`0.0` when no requests yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / total as f64
+    }
 }
 
 /// Lazy reader for one partition of a GoFS dataset. Single-threaded by
@@ -47,6 +64,12 @@ pub struct InstanceLoader {
     /// Max slices kept in cache.
     capacity: usize,
     stats: LoaderStats,
+    /// Lifetime totals (never reset): the engine resets [`Self::stats`]
+    /// every timestep to window its I/O metrics, but trace counters must
+    /// be monotone.
+    total: LoaderStats,
+    /// Optional trace sink (shares the owning worker's partition track).
+    trace: Option<TraceSink>,
 }
 
 impl InstanceLoader {
@@ -70,6 +93,8 @@ impl InstanceLoader {
             tick: 0,
             capacity,
             stats: LoaderStats::default(),
+            total: LoaderStats::default(),
+            trace: None,
         }
     }
 
@@ -79,14 +104,42 @@ impl InstanceLoader {
         Self::new(store, pg, partition, bins.max(1) * 2)
     }
 
-    /// I/O counters so far.
+    /// I/O counters since the last [`Self::reset_stats`].
     pub fn stats(&self) -> &LoaderStats {
         &self.stats
+    }
+
+    /// Lifetime I/O counters (unaffected by [`Self::reset_stats`]).
+    pub fn total_stats(&self) -> &LoaderStats {
+        &self.total
     }
 
     /// Reset the counters (e.g. between timesteps when sampling per-step I/O).
     pub fn reset_stats(&mut self) {
         self.stats = LoaderStats::default();
+    }
+
+    /// Install a trace sink; slice loads become `"gofs.load"` spans and the
+    /// cache counters (`gofs.cache_hits` / `gofs.cache_misses` /
+    /// `gofs.bytes_read`) are sampled on every miss.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.trace = Some(sink);
+    }
+
+    /// Hand the trace sink back (with a final counter sample) so the
+    /// session can drain it.
+    pub fn take_trace_sink(&mut self) -> Option<TraceSink> {
+        let mut sink = self.trace.take()?;
+        self.sample_counters_into(&mut sink);
+        Some(sink)
+    }
+
+    fn sample_counters_into(&self, sink: &mut TraceSink) {
+        // Sample the lifetime totals, not the resettable window, so the
+        // counter tracks stay monotone across per-timestep stat resets.
+        sink.counter("gofs.cache_hits", self.total.cache_hits);
+        sink.counter("gofs.cache_misses", self.total.cache_misses);
+        sink.counter("gofs.bytes_read", self.total.bytes_read);
     }
 
     /// Fetch the projected instance for `sg` at `timestep`, reading the
@@ -113,6 +166,7 @@ impl InstanceLoader {
         if let Some((slice, last_used)) = self.cache.get_mut(&key) {
             *last_used = tick;
             self.stats.cache_hits += 1;
+            self.total.cache_hits += 1;
             let slice = slice.clone();
             return slice.get(sg, timestep).cloned().ok_or_else(|| {
                 GofsError::Corrupt(format!("slice {key:?} missing {sg}@{timestep}"))
@@ -120,13 +174,23 @@ impl InstanceLoader {
         }
 
         // Miss: read + decode the slice file.
+        self.stats.cache_misses += 1;
+        self.total.cache_misses += 1;
         let started = Instant::now();
+        let span = self.trace.as_ref().map(|s| s.start());
         let path = self.store.slice_path(self.partition, key);
         let data = std::fs::read(&path)?;
         let slice = Arc::new(decode_slice(&data)?);
+        let elapsed = started.elapsed().as_nanos() as u64;
         self.stats.slice_loads += 1;
         self.stats.bytes_read += data.len() as u64;
-        self.stats.load_ns += started.elapsed().as_nanos() as u64;
+        self.stats.load_ns += elapsed;
+        self.total.slice_loads += 1;
+        self.total.bytes_read += data.len() as u64;
+        self.total.load_ns += elapsed;
+        if let (Some(sink), Some(span)) = (self.trace.as_mut(), span) {
+            sink.span_arg_since("gofs.load", span, "bytes", data.len() as u64);
+        }
 
         if self.cache.len() >= self.capacity {
             // Evict the least-recently-used slice.
@@ -138,7 +202,19 @@ impl InstanceLoader {
             {
                 self.cache.remove(&victim);
                 self.stats.evictions += 1;
+                self.total.evictions += 1;
+                if let Some(sink) = self.trace.as_mut() {
+                    sink.instant("gofs.evict", None);
+                }
             }
+        }
+        if let Some(sink) = self.trace.as_mut() {
+            let hits = self.total.cache_hits;
+            let misses = self.total.cache_misses;
+            let bytes = self.total.bytes_read;
+            sink.counter("gofs.cache_hits", hits);
+            sink.counter("gofs.cache_misses", misses);
+            sink.counter("gofs.bytes_read", bytes);
         }
         self.cache.insert(key, (slice.clone(), tick));
         slice
@@ -270,6 +346,66 @@ mod tests {
         // A subgraph of the *other* partition is rejected.
         let foreign = pg.subgraphs_of_partition(1)[0];
         assert!(loader.load(foreign, 0).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn miss_and_hit_rate_accounting() {
+        let dir = tmp("hitrate");
+        let (pg, store) = dataset(&dir, 20, 10, 5);
+        let sg = pg.subgraphs_of_partition(0)[0];
+        let mut loader = InstanceLoader::with_default_capacity(store, &pg, 0);
+        assert_eq!(loader.stats().hit_rate(), 0.0, "no requests yet");
+        for t in 0..10 {
+            loader.load(sg, t).unwrap();
+        }
+        // 1 miss (pack 0 load) + 9 hits.
+        assert_eq!(loader.stats().cache_misses, 1);
+        assert_eq!(loader.stats().cache_hits, 9);
+        assert!((loader.stats().hit_rate() - 0.9).abs() < 1e-9);
+        // The lifetime totals survive a window reset.
+        loader.reset_stats();
+        assert_eq!(loader.stats().cache_misses, 0);
+        assert_eq!(loader.total_stats().cache_misses, 1);
+        assert_eq!(loader.total_stats().cache_hits, 9);
+        assert!(loader.total_stats().bytes_read > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn trace_sink_records_loads_and_counters() {
+        let dir = tmp("trace");
+        let (pg, store) = dataset(&dir, 20, 10, 5);
+        let sg = pg.subgraphs_of_partition(0)[0];
+        let mut loader = InstanceLoader::with_default_capacity(store, &pg, 0);
+        loader.set_trace_sink(tempograph_trace::TraceConfig::new().sink(0));
+        loader.load(sg, 0).unwrap(); // miss
+        loader.load(sg, 1).unwrap(); // hit
+        loader.load(sg, 10).unwrap(); // miss (next pack)
+        let sink = loader.take_trace_sink().unwrap();
+        let events = sink.events();
+        let spans = events
+            .iter()
+            .filter(|e| matches!(e, tempograph_trace::TraceEvent::Span { .. }))
+            .count();
+        assert_eq!(spans, 2, "one gofs.load span per miss");
+        assert!(events.iter().all(|e| {
+            !matches!(e, tempograph_trace::TraceEvent::Span { name, .. } if *name != "gofs.load")
+        }));
+        // Final counter samples reflect the lifetime totals.
+        let last_misses = events
+            .iter()
+            .rev()
+            .find_map(|e| match *e {
+                tempograph_trace::TraceEvent::Counter {
+                    name: "gofs.cache_misses",
+                    value,
+                    ..
+                } => Some(value),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(last_misses, 2);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

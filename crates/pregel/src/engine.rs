@@ -8,9 +8,10 @@ use std::sync::Arc;
 use std::time::Instant;
 use tempograph_core::{GraphTemplate, Neighbor, VertexIdx};
 use tempograph_engine::batch::BufferPool;
-use tempograph_engine::sync::{Contribution, SyncPoint};
+use tempograph_engine::sync::{join_partition, Contribution, SyncPoint};
 use tempograph_engine::wire::WireMsg;
 use tempograph_partition::Partitioning;
+use tempograph_trace::{Trace, TraceConfig, TraceSink};
 
 /// Per-vertex user logic (Pregel's `Compute`). One program *value* is shared
 /// (immutably) by all vertices; per-vertex state lives in `Self::State`.
@@ -112,6 +113,8 @@ pub struct PregelResult<S> {
     pub states: Vec<S>,
     /// Run statistics.
     pub metrics: PregelMetrics,
+    /// Assembled trace (only from [`run_pregel_traced`]).
+    pub trace: Option<Trace>,
 }
 
 struct WorkerOut<S> {
@@ -123,6 +126,7 @@ struct WorkerOut<S> {
     compute_ns: u64,
     sync_ns: u64,
     supersteps: usize,
+    sink: TraceSink,
 }
 
 /// Run a vertex-centric BSP to quiescence (all vertices halted, no messages
@@ -132,6 +136,30 @@ pub fn run_pregel<P: VertexProgram>(
     partitioning: &Partitioning,
     program: &P,
     max_supersteps: usize,
+) -> PregelResult<P::State> {
+    run_pregel_impl(template, partitioning, program, max_supersteps, None)
+}
+
+/// [`run_pregel`] with structured tracing: each partition records
+/// `"superstep"` / `"compute"` / `"send"` / `"barrier.arrive"` /
+/// `"barrier.post"` spans onto its track, and the result carries the
+/// assembled [`Trace`].
+pub fn run_pregel_traced<P: VertexProgram>(
+    template: &Arc<GraphTemplate>,
+    partitioning: &Partitioning,
+    program: &P,
+    max_supersteps: usize,
+    trace: TraceConfig,
+) -> PregelResult<P::State> {
+    run_pregel_impl(template, partitioning, program, max_supersteps, Some(trace))
+}
+
+fn run_pregel_impl<P: VertexProgram>(
+    template: &Arc<GraphTemplate>,
+    partitioning: &Partitioning,
+    program: &P,
+    max_supersteps: usize,
+    trace: Option<TraceConfig>,
 ) -> PregelResult<P::State> {
     partitioning
         .validate(template)
@@ -173,6 +201,9 @@ pub fn run_pregel<P: VertexProgram>(
             let verts = std::mem::take(&mut part_vertices[p]);
             let local_pos = local_pos.clone();
             let assignment = &partitioning.assignment;
+            let sink = trace
+                .map(|tc| tc.sink(p as u32))
+                .unwrap_or_else(TraceSink::inert);
             handles.push(scope.spawn(move || {
                 worker::<P>(
                     p as u16,
@@ -185,12 +216,14 @@ pub fn run_pregel<P: VertexProgram>(
                     txs,
                     sync,
                     max_supersteps,
+                    sink,
                 )
             }));
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker must not panic"))
+            .enumerate()
+            .map(|(p, h)| join_partition(p, h.join()))
             .collect()
     });
 
@@ -199,6 +232,7 @@ pub fn run_pregel<P: VertexProgram>(
         wall_ns: wall.elapsed().as_nanos() as u64,
         ..Default::default()
     };
+    let mut sinks = Vec::with_capacity(outs.len());
     for o in outs {
         for (v, s) in o.states {
             states[v as usize] = Some(s);
@@ -210,10 +244,13 @@ pub fn run_pregel<P: VertexProgram>(
         metrics.compute_ns += o.compute_ns;
         metrics.sync_ns += o.sync_ns;
         metrics.supersteps = metrics.supersteps.max(o.supersteps);
+        sinks.push((format!("partition {}", o.sink.track()), o.sink));
     }
+    let assembled = trace.map(|_| Trace::from_sinks(sinks));
     PregelResult {
         states: states.into_iter().map(|s| s.expect("all init")).collect(),
         metrics,
+        trace: assembled,
     }
 }
 
@@ -229,6 +266,7 @@ fn worker<P: VertexProgram>(
     txs: Vec<Sender<Bytes>>,
     sync: &SyncPoint,
     max_supersteps: usize,
+    mut sink: TraceSink,
 ) -> WorkerOut<P::State> {
     let nl = verts.len();
     let mut states: Vec<P::State> = verts
@@ -246,12 +284,13 @@ fn worker<P: VertexProgram>(
         compute_ns: 0,
         sync_ns: 0,
         supersteps: 0,
+        sink: TraceSink::inert(),
     };
     let mut pool = BufferPool::new();
 
     let mut ss = 0usize;
     loop {
-        let compute_start = Instant::now();
+        let compute0 = sink.now();
         let mut sent: Vec<(VertexIdx, P::Msg)> = Vec::new();
         for i in 0..nl {
             let msgs = std::mem::take(&mut inbox[i]);
@@ -271,7 +310,9 @@ fn worker<P: VertexProgram>(
             program.compute(&mut ctx, &msgs);
             halted[i] = is_halted;
         }
-        out.compute_ns += compute_start.elapsed().as_nanos() as u64;
+        let compute1 = sink.now();
+        out.compute_ns += compute1 - compute0;
+        sink.span_arg_at("compute", compute0, compute1, "superstep", ss as u64);
 
         // Sender-side combining (Pregel's combiners): fold messages bound
         // for the same vertex before any of them is serialised.
@@ -296,6 +337,7 @@ fn worker<P: VertexProgram>(
         // Route: local direct; remote written straight into one pooled
         // frame per peer (the count prefix is patched in place afterwards —
         // no second copy).
+        let send_span = sink.start();
         let mut remote: Vec<Option<(BytesMut, u32)>> = vec![None; txs.len()];
         for (to, msg) in sent {
             let tp = assignment[to.idx()] as usize;
@@ -321,15 +363,20 @@ fn worker<P: VertexProgram>(
                 txs[tp].send(bytes).expect("receiver alive");
             }
         }
+        sink.span_since("send", send_span);
 
-        let wait = Instant::now();
+        let wait0 = sink.now();
         let agg = sync.arrive(Contribution {
             msgs_sent: n_sent,
             all_halted: halted.iter().all(|&h| h),
         });
-        out.sync_ns += wait.elapsed().as_nanos() as u64;
+        let wait1 = sink.now();
+        out.sync_ns += wait1 - wait0;
+        sink.span_at("barrier.arrive", wait0, wait1);
+        sink.straggler_check(wait1 - wait0);
 
         // Drain remote batches, recycling frame allocations.
+        let drain_span = sink.start();
         while let Ok(mut bytes) = rx.try_recv() {
             let count = bytes.get_u32_le();
             for _ in 0..count {
@@ -339,11 +386,15 @@ fn worker<P: VertexProgram>(
             }
             pool.reclaim(bytes);
         }
+        sink.span_since("drain", drain_span);
         // Post-drain rendezvous: see tempograph-engine — a fast worker must
         // not send superstep s+1 batches into a slow worker's s drain.
-        let wait = Instant::now();
+        let wait2 = sink.now();
         sync.barrier();
-        out.sync_ns += wait.elapsed().as_nanos() as u64;
+        let wait3 = sink.now();
+        out.sync_ns += wait3 - wait2;
+        sink.span_at("barrier.post", wait2, wait3);
+        sink.span_arg_at("superstep", compute0, wait3, "superstep", ss as u64);
 
         ss += 1;
         if agg.should_stop() || ss >= max_supersteps {
@@ -353,6 +404,7 @@ fn worker<P: VertexProgram>(
 
     out.supersteps = ss;
     out.states = verts.iter().zip(states).map(|(&v, s)| (v, s)).collect();
+    out.sink = sink;
     out
 }
 
@@ -418,6 +470,33 @@ mod tests {
                 r.metrics.supersteps
             );
         }
+    }
+
+    #[test]
+    fn traced_run_derives_metrics_from_spans() {
+        let t = path(12);
+        let part = Partitioning {
+            assignment: (0..12).map(|v| (v % 2) as u16).collect(),
+            k: 2,
+        };
+        let r = run_pregel_traced(&t, &part, &MaxProp, 100, TraceConfig::new());
+        assert!(r.states.iter().all(|&s| s == 11));
+        let trace = r.trace.expect("traced run returns a trace");
+        trace.validate().expect("trace invariants hold");
+        assert_eq!(trace.tracks.len(), 2);
+        // Aggregates are exactly derivable: the worker fed the same clock
+        // readings to the metrics and the spans.
+        let compute: u64 = trace.sum_spans("compute");
+        assert_eq!(compute, r.metrics.compute_ns);
+        let sync: u64 = trace.sum_spans("barrier.arrive") + trace.sum_spans("barrier.post");
+        assert_eq!(sync, r.metrics.sync_ns);
+        assert_eq!(
+            trace.span_count("superstep"),
+            r.metrics.supersteps * 2,
+            "one superstep span per partition per superstep"
+        );
+        // Untraced runs carry no trace.
+        assert!(run_pregel(&t, &part, &MaxProp, 100).trace.is_none());
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! # tempograph-trace — structured tracing for the TI-BSP engine
+//!
+//! The paper's evaluation (§IV, Figs. 6–7) is an observability story:
+//! per-timestep wall times, compute vs. partition vs. sync overhead,
+//! straggler idling. This crate records those signals as *events* rather
+//! than pre-aggregated sums, making the trace the ground truth from which
+//! the engine's `TimestepMetrics` aggregates are derivable.
+//!
+//! Design constraints (and how they are met):
+//!
+//! * **Low overhead.** A [`TraceSink`] is owned by exactly one worker
+//!   thread; recording an event is one monotonic clock read plus one `Vec`
+//!   push — no locks, no allocation once the buffer is warm. Sinks are
+//!   drained into a [`Trace`] only after the job finishes.
+//! * **Cheap when off.** A global [`AtomicBool`] kill-switch
+//!   ([`set_tracing_enabled`]) plus a per-sink `active` flag make the
+//!   disabled path a branch on two booleans — a few nanoseconds. Jobs that
+//!   never configure tracing get an *inert* sink whose record methods
+//!   short-circuit immediately.
+//! * **Dependency-free.** Only `std`.
+//!
+//! Three exports:
+//!
+//! 1. [`Trace::to_chrome_json`] — Chrome trace-event JSON, loadable in
+//!    [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`, with
+//!    partitions as "threads" and timesteps/supersteps/barriers/GoFS loads
+//!    as nested spans;
+//! 2. [`Trace::summary`] — a plain-text top-N digest (slowest supersteps,
+//!    worst barrier waits, GoFS cache hit rate);
+//! 3. the **flight recorder**: every sink keeps a bounded tail of recent
+//!    events ([`TraceMode::FlightRecorder`] bounds the whole buffer) that
+//!    is dumped to stderr when its worker thread panics or a barrier wait
+//!    exceeds the configured straggler threshold.
+
+mod chrome;
+mod sink;
+mod summary;
+mod trace;
+
+pub use sink::{SpanStart, TraceConfig, TraceEvent, TraceMode, TraceSink};
+pub use trace::{SpanView, Trace, TraceTrack};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Global tracing kill-switch. Default: enabled (recording still requires a
+/// sink created from a [`TraceConfig`], so untraced jobs pay nothing).
+static TRACING_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Flip the global tracing kill-switch at runtime.
+pub fn set_tracing_enabled(on: bool) {
+    TRACING_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether the global kill-switch currently allows recording.
+#[inline]
+pub fn tracing_enabled() -> bool {
+    TRACING_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Serialises unit tests that record events or toggle the global
+/// kill-switch (tests run concurrently within one binary).
+#[cfg(test)]
+pub(crate) fn test_serial() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}

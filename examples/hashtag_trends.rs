@@ -10,9 +10,22 @@
 //! ```text
 //! cargo run --release --example hashtag_trends
 //! ```
+//!
+//! Set `TEMPOGRAPH_TRACE=1` to also record a structured execution trace:
+//! the run writes `hashtag_trends.trace.json` (Chrome trace-event format —
+//! open it at <https://ui.perfetto.dev>) and prints a top-N summary of the
+//! slowest supersteps and worst barrier waits.
 
 use std::sync::Arc;
 use tempograph::prelude::*;
+
+/// `TEMPOGRAPH_TRACE` opt-in (unset/`0`/`off` ⇒ no tracing).
+fn trace_config() -> Option<TraceConfig> {
+    match std::env::var("TEMPOGRAPH_TRACE").ok()?.trim() {
+        "" | "0" | "off" | "false" => None,
+        _ => Some(TraceConfig::new()),
+    }
+}
 
 fn main() {
     let template = Arc::new(wiki_like(0.5));
@@ -34,11 +47,15 @@ fn main() {
     let pg = Arc::new(discover_subgraphs(template.clone(), parts));
     let tweets_col = template.vertex_schema().index_of(TWEETS_ATTR).unwrap();
 
+    let mut config = JobConfig::eventually_dependent(50);
+    if let Some(tc) = trace_config() {
+        config = config.with_trace(tc);
+    }
     let result = run_job(
         &pg,
         &InstanceSource::Memory(series),
         HashtagAggregation::factory(tag, tweets_col),
-        JobConfig::eventually_dependent(50),
+        config,
     );
 
     // The merge master emits (timestep, count) pairs (timestep encoded in
@@ -73,4 +90,14 @@ fn main() {
         .max()
         .unwrap_or(0);
     println!("merge phase completed in {merge_ss} supersteps");
+
+    if let Some(trace) = &result.trace {
+        let path = "hashtag_trends.trace.json";
+        std::fs::write(path, trace.to_chrome_json()).expect("write trace");
+        println!(
+            "\ntrace: {} events -> {path} (open at https://ui.perfetto.dev)\n{}",
+            trace.num_events(),
+            trace.summary(5)
+        );
+    }
 }

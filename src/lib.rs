@@ -31,6 +31,7 @@ pub use tempograph_gen as gen;
 pub use tempograph_gofs as gofs;
 pub use tempograph_partition as partition;
 pub use tempograph_pregel as pregel;
+pub use tempograph_trace as trace;
 
 /// The names most programs need, in one import.
 pub mod prelude {
@@ -55,4 +56,5 @@ pub mod prelude {
         discover_subgraphs, HashPartitioner, LdgPartitioner, MultilevelPartitioner,
         PartitionedGraph, Partitioner, Partitioning, Subgraph, SubgraphId,
     };
+    pub use tempograph_trace::{Trace, TraceConfig, TraceMode, TraceSink};
 }
