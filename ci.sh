@@ -1,8 +1,38 @@
 #!/usr/bin/env bash
 # Local CI: formatting, lints, and the tier-1 verification gate.
-# Usage: ./ci.sh
+# Usage: ./ci.sh            (full pipeline)
+#        ./ci.sh --faults   (fault-tolerance stage only)
 set -euo pipefail
 cd "$(dirname "$0")"
+
+FAULTS_ONLY=0
+for arg in "$@"; do
+    case "$arg" in
+        --faults) FAULTS_ONLY=1 ;;
+        *) echo "unknown argument: $arg (expected --faults)" >&2; exit 2 ;;
+    esac
+done
+
+# Fault-tolerance gate: the recovery-equivalence suite (fixed seeds baked
+# into the tests), the seeded fault-plan property tests, and the smoke test
+# asserting the disabled hooks add zero hot-path allocations.
+faults_stage() {
+    echo "==> faults: recovery-equivalence suite (all algorithms, 3 and 6 partitions)"
+    cargo test -q --test recovery_equivalence
+
+    echo "==> faults: engine fault-plan property tests (PROPTEST_CASES=${PROPTEST_CASES:-64})"
+    PROPTEST_CASES="${PROPTEST_CASES:-64}" \
+        cargo test -q -p tempograph-engine --test fault_recovery_prop
+
+    echo "==> faults: checkpoint overhead smoke test (disabled hooks must not allocate)"
+    cargo test -q --release --test checkpoint_overhead -- --ignored
+}
+
+if [[ "$FAULTS_ONLY" -eq 1 ]]; then
+    faults_stage
+    echo "CI OK (faults)"
+    exit 0
+fi
 
 echo "==> cargo fmt --check"
 if cargo fmt --version >/dev/null 2>&1; then
@@ -27,5 +57,7 @@ cargo test -q -p tempograph-trace --all-features
 
 echo "==> trace overhead smoke test (tracing disabled must be ~free)"
 cargo test -q --release --test trace_integration -- --ignored
+
+faults_stage
 
 echo "CI OK"

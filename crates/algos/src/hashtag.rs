@@ -108,6 +108,11 @@ impl SubgraphProgram for HashtagAggregation {
         }
         ctx.vote_to_halt();
     }
+
+    // No `save_state`/`restore_state` overrides: `hashtag` and `tweets_col`
+    // are pure configuration, rebuilt by the factory on recovery. The
+    // per-timestep counts live in the merge inbox, which the engine
+    // checkpoints itself — the default no-ops are correct here.
 }
 
 #[cfg(test)]

@@ -174,6 +174,29 @@ impl SubgraphProgram for MemeTracking {
         }
         ctx.vote_to_halt_timestep();
     }
+
+    // `meme` and `tweets_col` are configuration, rebuilt by the factory;
+    // the cumulative coloured set C* (and any frontier not yet flushed by
+    // `end_of_timestep`) is the recoverable state.
+    fn save_state(&self, buf: &mut bytes::BytesMut) {
+        use bytes::BufMut;
+        buf.put_u32_le(self.colored.len() as u32);
+        for &c in &self.colored {
+            buf.put_u8(c as u8);
+        }
+        buf.put_u32_le(self.newly_colored.len() as u32);
+        for &p in &self.newly_colored {
+            buf.put_u32_le(p);
+        }
+    }
+
+    fn restore_state(&mut self, buf: &mut bytes::Bytes) {
+        use bytes::Buf;
+        let n = buf.get_u32_le() as usize;
+        self.colored = (0..n).map(|_| buf.get_u8() != 0).collect();
+        let n = buf.get_u32_le() as usize;
+        self.newly_colored = (0..n).map(|_| buf.get_u32_le()).collect();
+    }
 }
 
 #[cfg(test)]

@@ -157,6 +157,28 @@ impl SubgraphProgram for Sssp {
         }
         ctx.vote_to_halt_timestep();
     }
+
+    // `source` and `latency_col` are configuration, rebuilt by the factory;
+    // only the mutable labels and pending roots need to cross a checkpoint.
+    fn save_state(&self, buf: &mut bytes::BytesMut) {
+        use bytes::BufMut;
+        buf.put_u32_le(self.label.len() as u32);
+        for &l in &self.label {
+            buf.put_f64_le(l);
+        }
+        buf.put_u32_le(self.roots.len() as u32);
+        for &r in &self.roots {
+            buf.put_u32_le(r);
+        }
+    }
+
+    fn restore_state(&mut self, buf: &mut bytes::Bytes) {
+        use bytes::Buf;
+        let n = buf.get_u32_le() as usize;
+        self.label = (0..n).map(|_| buf.get_f64_le()).collect();
+        let n = buf.get_u32_le() as usize;
+        self.roots = (0..n).map(|_| buf.get_u32_le()).collect();
+    }
 }
 
 #[cfg(test)]

@@ -248,6 +248,37 @@ impl SubgraphProgram for Tdsp {
             ctx.send_to_next_timestep(TdspMsg::Continue);
         }
     }
+
+    // `source` and `latency_col` are configuration, rebuilt by the factory;
+    // the cumulative frontier `F` (finalized + tdsp) plus the working
+    // labels/roots are what recovery needs to resume mid-series.
+    fn save_state(&self, buf: &mut bytes::BytesMut) {
+        use bytes::BufMut;
+        buf.put_u32_le(self.label.len() as u32);
+        for &l in &self.label {
+            buf.put_f64_le(l);
+        }
+        for &l in &self.tdsp {
+            buf.put_f64_le(l);
+        }
+        for &f in &self.finalized {
+            buf.put_u8(f as u8);
+        }
+        buf.put_u32_le(self.roots.len() as u32);
+        for &r in &self.roots {
+            buf.put_u32_le(r);
+        }
+    }
+
+    fn restore_state(&mut self, buf: &mut bytes::Bytes) {
+        use bytes::Buf;
+        let n = buf.get_u32_le() as usize;
+        self.label = (0..n).map(|_| buf.get_f64_le()).collect();
+        self.tdsp = (0..n).map(|_| buf.get_f64_le()).collect();
+        self.finalized = (0..n).map(|_| buf.get_u8() != 0).collect();
+        let n = buf.get_u32_le() as usize;
+        self.roots = (0..n).map(|_| buf.get_u32_le()).collect();
+    }
 }
 
 /// Total-ordered f64 wrapper for the Dijkstra heaps (shared with SSSP).

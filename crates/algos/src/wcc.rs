@@ -70,4 +70,16 @@ impl SubgraphProgram for Wcc {
         }
         ctx.vote_to_halt_timestep();
     }
+
+    fn save_state(&self, buf: &mut bytes::BytesMut) {
+        use bytes::BufMut;
+        buf.put_u64_le(self.label);
+        buf.put_u8(self.changed as u8);
+    }
+
+    fn restore_state(&mut self, buf: &mut bytes::Bytes) {
+        use bytes::Buf;
+        self.label = buf.get_u64_le();
+        self.changed = buf.get_u8() != 0;
+    }
 }

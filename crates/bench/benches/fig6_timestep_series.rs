@@ -10,7 +10,9 @@
 //!   — not applicable in Rust, documented in EXPERIMENTS.md).
 //!
 //! Set `TEMPOGRAPH_TRACE=1` to export each run as a Chrome trace-event
-//! JSON (Perfetto-loadable) under the system temp dir.
+//! JSON (Perfetto-loadable) under the system temp dir. Set
+//! `TEMPOGRAPH_FAULTS=<seed>` to additionally inject a deterministic
+//! crash-and-recover schedule (checkpoints every 10 timesteps).
 
 use tempograph_algos::{MemeTracking, Tdsp};
 use tempograph_bench::*;
@@ -85,7 +87,14 @@ fn main() {
                 &pg,
                 &InstanceSource::Gofs(dir.clone()),
                 Tdsp::factory(VertexIdx(0), lat_col),
-                maybe_traced(JobConfig::sequentially_dependent(TIMESTEPS).while_active(TIMESTEPS)),
+                maybe_faulted(
+                    maybe_traced(
+                        JobConfig::sequentially_dependent(TIMESTEPS).while_active(TIMESTEPS),
+                    ),
+                    "f6a",
+                    k,
+                    TIMESTEPS,
+                ),
             );
             cleanup(&dir);
             maybe_export("f6a-tdsp-carn", k, &result);
@@ -108,7 +117,12 @@ fn main() {
                 &pg,
                 &InstanceSource::Gofs(dir.clone()),
                 MemeTracking::factory(MEME, tw_col),
-                maybe_traced(JobConfig::sequentially_dependent(TIMESTEPS)),
+                maybe_faulted(
+                    maybe_traced(JobConfig::sequentially_dependent(TIMESTEPS)),
+                    "f6b",
+                    k,
+                    TIMESTEPS,
+                ),
             );
             cleanup(&dir);
             maybe_export("f6b-meme-wiki", k, &result);

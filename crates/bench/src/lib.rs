@@ -24,7 +24,7 @@
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use tempograph_core::{GraphTemplate, TimeSeriesCollection};
-use tempograph_engine::JobResult;
+use tempograph_engine::{FaultPlan, JobConfig, JobResult};
 use tempograph_gen::{
     generate_road_latencies, generate_sir_tweets, DatasetPreset, RoadLatencyConfig, SirConfig,
 };
@@ -74,6 +74,33 @@ pub fn trace_config() -> Option<TraceConfig> {
             Some(TraceConfig::new().flight_recorder(cap))
         }
         _ => Some(TraceConfig::new()),
+    }
+}
+
+/// Fault-injection opt-in from `TEMPOGRAPH_FAULTS` (unset/`0`/`off` ⇒
+/// config unchanged). A numeric seed derives a deterministic
+/// [`FaultPlan`] for the run's shape, arms checkpointing every 10
+/// timesteps (matching the GoFS packing cadence) under the system temp
+/// dir, and lets the benchmark crash and recover mid-run — a chaos mode
+/// for eyeballing checkpoint/recovery overhead on the paper workloads.
+/// The same seed injects the same failures on every run.
+pub fn maybe_faulted<M>(
+    config: JobConfig<M>,
+    tag: &str,
+    partitions: usize,
+    timesteps: usize,
+) -> JobConfig<M> {
+    match FaultPlan::from_env(partitions as u16, timesteps) {
+        Some(plan) => {
+            let dir = std::env::temp_dir().join(format!("tempograph-{tag}-k{partitions}-ckpt"));
+            eprintln!(
+                "  faults: seed {} armed, checkpoints -> {}",
+                plan.seed().unwrap_or(0),
+                dir.display()
+            );
+            config.with_checkpoint(10, dir).with_faults(plan)
+        }
+        None => config,
     }
 }
 
@@ -307,6 +334,21 @@ mod tests {
         std::env::set_var("TEMPOGRAPH_TRACE", "flight:128");
         assert!(trace_config().is_some());
         std::env::remove_var("TEMPOGRAPH_TRACE");
+    }
+
+    #[test]
+    fn maybe_faulted_parses_env_forms() {
+        // Single test owns the env var; no other test in this crate reads it.
+        let probe = || maybe_faulted(JobConfig::<u64>::independent(1), "test", 3, 10);
+        std::env::remove_var("TEMPOGRAPH_FAULTS");
+        assert!(probe().faults.is_none());
+        std::env::set_var("TEMPOGRAPH_FAULTS", "off");
+        assert!(probe().faults.is_none());
+        std::env::set_var("TEMPOGRAPH_FAULTS", "42");
+        let armed = probe();
+        assert!(armed.faults.is_some());
+        assert!(armed.checkpoint.is_some());
+        std::env::remove_var("TEMPOGRAPH_FAULTS");
     }
 
     #[test]

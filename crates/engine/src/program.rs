@@ -259,4 +259,19 @@ pub trait SubgraphProgram: Send + 'static {
 
     /// Merge-phase computation (eventually-dependent pattern only).
     fn merge(&mut self, _ctx: &mut Context<'_, Self::Msg>, _msgs: &[Envelope<Self::Msg>]) {}
+
+    /// Serialise this program's persistent state into `buf` for a
+    /// checkpoint. Must round-trip exactly with
+    /// [`SubgraphProgram::restore_state`]: after `restore_state(save_state(p))`
+    /// the program must behave identically to `p`. Programs whose fields
+    /// are pure configuration (rebuilt by the factory) can keep the empty
+    /// default; any field *mutated* during the run must be saved, or
+    /// recovery will silently diverge — the recovery-equivalence harness
+    /// catches this.
+    fn save_state(&self, _buf: &mut bytes::BytesMut) {}
+
+    /// Restore persistent state written by [`SubgraphProgram::save_state`].
+    /// Called on a freshly factory-built program during recovery, before
+    /// any compute invocation.
+    fn restore_state(&mut self, _buf: &mut bytes::Bytes) {}
 }

@@ -35,11 +35,18 @@ impl Aggregate {
     }
 }
 
+/// Panic message used when a barrier is poisoned by a dying peer. The
+/// executor's recovery loop treats panics carrying this text as *cascade*
+/// failures (secondary deaths caused by the primary one) and prefers the
+/// original panic when re-surfacing errors.
+pub(crate) const POISON_MSG: &str = "sync point poisoned: a peer worker died";
+
 struct State {
     arrived: usize,
     generation: u64,
     msgs: u64,
     halted: bool,
+    poisoned: bool,
     result: Aggregate,
 }
 
@@ -61,6 +68,7 @@ impl SyncPoint {
                 generation: 0,
                 msgs: 0,
                 halted: true,
+                poisoned: false,
                 result: Aggregate::default(),
             }),
             cv: Condvar::new(),
@@ -73,8 +81,16 @@ impl SyncPoint {
     }
 
     /// Block until all `n` workers arrive; returns the folded [`Aggregate`].
+    ///
+    /// Panics (with [`POISON_MSG`]) if the sync point was [`SyncPoint::poison`]ed
+    /// — a peer worker died, so the full complement can never arrive and
+    /// waiting would deadlock.
     pub fn arrive(&self, c: Contribution) -> Aggregate {
         let mut s = self.state.lock();
+        if s.poisoned {
+            drop(s);
+            panic!("{POISON_MSG}");
+        }
         s.msgs += c.msgs_sent;
         s.halted &= c.all_halted;
         s.arrived += 1;
@@ -93,9 +109,21 @@ impl SyncPoint {
             let gen = s.generation;
             while s.generation == gen {
                 self.cv.wait(&mut s);
+                if s.poisoned {
+                    drop(s);
+                    panic!("{POISON_MSG}");
+                }
             }
             s.result
         }
+    }
+
+    /// Mark the sync point dead and wake every waiter: their `arrive` calls
+    /// panic instead of deadlocking on a worker that will never show up.
+    pub fn poison(&self) {
+        let mut s = self.state.lock();
+        s.poisoned = true;
+        self.cv.notify_all();
     }
 
     /// Pure barrier: arrive with an empty contribution.
@@ -104,6 +132,20 @@ impl SyncPoint {
             msgs_sent: 0,
             all_halted: true,
         });
+    }
+}
+
+/// RAII guard a worker holds for its whole run: if the worker unwinds (an
+/// injected fault or a real bug), `Drop` poisons the sync point so peers
+/// blocked at the barrier die promptly instead of deadlocking. A normal
+/// return drops the guard without poisoning.
+pub struct PoisonOnPanic<'a>(pub &'a SyncPoint);
+
+impl Drop for PoisonOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.poison();
+        }
     }
 }
 
@@ -207,6 +249,48 @@ mod tests {
         let t = std::thread::spawn(move || sp2.barrier());
         sp.barrier();
         join_partition(1, t.join());
+    }
+
+    #[test]
+    fn poison_wakes_waiters_and_fails_future_arrivals() {
+        let sp = Arc::new(SyncPoint::new(2));
+        let waiter = {
+            let sp = sp.clone();
+            std::thread::spawn(move || sp.barrier())
+        };
+        // Give the waiter time to block, then poison instead of arriving.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        sp.poison();
+        let err = waiter.join().expect_err("waiter must panic, not hang");
+        assert!(err
+            .downcast_ref::<String>()
+            .is_some_and(|m| m.contains("poisoned")));
+        // Later arrivals fail fast too.
+        let late = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sp.barrier()));
+        assert!(late.is_err());
+    }
+
+    #[test]
+    fn poison_on_panic_guard_only_fires_during_unwind() {
+        let sp = Arc::new(SyncPoint::new(2));
+        {
+            let _guard = PoisonOnPanic(&sp);
+        }
+        // Clean drop: not poisoned, a 2-party barrier still works.
+        let sp2 = sp.clone();
+        let t = std::thread::spawn(move || sp2.barrier());
+        sp.barrier();
+        join_partition(1, t.join());
+
+        let sp3 = sp.clone();
+        let dead = std::thread::spawn(move || {
+            let _guard = PoisonOnPanic(&sp3);
+            panic!("worker bug");
+        })
+        .join();
+        assert!(dead.is_err());
+        let late = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sp.barrier()));
+        assert!(late.is_err(), "unwinding drop must poison");
     }
 
     #[test]

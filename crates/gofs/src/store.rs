@@ -23,6 +23,28 @@ use tempograph_partition::{discover_subgraphs, PartitionedGraph, Partitioning, S
 const META_MAGIC: [u8; 4] = *b"GFMT";
 const PART_MAGIC: [u8; 4] = *b"GFPT";
 
+/// The staging sibling [`write_atomic`] writes into before renaming
+/// (exposed so fault-injection tests can assert that a crash mid-write
+/// leaves only this file behind, never a torn target).
+pub fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Write `data` to `path` atomically: stage into a `.tmp` sibling, then
+/// rename over the target. Readers can never observe a half-written file —
+/// a crash mid-write leaves the old target (or nothing) plus a stale
+/// `.tmp`. All GoFS dataset files and engine checkpoint files go through
+/// this, so every on-disk frame is either absent or complete.
+pub fn write_atomic(path: impl AsRef<Path>, data: &[u8]) -> Result<()> {
+    let path = path.as_ref();
+    let tmp = tmp_sibling(path);
+    std::fs::write(&tmp, data)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
 /// Dataset-level metadata persisted in `meta.bin`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DatasetMeta {
@@ -147,13 +169,13 @@ impl GofsWriter {
         for p in 0..k {
             std::fs::create_dir_all(dir.join(format!("partition-{p:03}")))?;
         }
-        std::fs::write(
+        write_atomic(
             dir.join("template.bin"),
-            codec::encode_template(pg.template()),
+            &codec::encode_template(pg.template()),
         )?;
-        std::fs::write(
+        write_atomic(
             dir.join("partitioning.bin"),
-            encode_partitioning(pg.partitioning()),
+            &encode_partitioning(pg.partitioning()),
         )?;
         let bins: Vec<Vec<Vec<SubgraphId>>> = (0..k)
             .map(|p| bins_for_partition(&pg, p as u16, binning))
@@ -213,7 +235,7 @@ impl GofsWriter {
                     .dir
                     .join(format!("partition-{p:03}"))
                     .join(key.file_name());
-                std::fs::write(path, &data)?;
+                write_atomic(path, &data)?;
             }
         }
         self.pack_index += 1;
@@ -234,7 +256,7 @@ impl GofsWriter {
             packing: self.packing,
             binning: self.binning,
         };
-        std::fs::write(self.dir.join("meta.bin"), meta.encode())?;
+        write_atomic(self.dir.join("meta.bin"), &meta.encode())?;
         Ok(meta)
     }
 }
@@ -458,5 +480,21 @@ mod tests {
     #[test]
     fn open_missing_dir_fails() {
         assert!(GofsStore::open("/nonexistent/gofs-dataset").is_err());
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_staging_file() {
+        let dir = tmp();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("target.bin");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        assert!(
+            !tmp_sibling(&path).exists(),
+            "staging file must be renamed away"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -14,7 +14,10 @@
 //! Set `TEMPOGRAPH_TRACE=1` to also record a structured execution trace:
 //! the run writes `hashtag_trends.trace.json` (Chrome trace-event format —
 //! open it at <https://ui.perfetto.dev>) and prints a top-N summary of the
-//! slowest supersteps and worst barrier waits.
+//! slowest supersteps and worst barrier waits. Set
+//! `TEMPOGRAPH_FAULTS=<seed>` to inject a deterministic crash-and-recover
+//! schedule (checkpoints every 10 timesteps) — the output is identical
+//! either way.
 
 use std::sync::Arc;
 use tempograph::prelude::*;
@@ -24,6 +27,23 @@ fn trace_config() -> Option<TraceConfig> {
     match std::env::var("TEMPOGRAPH_TRACE").ok()?.trim() {
         "" | "0" | "off" | "false" => None,
         _ => Some(TraceConfig::new()),
+    }
+}
+
+/// `TEMPOGRAPH_FAULTS=<seed>` opt-in: derive a deterministic fault plan,
+/// checkpoint every 10 timesteps, and let the run crash and recover.
+fn maybe_faulted(config: JobConfig<Vec<u64>>) -> JobConfig<Vec<u64>> {
+    match FaultPlan::from_env(3, 50) {
+        Some(plan) => {
+            let dir = std::env::temp_dir().join("tempograph-hashtag-trends-ckpt");
+            println!(
+                "fault injection armed (seed {}); checkpoints -> {}",
+                plan.seed().unwrap_or(0),
+                dir.display()
+            );
+            config.with_checkpoint(10, dir).with_faults(plan)
+        }
+        None => config,
     }
 }
 
@@ -47,7 +67,7 @@ fn main() {
     let pg = Arc::new(discover_subgraphs(template.clone(), parts));
     let tweets_col = template.vertex_schema().index_of(TWEETS_ATTR).unwrap();
 
-    let mut config = JobConfig::eventually_dependent(50);
+    let mut config = maybe_faulted(JobConfig::eventually_dependent(50));
     if let Some(tc) = trace_config() {
         config = config.with_trace(tc);
     }
@@ -90,6 +110,12 @@ fn main() {
         .max()
         .unwrap_or(0);
     println!("merge phase completed in {merge_ss} supersteps");
+    if result.recoveries > 0 {
+        println!(
+            "recovered from {} injected worker failure(s)",
+            result.recoveries
+        );
+    }
 
     if let Some(trace) = &result.trace {
         let path = "hashtag_trends.trace.json";

@@ -43,8 +43,8 @@ pub mod prelude {
         TimeSeriesCollection, VertexIdx,
     };
     pub use tempograph_engine::{
-        run_job, Context, Envelope, InstanceSource, JobConfig, JobResult, Pattern, SubgraphProgram,
-        TimestepMode,
+        run_job, CheckpointConfig, Context, Envelope, FaultPlan, InstanceSource, JobConfig,
+        JobResult, Pattern, SubgraphProgram, TimestepMode,
     };
     pub use tempograph_gen::{
         carn_like, generate_road_latencies, generate_sir_tweets, road_network, small_world,

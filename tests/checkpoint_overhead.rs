@@ -1,0 +1,104 @@
+//! Checkpoint/fault-injection overhead smoke test (run explicitly:
+//! `cargo test --release --test checkpoint_overhead -- --ignored`).
+//!
+//! The fault hooks sit on the engine's hottest paths — superstep entry and
+//! the remote-send loop — and the checkpoint hook runs once per timestep.
+//! With the features disabled (no checkpoint dir, an empty fault plan) they
+//! must be branch-only: this binary installs a counting global allocator
+//! and asserts a fault-armed-but-empty run performs **zero additional
+//! allocations** over a plain run (modulo the one-time `Arc<FaultPlan>`
+//! setup, bounded by a small constant).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tempograph::prelude::*;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+#[ignore]
+fn disabled_checkpointing_adds_zero_hot_path_allocations() {
+    const TIMESTEPS: usize = 8;
+    let t = Arc::new(tempograph::gen::road_network(&RoadNetConfig {
+        width: 12,
+        height: 12,
+        seed: 0xFACADE,
+        ..Default::default()
+    }));
+    let coll = Arc::new(tempograph::gen::generate_sir_tweets(
+        t.clone(),
+        &SirConfig {
+            timesteps: TIMESTEPS,
+            hit_prob: 0.4,
+            initial_infected: 4,
+            infectious_steps: 3,
+            background_rate: 0.08,
+            ..Default::default()
+        },
+    ));
+    let meme = "#meme0".to_string();
+    let tweets_col = t.vertex_schema().index_of(TWEETS_ATTR).unwrap();
+    let parts = MultilevelPartitioner::default().partition(&t, 3);
+    let pg = Arc::new(discover_subgraphs(t.clone(), parts));
+    let src = InstanceSource::Memory(coll);
+
+    let run = |config: JobConfig<VertexIdx>| {
+        let r = run_job(
+            &pg,
+            &src,
+            MemeTracking::factory(meme.clone(), tweets_col),
+            config,
+        );
+        assert_eq!(r.timesteps_run, TIMESTEPS);
+        assert_eq!(r.recoveries, 0);
+    };
+    // Warm caches, lazy statics, and the allocator.
+    run(JobConfig::sequentially_dependent(TIMESTEPS));
+
+    let best = |mk: &dyn Fn() -> JobConfig<VertexIdx>| {
+        (0..3)
+            .map(|_| allocations_during(|| run(mk())))
+            .min()
+            .unwrap()
+    };
+    let plain = best(&|| JobConfig::sequentially_dependent(TIMESTEPS));
+    let armed_but_idle =
+        best(&|| JobConfig::sequentially_dependent(TIMESTEPS).with_faults(FaultPlan::new()));
+
+    // The whole difference budget is the per-run config setup (one
+    // `Arc<FaultPlan>` per job and its clone per worker) — the per-superstep
+    // and per-send hooks themselves must allocate nothing.
+    assert!(
+        armed_but_idle <= plain + 16,
+        "fault/checkpoint hooks allocate on the hot path: \
+         {armed_but_idle} allocations armed vs {plain} plain"
+    );
+}

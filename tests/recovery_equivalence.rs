@@ -1,0 +1,517 @@
+//! Recovery-equivalence harness: a TI-BSP job that is killed by an injected
+//! fault and restarted from its latest checkpoint must produce output
+//! **byte-identical** to an undisturbed run — same emitted values (as f64
+//! bit patterns), same counters, same final per-subgraph program state.
+//!
+//! The engine's determinism (delivery sorted by globally unique
+//! `(from, seq)`) plus complete inter-timestep state capture (program
+//! state, pending cross-timestep/merge inboxes, sequence counters) make
+//! this a hard equality, not an approximation. Every paper algorithm is
+//! exercised at 3 and 6 partitions with crashes at every checkpoint
+//! boundary, plus torn-checkpoint-write and transient-send-failure cases.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use tempograph::engine::{checkpoint_path, latest_valid, read_manifest, WorkerCheckpoint};
+use tempograph::gofs::GofsError;
+use tempograph::prelude::*;
+
+/// (track, event name, optional (key, value) arg) — one trace event.
+type FaultEvent = (u32, &'static str, Option<(&'static str, u64)>);
+
+const TIMESTEPS: usize = 8;
+/// Checkpoint every 2 timesteps: boundaries after t = 1, 3, 5, 7.
+const EVERY: usize = 2;
+
+fn road(width: usize, height: usize, seed: u64) -> Arc<GraphTemplate> {
+    Arc::new(tempograph::gen::road_network(&RoadNetConfig {
+        width,
+        height,
+        seed,
+        ..Default::default()
+    }))
+}
+
+fn partitioned(t: &Arc<GraphTemplate>, k: usize) -> Arc<PartitionedGraph> {
+    let p = MultilevelPartitioner::default().partition(t, k);
+    Arc::new(discover_subgraphs(t.clone(), p))
+}
+
+fn road_fixture() -> (Arc<GraphTemplate>, InstanceSource) {
+    let t = road(10, 10, 0xD15EA5E);
+    let coll = Arc::new(tempograph::gen::generate_road_latencies(
+        t.clone(),
+        &RoadLatencyConfig {
+            timesteps: TIMESTEPS,
+            period: 50,
+            min_latency: 4.0,
+            max_latency: 60.0,
+            seed: 13,
+            ..Default::default()
+        },
+    ));
+    (t, InstanceSource::Memory(coll))
+}
+
+fn tweet_fixture() -> (Arc<GraphTemplate>, InstanceSource, SirConfig) {
+    let t = road(12, 12, 0xFACADE);
+    let cfg = SirConfig {
+        timesteps: TIMESTEPS,
+        hit_prob: 0.4,
+        initial_infected: 4,
+        infectious_steps: 3,
+        background_rate: 0.08,
+        ..Default::default()
+    };
+    let coll = Arc::new(tempograph::gen::generate_sir_tweets(t.clone(), &cfg));
+    (t, InstanceSource::Memory(coll), cfg)
+}
+
+/// Fresh, private checkpoint directory for one test case.
+fn ckpt_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("recov-eq-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Everything observable about a run, in canonical order, floats as bit
+/// patterns. Equal fingerprints ⇔ byte-identical runs.
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    emitted: Vec<(usize, u32, u64)>,
+    counters: BTreeMap<String, Vec<u64>>,
+    timesteps_run: usize,
+    final_states: Vec<(u32, Vec<u8>)>,
+}
+
+fn fingerprint(r: &JobResult) -> Fingerprint {
+    Fingerprint {
+        emitted: r
+            .emitted
+            .iter()
+            .map(|e| (e.timestep, e.vertex.0, e.value.to_bits()))
+            .collect(),
+        counters: r
+            .counters
+            .iter()
+            .map(|(name, per_t)| {
+                (
+                    name.clone(),
+                    per_t.iter().map(|per_p| per_p.iter().sum()).collect(),
+                )
+            })
+            .collect(),
+        timesteps_run: r.timesteps_run,
+        final_states: r
+            .final_states
+            .iter()
+            .map(|(sg, bytes)| (sg.0, bytes.clone()))
+            .collect(),
+    }
+}
+
+/// Run `factory` clean, then again with `crashes` injected (worker `p`
+/// killed at `(timestep, superstep)`) and checkpointing every `EVERY`
+/// timesteps; assert the recovered run fired every crash and is
+/// byte-identical to the clean one.
+fn assert_crash_equivalent<P, F>(
+    label: &str,
+    pg: &Arc<PartitionedGraph>,
+    src: &InstanceSource,
+    factory: F,
+    mk_cfg: impl Fn() -> JobConfig<P::Msg>,
+    crashes: &[(u16, usize, usize)],
+) where
+    P: SubgraphProgram,
+    F: Fn(&Subgraph, &PartitionedGraph) -> P + Send + Sync,
+{
+    let clean = run_job(pg, src, &factory, mk_cfg());
+    assert_eq!(clean.recoveries, 0, "{label}: clean run must not recover");
+
+    let dir = ckpt_dir(label);
+    let mut plan = FaultPlan::new();
+    for &(p, t, ss) in crashes {
+        plan = plan.panic_at(p, t, ss);
+    }
+    let crashed = run_job(
+        pg,
+        src,
+        &factory,
+        mk_cfg().with_checkpoint(EVERY, &dir).with_faults(plan),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(
+        crashed.recoveries,
+        crashes.len(),
+        "{label}: every scheduled crash must fire and be recovered"
+    );
+    assert_eq!(
+        fingerprint(&clean),
+        fingerprint(&crashed),
+        "{label}: recovered run must be byte-identical to the clean one"
+    );
+}
+
+/// SSSP and WCC run one timestep; the crash lands mid-BSP (superstep 1,
+/// never a checkpoint superstep), so recovery restarts from scratch — the
+/// no-committed-checkpoint degenerate case must still be equivalent.
+#[test]
+fn sssp_recovers_byte_identical_at_3_and_6_partitions() {
+    let (t, src) = road_fixture();
+    let lat_col = t.edge_schema().index_of(LATENCY_ATTR).unwrap();
+    for k in [3, 6] {
+        let pg = partitioned(&t, k);
+        assert_crash_equivalent(
+            &format!("sssp-k{k}"),
+            &pg,
+            &src,
+            Sssp::factory(VertexIdx(0), Some(lat_col)),
+            || JobConfig::independent(1),
+            &[(1, 0, 1)],
+        );
+    }
+}
+
+#[test]
+fn wcc_recovers_byte_identical_at_3_and_6_partitions() {
+    let (t, src) = road_fixture();
+    for k in [3, 6] {
+        let pg = partitioned(&t, k);
+        assert_crash_equivalent(
+            &format!("wcc-k{k}"),
+            &pg,
+            &src,
+            Wcc::factory(),
+            || JobConfig::independent(1),
+            &[(2 % k as u16, 0, 1)],
+        );
+    }
+}
+
+/// Meme tracking (sequentially dependent): one worker dies at superstep 0
+/// of the timestep after *every* checkpoint boundary.
+#[test]
+fn meme_recovers_byte_identical_at_3_and_6_partitions() {
+    let (t, src, cfg) = tweet_fixture();
+    let tweets_col = t.vertex_schema().index_of(TWEETS_ATTR).unwrap();
+    for k in [3usize, 6] {
+        let pg = partitioned(&t, k);
+        let crashes: Vec<(u16, usize, usize)> = (EVERY..TIMESTEPS)
+            .step_by(EVERY)
+            .enumerate()
+            .map(|(i, t)| ((i % k) as u16, t, 0))
+            .collect();
+        assert_crash_equivalent(
+            &format!("meme-k{k}"),
+            &pg,
+            &src,
+            MemeTracking::factory(cfg.meme.clone(), tweets_col),
+            || JobConfig::sequentially_dependent(TIMESTEPS),
+            &crashes,
+        );
+    }
+}
+
+/// TDSP (sequentially dependent, WhileActive): crashes at every checkpoint
+/// boundary that the clean run actually reaches.
+#[test]
+fn tdsp_recovers_byte_identical_at_3_and_6_partitions() {
+    let (t, src) = road_fixture();
+    let lat_col = t.edge_schema().index_of(LATENCY_ATTR).unwrap();
+    for k in [3usize, 6] {
+        let pg = partitioned(&t, k);
+        let mk_cfg = || JobConfig::sequentially_dependent(TIMESTEPS).while_active(TIMESTEPS);
+        let clean = run_job(&pg, &src, Tdsp::factory(VertexIdx(0), lat_col), mk_cfg());
+        let crashes: Vec<(u16, usize, usize)> = (EVERY..clean.timesteps_run)
+            .step_by(EVERY)
+            .enumerate()
+            .map(|(i, t)| ((i % k) as u16, t, 0))
+            .collect();
+        assert!(
+            !crashes.is_empty(),
+            "tdsp-k{k}: fixture must survive past the first checkpoint boundary \
+             (ran {} timesteps)",
+            clean.timesteps_run
+        );
+        assert_crash_equivalent(
+            &format!("tdsp-k{k}"),
+            &pg,
+            &src,
+            Tdsp::factory(VertexIdx(0), lat_col),
+            mk_cfg,
+            &crashes,
+        );
+    }
+}
+
+/// Hashtag aggregation (eventually dependent): crashes inside the timestep
+/// loop *and* inside the Merge BSP (timestep index == TIMESTEPS), whose
+/// pending merge inbox must survive via the checkpoint.
+#[test]
+fn hashtag_recovers_byte_identical_including_merge_phase_crash() {
+    let (t, src, _) = tweet_fixture();
+    let tweets_col = t.vertex_schema().index_of(TWEETS_ATTR).unwrap();
+    for k in [3usize, 6] {
+        let pg = partitioned(&t, k);
+        assert_crash_equivalent(
+            &format!("hash-k{k}"),
+            &pg,
+            &src,
+            HashtagAggregation::factory("#meme", tweets_col),
+            || JobConfig::eventually_dependent(TIMESTEPS),
+            &[(0, 2, 0), (1, 4, 0), (1, TIMESTEPS, 0)],
+        );
+    }
+}
+
+/// Transient send failures are retried, counted, and change nothing else.
+#[test]
+fn transient_send_failures_are_counted_and_harmless() {
+    let (t, src) = road_fixture();
+    let pg = partitioned(&t, 3);
+    let clean = run_job(&pg, &src, Wcc::factory(), JobConfig::independent(1));
+
+    let mut plan = FaultPlan::new();
+    for p in 0..3 {
+        plan = plan.fail_send_at(p, 0, 0);
+    }
+    let flaky = run_job(
+        &pg,
+        &src,
+        Wcc::factory(),
+        JobConfig::independent(1).with_faults(plan),
+    );
+    assert_eq!(
+        flaky.recoveries, 0,
+        "send failures must not trigger recovery"
+    );
+    let retries: u64 = flaky.metrics.iter().flatten().map(|m| m.send_retries).sum();
+    assert!(
+        retries > 0,
+        "at least one remote batch must have been retried"
+    );
+    assert_eq!(fingerprint(&clean), fingerprint(&flaky));
+}
+
+/// A worker killed halfway through writing its checkpoint file must leave
+/// only a `.tmp` staging file behind: recovery resumes from the *previous*
+/// manifest entry, the job still finishes byte-identical, and no staging
+/// files survive to the end.
+#[test]
+fn mid_checkpoint_write_crash_resumes_from_previous_boundary() {
+    let (t, src, cfg) = tweet_fixture();
+    let tweets_col = t.vertex_schema().index_of(TWEETS_ATTR).unwrap();
+    let pg = partitioned(&t, 3);
+    let factory = MemeTracking::factory(cfg.meme.clone(), tweets_col);
+
+    let clean = run_job(
+        &pg,
+        &src,
+        &factory,
+        JobConfig::sequentially_dependent(TIMESTEPS),
+    );
+
+    let dir = ckpt_dir("midwrite");
+    let crashed = run_job(
+        &pg,
+        &src,
+        &factory,
+        JobConfig::sequentially_dependent(TIMESTEPS)
+            .with_checkpoint(EVERY, &dir)
+            .with_faults(FaultPlan::new().panic_in_checkpoint(1, 3))
+            .with_trace(TraceConfig::new()),
+    );
+
+    assert_eq!(crashed.recoveries, 1);
+    assert_eq!(fingerprint(&clean), fingerprint(&crashed));
+
+    // The torn write at t=3 was invisible: recovery resumed from t=1.
+    let trace = crashed.trace.as_ref().expect("trace attached");
+    let attempts = trace.instants("recovery.attempt");
+    assert_eq!(attempts.len(), 1);
+    assert_eq!(attempts[0].2, Some(("resume_t", 1)));
+
+    // After completion every boundary is committed and no staging file
+    // survives (the re-executed checkpoint replaced the torn `.tmp`).
+    assert_eq!(
+        latest_valid::<VertexIdx>(&dir, 3),
+        Some(TIMESTEPS as u64 - 1)
+    );
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let name = entry.unwrap().file_name();
+        assert!(
+            !name.to_string_lossy().ends_with(".tmp"),
+            "staging file left behind: {name:?}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Corrupted checkpoint files are rejected with *typed* codec errors and
+/// `latest_valid` silently falls back to the previous manifest entry.
+#[test]
+fn corrupted_checkpoints_fall_back_with_typed_errors() {
+    let (t, src, cfg) = tweet_fixture();
+    let tweets_col = t.vertex_schema().index_of(TWEETS_ATTR).unwrap();
+    let pg = partitioned(&t, 3);
+
+    let dir = ckpt_dir("corrupt");
+    run_job(
+        &pg,
+        &src,
+        MemeTracking::factory(cfg.meme.clone(), tweets_col),
+        JobConfig::sequentially_dependent(TIMESTEPS).with_checkpoint(EVERY, &dir),
+    );
+
+    let manifest = read_manifest(&dir).unwrap();
+    assert_eq!(manifest.timesteps, vec![1, 3, 5, 7]);
+    assert_eq!(latest_valid::<VertexIdx>(&dir, 3), Some(7));
+
+    let newest = checkpoint_path(&dir, 7, 0);
+    let pristine = std::fs::read(&newest).unwrap();
+    assert!(WorkerCheckpoint::<VertexIdx>::decode(&pristine).is_ok());
+
+    // Bit-flip in the payload → checksum mismatch.
+    let mut flipped = pristine.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x40;
+    assert!(matches!(
+        WorkerCheckpoint::<VertexIdx>::decode(&flipped),
+        Err(GofsError::ChecksumMismatch { .. })
+    ));
+
+    // Truncation → structurally corrupt.
+    assert!(matches!(
+        WorkerCheckpoint::<VertexIdx>::decode(&pristine[..pristine.len() - 9]),
+        Err(GofsError::Corrupt(_))
+    ));
+
+    // Stale format version → typed rejection, not a mis-decode.
+    let mut stale = pristine.clone();
+    stale[4] = 0xFF;
+    assert!(matches!(
+        WorkerCheckpoint::<VertexIdx>::decode(&stale),
+        Err(GofsError::UnsupportedVersion(_))
+    ));
+
+    // Wrong magic → BadMagic.
+    let mut evil = pristine.clone();
+    evil[..4].copy_from_slice(b"NOPE");
+    assert!(matches!(
+        WorkerCheckpoint::<VertexIdx>::decode(&evil),
+        Err(GofsError::BadMagic { .. })
+    ));
+
+    // A corrupted newest entry makes recovery fall back to t=5 — no panic.
+    std::fs::write(&newest, &flipped).unwrap();
+    assert_eq!(latest_valid::<VertexIdx>(&dir, 3), Some(5));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The same `FaultPlan` seed must reproduce the same injected failures and
+/// the same fault/checkpoint/recovery trace event sequence across runs.
+#[test]
+fn seeded_fault_runs_reproduce_trace_sequences() {
+    let (t, src, cfg) = tweet_fixture();
+    let tweets_col = t.vertex_schema().index_of(TWEETS_ATTR).unwrap();
+    let pg = partitioned(&t, 3);
+    let factory = MemeTracking::factory(cfg.meme.clone(), tweets_col);
+    const SEED: u64 = 0xC0FFEE;
+
+    let clean = run_job(
+        &pg,
+        &src,
+        &factory,
+        JobConfig::sequentially_dependent(TIMESTEPS),
+    );
+
+    let run_seeded = |tag: &str| {
+        let dir = ckpt_dir(tag);
+        let r = run_job(
+            &pg,
+            &src,
+            &factory,
+            JobConfig::sequentially_dependent(TIMESTEPS)
+                .with_checkpoint(EVERY, &dir)
+                .with_faults(FaultPlan::from_seed(SEED, 3, TIMESTEPS))
+                .with_trace(TraceConfig::new()),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        r
+    };
+    let a = run_seeded("seed-a");
+    let b = run_seeded("seed-b");
+
+    // Same failures injected, same results, both equal to clean.
+    assert!(
+        a.recoveries > 0,
+        "seed 0x{SEED:X} must inject at least one death"
+    );
+    assert_eq!(a.recoveries, b.recoveries);
+    assert_eq!(fingerprint(&clean), fingerprint(&a));
+    assert_eq!(fingerprint(&clean), fingerprint(&b));
+
+    // Same fault/checkpoint/recovery event sequence, track by track.
+    let fault_events = |r: &JobResult| -> Vec<FaultEvent> {
+        let mut seq = Vec::new();
+        for track in &r.trace.as_ref().unwrap().tracks {
+            for ev in &track.events {
+                let (name, arg) = match *ev {
+                    tempograph::trace::TraceEvent::Span { name, arg, .. } => (name, arg),
+                    tempograph::trace::TraceEvent::Instant { name, arg, .. } => (name, arg),
+                    tempograph::trace::TraceEvent::Counter { name, value, .. } => {
+                        (name, Some(("value", value)))
+                    }
+                };
+                if name.starts_with("fault.")
+                    || name.starts_with("checkpoint.")
+                    || name.starts_with("recovery.")
+                {
+                    seq.push((track.track, name, arg));
+                }
+            }
+        }
+        seq
+    };
+    let seq_a = fault_events(&a);
+    let seq_b = fault_events(&b);
+    assert!(
+        !seq_a.is_empty(),
+        "a seeded crash run must record fault/checkpoint/recovery events"
+    );
+    assert_eq!(
+        seq_a, seq_b,
+        "same seed must replay the same event sequence"
+    );
+}
+
+/// Checkpointing a run that never crashes must not change its output, and
+/// must leave a decodable set of files for every boundary.
+#[test]
+fn checkpointing_without_faults_is_output_neutral() {
+    let (t, src) = road_fixture();
+    let lat_col = t.edge_schema().index_of(LATENCY_ATTR).unwrap();
+    let pg = partitioned(&t, 3);
+    let mk_cfg = || JobConfig::sequentially_dependent(TIMESTEPS).while_active(TIMESTEPS);
+
+    let plain = run_job(&pg, &src, Tdsp::factory(VertexIdx(0), lat_col), mk_cfg());
+    let dir = ckpt_dir("neutral");
+    let ticked = run_job(
+        &pg,
+        &src,
+        Tdsp::factory(VertexIdx(0), lat_col),
+        mk_cfg().with_checkpoint(EVERY, &dir),
+    );
+    assert_eq!(fingerprint(&plain), fingerprint(&ticked));
+    assert_eq!(ticked.recoveries, 0);
+    // Every committed boundary decodes for every partition.
+    let manifest = read_manifest(&dir).unwrap();
+    assert!(!manifest.timesteps.is_empty());
+    assert_eq!(
+        latest_valid::<tempograph::algos::tdsp::TdspMsg>(&dir, 3),
+        manifest.timesteps.last().copied()
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
