@@ -1,17 +1,29 @@
 #!/usr/bin/env bash
 # Local CI: formatting, lints, and the tier-1 verification gate.
 # Usage: ./ci.sh            (full pipeline)
+#        ./ci.sh --lint     (invariant-checker stage only)
 #        ./ci.sh --faults   (fault-tolerance stage only)
 set -euo pipefail
 cd "$(dirname "$0")"
 
 FAULTS_ONLY=0
+LINT_ONLY=0
 for arg in "$@"; do
     case "$arg" in
         --faults) FAULTS_ONLY=1 ;;
-        *) echo "unknown argument: $arg (expected --faults)" >&2; exit 2 ;;
+        --lint) LINT_ONLY=1 ;;
+        *) echo "unknown argument: $arg (expected --lint or --faults)" >&2; exit 2 ;;
     esac
 done
+
+# Invariant checker: the workspace must satisfy the tempograph-lint rules
+# (determinism, panic-freedom in the worker hot path, atomic-ordering
+# discipline, forbid(unsafe_code) on every crate root) modulo the
+# committed, justified lint-allow.toml. Fast: runs before the main build.
+lint_stage() {
+    echo "==> tempograph-lint: workspace invariants (rules D01-D03, P01, A01, W01, F01)"
+    cargo run -q -p tempograph-lint
+}
 
 # Fault-tolerance gate: the recovery-equivalence suite (fixed seeds baked
 # into the tests), the seeded fault-plan property tests, and the smoke test
@@ -28,11 +40,41 @@ faults_stage() {
     cargo test -q --release --test checkpoint_overhead -- --ignored
 }
 
+# Best-effort: run the wire-codec and GoFS slice-codec round-trip tests
+# under miri to catch UB in the decode paths. The container may lack the
+# nightly miri component; skip loudly rather than fail.
+miri_stage() {
+    echo "==> miri (best effort): wire + slice codec round-trips"
+    if ! command -v rustup >/dev/null 2>&1; then
+        echo "    rustup not installed; skipping miri"
+        return 0
+    fi
+    if ! rustup toolchain list 2>/dev/null | grep -q nightly; then
+        echo "    no nightly toolchain; skipping miri"
+        return 0
+    fi
+    if ! rustup component list --toolchain nightly 2>/dev/null \
+            | grep -q 'miri.*(installed)'; then
+        echo "    miri component not installed on nightly; skipping miri"
+        return 0
+    fi
+    cargo +nightly miri test -q -p tempograph-engine wire::tests
+    cargo +nightly miri test -q -p tempograph-gofs slice::tests
+}
+
+if [[ "$LINT_ONLY" -eq 1 ]]; then
+    lint_stage
+    echo "CI OK (lint)"
+    exit 0
+fi
+
 if [[ "$FAULTS_ONLY" -eq 1 ]]; then
     faults_stage
     echo "CI OK (faults)"
     exit 0
 fi
+
+lint_stage
 
 echo "==> cargo fmt --check"
 if cargo fmt --version >/dev/null 2>&1; then
@@ -59,5 +101,7 @@ echo "==> trace overhead smoke test (tracing disabled must be ~free)"
 cargo test -q --release --test trace_integration -- --ignored
 
 faults_stage
+
+miri_stage
 
 echo "CI OK"

@@ -17,7 +17,7 @@
 //!   `(transition t→t+1 encoded as VertexIdx(t), stable_count)`.
 
 use tempograph_core::VertexIdx;
-use tempograph_engine::{Context, Envelope, SubgraphProgram, WireMsg};
+use tempograph_engine::{wire, Context, Envelope, SubgraphProgram, WireError, WireMsg};
 use tempograph_partition::Subgraph;
 
 /// Messages: superstep label relaxations or merged stability series.
@@ -45,10 +45,19 @@ impl WireMsg for CommunityMsg {
         }
     }
 
-    fn decode(buf: &mut bytes::Bytes) -> Self {
-        match bytes::Buf::get_u8(buf) {
-            0 => CommunityMsg::Relax(VertexIdx::decode(buf), u64::decode(buf)),
-            _ => CommunityMsg::Series(Vec::decode(buf)),
+    fn decode(buf: &mut bytes::Bytes) -> Result<Self, WireError> {
+        // Explicit tags (lint rule W01): adding a variant must extend this
+        // match, and an unknown tag is corruption, not a silent `Series`.
+        match wire::get_u8(buf, "CommunityMsg tag")? {
+            0 => Ok(CommunityMsg::Relax(
+                VertexIdx::decode(buf)?,
+                u64::decode(buf)?,
+            )),
+            1 => Ok(CommunityMsg::Series(Vec::decode(buf)?)),
+            tag => Err(WireError::BadTag {
+                context: "CommunityMsg",
+                tag,
+            }),
         }
     }
 }
@@ -275,7 +284,7 @@ mod tests {
         ] {
             let mut buf = BytesMut::new();
             m.encode(&mut buf);
-            assert_eq!(CommunityMsg::decode(&mut buf.freeze()), m);
+            assert_eq!(CommunityMsg::decode(&mut buf.freeze()).unwrap(), m);
         }
     }
 }

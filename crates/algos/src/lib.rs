@@ -20,6 +20,8 @@
 //! job's lifetime, so the two are equivalent; cross-timestep *liveness*
 //! tokens are still sent where the `While` termination mode needs them.
 
+#![forbid(unsafe_code)]
+
 pub mod community;
 pub mod hashtag;
 pub mod meme;

@@ -21,7 +21,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use tempograph_core::VertexIdx;
-use tempograph_engine::{Combiner, Context, Envelope, SubgraphProgram, WireMsg};
+use tempograph_engine::{wire, Combiner, Context, Envelope, SubgraphProgram, WireError, WireMsg};
 use tempograph_partition::Subgraph;
 
 /// TDSP message: either a remote relaxation or a liveness token for the
@@ -46,10 +46,16 @@ impl WireMsg for TdspMsg {
         }
     }
 
-    fn decode(buf: &mut bytes::Bytes) -> Self {
-        match bytes::Buf::get_u8(buf) {
-            0 => TdspMsg::Relax(VertexIdx::decode(buf), f64::decode(buf)),
-            _ => TdspMsg::Continue,
+    fn decode(buf: &mut bytes::Bytes) -> Result<Self, WireError> {
+        // Explicit tags (lint rule W01): adding a variant must extend this
+        // match, and an unknown tag is corruption, not a silent `Continue`.
+        match wire::get_u8(buf, "TdspMsg tag")? {
+            0 => Ok(TdspMsg::Relax(VertexIdx::decode(buf)?, f64::decode(buf)?)),
+            1 => Ok(TdspMsg::Continue),
+            tag => Err(WireError::BadTag {
+                context: "TdspMsg",
+                tag,
+            }),
         }
     }
 }
@@ -312,7 +318,7 @@ mod tests {
         for msg in [TdspMsg::Relax(VertexIdx(7), 3.5), TdspMsg::Continue] {
             let mut buf = BytesMut::new();
             msg.encode(&mut buf);
-            assert_eq!(TdspMsg::decode(&mut buf.freeze()), msg);
+            assert_eq!(TdspMsg::decode(&mut buf.freeze()).unwrap(), msg);
         }
     }
 

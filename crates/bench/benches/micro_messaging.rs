@@ -68,7 +68,7 @@ fn legacy_superstep(inputs: &[Vec<Envelope<Msg>>]) -> BTreeMap<SubgraphId, Vec<E
         .collect();
     let mut inbox: BTreeMap<SubgraphId, Vec<Envelope<Msg>>> = BTreeMap::new();
     for (count, mut bytes) in frames {
-        for e in legacy::decode_envelopes::<Msg>(count, &mut bytes) {
+        for e in legacy::decode_envelopes::<Msg>(count, &mut bytes).expect("bench frame decodes") {
             inbox.entry(e.to).or_default().push(e);
         }
     }
@@ -104,7 +104,7 @@ fn batched_superstep(
         .collect();
     let mut staged: BTreeMap<SubgraphId, Vec<Vec<Envelope<Msg>>>> = BTreeMap::new();
     for mut bytes in frames {
-        for (to, run) in MessageBatch::<Msg>::decode(&mut bytes) {
+        for (to, run) in MessageBatch::<Msg>::decode(&mut bytes).expect("bench frame decodes") {
             staged.entry(to).or_default().push(run);
         }
         pool.reclaim(bytes);

@@ -21,6 +21,8 @@
 //!   virtual clock is the faithful analogue of the paper's cluster
 //!   wall-clock and is what the scaling tables quote.
 
+#![forbid(unsafe_code)]
+
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use tempograph_core::{GraphTemplate, TimeSeriesCollection};

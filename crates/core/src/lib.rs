@@ -38,6 +38,8 @@
 //! assert_eq!(coll.len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod attr;
 pub mod collection;
 pub mod error;

@@ -42,7 +42,8 @@
 //! content and order, and the `micro_messaging` benchmark measures both in
 //! the same run.
 
-use crate::wire::{sort_envelopes, Envelope, WireMsg};
+use crate::error::WireError;
+use crate::wire::{get_u32, sort_envelopes, Envelope, WireMsg};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -150,10 +151,13 @@ pub fn combine_envelopes<M>(
 /// n_runs × [to: u32][run_len: u32] run_len × ([from: u32][seq: u32][payload])
 /// ```
 pub struct MessageBatch<M> {
-    runs: Vec<(SubgraphId, Vec<Envelope<M>>)>,
+    runs: DecodedRuns<M>,
     run_of: FxHashMap<SubgraphId, usize>,
     len: usize,
 }
+
+/// A decoded frame: per-destination runs in sender push order.
+pub type DecodedRuns<M> = Vec<(SubgraphId, Vec<Envelope<M>>)>;
 
 impl<M> Default for MessageBatch<M> {
     fn default() -> Self {
@@ -229,26 +233,26 @@ impl<M: WireMsg> MessageBatch<M> {
 
     /// Read one frame back as per-destination runs. Run-internal order is
     /// exactly the sender's push order.
-    pub fn decode(buf: &mut Bytes) -> Vec<(SubgraphId, Vec<Envelope<M>>)> {
-        let n_runs = buf.get_u32_le() as usize;
-        let mut runs = Vec::with_capacity(n_runs);
+    pub fn decode(buf: &mut Bytes) -> Result<DecodedRuns<M>, WireError> {
+        let n_runs = get_u32(buf, "batch run count")? as usize;
+        let mut runs = Vec::with_capacity(n_runs.min(buf.remaining().max(1)));
         for _ in 0..n_runs {
-            let to = SubgraphId(buf.get_u32_le());
-            let n = buf.get_u32_le() as usize;
-            let mut run = Vec::with_capacity(n);
+            let to = SubgraphId(get_u32(buf, "run destination")?);
+            let n = get_u32(buf, "run length")? as usize;
+            let mut run = Vec::with_capacity(n.min(buf.remaining().max(1)));
             for _ in 0..n {
-                let from = SubgraphId(buf.get_u32_le());
-                let seq = buf.get_u32_le();
+                let from = SubgraphId(get_u32(buf, "run entry from")?);
+                let seq = get_u32(buf, "run entry seq")?;
                 run.push(Envelope {
                     from,
                     to,
                     seq,
-                    payload: M::decode(buf),
+                    payload: M::decode(buf)?,
                 });
             }
             runs.push((to, run));
         }
-        runs
+        Ok(runs)
     }
 
     /// [`Self::encode`] wrapped in a `"batch.encode"` trace span carrying
@@ -371,12 +375,8 @@ pub fn merge_sorted_runs<M>(mut runs: Vec<Vec<Envelope<M>>>) -> Vec<Envelope<M>>
             // Only one non-empty run left: drain it and finish.
             None => out.extend(it),
             Some(f) => {
-                while let Some(e) = it.peek() {
-                    if (e.from, e.seq) < f {
-                        out.push(it.next().expect("peeked"));
-                    } else {
-                        break;
-                    }
+                while let Some(e) = it.next_if(|e| (e.from, e.seq) < f) {
+                    out.push(e);
                 }
             }
         }
@@ -420,7 +420,10 @@ pub mod legacy {
     }
 
     /// Decode a legacy frame of `count` envelopes.
-    pub fn decode_envelopes<M: WireMsg>(count: u32, bytes: &mut Bytes) -> Vec<Envelope<M>> {
+    pub fn decode_envelopes<M: WireMsg>(
+        count: u32,
+        bytes: &mut Bytes,
+    ) -> Result<Vec<Envelope<M>>, WireError> {
         (0..count).map(|_| Envelope::decode(bytes)).collect()
     }
 
@@ -470,7 +473,7 @@ mod tests {
         b.encode(&mut buf);
         let expect = b.into_runs();
         let mut bytes = buf.freeze();
-        let got = MessageBatch::<u64>::decode(&mut bytes);
+        let got = MessageBatch::<u64>::decode(&mut bytes).unwrap();
         assert_eq!(bytes.remaining(), 0, "frame must consume exactly");
         assert_eq!(got, expect);
     }
@@ -482,14 +485,14 @@ mod tests {
         let mut buf = BytesMut::new();
         b.encode(&mut buf);
         let mut bytes = buf.freeze();
-        assert!(MessageBatch::<u64>::decode(&mut bytes).is_empty());
+        assert!(MessageBatch::<u64>::decode(&mut bytes).unwrap().is_empty());
         assert_eq!(bytes.remaining(), 0);
 
         let mut b = MessageBatch::new();
         b.push(env(3, 4, 9, 99));
         let mut buf = BytesMut::new();
         b.encode(&mut buf);
-        let runs = MessageBatch::<u64>::decode(&mut buf.freeze());
+        let runs = MessageBatch::<u64>::decode(&mut buf.freeze()).unwrap();
         assert_eq!(runs, vec![(SubgraphId(4), vec![env(3, 4, 9, 99)])]);
     }
 
@@ -590,8 +593,25 @@ mod tests {
     fn legacy_roundtrip() {
         let msgs = vec![env(0, 5, 0, 1), env(1, 6, 0, 2)];
         let (count, mut bytes) = legacy::encode_envelopes(&msgs);
-        let back = legacy::decode_envelopes::<u64>(count, &mut bytes);
+        let back = legacy::decode_envelopes::<u64>(count, &mut bytes).unwrap();
         assert_eq!(bytes.remaining(), 0);
         assert_eq!(back, msgs);
+    }
+
+    #[test]
+    fn truncated_frame_is_a_typed_error() {
+        let mut b = MessageBatch::new();
+        b.push(env(0, 5, 0, 1));
+        b.push(env(0, 5, 1, 2));
+        let mut buf = BytesMut::new();
+        b.encode(&mut buf);
+        let full = buf.freeze();
+        for cut in [0, 4, full.len() - 1] {
+            let mut short = Bytes::copy_from_slice(&full[..cut]);
+            assert!(
+                MessageBatch::<u64>::decode(&mut short).is_err(),
+                "cut at {cut} must error, not panic"
+            );
+        }
     }
 }

@@ -167,12 +167,9 @@ fn get_envelopes<M: WireMsg>(buf: &mut Bytes) -> Result<Vec<Envelope<M>>> {
     let n = codec::get_u32(buf)? as usize;
     let mut out = Vec::with_capacity(n.min(1 << 16));
     for _ in 0..n {
-        if buf.remaining() < 12 {
-            return Err(GofsError::Corrupt("envelope overruns checkpoint".into()));
-        }
-        // Payload decode may panic only on a corrupt file that nonetheless
-        // passed the frame checksum — astronomically unlikely, acceptable.
-        out.push(Envelope::decode(buf));
+        let e = Envelope::decode(buf)
+            .map_err(|e| GofsError::Corrupt(format!("checkpoint envelope: {e}")))?;
+        out.push(e);
     }
     Ok(out)
 }

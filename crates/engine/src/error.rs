@@ -1,0 +1,112 @@
+//! Typed errors for the engine's worker hot path.
+//!
+//! The message decode path (superstep drain, checkpoint inbox decode) used
+//! to panic on malformed bytes — acceptable while buffers were provably
+//! engine-internal, but a panic in a worker poisons the whole cluster and
+//! loses the structured cause. Lint rule **P01** now forbids
+//! `unwrap`/`expect`/`panic!` in that path; corruption instead surfaces as
+//! a [`WireError`] (codec layer) wrapped into an [`EngineError`] (worker
+//! layer), which the driver re-raises with the failing partition attached.
+
+use std::fmt;
+
+/// A malformed wire buffer, detected during decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before a fixed-width read.
+    Eof {
+        /// What was being decoded.
+        context: &'static str,
+        /// Bytes the read required.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// A tag byte matched no known variant.
+    BadTag {
+        /// The enum or frame whose tag was read.
+        context: &'static str,
+        /// The offending tag value.
+        tag: u8,
+    },
+    /// A length-prefixed string was not valid UTF-8.
+    Utf8 {
+        /// What was being decoded.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Eof {
+                context,
+                needed,
+                remaining,
+            } => write!(
+                f,
+                "unexpected end of wire buffer decoding {context}: \
+                 need {needed} bytes, {remaining} remain"
+            ),
+            WireError::BadTag { context, tag } => {
+                write!(f, "unknown {context} tag {tag:#04x}")
+            }
+            WireError::Utf8 { context } => write!(f, "invalid UTF-8 decoding {context}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A worker-level failure surfaced to the driver as a value, not a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// A received frame failed to decode.
+    Wire(WireError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Wire(e) => write!(f, "wire decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Wire(e) => Some(e),
+        }
+    }
+}
+
+impl From<WireError> for EngineError {
+    fn from(e: WireError) -> Self {
+        EngineError::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        let e = WireError::Eof {
+            context: "u32",
+            needed: 4,
+            remaining: 1,
+        };
+        assert!(e.to_string().contains("u32"));
+        assert!(e.to_string().contains("4 bytes"));
+        let e = WireError::BadTag {
+            context: "Option",
+            tag: 7,
+        };
+        assert!(e.to_string().contains("0x07"));
+        let e: EngineError = WireError::Utf8 { context: "String" }.into();
+        assert!(e.to_string().contains("UTF-8"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -28,6 +28,7 @@ use crate::batch::{
 use crate::checkpoint::{
     self, checkpoint_path, commit_manifest, CheckpointConfig, SubgraphCheckpoint, WorkerCheckpoint,
 };
+use crate::error::EngineError;
 use crate::faults::{injected_panic_message, payload_is_injected, FaultPlan};
 use crate::metrics::{Emit, JobResult, TimestepMetrics};
 use crate::program::{Context, Outbox, Phase, SubgraphProgram};
@@ -36,13 +37,12 @@ use crate::sync::{join_partition, Contribution, PoisonOnPanic, SyncPoint};
 use crate::wire::{sort_envelopes, Envelope};
 use bytes::{Buf, Bytes, BytesMut};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
-use std::time::Instant;
 use tempograph_gofs::store::{tmp_sibling, write_atomic};
 use tempograph_gofs::SubgraphInstance;
 use tempograph_partition::{PartitionedGraph, SubgraphId};
-use tempograph_trace::{Trace, TraceConfig, TraceSink};
+use tempograph_trace::{Clock, Trace, TraceConfig, TraceSink};
 
 /// One unit of work for the intra-partition compute pool: the subgraph's
 /// index, its program slot (taken while the worker thread runs it), and
@@ -231,22 +231,35 @@ impl<M> JobConfig<M> {
     }
 }
 
-const KIND_SUPERSTEP: u8 = 0;
-const KIND_NEXT_TIMESTEP: u8 = 1;
+/// Which inbox a [`Batch`] frame is destined for. An enum (not a `u8`
+/// tag) so every routing `match` is exhaustive — adding a delivery class
+/// forces both the send and drain paths to be updated (lint rule W01).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum BatchKind {
+    /// Delivered at the next superstep of the current phase.
+    Superstep,
+    /// Delivered at superstep 0 of the next timestep.
+    NextTimestep,
+}
 
 /// One serialised [`MessageBatch`] frame between two partitions (the
 /// message count lives inside the frame).
 struct Batch {
-    kind: u8,
+    kind: BatchKind,
     bytes: Bytes,
 }
 
 /// Per-worker result shipped back to the driver.
+///
+/// Counter maps are `BTreeMap`s: they are iterated when assembling the
+/// global [`JobResult`] and when encoding checkpoints, and `HashMap`
+/// iteration order would leak hasher nondeterminism into both (lint rule
+/// D01).
 struct WorkerOutput {
     metrics: Vec<TimestepMetrics>,
     merge_metrics: TimestepMetrics,
-    counters: Vec<HashMap<&'static str, u64>>,
-    merge_counters: HashMap<&'static str, u64>,
+    counters: Vec<BTreeMap<&'static str, u64>>,
+    merge_counters: BTreeMap<&'static str, u64>,
     emits: Vec<Emit>,
     timesteps_run: usize,
     /// Final per-subgraph program state (see [`JobResult::final_states`]).
@@ -311,7 +324,7 @@ where
         std::fs::create_dir_all(&ck.dir).expect("create checkpoint directory");
     }
 
-    let job_start = Instant::now();
+    let job_start = Clock::start();
     // Driver-side sink (its own track, after the k partition tracks) for
     // recovery markers.
     let mut driver_sink = config.trace.map(|tc| tc.sink(k as u32));
@@ -332,7 +345,8 @@ where
             rxs.push(Some(rx));
         }
 
-        let results: Vec<std::thread::Result<WorkerOutput>> = std::thread::scope(|scope| {
+        type WorkerResult = Result<WorkerOutput, EngineError>;
+        let results: Vec<std::thread::Result<WorkerResult>> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(k);
             for (p, rx_slot) in rxs.iter_mut().enumerate() {
                 let rx = rx_slot.take().expect("receiver unclaimed");
@@ -361,17 +375,37 @@ where
                         }
                         None => 0,
                     };
-                    worker.run(start_t, timesteps, &config)
+                    let out = worker.run(start_t, timesteps, &config);
+                    if out.is_err() {
+                        // An error return unwinds no stack, so the RAII
+                        // guard won't fire — poison explicitly so peers
+                        // blocked at a barrier fail fast as cascades.
+                        sync.poison();
+                    }
+                    out
                 }));
             }
             handles.into_iter().map(|h| h.join()).collect()
         });
 
-        if results.iter().all(std::thread::Result::is_ok) {
+        if results.iter().all(|r| matches!(r, Ok(Ok(_)))) {
             break results
                 .into_iter()
-                .map(|r| r.expect("checked ok"))
+                .map(|r| match r {
+                    Ok(Ok(o)) => o,
+                    _ => unreachable!("checked ok"),
+                })
                 .collect();
+        }
+
+        // A typed worker error (wire corruption) is deterministic: a restart
+        // would re-decode the same bytes and fail again, so surface it now,
+        // naming the partition.
+        if let Some((p, e)) = results.iter().enumerate().find_map(|(p, r)| match r {
+            Ok(Err(e)) => Some((p, e.clone())),
+            _ => None,
+        }) {
+            panic!("worker for partition {p} failed: {e}");
         }
 
         // Recover only from *injected* deaths with checkpointing armed: a
@@ -390,7 +424,7 @@ where
                     (cascade, *p)
                 })
                 .expect("some worker failed");
-            join_partition(p, joined);
+            let _ = join_partition(p, joined);
             unreachable!("join_partition re-panics on Err");
         }
 
@@ -406,7 +440,7 @@ where
             );
         }
     };
-    let total_wall_ns = job_start.elapsed().as_nanos() as u64;
+    let total_wall_ns = job_start.elapsed_ns();
 
     let trace = config.trace.map(|_| {
         let mut sinks: Vec<(String, TraceSink)> =
@@ -430,7 +464,7 @@ where
     }
     let merge_metrics = outputs.iter().map(|o| o.merge_metrics.clone()).collect();
 
-    let mut counters: HashMap<String, Vec<Vec<u64>>> = HashMap::new();
+    let mut counters: BTreeMap<String, Vec<Vec<u64>>> = BTreeMap::new();
     for (p, o) in outputs.iter().enumerate() {
         for (t, per_t) in o.counters.iter().enumerate() {
             for (&name, &v) in per_t {
@@ -441,7 +475,7 @@ where
             }
         }
     }
-    let mut merge_counters: HashMap<String, Vec<u64>> = HashMap::new();
+    let mut merge_counters: BTreeMap<String, Vec<u64>> = BTreeMap::new();
     for (p, o) in outputs.iter().enumerate() {
         for (&name, &v) in &o.merge_counters {
             merge_counters
@@ -531,7 +565,7 @@ struct Worker<'a, P: SubgraphProgram> {
     loop_finished: bool,
 
     out: WorkerOutput,
-    cur_counters: HashMap<&'static str, u64>,
+    cur_counters: BTreeMap<&'static str, u64>,
     allow_next_timestep: bool,
 }
 
@@ -590,13 +624,13 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
                 metrics: Vec::new(),
                 merge_metrics: TimestepMetrics::default(),
                 counters: Vec::new(),
-                merge_counters: HashMap::new(),
+                merge_counters: BTreeMap::new(),
                 emits: Vec::new(),
                 timesteps_run: 0,
                 final_states: Vec::new(),
                 sinks: Vec::new(),
             },
-            cur_counters: HashMap::new(),
+            cur_counters: BTreeMap::new(),
             allow_next_timestep: config.pattern == Pattern::SequentiallyDependent,
         }
     }
@@ -612,15 +646,20 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
             .collect();
     }
 
-    fn run(mut self, start_t: usize, timesteps: usize, config: &JobConfig<P::Msg>) -> WorkerOutput {
+    fn run(
+        mut self,
+        start_t: usize,
+        timesteps: usize,
+        config: &JobConfig<P::Msg>,
+    ) -> Result<WorkerOutput, EngineError> {
         if config.temporal_parallelism {
             debug_assert_eq!(start_t, 0, "checkpointing excludes the temporal fast path");
             self.run_temporally_parallel(timesteps, config);
         } else if !self.loop_finished {
-            self.run_timestep_loop(start_t, timesteps, config);
+            self.run_timestep_loop(start_t, timesteps, config)?;
         }
         if config.pattern == Pattern::EventuallyDependent {
-            self.run_merge(config);
+            self.run_merge(config)?;
         }
         // Capture final program states for the recovery-equivalence check.
         for i in 0..self.sg_ids.len() {
@@ -643,16 +682,21 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
                 .sinks
                 .push((format!("partition {} gofs", self.partition), sink));
         }
-        self.out
+        Ok(self.out)
     }
 
     // ---- main timestep loop -------------------------------------------
 
-    fn run_timestep_loop(&mut self, start_t: usize, timesteps: usize, config: &JobConfig<P::Msg>) {
+    fn run_timestep_loop(
+        &mut self,
+        start_t: usize,
+        timesteps: usize,
+        config: &JobConfig<P::Msg>,
+    ) -> Result<(), EngineError> {
         for t in start_t..timesteps {
             let ts0 = self.tracer.now();
             let mut m = TimestepMetrics::default();
-            self.cur_counters = HashMap::new();
+            self.cur_counters = BTreeMap::new();
             self.memo.clear();
             self.halted.iter_mut().for_each(|h| *h = false);
             self.voted_halt_ts.iter_mut().for_each(|h| *h = false);
@@ -691,7 +735,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
                 Phase::Compute,
                 &mut m,
                 &mut next_msgs_total,
-            );
+            )?;
             m.supersteps = supersteps;
 
             // EndOfTimestep on every subgraph.
@@ -731,7 +775,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
             // Route cross-timestep messages.
             let send0 = self.tracer.now();
             next_msgs_total += next_out.len() as u64;
-            self.route(next_out, KIND_NEXT_TIMESTEP, &mut m);
+            self.route(next_out, BatchKind::NextTimestep, &mut m);
             let send1 = self.tracer.now();
             m.msg_ns += send1 - send0;
             self.tracer.span_at("send", send0, send1);
@@ -747,7 +791,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
             self.tracer.span_at("barrier.arrive", wait0, wait1);
             self.tracer.straggler_check(wait1 - wait0);
             let drain_span = self.tracer.start();
-            self.drain();
+            self.drain()?;
             self.tracer.span_since("drain", drain_span);
             // Late-arrival barrier: nobody starts the next timestep until
             // every worker has drained this one's traffic.
@@ -779,6 +823,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
                 break;
             }
         }
+        Ok(())
     }
 
     /// Run one BSP (compute or merge phase). Returns superstep count.
@@ -790,7 +835,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
         phase: Phase,
         m: &mut TimestepMetrics,
         next_msgs_total: &mut u64,
-    ) -> u32 {
+    ) -> Result<u32, EngineError> {
         let mut ss: usize = 0;
         loop {
             self.cur_t = t as u64;
@@ -855,8 +900,8 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
             let send0 = self.tracer.now();
             let sent = superstep_out.len() as u64;
             *next_msgs_total += next_out.len() as u64;
-            self.route(superstep_out, KIND_SUPERSTEP, m);
-            self.route(next_out, KIND_NEXT_TIMESTEP, m);
+            self.route(superstep_out, BatchKind::Superstep, m);
+            self.route(next_out, BatchKind::NextTimestep, m);
             let send1 = self.tracer.now();
             m.msg_ns += send1 - send0;
             self.tracer.span_at("send", send0, send1);
@@ -872,7 +917,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
             self.tracer.straggler_check(wait1 - wait0);
 
             let drain_span = self.tracer.start();
-            self.drain();
+            self.drain()?;
             self.deliver_staged();
             self.tracer.span_since("drain", drain_span);
             // Second rendezvous: a fast worker must not start the next
@@ -888,7 +933,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
                 .span_arg_at("superstep", compute0, wait3, "superstep", ss as u64);
             ss += 1;
             if agg.should_stop() || ss >= config.max_supersteps {
-                return ss as u32;
+                return Ok(ss as u32);
             }
         }
     }
@@ -1021,7 +1066,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
 
     // ---- merge phase ----------------------------------------------------
 
-    fn run_merge(&mut self, config: &JobConfig<P::Msg>) {
+    fn run_merge(&mut self, config: &JobConfig<P::Msg>) -> Result<(), EngineError> {
         let timesteps = self.out.timesteps_run;
         // Merge superstep-0 inbox: the accumulated SendMessageToMerge
         // traffic, already per-subgraph and chronologically ordered by seq.
@@ -1032,7 +1077,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
             sort_envelopes(list);
         }
         let mut m = TimestepMetrics::default();
-        self.cur_counters = HashMap::new();
+        self.cur_counters = BTreeMap::new();
         let wall0 = self.tracer.now();
         let mut ignored = 0u64;
         let supersteps = self.run_bsp(
@@ -1042,7 +1087,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
             Phase::Merge,
             &mut m,
             &mut ignored,
-        );
+        )?;
         m.supersteps = supersteps;
         self.sample_traffic_counters(&m);
         let wall1 = self.tracer.now();
@@ -1050,6 +1095,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
         self.tracer.span_at("merge_phase", wall0, wall1);
         self.out.merge_metrics = m;
         self.out.merge_counters = std::mem::take(&mut self.cur_counters);
+        Ok(())
     }
 
     // ---- temporal-parallelism fast path ---------------------------------
@@ -1059,8 +1105,8 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
         // (subgraph, timestep) pairs. Valid only for programs whose compute
         // never uses superstep messaging (Context enforces this).
         let mut per_t = vec![TimestepMetrics::default(); timesteps];
-        let mut per_t_counters: Vec<HashMap<&'static str, u64>> = vec![HashMap::new(); timesteps];
-        let wall = Instant::now();
+        let mut per_t_counters: Vec<BTreeMap<&'static str, u64>> = vec![BTreeMap::new(); timesteps];
+        let wall = Clock::start();
         for i in 0..self.sg_ids.len() {
             for t in 0..timesteps {
                 self.memo.clear();
@@ -1093,7 +1139,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
         }
         // Wall time is not separable per timestep in this mode; assign the
         // total to the aggregate and split evenly for plotting.
-        let total_wall = wall.elapsed().as_nanos() as u64;
+        let total_wall = wall.elapsed_ns();
         let share = total_wall / timesteps.max(1) as u64;
         for mt in &mut per_t {
             mt.wall_ns = share;
@@ -1189,7 +1235,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
     /// `msgs` arrives (from, seq)-sorted — senders are drained in ascending
     /// subgraph order and each sender's seq only grows — so every
     /// per-destination bucket formed here is itself a sorted run.
-    fn route(&mut self, mut msgs: Vec<Envelope<P::Msg>>, kind: u8, m: &mut TimestepMetrics) {
+    fn route(&mut self, mut msgs: Vec<Envelope<P::Msg>>, kind: BatchKind, m: &mut TimestepMetrics) {
         if msgs.is_empty() {
             return;
         }
@@ -1216,8 +1262,8 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
         for (to, run) in local.into_runs() {
             let idx = self.index_of[&to];
             match kind {
-                KIND_SUPERSTEP => self.inbox_runs[idx].push(run),
-                _ => self.next_runs[idx].push(run),
+                BatchKind::Superstep => self.inbox_runs[idx].push(run),
+                BatchKind::NextTimestep => self.next_runs[idx].push(run),
             }
         }
         for (part, batch) in remote.into_iter().enumerate() {
@@ -1250,20 +1296,23 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
     }
 
     /// Drain every queued frame into per-subgraph staged runs, recycling
-    /// the frame allocations into this worker's pool.
-    fn drain(&mut self) {
+    /// the frame allocations into this worker's pool. A frame that fails to
+    /// decode surfaces as a typed error; the caller poisons the barrier and
+    /// the driver names the failing partition.
+    fn drain(&mut self) -> Result<(), EngineError> {
         while let Ok(batch) = self.rx.try_recv() {
             let mut bytes = batch.bytes;
-            for (to, run) in MessageBatch::<P::Msg>::decode(&mut bytes) {
+            for (to, run) in MessageBatch::<P::Msg>::decode(&mut bytes)? {
                 let idx = self.index_of[&to];
                 match batch.kind {
-                    KIND_SUPERSTEP => self.inbox_runs[idx].push(run),
-                    _ => self.next_runs[idx].push(run),
+                    BatchKind::Superstep => self.inbox_runs[idx].push(run),
+                    BatchKind::NextTimestep => self.next_runs[idx].push(run),
                 }
             }
             debug_assert_eq!(bytes.remaining(), 0);
             self.pool.reclaim(bytes);
         }
+        Ok(())
     }
 
     /// Merge each subgraph's staged superstep runs into its inbox — the
@@ -1359,12 +1408,9 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
                 .out
                 .counters
                 .iter()
-                .map(|row| {
-                    let mut v: Vec<(String, u64)> =
-                        row.iter().map(|(&n, &val)| (n.to_string(), val)).collect();
-                    v.sort();
-                    v
-                })
+                // BTreeMap iteration is already name-sorted — the encoded
+                // rows are canonical without an explicit sort.
+                .map(|row| row.iter().map(|(&n, &val)| (n.to_string(), val)).collect())
                 .collect(),
             emits: self.out.emits.clone(),
         }

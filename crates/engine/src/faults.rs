@@ -81,7 +81,10 @@ struct FaultEvent {
 
 impl FaultEvent {
     fn fire_once(&self) -> bool {
-        !self.fired.swap(true, Ordering::Relaxed)
+        // AcqRel (lint rule A01): the latch decides which worker run dies,
+        // and recovery attempts read it after the previous attempt's writes
+        // — the winner's `true` must be visible before any later check.
+        !self.fired.swap(true, Ordering::AcqRel)
     }
 }
 
@@ -208,7 +211,9 @@ impl FaultPlan {
     /// second independent `run_job` call.
     pub fn reset(&self) {
         for e in &self.events {
-            e.fired.store(false, Ordering::Relaxed);
+            // Release pairs with the AcqRel swap in `fire_once` (lint rule
+            // A01): workers of the next run must observe the re-armed latch.
+            e.fired.store(false, Ordering::Release);
         }
     }
 

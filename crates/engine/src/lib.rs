@@ -31,8 +31,11 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod batch;
 pub mod checkpoint;
+pub mod error;
 pub mod executor;
 pub mod faults;
 pub mod metrics;
@@ -49,6 +52,7 @@ pub use checkpoint::{
     checkpoint_path, latest_valid, manifest_path, read_manifest, CheckpointConfig, Manifest,
     SubgraphCheckpoint, WorkerCheckpoint,
 };
+pub use error::{EngineError, WireError};
 pub use executor::{run_job, JobConfig, Pattern, TimestepMode};
 pub use faults::{FaultPlan, INJECTED_FAULT_MARKER};
 pub use metrics::{Emit, JobResult, TimestepMetrics};

@@ -1,6 +1,6 @@
 //! Execution metrics: the raw material for the paper's Figures 6 and 7.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tempograph_core::VertexIdx;
 use tempograph_partition::SubgraphId;
 use tempograph_trace::Trace;
@@ -116,10 +116,12 @@ pub struct JobResult {
     pub metrics: Vec<Vec<TimestepMetrics>>,
     /// Merge-phase metrics per partition (eventually-dependent runs only).
     pub merge_metrics: Vec<TimestepMetrics>,
-    /// User counters: name → `[timestep][partition]` sums.
-    pub counters: HashMap<String, Vec<Vec<u64>>>,
+    /// User counters: name → `[timestep][partition]` sums. A `BTreeMap` so
+    /// iteration (CLI reports, checkpoint encoding) is name-ordered and
+    /// deterministic (lint rule D01).
+    pub counters: BTreeMap<String, Vec<Vec<u64>>>,
     /// Merge-phase counters: name → per-partition sums.
-    pub merge_counters: HashMap<String, Vec<u64>>,
+    pub merge_counters: BTreeMap<String, Vec<u64>>,
     /// All emitted values, sorted by (timestep, vertex).
     pub emitted: Vec<Emit>,
     /// End-to-end wall nanoseconds (includes merge phase).

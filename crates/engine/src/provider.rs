@@ -9,7 +9,7 @@ use std::sync::Arc;
 use tempograph_core::TimeSeriesCollection;
 use tempograph_gofs::{GofsStore, InstanceLoader, SubgraphInstance};
 use tempograph_partition::{PartitionedGraph, Subgraph};
-use tempograph_trace::TraceSink;
+use tempograph_trace::{Clock, TraceSink};
 
 /// Cumulative I/O counters a provider reports to the engine's metrics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -70,14 +70,14 @@ impl MemoryProvider {
 
 impl InstanceProvider for MemoryProvider {
     fn fetch(&mut self, sg: &Subgraph, timestep: usize) -> Arc<SubgraphInstance> {
-        let started = std::time::Instant::now();
+        let started = Clock::start();
         let g = self
             .collection
             .get(timestep)
             .expect("timestep within collection");
         let si = Arc::new(SubgraphInstance::project(g, sg, timestep));
         self.stats.loads += 1;
-        self.stats.ns += started.elapsed().as_nanos() as u64;
+        self.stats.ns += started.elapsed_ns();
         si
     }
 

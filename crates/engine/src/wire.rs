@@ -7,33 +7,91 @@
 //! "partition overhead" metric measures genuine marshalling work and the
 //! byte counters reflect actual on-the-wire sizes.
 
+use crate::error::WireError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use tempograph_core::VertexIdx;
 use tempograph_partition::SubgraphId;
 
+// ---- checked primitive reads -------------------------------------------
+//
+// The `bytes` cursor panics on underflow; every read below checks
+// `remaining()` first so a truncated or corrupt frame becomes a typed
+// [`WireError`] instead of a worker panic (lint rule P01).
+
+#[inline]
+fn need(buf: &Bytes, n: usize, context: &'static str) -> Result<(), WireError> {
+    if buf.remaining() < n {
+        return Err(WireError::Eof {
+            context,
+            needed: n,
+            remaining: buf.remaining(),
+        });
+    }
+    Ok(())
+}
+
+/// Checked little-endian `u8` read.
+#[inline]
+pub fn get_u8(buf: &mut Bytes, context: &'static str) -> Result<u8, WireError> {
+    need(buf, 1, context)?;
+    Ok(buf.get_u8())
+}
+
+/// Checked little-endian `u32` read.
+#[inline]
+pub fn get_u32(buf: &mut Bytes, context: &'static str) -> Result<u32, WireError> {
+    need(buf, 4, context)?;
+    Ok(buf.get_u32_le())
+}
+
+/// Checked little-endian `u64` read.
+#[inline]
+pub fn get_u64(buf: &mut Bytes, context: &'static str) -> Result<u64, WireError> {
+    need(buf, 8, context)?;
+    Ok(buf.get_u64_le())
+}
+
+/// Checked little-endian `i64` read.
+#[inline]
+pub fn get_i64(buf: &mut Bytes, context: &'static str) -> Result<i64, WireError> {
+    need(buf, 8, context)?;
+    Ok(buf.get_i64_le())
+}
+
+/// Checked little-endian `f64` read.
+#[inline]
+pub fn get_f64(buf: &mut Bytes, context: &'static str) -> Result<f64, WireError> {
+    need(buf, 8, context)?;
+    Ok(buf.get_f64_le())
+}
+
 /// A message payload that can cross partition boundaries.
 ///
-/// Implementations must be exact round-trips: `decode(encode(m)) == m`.
-/// Decoding panics on malformed input — wire buffers are engine-internal and
-/// always produced by `encode`, so corruption is a bug, not an input error.
+/// Implementations must be exact round-trips: `decode(encode(m)) == Ok(m)`.
+/// Wire buffers are engine-internal and always produced by `encode`, so a
+/// decode failure means corruption — but it surfaces as a typed
+/// [`WireError`] (which the worker propagates as an
+/// [`crate::EngineError`]), never as a panic in the hot path.
 pub trait WireMsg: Send + Clone + 'static {
     /// Append this message to `buf`.
     fn encode(&self, buf: &mut BytesMut);
     /// Read one message back from `buf`.
-    fn decode(buf: &mut Bytes) -> Self;
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError>;
 }
 
 impl WireMsg for () {
     fn encode(&self, _buf: &mut BytesMut) {}
-    fn decode(_buf: &mut Bytes) -> Self {}
+    fn decode(_buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(())
+    }
 }
 
 impl WireMsg for u32 {
     fn encode(&self, buf: &mut BytesMut) {
         buf.put_u32_le(*self);
     }
-    fn decode(buf: &mut Bytes) -> Self {
-        buf.get_u32_le()
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        get_u32(buf, "u32")
     }
 }
 
@@ -41,8 +99,8 @@ impl WireMsg for u64 {
     fn encode(&self, buf: &mut BytesMut) {
         buf.put_u64_le(*self);
     }
-    fn decode(buf: &mut Bytes) -> Self {
-        buf.get_u64_le()
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        get_u64(buf, "u64")
     }
 }
 
@@ -50,8 +108,8 @@ impl WireMsg for i64 {
     fn encode(&self, buf: &mut BytesMut) {
         buf.put_i64_le(*self);
     }
-    fn decode(buf: &mut Bytes) -> Self {
-        buf.get_i64_le()
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        get_i64(buf, "i64")
     }
 }
 
@@ -59,8 +117,8 @@ impl WireMsg for f64 {
     fn encode(&self, buf: &mut BytesMut) {
         buf.put_f64_le(*self);
     }
-    fn decode(buf: &mut Bytes) -> Self {
-        buf.get_f64_le()
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        get_f64(buf, "f64")
     }
 }
 
@@ -68,8 +126,8 @@ impl WireMsg for bool {
     fn encode(&self, buf: &mut BytesMut) {
         buf.put_u8(*self as u8);
     }
-    fn decode(buf: &mut Bytes) -> Self {
-        buf.get_u8() != 0
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(get_u8(buf, "bool")? != 0)
     }
 }
 
@@ -77,8 +135,8 @@ impl WireMsg for VertexIdx {
     fn encode(&self, buf: &mut BytesMut) {
         buf.put_u32_le(self.0);
     }
-    fn decode(buf: &mut Bytes) -> Self {
-        VertexIdx(buf.get_u32_le())
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(VertexIdx(get_u32(buf, "VertexIdx")?))
     }
 }
 
@@ -86,8 +144,8 @@ impl WireMsg for SubgraphId {
     fn encode(&self, buf: &mut BytesMut) {
         buf.put_u32_le(self.0);
     }
-    fn decode(buf: &mut Bytes) -> Self {
-        SubgraphId(buf.get_u32_le())
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(SubgraphId(get_u32(buf, "SubgraphId")?))
     }
 }
 
@@ -96,14 +154,16 @@ impl WireMsg for String {
         buf.put_u32_le(self.len() as u32);
         buf.put_slice(self.as_bytes());
     }
-    fn decode(buf: &mut Bytes) -> Self {
-        let len = buf.get_u32_le() as usize;
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let len = get_u32(buf, "String length")? as usize;
+        need(buf, len, "String bytes")?;
         let raw = buf.split_to(len);
         // Validate in place, then copy once — `String::from_utf8(to_vec())`
         // would copy before validating.
-        std::str::from_utf8(&raw)
-            .expect("engine-internal wire buffer")
-            .to_owned()
+        match std::str::from_utf8(&raw) {
+            Ok(s) => Ok(s.to_owned()),
+            Err(_) => Err(WireError::Utf8 { context: "String" }),
+        }
     }
 }
 
@@ -114,13 +174,16 @@ impl<T: WireMsg> WireMsg for Vec<T> {
             x.encode(buf);
         }
     }
-    fn decode(buf: &mut Bytes) -> Self {
-        let len = buf.get_u32_le() as usize;
-        let mut v = Vec::with_capacity(len);
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let len = get_u32(buf, "Vec length")? as usize;
+        // Cap the speculative reservation by what the buffer could possibly
+        // hold, so a corrupt length cannot trigger a huge allocation before
+        // the element reads fail.
+        let mut v = Vec::with_capacity(len.min(buf.remaining().max(1)));
         for _ in 0..len {
-            v.push(T::decode(buf));
+            v.push(T::decode(buf)?);
         }
-        v
+        Ok(v)
     }
 }
 
@@ -134,10 +197,16 @@ impl<T: WireMsg> WireMsg for Option<T> {
             }
         }
     }
-    fn decode(buf: &mut Bytes) -> Self {
-        match buf.get_u8() {
-            0 => None,
-            _ => Some(T::decode(buf)),
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        // Explicit tags (lint rule W01): an unknown tag is corruption, not
+        // an implicit `Some`.
+        match get_u8(buf, "Option tag")? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            tag => Err(WireError::BadTag {
+                context: "Option",
+                tag,
+            }),
         }
     }
 }
@@ -147,8 +216,8 @@ impl<A: WireMsg, B: WireMsg> WireMsg for (A, B) {
         self.0.encode(buf);
         self.1.encode(buf);
     }
-    fn decode(buf: &mut Bytes) -> Self {
-        (A::decode(buf), B::decode(buf))
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok((A::decode(buf)?, B::decode(buf)?))
     }
 }
 
@@ -158,8 +227,8 @@ impl<A: WireMsg, B: WireMsg, C: WireMsg> WireMsg for (A, B, C) {
         self.1.encode(buf);
         self.2.encode(buf);
     }
-    fn decode(buf: &mut Bytes) -> Self {
-        (A::decode(buf), B::decode(buf), C::decode(buf))
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok((A::decode(buf)?, B::decode(buf)?, C::decode(buf)?))
     }
 }
 
@@ -187,16 +256,16 @@ impl<M: WireMsg> Envelope<M> {
     }
 
     /// Read one envelope back.
-    pub fn decode(buf: &mut Bytes) -> Self {
-        let from = SubgraphId(buf.get_u32_le());
-        let to = SubgraphId(buf.get_u32_le());
-        let seq = buf.get_u32_le();
-        Envelope {
+    pub fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let from = SubgraphId(get_u32(buf, "Envelope.from")?);
+        let to = SubgraphId(get_u32(buf, "Envelope.to")?);
+        let seq = get_u32(buf, "Envelope.seq")?;
+        Ok(Envelope {
             from,
             to,
             seq,
-            payload: M::decode(buf),
-        }
+            payload: M::decode(buf)?,
+        })
     }
 }
 
@@ -220,7 +289,7 @@ mod tests {
         let mut buf = BytesMut::new();
         m.encode(&mut buf);
         let mut bytes = buf.freeze();
-        assert_eq!(M::decode(&mut bytes), m);
+        assert_eq!(M::decode(&mut bytes).unwrap(), m);
         assert_eq!(bytes.remaining(), 0, "must consume exactly");
     }
 
@@ -248,6 +317,60 @@ mod tests {
     }
 
     #[test]
+    fn truncated_buffers_are_typed_errors_not_panics() {
+        // Empty buffer for every fixed-width primitive.
+        assert!(matches!(
+            u32::decode(&mut Bytes::new()),
+            Err(WireError::Eof { .. })
+        ));
+        assert!(matches!(
+            f64::decode(&mut Bytes::new()),
+            Err(WireError::Eof { .. })
+        ));
+        // A string whose length prefix overruns the buffer.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(1000);
+        buf.put_slice(b"short");
+        assert!(matches!(
+            String::decode(&mut buf.freeze()),
+            Err(WireError::Eof { .. })
+        ));
+        // A vec truncated mid-element.
+        let mut buf = BytesMut::new();
+        vec![1u64, 2, 3].encode(&mut buf);
+        let full = buf.freeze();
+        let mut cut = Bytes::copy_from_slice(&full[..full.len() - 4]);
+        assert!(matches!(
+            Vec::<u64>::decode(&mut cut),
+            Err(WireError::Eof { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_is_a_typed_error() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(2);
+        buf.put_slice(&[0xff, 0xfe]);
+        assert_eq!(
+            String::decode(&mut buf.freeze()),
+            Err(WireError::Utf8 { context: "String" })
+        );
+    }
+
+    #[test]
+    fn unknown_option_tag_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(2);
+        assert_eq!(
+            Option::<u32>::decode(&mut buf.freeze()),
+            Err(WireError::BadTag {
+                context: "Option",
+                tag: 2
+            })
+        );
+    }
+
+    #[test]
     fn envelope_roundtrip() {
         let e = Envelope {
             from: SubgraphId(1),
@@ -257,7 +380,7 @@ mod tests {
         };
         let mut buf = BytesMut::new();
         e.encode(&mut buf);
-        let back = Envelope::<(VertexIdx, f64)>::decode(&mut buf.freeze());
+        let back = Envelope::<(VertexIdx, f64)>::decode(&mut buf.freeze()).unwrap();
         assert_eq!(back, e);
     }
 

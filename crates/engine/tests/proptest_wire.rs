@@ -11,7 +11,7 @@ use tempograph_partition::SubgraphId;
 fn roundtrip<M: WireMsg + PartialEq + std::fmt::Debug>(m: &M) -> M {
     let mut buf = BytesMut::new();
     m.encode(&mut buf);
-    M::decode(&mut buf.freeze())
+    M::decode(&mut buf.freeze()).expect("well-formed frame decodes")
 }
 
 proptest! {
@@ -72,7 +72,7 @@ proptest! {
         }
         let mut bytes = buf.freeze();
         for e in &envelopes {
-            prop_assert_eq!(&Envelope::<i64>::decode(&mut bytes), e);
+            prop_assert_eq!(&Envelope::<i64>::decode(&mut bytes).unwrap(), e);
         }
         prop_assert_eq!(bytes.len(), 0);
     }
@@ -133,7 +133,7 @@ proptest! {
         let mut buf = BytesMut::new();
         batch.encode(&mut buf);
         let mut bytes = buf.freeze();
-        let decoded = MessageBatch::<i64>::decode(&mut bytes);
+        let decoded = MessageBatch::<i64>::decode(&mut bytes).unwrap();
         prop_assert_eq!(bytes.len(), 0, "frame decodes with exact consumption");
         // Decoded runs must equal the sender-side grouping: one run per
         // destination in first-push order, envelopes in push order within
@@ -162,14 +162,14 @@ proptest! {
         prop_assert!(empty.is_empty());
         let mut buf = BytesMut::new();
         empty.encode(&mut buf);
-        prop_assert!(MessageBatch::<i64>::decode(&mut buf.freeze()).is_empty());
+        prop_assert!(MessageBatch::<i64>::decode(&mut buf.freeze()).unwrap().is_empty());
 
         let mut single = MessageBatch::new();
         let e = Envelope { from: SubgraphId(f), to: SubgraphId(t), seq: s, payload: p };
         single.push(e.clone());
         let mut buf = BytesMut::new();
         single.encode(&mut buf);
-        let runs = MessageBatch::<i64>::decode(&mut buf.freeze());
+        let runs = MessageBatch::<i64>::decode(&mut buf.freeze()).unwrap();
         prop_assert_eq!(runs, vec![(SubgraphId(t), vec![e])]);
     }
 
@@ -221,7 +221,7 @@ proptest! {
             .collect();
         let (count, mut bytes) = legacy::encode_envelopes(&envelopes);
         prop_assert_eq!(count as usize, envelopes.len());
-        let decoded = legacy::decode_envelopes::<u64>(count, &mut bytes);
+        let decoded = legacy::decode_envelopes::<u64>(count, &mut bytes).unwrap();
         prop_assert_eq!(bytes.len(), 0);
         prop_assert_eq!(decoded, envelopes);
     }

@@ -25,6 +25,8 @@
 //!
 //! Everything is deterministic given a seed.
 
+#![forbid(unsafe_code)]
+
 pub mod churn;
 pub mod instances;
 pub mod presets;

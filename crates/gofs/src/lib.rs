@@ -23,6 +23,8 @@
 //!   whose on-demand slice loads produce the every-`packing`-timesteps
 //!   latency spikes visible in the paper's Fig. 6.
 
+#![forbid(unsafe_code)]
+
 pub mod codec;
 pub mod error;
 pub mod loader;

@@ -12,11 +12,10 @@ use crate::error::{GofsError, Result};
 use crate::slice::{decode_slice, SliceData, SliceKey};
 use crate::store::{bins_for_partition, GofsStore};
 use crate::view::SubgraphInstance;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
-use std::time::Instant;
 use tempograph_partition::{PartitionedGraph, SubgraphId};
-use tempograph_trace::TraceSink;
+use tempograph_trace::{Clock, TraceSink};
 
 /// Counters describing a loader's I/O behaviour — the raw material for the
 /// Fig. 6 spike analysis and ablation A2.
@@ -57,8 +56,12 @@ pub struct InstanceLoader {
     store: GofsStore,
     partition: u16,
     /// `bin_of_sg[sg] = bin index` for this partition's subgraphs.
-    bin_of_sg: HashMap<SubgraphId, u32>,
-    cache: HashMap<SliceKey, (Arc<SliceData>, u64)>,
+    bin_of_sg: BTreeMap<SubgraphId, u32>,
+    /// Slice cache with LRU ticks. A `BTreeMap` (lint rule D01): eviction
+    /// scans this map, and `HashMap` iteration order would let hasher
+    /// randomness pick the victim among equally-old slices — making cache
+    /// contents, and thus the I/O metrics, differ between identical runs.
+    cache: BTreeMap<SliceKey, (Arc<SliceData>, u64)>,
     /// Monotonic counter for LRU ordering.
     tick: u64,
     /// Max slices kept in cache.
@@ -79,7 +82,7 @@ impl InstanceLoader {
     pub fn new(store: GofsStore, pg: &PartitionedGraph, partition: u16, capacity: usize) -> Self {
         assert!(capacity >= 1, "cache capacity must be ≥ 1");
         let bins = bins_for_partition(pg, partition, store.meta().binning);
-        let mut bin_of_sg = HashMap::new();
+        let mut bin_of_sg = BTreeMap::new();
         for (bi, bin) in bins.iter().enumerate() {
             for &sg in bin {
                 bin_of_sg.insert(sg, bi as u32);
@@ -89,7 +92,7 @@ impl InstanceLoader {
             store,
             partition,
             bin_of_sg,
-            cache: HashMap::new(),
+            cache: BTreeMap::new(),
             tick: 0,
             capacity,
             stats: LoaderStats::default(),
@@ -176,12 +179,12 @@ impl InstanceLoader {
         // Miss: read + decode the slice file.
         self.stats.cache_misses += 1;
         self.total.cache_misses += 1;
-        let started = Instant::now();
+        let started = Clock::start();
         let span = self.trace.as_ref().map(|s| s.start());
         let path = self.store.slice_path(self.partition, key);
         let data = std::fs::read(&path)?;
         let slice = Arc::new(decode_slice(&data)?);
-        let elapsed = started.elapsed().as_nanos() as u64;
+        let elapsed = started.elapsed_ns();
         self.stats.slice_loads += 1;
         self.stats.bytes_read += data.len() as u64;
         self.stats.load_ns += elapsed;
@@ -193,11 +196,14 @@ impl InstanceLoader {
         }
 
         if self.cache.len() >= self.capacity {
-            // Evict the least-recently-used slice.
+            // Evict the least-recently-used slice; ties (possible only if a
+            // future path inserts without bumping `tick`) break on the
+            // smaller key, so the victim is a pure function of the access
+            // sequence.
             if let Some(&victim) = self
                 .cache
                 .iter()
-                .min_by_key(|(_, (_, used))| *used)
+                .min_by_key(|(k, (_, used))| (*used, **k))
                 .map(|(k, _)| k)
             {
                 self.cache.remove(&victim);

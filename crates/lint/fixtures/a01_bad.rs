@@ -1,0 +1,12 @@
+//! A01 violation: Relaxed ordering on a sync-critical atomic.
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static FIRED: AtomicBool = AtomicBool::new(false);
+
+fn fire_once() -> bool {
+    // Relaxed gives no happens-before edge to the worker that observes
+    // the latch — the whole point of the flag.
+    !FIRED.swap(true, Ordering::Relaxed)
+}

@@ -1,0 +1,14 @@
+//! A01 clean: acquire/release edges on the latch.
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static FIRED: AtomicBool = AtomicBool::new(false);
+
+fn fire_once() -> bool {
+    !FIRED.swap(true, Ordering::AcqRel)
+}
+
+fn reset() {
+    FIRED.store(false, Ordering::Release);
+}

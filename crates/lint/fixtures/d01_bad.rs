@@ -1,0 +1,15 @@
+//! D01 violation: iterating a HashMap on a determinism-critical path.
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+
+fn counters_in_arbitrary_order() -> Vec<(String, u64)> {
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    counts.insert("msgs".to_string(), 7);
+    let mut out = Vec::new();
+    // Hash iteration order leaks straight into the output.
+    for (name, value) in &counts {
+        out.push((name.clone(), *value));
+    }
+    out
+}

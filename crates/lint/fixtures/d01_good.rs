@@ -1,0 +1,24 @@
+//! D01 clean: BTreeMap iteration, and HashMap only with an explicit sort.
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+
+fn counters_in_sorted_order() -> Vec<(String, u64)> {
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    counts.insert("msgs".to_string(), 7);
+    let mut out = Vec::new();
+    for (name, value) in &counts {
+        out.push((name.clone(), *value));
+    }
+    out
+}
+
+fn hash_map_is_fine_when_sorted(scratch: HashMap<u32, u64>) -> Vec<(u32, u64)> {
+    let mut out: Vec<(u32, u64)> = scratch.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+fn lookups_never_observe_order(index: &HashMap<u32, u64>) -> Option<u64> {
+    index.get(&3).copied()
+}

@@ -1,0 +1,12 @@
+//! D02 violation: raw clock reads outside the trace crate.
+#![forbid(unsafe_code)]
+
+fn time_a_phase() -> u64 {
+    let started = std::time::Instant::now();
+    expensive();
+    started.elapsed().as_nanos() as u64
+}
+
+fn wall_clock() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

@@ -1,0 +1,10 @@
+//! D02 clean: timing goes through the trace crate's Clock stopwatch.
+#![forbid(unsafe_code)]
+
+use tempograph_trace::Clock;
+
+fn time_a_phase() -> u64 {
+    let started = Clock::start();
+    expensive();
+    started.elapsed_ns()
+}

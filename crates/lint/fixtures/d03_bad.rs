@@ -1,0 +1,7 @@
+//! D03 violation: unseeded randomness.
+#![forbid(unsafe_code)]
+
+fn shuffle_partitions(parts: &mut Vec<u32>) {
+    let mut rng = rand::thread_rng();
+    parts.shuffle(&mut rng);
+}

@@ -1,0 +1,9 @@
+//! D03 clean: every RNG is seeded, so runs are reproducible.
+#![forbid(unsafe_code)]
+
+use rand::{rngs::StdRng, SeedableRng};
+
+fn shuffle_partitions(parts: &mut Vec<u32>, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    parts.shuffle(&mut rng);
+}

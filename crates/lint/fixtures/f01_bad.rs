@@ -1,0 +1,5 @@
+//! F01 violation: a crate root without `#![forbid(unsafe_code)]`.
+
+pub fn entirely_safe_but_unpledged() -> u32 {
+    41 + 1
+}

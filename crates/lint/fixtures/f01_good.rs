@@ -1,0 +1,6 @@
+//! F01 clean: the crate root pledges safety.
+#![forbid(unsafe_code)]
+
+pub fn entirely_safe_and_pledged() -> u32 {
+    41 + 1
+}

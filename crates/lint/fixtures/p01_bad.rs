@@ -1,0 +1,10 @@
+//! P01 violation: panics in the worker hot path.
+#![forbid(unsafe_code)]
+
+fn decode_frame(buf: &mut Bytes) -> Frame {
+    let len = try_len(buf).unwrap();
+    if len > MAX {
+        panic!("frame too large");
+    }
+    read(buf, len).expect("short frame")
+}

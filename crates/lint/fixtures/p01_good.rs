@@ -1,0 +1,24 @@
+//! P01 clean: the hot path surfaces typed errors instead of panicking.
+#![forbid(unsafe_code)]
+
+fn decode_frame(buf: &mut Bytes) -> Result<Frame, WireError> {
+    let len = try_len(buf)?;
+    if len > MAX {
+        return Err(WireError::Eof {
+            context: "frame length",
+            needed: len,
+            remaining: buf.remaining(),
+        });
+    }
+    read(buf, len)
+}
+
+#[cfg(test)]
+mod tests {
+    // Tests may unwrap freely; the rule only guards production paths.
+    #[test]
+    fn round_trip() {
+        let frame = decode_frame(&mut encoded()).unwrap();
+        assert_eq!(frame.len, 3);
+    }
+}

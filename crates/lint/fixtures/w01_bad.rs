@@ -1,0 +1,11 @@
+//! W01 violation: a wildcard arm in a wire-format decode match.
+#![forbid(unsafe_code)]
+
+fn decode(buf: &mut Bytes) -> Result<Msg, WireError> {
+    match get_u8(buf, "Msg tag")? {
+        0 => Ok(Msg::Relax),
+        1 => Ok(Msg::Series),
+        // A new variant added to the encoder silently decodes as Halt.
+        _ => Ok(Msg::Halt),
+    }
+}

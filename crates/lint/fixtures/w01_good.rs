@@ -1,0 +1,22 @@
+//! W01 clean: every tag is explicit; unknown tags are typed corruption.
+#![forbid(unsafe_code)]
+
+fn decode(buf: &mut Bytes) -> Result<Msg, WireError> {
+    match get_u8(buf, "Msg tag")? {
+        0 => Ok(Msg::Relax),
+        1 => Ok(Msg::Series),
+        2 => Ok(Msg::Halt),
+        tag => Err(WireError::BadTag {
+            context: "Msg",
+            tag,
+        }),
+    }
+}
+
+fn merge_arms_elsewhere_are_fine(x: u8) -> u8 {
+    // Wildcards outside decode bodies are not wire-format hazards.
+    match x {
+        0 => 1,
+        _ => 2,
+    }
+}

@@ -1,0 +1,180 @@
+//! The `lint-allow.toml` allowlist: committed, justified suppressions.
+//!
+//! The format is a strict subset of TOML — `[[allow]]` tables of
+//! `key = "value"` pairs — parsed by hand so the linter stays
+//! dependency-free:
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "P01"
+//! path = "crates/engine/src/executor.rs"
+//! contains = "injected_panic_message"
+//! reason = "deterministic fault injection for recovery tests"
+//! ```
+//!
+//! An entry suppresses a finding when the rule matches, the finding's path
+//! ends with `path`, and (if given) `contains` is a substring of the
+//! offending source line. Every entry must carry a non-empty `reason`, and
+//! an entry that suppresses nothing is **stale** — the binary reports it
+//! and exits nonzero, so the allowlist can only shrink alongside the code
+//! it excuses.
+
+use crate::rules::Finding;
+
+/// One parsed `[[allow]]` entry.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub path: String,
+    /// Substring of the offending source line; empty = match any line.
+    pub contains: String,
+    pub reason: String,
+    /// 1-based line of the `[[allow]]` header (for stale-entry reports).
+    pub line: u32,
+}
+
+impl AllowEntry {
+    fn matches(&self, f: &Finding) -> bool {
+        f.rule == self.rule
+            && f.path.ends_with(&self.path)
+            && (self.contains.is_empty() || f.line_text.contains(&self.contains))
+    }
+}
+
+/// Parse the allowlist. Errors (with line numbers) on anything outside the
+/// supported subset, on unknown keys, and on entries without a reason.
+pub fn parse(src: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    for (n, raw) in src.lines().enumerate() {
+        let n = n as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            entries.push(AllowEntry {
+                line: n,
+                ..AllowEntry::default()
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "lint-allow.toml:{n}: expected `[[allow]]` or `key = \"value\"`"
+            ));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        let value = value
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| format!("lint-allow.toml:{n}: value must be a double-quoted string"))?;
+        let Some(entry) = entries.last_mut() else {
+            return Err(format!(
+                "lint-allow.toml:{n}: `{key}` outside an [[allow]] table"
+            ));
+        };
+        match key {
+            "rule" => entry.rule = value.to_string(),
+            "path" => entry.path = value.to_string(),
+            "contains" => entry.contains = value.to_string(),
+            "reason" => entry.reason = value.to_string(),
+            other => return Err(format!("lint-allow.toml:{n}: unknown key `{other}`")),
+        }
+    }
+    for e in &entries {
+        if e.rule.is_empty() || e.path.is_empty() {
+            return Err(format!(
+                "lint-allow.toml:{}: entry needs both `rule` and `path`",
+                e.line
+            ));
+        }
+        if e.reason.is_empty() {
+            return Err(format!(
+                "lint-allow.toml:{}: entry needs a non-empty `reason`",
+                e.line
+            ));
+        }
+    }
+    Ok(entries)
+}
+
+/// Split findings into kept (unsuppressed) ones, and report which entries
+/// matched at least one finding. `used[i]` corresponds to `entries[i]`.
+pub fn apply(findings: Vec<Finding>, entries: &[AllowEntry]) -> (Vec<Finding>, Vec<bool>) {
+    let mut used = vec![false; entries.len()];
+    let kept = findings
+        .into_iter()
+        .filter(|f| {
+            let mut suppressed = false;
+            for (i, e) in entries.iter().enumerate() {
+                if e.matches(f) {
+                    used[i] = true;
+                    suppressed = true;
+                }
+            }
+            !suppressed
+        })
+        .collect();
+    (kept, used)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str, line_text: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line: 10,
+            msg: String::new(),
+            line_text: line_text.to_string(),
+        }
+    }
+
+    const SAMPLE: &str = r#"
+# comment
+[[allow]]
+rule = "P01"
+path = "crates/engine/src/executor.rs"
+contains = "injected_panic_message"
+reason = "fault injection"
+"#;
+
+    #[test]
+    fn parses_and_suppresses() {
+        let entries = parse(SAMPLE).unwrap();
+        assert_eq!(entries.len(), 1);
+        let hit = finding(
+            "P01",
+            "crates/engine/src/executor.rs",
+            "panic!(\"{}\", injected_panic_message(p, t, ss));",
+        );
+        let miss = finding("P01", "crates/engine/src/executor.rs", "x.unwrap();");
+        let (kept, used) = apply(vec![hit, miss.clone()], &entries);
+        assert_eq!(kept, vec![miss]);
+        assert_eq!(used, vec![true]);
+    }
+
+    #[test]
+    fn stale_entry_is_reported_unused() {
+        let entries = parse(SAMPLE).unwrap();
+        let unrelated = finding("D01", "crates/gofs/src/loader.rs", "for x in &m {");
+        let (kept, used) = apply(vec![unrelated.clone()], &entries);
+        assert_eq!(kept, vec![unrelated]);
+        assert_eq!(used, vec![false], "entry matched nothing — stale");
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        let src = "[[allow]]\nrule = \"A01\"\npath = \"x.rs\"\n";
+        assert!(parse(src).unwrap_err().contains("reason"));
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        let src = "[[allow]]\nrule = \"A01\"\npath = \"x.rs\"\nreason = \"r\"\nwhatever = \"y\"\n";
+        assert!(parse(src).unwrap_err().contains("unknown key"));
+    }
+}

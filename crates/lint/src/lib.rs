@@ -1,0 +1,74 @@
+//! # tempograph-lint — workspace invariant checker
+//!
+//! A from-scratch, dependency-free static analyzer that enforces the
+//! repo-specific invariants the compiler can't:
+//!
+//! * **D01** — no `HashMap`/`HashSet` iteration on determinism-critical
+//!   paths (use `BTreeMap` or sort explicitly);
+//! * **D02** — no `Instant::now`/`SystemTime::now` outside the trace
+//!   crate's `Clock` abstraction;
+//! * **D03** — no unseeded randomness;
+//! * **P01** — no `unwrap`/`expect`/`panic!` in the engine worker hot path
+//!   (superstep loop, message decode) — typed errors only;
+//! * **A01** — no `Ordering::Relaxed` on sync-critical atomics;
+//! * **W01** — wire-format `decode` matches may not use `_` wildcard arms;
+//! * **F01** — every crate root carries `#![forbid(unsafe_code)]`.
+//!
+//! Justified exceptions live in the committed `lint-allow.toml`; stale
+//! entries are an error, so suppressions cannot outlive the code they
+//! excuse. Run with `cargo run -p tempograph-lint` or `./ci.sh --lint`.
+
+#![forbid(unsafe_code)]
+
+pub mod allowlist;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+pub use allowlist::{apply, parse, AllowEntry};
+pub use rules::{analyze, analyze_all_rules, Finding};
+
+use std::path::Path;
+
+/// Outcome of a full workspace lint run.
+pub struct Report {
+    /// Findings that survived the allowlist, sorted by (path, line, rule).
+    pub findings: Vec<Finding>,
+    /// Allowlist entries that suppressed nothing (stale).
+    pub stale: Vec<AllowEntry>,
+    /// Number of files scanned.
+    pub files: usize,
+}
+
+/// Lint the workspace rooted at `root`, applying `root/lint-allow.toml`
+/// when present. Errors on I/O or allowlist syntax problems.
+pub fn lint_workspace(root: &Path) -> Result<Report, String> {
+    let files = walk::workspace_files(root)?;
+    let mut findings = Vec::new();
+    for file in &files {
+        let src = std::fs::read_to_string(file).map_err(|e| format!("{}: {e}", file.display()))?;
+        let rel = walk::rel_path(root, file);
+        findings.extend(rules::analyze(&rel, &src));
+    }
+    let allow_path = root.join("lint-allow.toml");
+    let entries = if allow_path.is_file() {
+        let src = std::fs::read_to_string(&allow_path)
+            .map_err(|e| format!("{}: {e}", allow_path.display()))?;
+        allowlist::parse(&src)?
+    } else {
+        Vec::new()
+    };
+    let (mut kept, used) = allowlist::apply(findings, &entries);
+    kept.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    let stale = entries
+        .iter()
+        .zip(&used)
+        .filter(|(_, &u)| !u)
+        .map(|(e, _)| e.clone())
+        .collect();
+    Ok(Report {
+        findings: kept,
+        stale,
+        files: files.len(),
+    })
+}

@@ -1,0 +1,582 @@
+//! The lint rules.
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | D01  | no `HashMap`/`HashSet` iteration on determinism-critical paths without an explicit sort |
+//! | D02  | no `Instant::now`/`SystemTime::now` outside the trace crate's `Clock` abstraction |
+//! | D03  | no unseeded randomness (`thread_rng`, `from_entropy`, `OsRng`, `rand::random`) |
+//! | P01  | no `unwrap`/`expect`/`panic!` in the engine worker hot path (superstep loop, message decode) |
+//! | A01  | no `Ordering::Relaxed` on sync-critical atomics |
+//! | W01  | wire-format `decode` matches may not use `_` wildcard arms |
+//! | F01  | every crate root carries `#![forbid(unsafe_code)]` |
+//!
+//! Rules run over the token stream from [`crate::lexer`], with
+//! `#[cfg(test)]` items masked out. Scoping is path-based (see
+//! [`analyze`]); fixture self-tests use [`analyze_all_rules`], which treats
+//! the whole file as in scope for every rule.
+
+use crate::lexer::{self, Tok};
+
+/// One rule violation at a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule ID, e.g. `"D01"`.
+    pub rule: &'static str,
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human explanation of the violation.
+    pub msg: String,
+    /// The source line text (allowlist `contains` matches against this).
+    pub line_text: String,
+}
+
+/// Hash collection type names whose iteration order is nondeterministic.
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
+/// Methods that observe a collection's iteration order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+/// Calls that impose a deterministic order on iterated elements: an
+/// iteration immediately followed (within a short window) by one of these
+/// is considered sorted and therefore fine.
+const SORT_CALLS: &[&str] = &[
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+];
+/// Order-insensitive reductions: consuming an unordered iterator with one
+/// of these is deterministic regardless of visit order.
+const ORDER_FREE: &[&str] = &["count", "sum", "any", "all", "len", "min", "max"];
+
+/// Hot-path function names in the executor for rule P01: the worker's
+/// timestep/superstep loop, compute phase, and the message decode/route
+/// path. Checkpoint I/O and driver-side assembly are deliberately outside —
+/// they may fail loudly.
+const HOT_FNS: &[&str] = &[
+    "run_timestep_loop",
+    "run_bsp",
+    "compute_phase_parallel",
+    "run_merge",
+    "route",
+    "drain",
+    "deliver_staged",
+];
+
+/// Files whose `fn decode` bodies are wire/storage codecs (rule W01).
+const CODEC_FILES: &[&str] = &[
+    "crates/engine/src/wire.rs",
+    "crates/engine/src/batch.rs",
+    "crates/engine/src/checkpoint.rs",
+    "crates/gofs/src/codec.rs",
+    "crates/gofs/src/slice.rs",
+    "crates/gofs/src/store.rs",
+    "crates/algos/src/community.rs",
+    "crates/algos/src/tdsp.rs",
+    "crates/algos/src/meme.rs",
+];
+
+/// What parts of a file each rule applies to.
+struct Scope {
+    /// D01/D03/A01 apply (everywhere except fixtures in normal mode).
+    core: bool,
+    /// D02 applies (everywhere outside `crates/trace/src`).
+    d02: bool,
+    /// P01: `None` = not in scope, `Some(None)` = whole file,
+    /// `Some(Some(fns))` = only those function bodies.
+    p01: Option<Option<&'static [&'static str]>>,
+    /// W01 applies to `fn decode` bodies in this file.
+    w01: bool,
+    /// F01 applies (crate roots).
+    f01: bool,
+}
+
+fn scope_for(path: &str) -> Scope {
+    let p01 = if path.ends_with("crates/engine/src/wire.rs")
+        || path.ends_with("crates/engine/src/batch.rs")
+    {
+        Some(None)
+    } else if path.ends_with("crates/engine/src/executor.rs") {
+        Some(Some(HOT_FNS))
+    } else {
+        None
+    };
+    Scope {
+        core: true,
+        d02: !path.contains("crates/trace/src"),
+        p01,
+        w01: CODEC_FILES.iter().any(|f| path.ends_with(f)),
+        f01: path.ends_with("src/lib.rs"),
+    }
+}
+
+fn scope_all() -> Scope {
+    Scope {
+        core: true,
+        d02: true,
+        p01: Some(None),
+        w01: true,
+        f01: true,
+    }
+}
+
+/// Analyze one file with path-based rule scoping (the workspace walk).
+pub fn analyze(path: &str, src: &str) -> Vec<Finding> {
+    run(path, src, scope_for(path))
+}
+
+/// Analyze with every rule in scope over the whole file (fixture corpus
+/// and rule self-tests).
+pub fn analyze_all_rules(path: &str, src: &str) -> Vec<Finding> {
+    run(path, src, scope_all())
+}
+
+fn run(path: &str, src: &str, scope: Scope) -> Vec<Finding> {
+    let toks = lexer::lex(src);
+    let mask = lexer::test_mask(&toks);
+    let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+    let lines: Vec<&str> = src.lines().collect();
+    let mut out = Vec::new();
+    let push = |rule: &'static str, line: u32, msg: String, out: &mut Vec<Finding>| {
+        out.push(Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            msg,
+            line_text: lines
+                .get(line.saturating_sub(1) as usize)
+                .map(|l| l.trim().to_string())
+                .unwrap_or_default(),
+        });
+    };
+
+    if scope.core {
+        d01(&toks, &texts, &mask, &mut out, path, &lines);
+        d03(&toks, &texts, &mask, &mut out, path, &lines);
+        a01(&toks, &texts, &mask, &mut out, path, &lines);
+    }
+    if scope.d02 {
+        for i in 0..texts.len() {
+            if mask[i] {
+                continue;
+            }
+            if (texts[i] == "Instant" || texts[i] == "SystemTime")
+                && texts.get(i + 1) == Some(&"::")
+                && texts.get(i + 2) == Some(&"now")
+                && texts.get(i + 3) == Some(&"(")
+            {
+                push(
+                    "D02",
+                    toks[i].line,
+                    format!(
+                        "`{}::now()` outside the trace crate — use `tempograph_trace::Clock`",
+                        texts[i]
+                    ),
+                    &mut out,
+                );
+            }
+        }
+    }
+    if let Some(fns) = scope.p01 {
+        let ranges: Vec<(usize, usize)> = match fns {
+            None => vec![(0, toks.len())],
+            Some(names) => names
+                .iter()
+                .flat_map(|n| lexer::fn_extents(&toks, n))
+                .collect(),
+        };
+        for (s, e) in ranges {
+            for i in s..e.min(texts.len()) {
+                if mask[i] {
+                    continue;
+                }
+                let hit = if (texts[i] == "unwrap" || texts[i] == "expect")
+                    && i > 0
+                    && texts[i - 1] == "."
+                    && texts.get(i + 1) == Some(&"(")
+                {
+                    Some(format!("`.{}()` in the engine worker hot path", texts[i]))
+                } else if (texts[i] == "panic" || texts[i] == "todo" || texts[i] == "unimplemented")
+                    && texts.get(i + 1) == Some(&"!")
+                {
+                    Some(format!("`{}!` in the engine worker hot path", texts[i]))
+                } else {
+                    None
+                };
+                if let Some(what) = hit {
+                    push(
+                        "P01",
+                        toks[i].line,
+                        format!("{what} — return a typed `EngineError` instead"),
+                        &mut out,
+                    );
+                }
+            }
+        }
+    }
+    if scope.w01 {
+        for (s, e) in lexer::fn_extents(&toks, "decode") {
+            for i in s..e.min(texts.len()) {
+                if mask[i] {
+                    continue;
+                }
+                if texts[i] == "_" && texts.get(i + 1) == Some(&"=>") {
+                    push(
+                        "W01",
+                        toks[i].line,
+                        "wildcard `_` arm in a wire-format `decode` match — bind the tag and \
+                         return a typed error so new variants cannot be silently swallowed"
+                            .to_string(),
+                        &mut out,
+                    );
+                }
+            }
+        }
+    }
+    if scope.f01 {
+        let has = texts.windows(6).any(|w| {
+            w[0] == "!" && w[1] == "[" && w[2] == "forbid" && w[3] == "(" && w[4] == "unsafe_code"
+        });
+        if !has {
+            push(
+                "F01",
+                1,
+                "crate root lacks `#![forbid(unsafe_code)]`".to_string(),
+                &mut out,
+            );
+        }
+    }
+    out
+}
+
+/// Collect identifiers bound with a hash-collection type in this file:
+/// `x: HashMap<…>` (lets, fields, params) and `x = HashMap::new()`-style
+/// constructor bindings, with optional `std::collections::` paths.
+fn hash_idents(texts: &[&str], mask: &[bool]) -> Vec<String> {
+    let is_ident = |s: &str| {
+        s.chars()
+            .next()
+            .is_some_and(|c| c.is_alphabetic() || c == '_')
+            && s != "_"
+    };
+    let mut names: Vec<String> = Vec::new();
+    for i in 0..texts.len() {
+        if mask[i] || !HASH_TYPES.contains(&texts[i]) {
+            continue;
+        }
+        // Walk back over a `seg::seg::` path prefix to the head of the type
+        // expression.
+        let mut j = i;
+        while j >= 2 && texts[j - 1] == "::" && is_ident(texts[j - 2]) {
+            j -= 2;
+        }
+        // `name : [&|mut]* Type` — let bindings, struct fields, fn params.
+        let mut k = j;
+        while k >= 1 && (texts[k - 1] == "&" || texts[k - 1] == "mut") {
+            k -= 1;
+        }
+        if k >= 2 && texts[k - 1] == ":" && is_ident(texts[k - 2]) {
+            names.push(texts[k - 2].to_string());
+            continue;
+        }
+        // `name = Type::new()` / `with_capacity` / `default`.
+        if texts.get(i + 1) == Some(&"::")
+            && matches!(
+                texts.get(i + 2),
+                Some(&"new") | Some(&"with_capacity") | Some(&"default")
+            )
+            && j >= 2
+            && texts[j - 1] == "="
+            && is_ident(texts[j - 2])
+        {
+            names.push(texts[j - 2].to_string());
+        }
+    }
+    names.sort_unstable();
+    names.dedup();
+    names
+}
+
+fn d01(
+    toks: &[Tok],
+    texts: &[&str],
+    mask: &[bool],
+    out: &mut Vec<Finding>,
+    path: &str,
+    lines: &[&str],
+) {
+    let tracked = hash_idents(texts, mask);
+    if tracked.is_empty() {
+        return;
+    }
+    let tracked = |name: &str| tracked.iter().any(|t| t == name);
+    // An iteration is fine if a sort or an order-free reduction appears
+    // shortly after — "collect then sort" is the sanctioned idiom.
+    let escapes = |from: usize| {
+        texts[from..texts.len().min(from + 48)]
+            .iter()
+            .any(|t| SORT_CALLS.contains(t) || ORDER_FREE.contains(t))
+    };
+    let mut hit = |i: usize, what: String| {
+        out.push(Finding {
+            rule: "D01",
+            path: path.to_string(),
+            line: toks[i].line,
+            msg: format!(
+                "{what} iterates a hash collection on a determinism-critical path — \
+                 use BTreeMap/BTreeSet or sort explicitly"
+            ),
+            line_text: lines
+                .get(toks[i].line.saturating_sub(1) as usize)
+                .map(|l| l.trim().to_string())
+                .unwrap_or_default(),
+        });
+    };
+    for i in 0..texts.len() {
+        if mask[i] {
+            continue;
+        }
+        // `name.iter()` / `.keys()` / `.drain()` / …
+        if texts[i] == "."
+            && i > 0
+            && tracked(texts[i - 1])
+            && texts.get(i + 1).is_some_and(|m| ITER_METHODS.contains(m))
+            && texts.get(i + 2) == Some(&"(")
+            && !escapes(i + 3)
+        {
+            // Anchor on the receiver ident: multi-line method chains put
+            // the `.` on its own line, which reads poorly in reports.
+            hit(i - 1, format!("`{}.{}()`", texts[i - 1], texts[i + 1]));
+        }
+        // `for pat in [&][mut] name {`
+        if texts[i] == "in" {
+            let mut j = i + 1;
+            while matches!(texts.get(j), Some(&"&") | Some(&"mut")) {
+                j += 1;
+            }
+            if texts.get(j).is_some_and(|n| tracked(n)) && texts.get(j + 1) == Some(&"{") {
+                hit(i, format!("`for … in {}`", texts[j]));
+            }
+        }
+    }
+}
+
+fn d03(
+    toks: &[Tok],
+    texts: &[&str],
+    mask: &[bool],
+    out: &mut Vec<Finding>,
+    path: &str,
+    lines: &[&str],
+) {
+    for i in 0..texts.len() {
+        if mask[i] {
+            continue;
+        }
+        let what = if matches!(
+            texts[i],
+            "thread_rng" | "from_entropy" | "OsRng" | "getrandom"
+        ) {
+            Some(texts[i])
+        } else if texts[i] == "random" && i >= 2 && texts[i - 1] == "::" && texts[i - 2] == "rand" {
+            Some("rand::random")
+        } else {
+            None
+        };
+        if let Some(w) = what {
+            out.push(Finding {
+                rule: "D03",
+                path: path.to_string(),
+                line: toks[i].line,
+                msg: format!("`{w}` draws unseeded randomness — use a seeded RNG"),
+                line_text: lines
+                    .get(toks[i].line.saturating_sub(1) as usize)
+                    .map(|l| l.trim().to_string())
+                    .unwrap_or_default(),
+            });
+        }
+    }
+}
+
+fn a01(
+    toks: &[Tok],
+    texts: &[&str],
+    mask: &[bool],
+    out: &mut Vec<Finding>,
+    path: &str,
+    lines: &[&str],
+) {
+    for i in 0..texts.len() {
+        if mask[i] {
+            continue;
+        }
+        if texts[i] == "Ordering"
+            && texts.get(i + 1) == Some(&"::")
+            && texts.get(i + 2) == Some(&"Relaxed")
+        {
+            out.push(Finding {
+                rule: "A01",
+                path: path.to_string(),
+                line: toks[i].line,
+                msg: "`Ordering::Relaxed` on a sync-critical atomic — use Acquire/Release \
+                      (or allowlist a justified counter)"
+                    .to_string(),
+                line_text: lines
+                    .get(toks[i].line.saturating_sub(1) as usize)
+                    .map(|l| l.trim().to_string())
+                    .unwrap_or_default(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(src: &str) -> Vec<&'static str> {
+        let mut r: Vec<_> = analyze_all_rules("fixture.rs", src)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect();
+        r.sort_unstable();
+        r.dedup();
+        r
+    }
+
+    const FORBID: &str = "#![forbid(unsafe_code)]\n";
+
+    #[test]
+    fn d01_iteration_flagged_sorted_allowed() {
+        let bad = format!(
+            "{FORBID}fn f() {{ let m: std::collections::HashMap<u32, u32> = Default::default(); \
+             for (k, v) in &m {{ use_it(k, v); }} }}"
+        );
+        assert_eq!(rules_of(&bad), ["D01"]);
+        let sorted = format!(
+            "{FORBID}fn f() {{ let m: HashMap<u32, u32> = Default::default(); \
+             let mut v: Vec<_> = m.into_iter().collect(); v.sort_unstable(); }}"
+        );
+        assert_eq!(rules_of(&sorted), Vec::<&str>::new());
+        let btree = format!(
+            "{FORBID}fn f() {{ let m: BTreeMap<u32, u32> = Default::default(); \
+             for (k, v) in &m {{ use_it(k, v); }} }}"
+        );
+        assert_eq!(rules_of(&btree), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn d01_lookup_only_is_fine() {
+        let src = format!(
+            "{FORBID}fn f() {{ let m: HashMap<u32, u32> = Default::default(); \
+             let x = m.get(&1); m.insert(2, 3); }}"
+        );
+        assert_eq!(rules_of(&src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn d02_clock_calls() {
+        let bad = format!("{FORBID}fn f() {{ let t = std::time::Instant::now(); }}");
+        assert_eq!(rules_of(&bad), ["D02"]);
+        let good = format!("{FORBID}fn f() {{ let t = Clock::start(); }}");
+        assert_eq!(rules_of(&good), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn d02_exempt_in_trace_crate() {
+        let src = "#![forbid(unsafe_code)]\nfn f() { let t = Instant::now(); }";
+        let findings = analyze("crates/trace/src/clock.rs", src);
+        assert!(findings.iter().all(|f| f.rule != "D02"), "{findings:?}");
+    }
+
+    #[test]
+    fn d03_unseeded_randomness() {
+        let bad = format!("{FORBID}fn f() {{ let mut rng = rand::thread_rng(); }}");
+        assert_eq!(rules_of(&bad), ["D03"]);
+        let good = format!("{FORBID}fn f() {{ let mut rng = StdRng::seed_from_u64(42); }}");
+        assert_eq!(rules_of(&good), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn p01_panics_in_hot_path() {
+        let bad = format!("{FORBID}fn f() {{ let x = maybe().unwrap(); panic!(\"no\"); }}");
+        assert_eq!(rules_of(&bad), ["P01"]);
+    }
+
+    #[test]
+    fn p01_scoped_to_hot_fns_in_executor() {
+        let src = "#![forbid(unsafe_code)]\n\
+                   fn run_bsp() { x.unwrap(); }\n\
+                   fn cold_path() { y.unwrap(); }";
+        let findings = analyze("crates/engine/src/executor.rs", src);
+        let p01: Vec<_> = findings.iter().filter(|f| f.rule == "P01").collect();
+        assert_eq!(p01.len(), 1);
+        assert_eq!(p01[0].line, 2);
+    }
+
+    #[test]
+    fn p01_ignores_test_mod() {
+        let src = format!(
+            "{FORBID}fn live() -> Result<(), E> {{ fallible()?; Ok(()) }}\n\
+             #[cfg(test)]\nmod tests {{ fn t() {{ x.unwrap(); }} }}"
+        );
+        assert_eq!(rules_of(&src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn w01_wildcard_decode_arm() {
+        let bad = format!(
+            "{FORBID}fn decode(buf: &mut Bytes) -> Result<Self, WireError> {{ \
+             match get_u8(buf)? {{ 0 => Ok(Self::A), _ => Ok(Self::B) }} }}"
+        );
+        assert_eq!(rules_of(&bad), ["W01"]);
+        let good = format!(
+            "{FORBID}fn decode(buf: &mut Bytes) -> Result<Self, WireError> {{ \
+             match get_u8(buf)? {{ 0 => Ok(Self::A), tag => Err(err(tag)) }} }}"
+        );
+        assert_eq!(rules_of(&good), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn w01_only_inside_decode() {
+        let src = format!("{FORBID}fn merge(x: u8) -> u8 {{ match x {{ 0 => 1, _ => 2 }} }}");
+        assert_eq!(rules_of(&src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn a01_relaxed_ordering() {
+        let bad = format!("{FORBID}fn f() {{ FLAG.store(true, Ordering::Relaxed); }}");
+        assert_eq!(rules_of(&bad), ["A01"]);
+        let good = format!("{FORBID}fn f() {{ FLAG.store(true, Ordering::Release); }}");
+        assert_eq!(rules_of(&good), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn f01_forbid_attribute() {
+        assert_eq!(rules_of("fn f() {}"), ["F01"]);
+        assert_eq!(
+            rules_of("#![forbid(unsafe_code)]\nfn f() {}"),
+            Vec::<&str>::new()
+        );
+    }
+
+    #[test]
+    fn strings_never_trigger_rules() {
+        let src = format!(
+            "{FORBID}fn f() {{ let s = \"Instant::now() Ordering::Relaxed thread_rng\"; }}"
+        );
+        assert_eq!(rules_of(&src), Vec::<&str>::new());
+    }
+}

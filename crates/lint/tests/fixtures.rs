@@ -1,0 +1,126 @@
+//! Self-test corpus: every rule has a bad fixture that fires exactly that
+//! rule and a good fixture that fires nothing; plus allowlist suppression,
+//! stale-entry detection, and a full clean-workspace run.
+
+use std::path::{Path, PathBuf};
+use tempograph_lint::{allowlist, analyze_all_rules, lint_workspace, Finding};
+
+const RULES: &[&str] = &["D01", "D02", "D03", "P01", "A01", "W01", "F01"];
+
+fn fixture(name: &str) -> (String, String) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"));
+    (format!("crates/lint/fixtures/{name}"), src)
+}
+
+fn findings_for(name: &str) -> Vec<Finding> {
+    let (path, src) = fixture(name);
+    analyze_all_rules(&path, &src)
+}
+
+#[test]
+fn every_bad_fixture_fires_exactly_its_rule() {
+    for rule in RULES {
+        let name = format!("{}_bad.rs", rule.to_lowercase());
+        let findings = findings_for(&name);
+        assert!(
+            !findings.is_empty(),
+            "{name} must produce at least one finding"
+        );
+        for f in &findings {
+            assert_eq!(
+                f.rule, *rule,
+                "{name} fired {} at line {} — bad fixtures must isolate their rule: {}",
+                f.rule, f.line, f.msg
+            );
+        }
+    }
+}
+
+#[test]
+fn every_good_fixture_is_clean() {
+    for rule in RULES {
+        let name = format!("{}_good.rs", rule.to_lowercase());
+        let findings = findings_for(&name);
+        assert!(
+            findings.is_empty(),
+            "{name} must be clean, got: {findings:#?}"
+        );
+    }
+}
+
+#[test]
+fn bad_fixture_findings_carry_source_lines() {
+    for f in findings_for("p01_bad.rs") {
+        assert!(
+            !f.line_text.is_empty(),
+            "finding at line {} lost its source text",
+            f.line
+        );
+    }
+}
+
+#[test]
+fn allowlist_suppresses_matching_findings() {
+    let findings = findings_for("p01_bad.rs");
+    let n = findings.len();
+    assert!(n >= 3, "p01_bad should have unwrap + panic + expect");
+    let allow = r#"
+[[allow]]
+rule = "P01"
+path = "crates/lint/fixtures/p01_bad.rs"
+contains = "unwrap"
+reason = "exercising suppression in a test"
+"#;
+    let entries = allowlist::parse(allow).expect("allowlist parses");
+    let (kept, used) = allowlist::apply(findings, &entries);
+    assert_eq!(
+        kept.len(),
+        n - 1,
+        "exactly the unwrap finding is suppressed"
+    );
+    assert!(kept.iter().all(|f| !f.line_text.contains("unwrap()")));
+    assert_eq!(used, vec![true]);
+}
+
+#[test]
+fn stale_allowlist_entry_is_detected() {
+    let findings = findings_for("p01_bad.rs");
+    let allow = r#"
+[[allow]]
+rule = "P01"
+path = "crates/lint/fixtures/p01_bad.rs"
+contains = "this substring appears nowhere"
+reason = "stale on purpose"
+"#;
+    let entries = allowlist::parse(allow).expect("allowlist parses");
+    let n = findings.len();
+    let (kept, used) = allowlist::apply(findings, &entries);
+    assert_eq!(kept.len(), n, "nothing suppressed");
+    assert_eq!(used, vec![false], "the entry must be reported stale");
+}
+
+#[test]
+fn workspace_is_clean_under_committed_allowlist() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let root = root.canonicalize().expect("workspace root resolves");
+    assert!(
+        Path::new(&root).join("lint-allow.toml").is_file(),
+        "committed allowlist present"
+    );
+    let report = lint_workspace(&root).expect("lint run succeeds");
+    assert!(report.files > 50, "walk found the workspace sources");
+    assert!(
+        report.findings.is_empty(),
+        "workspace must lint clean: {:#?}",
+        report.findings
+    );
+    assert!(
+        report.stale.is_empty(),
+        "no stale allowlist entries: {:#?}",
+        report.stale
+    );
+}

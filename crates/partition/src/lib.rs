@@ -20,6 +20,8 @@
 //! * [`quality`] — edge-cut and balance metrics (reproduces the paper's
 //!   edge-cut table).
 
+#![forbid(unsafe_code)]
+
 pub mod hash;
 pub mod ldg;
 pub mod multilevel;

@@ -5,13 +5,12 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
 use tempograph_core::{GraphTemplate, Neighbor, VertexIdx};
 use tempograph_engine::batch::BufferPool;
 use tempograph_engine::sync::{join_partition, Contribution, SyncPoint};
 use tempograph_engine::wire::WireMsg;
 use tempograph_partition::Partitioning;
-use tempograph_trace::{Trace, TraceConfig, TraceSink};
+use tempograph_trace::{Clock, Trace, TraceConfig, TraceSink};
 
 /// Per-vertex user logic (Pregel's `Compute`). One program *value* is shared
 /// (immutably) by all vertices; per-vertex state lives in `Self::State`.
@@ -190,7 +189,7 @@ fn run_pregel_impl<P: VertexProgram>(
         rxs.push(Some(rx));
     }
 
-    let wall = Instant::now();
+    let wall = Clock::start();
     let outs: Vec<WorkerOut<P::State>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(k);
         for p in 0..k {
@@ -229,7 +228,7 @@ fn run_pregel_impl<P: VertexProgram>(
 
     let mut states: Vec<Option<P::State>> = vec![None; n];
     let mut metrics = PregelMetrics {
-        wall_ns: wall.elapsed().as_nanos() as u64,
+        wall_ns: wall.elapsed_ns(),
         ..Default::default()
     };
     let mut sinks = Vec::with_capacity(outs.len());
@@ -380,8 +379,10 @@ fn worker<P: VertexProgram>(
         while let Ok(mut bytes) = rx.try_recv() {
             let count = bytes.get_u32_le();
             for _ in 0..count {
-                let to = VertexIdx::decode(&mut bytes);
-                let msg = P::Msg::decode(&mut bytes);
+                // Frames are produced by this same process; decode failure
+                // here is a bug, not recoverable input.
+                let to = VertexIdx::decode(&mut bytes).expect("pregel-internal frame");
+                let msg = P::Msg::decode(&mut bytes).expect("pregel-internal frame");
                 inbox[local_pos[to.idx()] as usize].push(msg);
             }
             pool.reclaim(bytes);

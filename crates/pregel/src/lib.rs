@@ -13,6 +13,8 @@
 //! sync), so Fig. 5b's comparison measures model differences, not substrate
 //! differences.
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod programs;
 

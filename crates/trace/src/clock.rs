@@ -1,0 +1,50 @@
+//! The workspace's one sanctioned wall-clock: a monotonic stopwatch.
+//!
+//! Every crate outside `tempograph-trace` is forbidden (lint rule **D02**)
+//! from calling `Instant::now` / `SystemTime::now` directly: scattered
+//! clock reads are how timing data sneaks past the trace and breaks the
+//! "metrics re-derive exactly from the trace" invariant. Code that needs a
+//! duration uses either a [`crate::TraceSink`] (when the reading should
+//! also be recordable as a span) or this [`Clock`] (driver-side wall
+//! timing, CLI reporting, I/O accounting) — both share the same monotonic
+//! source, and both live here where the linter can see them.
+
+use std::time::{Duration, Instant};
+
+/// A started monotonic stopwatch.
+#[derive(Clone, Copy, Debug)]
+pub struct Clock(Instant);
+
+impl Clock {
+    /// Start measuring now.
+    #[inline]
+    pub fn start() -> Self {
+        Clock(Instant::now())
+    }
+
+    /// Nanoseconds elapsed since [`Clock::start`].
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        self.0.elapsed().as_nanos() as u64
+    }
+
+    /// Elapsed time since [`Clock::start`] as a [`Duration`].
+    #[inline]
+    pub fn elapsed(&self) -> Duration {
+        self.0.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let c = Clock::start();
+        let a = c.elapsed_ns();
+        let b = c.elapsed_ns();
+        assert!(b >= a);
+        assert!(c.elapsed().as_nanos() as u64 >= b);
+    }
+}

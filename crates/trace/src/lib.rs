@@ -32,11 +32,15 @@
 //!    is dumped to stderr when its worker thread panics or a barrier wait
 //!    exceeds the configured straggler threshold.
 
+#![forbid(unsafe_code)]
+
 mod chrome;
+mod clock;
 mod sink;
 mod summary;
 mod trace;
 
+pub use clock::Clock;
 pub use sink::{SpanStart, TraceConfig, TraceEvent, TraceMode, TraceSink};
 pub use trace::{SpanView, Trace, TraceTrack};
 

@@ -265,7 +265,7 @@ fn cmd_partition(opts: &HashMap<String, String>) -> Result<(), String> {
     let name = opt(opts, "partitioner", "multilevel");
     let partitioner = partitioner_of(name)?;
     let template = preset.template(scale);
-    let started = std::time::Instant::now();
+    let started = Clock::start();
     let parts = partitioner.partition(&template, k);
     let elapsed = started.elapsed();
     println!(
@@ -304,7 +304,7 @@ fn cmd_run(opts: &HashMap<String, String>) -> Result<(), String> {
         "running {algo} over {timesteps} timesteps on {} partitions…",
         pg.num_partitions()
     );
-    let started = std::time::Instant::now();
+    let started = Clock::start();
     let result = match algo.as_str() {
         "tdsp" => {
             let col = find_e(LATENCY_ATTR).ok_or("dataset lacks a latency column")?;

@@ -24,6 +24,8 @@
 //! assert_eq!(series.len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use tempograph_algos as algos;
 pub use tempograph_core as core;
 pub use tempograph_engine as engine;
@@ -56,5 +58,5 @@ pub mod prelude {
         discover_subgraphs, HashPartitioner, LdgPartitioner, MultilevelPartitioner,
         PartitionedGraph, Partitioner, Partitioning, Subgraph, SubgraphId,
     };
-    pub use tempograph_trace::{Trace, TraceConfig, TraceMode, TraceSink};
+    pub use tempograph_trace::{Clock, Trace, TraceConfig, TraceMode, TraceSink};
 }
