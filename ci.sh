@@ -1,18 +1,21 @@
 #!/usr/bin/env bash
 # Local CI: formatting, lints, and the tier-1 verification gate.
-# Usage: ./ci.sh            (full pipeline)
-#        ./ci.sh --lint     (invariant-checker stage only)
-#        ./ci.sh --faults   (fault-tolerance stage only)
+# Usage: ./ci.sh                 (full pipeline)
+#        ./ci.sh --lint          (invariant-checker stage only)
+#        ./ci.sh --faults        (fault-tolerance stage only)
+#        ./ci.sh --bench-report  (regenerate BENCH_tempograph.json + gate)
 set -euo pipefail
 cd "$(dirname "$0")"
 
 FAULTS_ONLY=0
 LINT_ONLY=0
+BENCH_REPORT=0
 for arg in "$@"; do
     case "$arg" in
         --faults) FAULTS_ONLY=1 ;;
         --lint) LINT_ONLY=1 ;;
-        *) echo "unknown argument: $arg (expected --lint or --faults)" >&2; exit 2 ;;
+        --bench-report) BENCH_REPORT=1 ;;
+        *) echo "unknown argument: $arg (expected --lint, --faults, or --bench-report)" >&2; exit 2 ;;
     esac
 done
 
@@ -62,6 +65,28 @@ miri_stage() {
     cargo +nightly miri test -q -p tempograph-gofs slice::tests
 }
 
+# Bench-report gate: regenerate the committed machine-readable report
+# (fixed-seed HASH/MEME/TDSP x 3/6-partition matrix with the metrics
+# registry armed), then regression-gate the fresh run against the
+# committed baseline. `bench compare` exits 2 when a top-level *_ns
+# aggregate grew past +50 % and past the 25 ms noise floor.
+bench_report_stage() {
+    echo "==> bench report: HASH/MEME/TDSP x {3,6} partitions -> BENCH_tempograph.json.new"
+    cargo run -q --release -p tempograph-bench --bin bench -- \
+        report --out BENCH_tempograph.json.new
+    echo "==> bench report: gate fresh run against committed baseline"
+    cargo run -q --release -p tempograph-bench --bin bench -- \
+        compare BENCH_tempograph.json BENCH_tempograph.json.new
+    mv BENCH_tempograph.json.new BENCH_tempograph.json
+    echo "    baseline refreshed: BENCH_tempograph.json (commit if it should stick)"
+}
+
+if [[ "$BENCH_REPORT" -eq 1 ]]; then
+    bench_report_stage
+    echo "CI OK (bench-report)"
+    exit 0
+fi
+
 if [[ "$LINT_ONLY" -eq 1 ]]; then
     lint_stage
     echo "CI OK (lint)"
@@ -99,6 +124,9 @@ cargo test -q -p tempograph-trace --all-features
 
 echo "==> trace overhead smoke test (tracing disabled must be ~free)"
 cargo test -q --release --test trace_integration -- --ignored
+
+echo "==> metrics overhead smoke test (disabled instruments must not allocate)"
+cargo test -q --release --test metrics_overhead -- --ignored
 
 faults_stage
 

@@ -23,6 +23,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod report;
+
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use tempograph_core::{GraphTemplate, TimeSeriesCollection};

@@ -1,0 +1,106 @@
+//! `bench` — machine-readable bench reports and regression gating.
+//!
+//! ```text
+//! bench report  [--out PATH]                 # default BENCH_tempograph.json
+//! bench compare OLD NEW [--threshold FRAC]   # exit 2 on regressions
+//! ```
+//!
+//! Exit codes: 0 clean, 1 usage/IO error, 2 regressions found.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+use tempograph_bench::report::{build_report, compare_reports, ALGOS, DEFAULT_THRESHOLD, KS};
+use tempograph_metrics::json::Value;
+
+const USAGE: &str = "usage: bench report [--out PATH]
+       bench compare OLD NEW [--threshold FRAC]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<&str> = args.iter().map(String::as_str).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("bench: {e}\n{USAGE}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn run(args: &[&str]) -> Result<ExitCode, String> {
+    match args.first() {
+        Some(&"report") => cmd_report(&args[1..]),
+        Some(&"compare") => cmd_compare(&args[1..]),
+        _ => Err("expected a subcommand".into()),
+    }
+}
+
+fn cmd_report(args: &[&str]) -> Result<ExitCode, String> {
+    let mut out = "BENCH_tempograph.json".to_string();
+    let mut it = args.iter();
+    while let Some(&arg) = it.next() {
+        match arg {
+            "--out" => {
+                out = it.next().ok_or("--out needs a path")?.to_string();
+            }
+            other => return Err(format!("unknown report argument {other:?}")),
+        }
+    }
+    println!(
+        "bench report: {} x partitions {:?}, fixed fixtures",
+        ALGOS.join("/"),
+        KS
+    );
+    let report = build_report(&ALGOS, &KS);
+    std::fs::write(&out, report.write_pretty()).map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_compare(args: &[&str]) -> Result<ExitCode, String> {
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut paths: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(&arg) = it.next() {
+        match arg {
+            "--threshold" => {
+                let v = it.next().ok_or("--threshold needs a fraction")?;
+                threshold = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| t.is_finite() && *t >= 0.0)
+                    .ok_or_else(|| format!("bad threshold {v:?}"))?;
+            }
+            p => paths.push(p),
+        }
+    }
+    let [old_path, new_path] = paths[..] else {
+        return Err("compare needs exactly OLD and NEW paths".into());
+    };
+    let load = |path: &str| -> Result<Value, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        Value::parse(&text).map_err(|e| format!("parse {path}: {e}"))
+    };
+    let cmp = compare_reports(&load(old_path)?, &load(new_path)?, threshold)?;
+    for note in &cmp.notes {
+        println!("note: {note}");
+    }
+    if cmp.regressions.is_empty() {
+        println!(
+            "compare: OK — no time regressions beyond +{:.0}% (old {old_path}, new {new_path})",
+            threshold * 100.0
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for r in &cmp.regressions {
+            println!("{}", r.describe());
+        }
+        println!(
+            "compare: FAIL — {} regression(s) beyond +{:.0}%",
+            cmp.regressions.len(),
+            threshold * 100.0
+        );
+        Ok(ExitCode::from(2))
+    }
+}

@@ -1,0 +1,512 @@
+//! Machine-readable bench reports and regression gating.
+//!
+//! `bench report` runs the paper's three algorithms (HASH / MEME / TDSP)
+//! over 3 and 6 partitions on **fixed-size, fixed-seed** fixtures
+//! (deliberately independent of `TEMPOGRAPH_SCALE`, so two reports from
+//! different checkouts describe the same workload) and folds each run's
+//! metrics registry into one canonical JSON document,
+//! `BENCH_tempograph.json`.
+//!
+//! `bench compare OLD NEW` re-reads two such documents and gates on
+//! regressions: any top-level `*_ns` field that grew beyond the threshold
+//! (default +50 %) *and* beyond an absolute noise floor of 25 ms is fatal
+//! (process exit 2). Count-like fields (messages, supersteps, slice
+//! loads…) are reported as informational diffs only — they are expected
+//! to be deterministic, so any drift is worth a look but should not fail
+//! CI on its own.
+
+use std::sync::Arc;
+use tempograph_algos::{HashtagAggregation, MemeTracking, Tdsp};
+use tempograph_core::{GraphTemplate, TimeSeriesCollection, VertexIdx};
+use tempograph_engine::{run_job, InstanceSource, JobConfig, JobResult};
+use tempograph_gen::{
+    generate_road_latencies, generate_sir_tweets, DatasetPreset, RoadLatencyConfig, SirConfig,
+    LATENCY_ATTR, TWEETS_ATTR,
+};
+use tempograph_metrics::json::Value;
+use tempograph_metrics::{Histogram, Metric, Snapshot};
+
+use crate::{cleanup, partitioned, secs, stage_gofs, BINNING, MEME, PACKING, PERIOD};
+
+/// Schema tag stamped into every report; `compare` refuses mismatches.
+pub const REPORT_SCHEMA: &str = "tempograph-bench/v1";
+
+/// Timesteps per fixture run — enough for every algorithm to do real
+/// inter-timestep work (MEME's coloring, TDSP's frontier) while keeping
+/// the whole 6-entry matrix in CI budget.
+pub const REPORT_TIMESTEPS: usize = 12;
+
+/// Fixture scale: ≈ 3 000 vertices of the CARN-like road analogue —
+/// large enough that per-cell wall time sits in the tens-of-milliseconds
+/// range, where scheduler jitter is small relative to the gate threshold.
+pub const REPORT_SCALE: f64 = 0.3;
+
+/// Default fatal-growth threshold for `compare` (+50 %).
+pub const DEFAULT_THRESHOLD: f64 = 0.5;
+
+/// Absolute slack under which a `*_ns` growth is never fatal: on a
+/// single-host (often single-core) CI box, scheduler timesharing moves
+/// millisecond-scale figures by large ratios run to run; only growth
+/// that is big in *both* relative and absolute terms should gate.
+pub const NOISE_FLOOR_NS: u64 = 25_000_000;
+
+/// The full report matrix.
+pub const ALGOS: [&str; 3] = ["HASH", "MEME", "TDSP"];
+
+/// Partition counts of the report matrix (the paper's 3 → 6 scaling step).
+pub const KS: [usize; 2] = [3, 6];
+
+/// The fixed fixture graph (never reads `TEMPOGRAPH_SCALE`).
+fn fixture_template() -> Arc<GraphTemplate> {
+    Arc::new(DatasetPreset::Carn.template(REPORT_SCALE))
+}
+
+/// Fixed-seed SIR tweet stream for HASH and MEME.
+fn fixture_tweets(t: &Arc<GraphTemplate>) -> Arc<TimeSeriesCollection> {
+    Arc::new(generate_sir_tweets(
+        t.clone(),
+        &SirConfig {
+            timesteps: REPORT_TIMESTEPS,
+            start_time: 0,
+            period: PERIOD,
+            meme: MEME.to_string(),
+            hit_prob: 0.3,
+            initial_infected: 8,
+            infectious_steps: 4,
+            background_tags: vec!["#cats".into(), "#news".into()],
+            background_rate: 0.005,
+            seed: 0xBE4C,
+        },
+    ))
+}
+
+/// Fixed-seed road-latency stream for TDSP.
+fn fixture_road(t: &Arc<GraphTemplate>) -> Arc<TimeSeriesCollection> {
+    Arc::new(generate_road_latencies(
+        t.clone(),
+        &RoadLatencyConfig {
+            timesteps: REPORT_TIMESTEPS,
+            start_time: 0,
+            period: PERIOD,
+            min_latency: 5.0,
+            max_latency: 180.0,
+            seed: 0x0D05E,
+        },
+    ))
+}
+
+/// Run one matrix cell with the metrics registry armed.
+fn run_cell(
+    algo: &str,
+    k: usize,
+    t: &Arc<GraphTemplate>,
+    tweets: &Arc<TimeSeriesCollection>,
+    road: &Arc<TimeSeriesCollection>,
+) -> JobResult {
+    let tw_col = t
+        .vertex_schema()
+        .index_of(TWEETS_ATTR)
+        .expect("fixture has tweets attr");
+    let lat_col = t
+        .edge_schema()
+        .index_of(LATENCY_ATTR)
+        .expect("fixture has latency attr");
+    let pg = partitioned(t, k);
+    let coll = if algo == "TDSP" { road } else { tweets };
+    let dir = stage_gofs(&format!("report-{algo}-k{k}"), &pg, coll, PACKING, BINNING);
+    let src = InstanceSource::Gofs(dir.clone());
+    let result = match algo {
+        "HASH" => run_job(
+            &pg,
+            &src,
+            HashtagAggregation::factory(MEME, tw_col),
+            JobConfig::eventually_dependent(REPORT_TIMESTEPS).with_metrics(),
+        ),
+        "MEME" => run_job(
+            &pg,
+            &src,
+            MemeTracking::factory(MEME, tw_col),
+            JobConfig::sequentially_dependent(REPORT_TIMESTEPS).with_metrics(),
+        ),
+        "TDSP" => run_job(
+            &pg,
+            &src,
+            Tdsp::factory(VertexIdx(0), lat_col),
+            JobConfig::sequentially_dependent(REPORT_TIMESTEPS)
+                .while_active(REPORT_TIMESTEPS)
+                .with_metrics(),
+        ),
+        other => panic!("unknown algorithm {other:?}"),
+    };
+    cleanup(&dir);
+    result
+}
+
+fn histogram_of<'a>(snap: &'a Snapshot, name: &str) -> Option<&'a Histogram> {
+    match snap.get(name, &[])? {
+        Metric::Histogram(h) => Some(h),
+        _ => None,
+    }
+}
+
+/// Quantile digest of a latency histogram. Keys deliberately do **not**
+/// end in `_ns`: quantiles of per-superstep latency are too noisy to gate
+/// on; the aggregate `*_ns_total` counters above them are the fatal ones.
+fn quantile_obj(h: &Histogram) -> Value {
+    Value::Obj(vec![
+        ("count".into(), Value::u64(h.count())),
+        ("sum".into(), Value::u64(h.sum())),
+        ("p50".into(), Value::u64(h.quantile(0.5))),
+        ("p95".into(), Value::u64(h.quantile(0.95))),
+        ("p99".into(), Value::u64(h.quantile(0.99))),
+        ("max".into(), Value::u64(h.max())),
+    ])
+}
+
+/// One report entry: flat `*_ns` aggregates (gated), flat counts
+/// (informational), quantile digests, and the full embedded snapshot.
+fn entry_value(algo: &str, k: usize, result: &JobResult) -> Value {
+    let snap = result
+        .registry
+        .as_ref()
+        .expect("cell ran with_metrics")
+        .snapshot();
+    let c = |name: &str| Value::u64(snap.counter_total(name));
+    let mut fields: Vec<(String, Value)> = vec![
+        ("algorithm".into(), Value::str(algo)),
+        ("partitions".into(), Value::u64(k as u64)),
+        (
+            "timesteps_run".into(),
+            Value::u64(result.timesteps_run as u64),
+        ),
+        ("wall_ns".into(), c("tempograph_wall_ns_total")),
+        ("virtual_ns".into(), c("tempograph_virtual_ns_total")),
+        ("compute_ns".into(), c("tempograph_compute_ns_total")),
+        ("sync_ns".into(), c("tempograph_sync_ns_total")),
+        ("msg_ns".into(), c("tempograph_msg_ns_total")),
+        ("io_ns".into(), c("tempograph_io_ns_total")),
+        ("supersteps".into(), c("tempograph_supersteps_total")),
+        ("msgs_local".into(), c("tempograph_msgs_local_total")),
+        ("msgs_remote".into(), c("tempograph_msgs_remote_total")),
+        ("bytes_remote".into(), c("tempograph_bytes_remote_total")),
+        ("msgs_combined".into(), c("tempograph_msgs_combined_total")),
+        ("slice_loads".into(), c("tempograph_slice_loads_total")),
+        ("send_retries".into(), c("tempograph_send_retries_total")),
+        ("recoveries".into(), c("tempograph_recoveries_total")),
+        (
+            "emitted_values".into(),
+            c("tempograph_emitted_values_total"),
+        ),
+    ];
+    for (field, metric) in [
+        (
+            "superstep_compute_quantiles",
+            "tempograph_superstep_compute_ns",
+        ),
+        ("barrier_wait_quantiles", "tempograph_barrier_wait_ns"),
+        ("send_quantiles", "tempograph_send_ns"),
+    ] {
+        if let Some(h) = histogram_of(&snap, metric) {
+            fields.push((field.into(), quantile_obj(h)));
+        }
+    }
+    fields.push(("snapshot".into(), snap.to_value()));
+    Value::Obj(fields)
+}
+
+/// Host fingerprint so two reports can be judged for comparability. No
+/// timestamp: report generation must stay free of ambient clock reads.
+fn env_value() -> Value {
+    Value::Obj(vec![
+        ("os".into(), Value::str(std::env::consts::OS)),
+        ("arch".into(), Value::str(std::env::consts::ARCH)),
+        (
+            "cpus".into(),
+            Value::u64(
+                std::thread::available_parallelism()
+                    .map(|n| n.get() as u64)
+                    .unwrap_or(1),
+            ),
+        ),
+        ("debug_build".into(), Value::Bool(cfg!(debug_assertions))),
+        ("timesteps".into(), Value::u64(REPORT_TIMESTEPS as u64)),
+        ("scale".into(), Value::f64(REPORT_SCALE)),
+    ])
+}
+
+/// Run the `algos × ks` matrix and assemble the canonical report value.
+/// Prints one progress line per cell.
+pub fn build_report(algos: &[&str], ks: &[usize]) -> Value {
+    let t = fixture_template();
+    let tweets = fixture_tweets(&t);
+    let road = fixture_road(&t);
+    let mut entries = Vec::new();
+    for &algo in algos {
+        for &k in ks {
+            let result = run_cell(algo, k, &t, &tweets, &road);
+            println!(
+                "  {algo} k={k}: wall {:.3}s, virtual {:.3}s, {} timesteps, {} recoveries",
+                secs(result.total_wall_ns),
+                secs(result.virtual_total_ns()),
+                result.timesteps_run,
+                result.recoveries,
+            );
+            entries.push(entry_value(algo, k, &result));
+        }
+    }
+    Value::Obj(vec![
+        ("schema".into(), Value::str(REPORT_SCHEMA)),
+        ("env".into(), env_value()),
+        ("entries".into(), Value::Arr(entries)),
+    ])
+}
+
+/// One fatal regression found by [`compare_reports`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Regression {
+    /// `"HASH/k3"`-style entry identity.
+    pub entry: String,
+    /// The offending `*_ns` field.
+    pub field: String,
+    /// Old and new values, nanoseconds.
+    pub old: u64,
+    /// New value, nanoseconds.
+    pub new: u64,
+}
+
+impl Regression {
+    /// Human-readable one-liner.
+    pub fn describe(&self) -> String {
+        let pct = if self.old == 0 {
+            f64::INFINITY
+        } else {
+            (self.new as f64 / self.old as f64 - 1.0) * 100.0
+        };
+        format!(
+            "REGRESSION {}: {} {:.3}ms -> {:.3}ms (+{:.1}%)",
+            self.entry,
+            self.field,
+            self.old as f64 / 1e6,
+            self.new as f64 / 1e6,
+            pct
+        )
+    }
+}
+
+/// Outcome of comparing two reports: fatal regressions plus informational
+/// notes (count drifts, entries present on only one side).
+#[derive(Clone, Debug, Default)]
+pub struct Comparison {
+    /// Time regressions beyond threshold + noise floor — CI-fatal.
+    pub regressions: Vec<Regression>,
+    /// Non-fatal observations worth a look.
+    pub notes: Vec<String>,
+}
+
+fn entry_key(entry: &Value) -> Option<String> {
+    let algo = entry.get("algorithm")?.as_str()?;
+    let k = entry.get("partitions")?.as_u64()?;
+    Some(format!("{algo}/k{k}"))
+}
+
+fn entries_by_key(report: &Value) -> Result<Vec<(String, &Value)>, String> {
+    let schema = report
+        .get("schema")
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| "report has no schema tag".to_string())?;
+    if schema != REPORT_SCHEMA {
+        return Err(format!(
+            "schema mismatch: expected {REPORT_SCHEMA:?}, got {schema:?}"
+        ));
+    }
+    let entries = report
+        .get("entries")
+        .and_then(|v| v.as_arr())
+        .ok_or_else(|| "report has no entries array".to_string())?;
+    let mut out = Vec::new();
+    for e in entries {
+        let key = entry_key(e).ok_or_else(|| "entry lacks algorithm/partitions".to_string())?;
+        out.push((key, e));
+    }
+    Ok(out)
+}
+
+/// Compare two parsed reports. Every top-level numeric `*_ns` field of a
+/// matched entry is gated: growth past `old × (1 + threshold)` **and**
+/// past [`NOISE_FLOOR_NS`] is a [`Regression`]. Other numeric fields that
+/// changed, and entries present on only one side, become notes.
+pub fn compare_reports(old: &Value, new: &Value, threshold: f64) -> Result<Comparison, String> {
+    let old_entries = entries_by_key(old)?;
+    let new_entries = entries_by_key(new)?;
+    let mut cmp = Comparison::default();
+
+    for (key, old_entry) in &old_entries {
+        let Some((_, new_entry)) = new_entries.iter().find(|(k, _)| k == key) else {
+            cmp.notes
+                .push(format!("entry {key} present only in old report"));
+            continue;
+        };
+        let Value::Obj(new_fields) = new_entry else {
+            continue;
+        };
+        for (field, new_val) in new_fields {
+            let Some(new_num) = new_val.as_u64() else {
+                continue;
+            };
+            let Some(old_num) = old_entry.get(field).and_then(|v| v.as_u64()) else {
+                cmp.notes
+                    .push(format!("{key}: new field {field} = {new_num}"));
+                continue;
+            };
+            if field.ends_with("_ns") {
+                let limit = (old_num as f64 * (1.0 + threshold)).round() as u64;
+                if new_num > limit && new_num.saturating_sub(old_num) > NOISE_FLOOR_NS {
+                    cmp.regressions.push(Regression {
+                        entry: key.clone(),
+                        field: field.clone(),
+                        old: old_num,
+                        new: new_num,
+                    });
+                }
+            } else if new_num != old_num {
+                cmp.notes
+                    .push(format!("{key}: {field} {old_num} -> {new_num}"));
+            }
+        }
+    }
+    for (key, _) in &new_entries {
+        if !old_entries.iter().any(|(k, _)| k == key) {
+            cmp.notes
+                .push(format!("entry {key} present only in new report"));
+        }
+    }
+    Ok(cmp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report(wall_ns: u64, msgs_remote: u64) -> Value {
+        Value::Obj(vec![
+            ("schema".into(), Value::str(REPORT_SCHEMA)),
+            ("env".into(), Value::Obj(vec![])),
+            (
+                "entries".into(),
+                Value::Arr(vec![Value::Obj(vec![
+                    ("algorithm".into(), Value::str("HASH")),
+                    ("partitions".into(), Value::u64(3)),
+                    ("wall_ns".into(), Value::u64(wall_ns)),
+                    ("msgs_remote".into(), Value::u64(msgs_remote)),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn self_compare_is_clean() {
+        let r = tiny_report(100_000_000, 42);
+        let cmp = compare_reports(&r, &r, DEFAULT_THRESHOLD).unwrap();
+        assert!(cmp.regressions.is_empty());
+        assert!(cmp.notes.is_empty());
+    }
+
+    #[test]
+    fn doctored_regression_detected() {
+        let old = tiny_report(100_000_000, 42);
+        let new = tiny_report(200_000_000, 42);
+        let cmp = compare_reports(&old, &new, DEFAULT_THRESHOLD).unwrap();
+        assert_eq!(cmp.regressions.len(), 1);
+        let r = &cmp.regressions[0];
+        assert_eq!(r.entry, "HASH/k3");
+        assert_eq!(r.field, "wall_ns");
+        assert_eq!((r.old, r.new), (100_000_000, 200_000_000));
+        assert!(r.describe().contains("+100.0%"));
+    }
+
+    #[test]
+    fn small_absolute_jitter_is_not_fatal() {
+        // 9× growth, but the absolute delta is under the 25 ms noise floor.
+        let old = tiny_report(2_000_000, 42);
+        let new = tiny_report(18_000_000, 42);
+        let cmp = compare_reports(&old, &new, DEFAULT_THRESHOLD).unwrap();
+        assert!(cmp.regressions.is_empty());
+    }
+
+    #[test]
+    fn growth_within_threshold_is_not_fatal() {
+        let old = tiny_report(100_000_000, 42);
+        let new = tiny_report(140_000_000, 42); // +40 % < +50 % threshold
+        let cmp = compare_reports(&old, &new, DEFAULT_THRESHOLD).unwrap();
+        assert!(cmp.regressions.is_empty());
+    }
+
+    #[test]
+    fn improvement_is_not_a_regression() {
+        let old = tiny_report(200_000_000, 42);
+        let new = tiny_report(50_000_000, 42);
+        let cmp = compare_reports(&old, &new, DEFAULT_THRESHOLD).unwrap();
+        assert!(cmp.regressions.is_empty());
+    }
+
+    #[test]
+    fn count_drift_is_an_informational_note() {
+        let old = tiny_report(100_000_000, 42);
+        let new = tiny_report(10_000_000, 45);
+        let cmp = compare_reports(&old, &new, DEFAULT_THRESHOLD).unwrap();
+        assert!(cmp.regressions.is_empty());
+        assert_eq!(cmp.notes.len(), 1);
+        assert!(cmp.notes[0].contains("msgs_remote 42 -> 45"));
+    }
+
+    #[test]
+    fn schema_mismatch_is_an_error() {
+        let good = tiny_report(1, 1);
+        let bad = Value::Obj(vec![("schema".into(), Value::str("other/v9"))]);
+        assert!(compare_reports(&bad, &good, DEFAULT_THRESHOLD).is_err());
+        assert!(compare_reports(&good, &bad, DEFAULT_THRESHOLD).is_err());
+    }
+
+    #[test]
+    fn unmatched_entries_become_notes() {
+        let old = tiny_report(1_000_000, 1);
+        let new = Value::Obj(vec![
+            ("schema".into(), Value::str(REPORT_SCHEMA)),
+            (
+                "entries".into(),
+                Value::Arr(vec![Value::Obj(vec![
+                    ("algorithm".into(), Value::str("MEME")),
+                    ("partitions".into(), Value::u64(6)),
+                ])]),
+            ),
+        ]);
+        let cmp = compare_reports(&old, &new, DEFAULT_THRESHOLD).unwrap();
+        assert!(cmp.regressions.is_empty());
+        assert_eq!(cmp.notes.len(), 2);
+    }
+
+    #[test]
+    fn real_single_cell_report_round_trips() {
+        // One real HASH run at k=2: the entry must carry the gated time
+        // fields and the embedded snapshot, and survive a JSON round trip.
+        let report = build_report(&["HASH"], &[2]);
+        let text = report.write_pretty();
+        let back = Value::parse(&text).expect("report JSON parses");
+        let entries = back.get("entries").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(entries.len(), 1);
+        let e = &entries[0];
+        assert_eq!(e.get("algorithm").and_then(|v| v.as_str()), Some("HASH"));
+        assert_eq!(e.get("partitions").and_then(|v| v.as_u64()), Some(2));
+        for field in ["wall_ns", "compute_ns", "sync_ns", "msg_ns", "io_ns"] {
+            assert!(e.get(field).and_then(|v| v.as_u64()).is_some(), "{field}");
+        }
+        assert!(e.get("supersteps").and_then(|v| v.as_u64()).unwrap() > 0);
+        let digest = e.get("superstep_compute_quantiles").expect("quantiles");
+        assert!(digest.get("count").and_then(|v| v.as_u64()).unwrap() > 0);
+        let snap = e.get("snapshot").expect("embedded snapshot");
+        Snapshot::from_value(snap).expect("embedded snapshot decodes");
+        // A fresh report must self-compare clean.
+        let cmp = compare_reports(&back, &back, DEFAULT_THRESHOLD).unwrap();
+        assert!(cmp.regressions.is_empty());
+    }
+}

@@ -30,7 +30,7 @@ use crate::checkpoint::{
 };
 use crate::error::EngineError;
 use crate::faults::{injected_panic_message, payload_is_injected, FaultPlan};
-use crate::metrics::{Emit, JobResult, TimestepMetrics};
+use crate::metrics::{Emit, JobResult, MetricsShard, TimestepMetrics};
 use crate::program::{Context, Outbox, Phase, SubgraphProgram};
 use crate::provider::{InstanceProvider, InstanceSource};
 use crate::sync::{join_partition, Contribution, PoisonOnPanic, SyncPoint};
@@ -115,6 +115,13 @@ pub struct JobConfig<M> {
     /// carries the assembled [`Trace`]. `None` (the default) keeps the
     /// engine on the inert-sink path: clock reads only, no recording.
     pub trace: Option<TraceConfig>,
+    /// Metrics collection (see [`tempograph_metrics`]). When `true`, every
+    /// worker keeps an inline histogram shard fed from the same
+    /// `TraceSink::now` readings the trace spans use, the driver folds the
+    /// shards plus job-level counters into a registry, and
+    /// [`JobResult::registry`] carries it. `false` (the default) adds no
+    /// work and no allocations to the superstep hot path.
+    pub metrics: bool,
     /// Superstep checkpointing (see [`crate::checkpoint`]). When set, every
     /// worker snapshots its recovery state at the configured timestep
     /// interval, and an injected worker death makes [`run_job`] restart the
@@ -139,6 +146,7 @@ impl<M> std::fmt::Debug for JobConfig<M> {
             )
             .field("combiner", &self.combiner.is_some())
             .field("trace", &self.trace)
+            .field("metrics", &self.metrics)
             .field("checkpoint", &self.checkpoint)
             .field("faults", &self.faults)
             .finish()
@@ -171,6 +179,7 @@ impl<M> JobConfig<M> {
             intra_partition_parallelism: false,
             combiner: None,
             trace: None,
+            metrics: false,
             checkpoint: None,
             faults: None,
         }
@@ -209,6 +218,12 @@ impl<M> JobConfig<M> {
     /// Enable structured tracing (see field docs).
     pub fn with_trace(mut self, trace: TraceConfig) -> Self {
         self.trace = Some(trace);
+        self
+    }
+
+    /// Enable metrics collection (see field docs).
+    pub fn with_metrics(mut self) -> Self {
+        self.metrics = true;
         self
     }
 
@@ -266,6 +281,8 @@ struct WorkerOutput {
     final_states: Vec<(SubgraphId, Vec<u8>)>,
     /// Drained trace sinks (worker + provider), named for track metadata.
     sinks: Vec<(String, TraceSink)>,
+    /// This worker's metrics shard, when the job ran with metrics enabled.
+    shard: Option<Box<MetricsShard>>,
 }
 
 /// True when a panic payload is a *cascade* failure — a worker that died
@@ -490,6 +507,30 @@ where
         .collect();
     final_states.sort_by_key(|(sg, _)| *sg);
 
+    // Fold the per-worker histogram shards (barrier-time shard merging is
+    // associative and commutative, so worker order cannot matter). Shards
+    // cover the final successful attempt; the restored pre-crash portion of
+    // a recovered run lives in the counter aggregates added by
+    // `JobResult::export_into` below.
+    let registry_base = config.metrics.then(|| {
+        let mut reg = tempograph_metrics::Registry::new();
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        for o in &outputs {
+            if let Some(sh) = &o.shard {
+                sh.fold_into(&mut reg);
+                hits += sh.cache_hits;
+                misses += sh.cache_misses;
+            }
+        }
+        reg.gauge_set(
+            "tempograph_gofs_cache_hit_rate",
+            &[],
+            tempograph_metrics::ratio_or_zero(hits, hits + misses),
+        );
+        reg
+    });
+
     let mut emitted: Vec<Emit> = outputs.into_iter().flat_map(|o| o.emits).collect();
     emitted.sort_by(|a, b| {
         (a.timestep, a.vertex)
@@ -497,7 +538,7 @@ where
             .then(a.value.total_cmp(&b.value))
     });
 
-    JobResult {
+    let mut result = JobResult {
         timesteps_run,
         metrics,
         merge_metrics,
@@ -508,7 +549,13 @@ where
         recoveries,
         final_states,
         trace,
+        registry: None,
+    };
+    if let Some(mut reg) = registry_base {
+        result.export_into(&mut reg);
+        result.registry = Some(reg);
     }
+    result
 }
 
 /// Per-partition execution state.
@@ -548,6 +595,11 @@ struct Worker<'a, P: SubgraphProgram> {
     /// feed metric accumulation and span recording, so aggregates are
     /// exactly derivable from the trace.
     tracer: TraceSink,
+    /// Metrics shard, boxed to keep the worker small when metrics are off
+    /// (`None` ⇒ the hot path does no metrics work at all). Every duration
+    /// recorded into it is a difference of the same `tracer.now()` readings
+    /// the spans above consume — no second clock read per event.
+    shard: Option<Box<MetricsShard>>,
     /// Cumulative traffic totals, sampled as trace counters per timestep.
     cum_msgs_local: u64,
     cum_msgs_remote: u64,
@@ -611,6 +663,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
                 .trace
                 .map(|tc| tc.sink(partition as u32))
                 .unwrap_or_else(TraceSink::inert),
+            shard: config.metrics.then(Box::default),
             cum_msgs_local: 0,
             cum_msgs_remote: 0,
             cum_bytes_remote: 0,
@@ -629,6 +682,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
                 timesteps_run: 0,
                 final_states: Vec::new(),
                 sinks: Vec::new(),
+                shard: None,
             },
             cur_counters: BTreeMap::new(),
             allow_next_timestep: config.pattern == Pattern::SequentiallyDependent,
@@ -677,6 +731,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
         self.out
             .sinks
             .push((format!("partition {}", self.partition), tracer));
+        self.out.shard = self.shard.take();
         if let Some(sink) = self.provider.take_trace() {
             self.out
                 .sinks
@@ -766,6 +821,9 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
             }
             let eot1 = self.tracer.now();
             let eot_elapsed = eot1 - eot0;
+            if let Some(sh) = self.shard.as_deref_mut() {
+                sh.compute_ns.record(eot_elapsed);
+            }
             m.compute_ns += eot_elapsed;
             // EndOfTimestep is barriered like a superstep; record it so the
             // virtual-makespan model accounts for its skew too.
@@ -777,6 +835,9 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
             next_msgs_total += next_out.len() as u64;
             self.route(next_out, BatchKind::NextTimestep, &mut m);
             let send1 = self.tracer.now();
+            if let Some(sh) = self.shard.as_deref_mut() {
+                sh.send_ns.record(send1 - send0);
+            }
             m.msg_ns += send1 - send0;
             self.tracer.span_at("send", send0, send1);
 
@@ -787,6 +848,9 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
                 all_halted: self.voted_halt_ts.iter().all(|&v| v),
             });
             let wait1 = self.tracer.now();
+            if let Some(sh) = self.shard.as_deref_mut() {
+                sh.barrier_wait_ns.record(wait1 - wait0);
+            }
             m.sync_ns += wait1 - wait0;
             self.tracer.span_at("barrier.arrive", wait0, wait1);
             self.tracer.straggler_check(wait1 - wait0);
@@ -798,10 +862,19 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
             let wait2 = self.tracer.now();
             self.sync.barrier();
             let wait3 = self.tracer.now();
+            if let Some(sh) = self.shard.as_deref_mut() {
+                sh.barrier_wait_ns.record(wait3 - wait2);
+            }
             m.sync_ns += wait3 - wait2;
             self.tracer.span_at("barrier.post", wait2, wait3);
 
             let io = self.provider.take_io_stats();
+            if let Some(sh) = self.shard.as_deref_mut() {
+                sh.cache_hits += io.cache_hits;
+                sh.cache_misses += io.cache_misses;
+                sh.cache_evictions += io.cache_evictions;
+                sh.bytes_read += io.bytes;
+            }
             m.io_ns += io.ns;
             m.slice_loads += io.loads;
             self.sample_traffic_counters(&m);
@@ -892,6 +965,9 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
             }
             let compute1 = self.tracer.now();
             let compute_elapsed = compute1 - compute0;
+            if let Some(sh) = self.shard.as_deref_mut() {
+                sh.compute_ns.record(compute_elapsed);
+            }
             m.compute_ns += compute_elapsed;
             m.superstep_compute_ns.push(compute_elapsed);
             self.tracer
@@ -903,6 +979,9 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
             self.route(superstep_out, BatchKind::Superstep, m);
             self.route(next_out, BatchKind::NextTimestep, m);
             let send1 = self.tracer.now();
+            if let Some(sh) = self.shard.as_deref_mut() {
+                sh.send_ns.record(send1 - send0);
+            }
             m.msg_ns += send1 - send0;
             self.tracer.span_at("send", send0, send1);
 
@@ -912,6 +991,9 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
                 all_halted: self.halted.iter().all(|&h| h),
             });
             let wait1 = self.tracer.now();
+            if let Some(sh) = self.shard.as_deref_mut() {
+                sh.barrier_wait_ns.record(wait1 - wait0);
+            }
             m.sync_ns += wait1 - wait0;
             self.tracer.span_at("barrier.arrive", wait0, wait1);
             self.tracer.straggler_check(wait1 - wait0);
@@ -927,6 +1009,9 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
             let wait2 = self.tracer.now();
             self.sync.barrier();
             let wait3 = self.tracer.now();
+            if let Some(sh) = self.shard.as_deref_mut() {
+                sh.barrier_wait_ns.record(wait3 - wait2);
+            }
             m.sync_ns += wait3 - wait2;
             self.tracer.span_at("barrier.post", wait2, wait3);
             self.tracer
@@ -1127,12 +1212,21 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
                 self.absorb_outbox(i, t, &mut outbox, &mut none, None);
                 per_t_counters[t] = std::mem::take(&mut self.cur_counters);
                 let c1 = self.tracer.now();
+                if let Some(sh) = self.shard.as_deref_mut() {
+                    sh.compute_ns.record(c1 - c0);
+                }
                 per_t[t].compute_ns += c1 - c0;
                 self.tracer.span_arg_at("compute", c0, c1, "t", t as u64);
                 per_t[t].supersteps = 1;
             }
         }
         let io = self.provider.take_io_stats();
+        if let Some(sh) = self.shard.as_deref_mut() {
+            sh.cache_hits += io.cache_hits;
+            sh.cache_misses += io.cache_misses;
+            sh.cache_evictions += io.cache_evictions;
+            sh.bytes_read += io.bytes;
+        }
         if let Some(first) = per_t.first_mut() {
             first.io_ns = io.ns;
             first.slice_loads = io.loads;
@@ -1358,6 +1452,9 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
         }
         write_atomic(&path, &data).expect("write checkpoint file");
         let ck1 = self.tracer.now();
+        if let Some(sh) = self.shard.as_deref_mut() {
+            sh.checkpoint_write_ns.record(ck1 - ck0);
+        }
         self.tracer
             .span_arg_at("checkpoint.write", ck0, ck1, "t", t as u64);
         self.tracer.counter("checkpoint.bytes", data.len() as u64);
@@ -1471,6 +1568,9 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
         self.cum_bytes_remote = self.out.metrics.iter().map(|m| m.bytes_remote).sum();
         self.cum_msgs_combined = self.out.metrics.iter().map(|m| m.msgs_combined).sum();
         let r1 = self.tracer.now();
+        if let Some(sh) = self.shard.as_deref_mut() {
+            sh.recovery_restore_ns.record(r1 - r0);
+        }
         self.tracer.span_arg_at("recovery.restore", r0, r1, "t", ct);
     }
 

@@ -2,8 +2,72 @@
 
 use std::collections::BTreeMap;
 use tempograph_core::VertexIdx;
+use tempograph_metrics::{ratio_or_zero, Histogram, Registry};
 use tempograph_partition::SubgraphId;
 use tempograph_trace::Trace;
+
+/// Per-worker metrics shard (see `JobConfig::with_metrics`).
+///
+/// Lives inline in each worker and is folded into the job's [`Registry`]
+/// by the driver after the workers join — the lock-free analogue of
+/// barrier-time shard merging. Recording is allocation-free (histograms
+/// are inline bucket arrays), and every duration recorded here is the
+/// difference of the *same* `TraceSink::now` readings the trace spans
+/// consume, so trace and metrics agree exactly (asserted in
+/// `tests/trace_integration.rs`).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct MetricsShard {
+    /// Barriered compute durations: one observation per superstep plus one
+    /// per `EndOfTimestep` phase.
+    pub compute_ns: Histogram,
+    /// Barrier wait durations (arrive + post-drain rendezvous).
+    pub barrier_wait_ns: Histogram,
+    /// Message marshalling/hand-off durations (one per send phase).
+    pub send_ns: Histogram,
+    /// Checkpoint snapshot+write durations (empty when not checkpointing).
+    pub checkpoint_write_ns: Histogram,
+    /// Checkpoint restore durations (empty for undisturbed runs).
+    pub recovery_restore_ns: Histogram,
+    /// GoFS instance-cache hits (0 for in-memory sources).
+    pub cache_hits: u64,
+    /// GoFS instance-cache misses.
+    pub cache_misses: u64,
+    /// GoFS instance-cache evictions.
+    pub cache_evictions: u64,
+    /// Bytes read and decoded from slice files.
+    pub bytes_read: u64,
+}
+
+impl MetricsShard {
+    /// Merge this shard's instruments into the job registry.
+    pub(crate) fn fold_into(&self, reg: &mut Registry) {
+        reg.merge_histogram("tempograph_superstep_compute_ns", &[], &self.compute_ns);
+        reg.merge_histogram("tempograph_barrier_wait_ns", &[], &self.barrier_wait_ns);
+        reg.merge_histogram("tempograph_send_ns", &[], &self.send_ns);
+        if self.checkpoint_write_ns.count() > 0 {
+            reg.merge_histogram(
+                "tempograph_checkpoint_write_ns",
+                &[],
+                &self.checkpoint_write_ns,
+            );
+        }
+        if self.recovery_restore_ns.count() > 0 {
+            reg.merge_histogram(
+                "tempograph_recovery_restore_ns",
+                &[],
+                &self.recovery_restore_ns,
+            );
+        }
+        reg.counter_add("tempograph_gofs_cache_hits_total", &[], self.cache_hits);
+        reg.counter_add("tempograph_gofs_cache_misses_total", &[], self.cache_misses);
+        reg.counter_add(
+            "tempograph_gofs_cache_evictions_total",
+            &[],
+            self.cache_evictions,
+        );
+        reg.counter_add("tempograph_gofs_bytes_read_total", &[], self.bytes_read);
+    }
+}
 
 /// Per-(timestep, partition) timing and traffic breakdown.
 ///
@@ -141,9 +205,94 @@ pub struct JobResult {
     /// `Trace::summary`; every `TimestepMetrics` aggregate is derivable
     /// from it (asserted in `tests/trace_integration.rs`).
     pub trace: Option<Trace>,
+    /// The folded metrics registry, when the job ran with
+    /// `JobConfig::with_metrics`: per-worker histogram shards merged with
+    /// the job-level counters of [`JobResult::export_into`]. Export via
+    /// `Registry::snapshot` (Prometheus text / top-N summary / JSON).
+    pub registry: Option<Registry>,
 }
 
 impl JobResult {
+    /// Fold this result's aggregate counters into a metrics registry.
+    ///
+    /// Counts are summed across every timestep row, every partition, and
+    /// the merge phase, so after a checkpointed recovery they include the
+    /// restored pre-crash portion. `tempograph_recoveries_total` and
+    /// `tempograph_send_retries_total` make fault-injection runs
+    /// (`TEMPOGRAPH_FAULTS`) visible in the Prometheus/JSON output.
+    pub fn export_into(&self, reg: &mut Registry) {
+        let mut compute = 0u64;
+        let mut msg = 0u64;
+        let mut sync = 0u64;
+        let mut io = 0u64;
+        let mut supersteps = 0u64;
+        let mut msgs_local = 0u64;
+        let mut msgs_remote = 0u64;
+        let mut bytes_remote = 0u64;
+        let mut msgs_combined = 0u64;
+        let mut batches_remote = 0u64;
+        let mut slice_loads = 0u64;
+        let mut send_retries = 0u64;
+        let rows = self
+            .metrics
+            .iter()
+            .flat_map(|per_t| per_t.iter())
+            .chain(self.merge_metrics.iter());
+        for m in rows {
+            compute += m.compute_ns;
+            msg += m.msg_ns;
+            sync += m.sync_ns;
+            io += m.io_ns;
+            msgs_local += m.msgs_local;
+            msgs_remote += m.msgs_remote;
+            bytes_remote += m.bytes_remote;
+            msgs_combined += m.msgs_combined;
+            batches_remote += m.batches_remote;
+            slice_loads += m.slice_loads;
+            send_retries += m.send_retries;
+        }
+        // Supersteps are barrier-synchronised: every partition runs the
+        // same count per timestep, so take the per-timestep max, not the
+        // per-partition sum.
+        for per_t in &self.metrics {
+            supersteps += u64::from(per_t.iter().map(|m| m.supersteps).max().unwrap_or(0));
+        }
+        supersteps += u64::from(
+            self.merge_metrics
+                .iter()
+                .map(|m| m.supersteps)
+                .max()
+                .unwrap_or(0),
+        );
+
+        reg.counter_add("tempograph_timesteps_total", &[], self.timesteps_run as u64);
+        reg.counter_add("tempograph_supersteps_total", &[], supersteps);
+        reg.counter_add("tempograph_compute_ns_total", &[], compute);
+        reg.counter_add("tempograph_msg_ns_total", &[], msg);
+        reg.counter_add("tempograph_sync_ns_total", &[], sync);
+        reg.counter_add("tempograph_io_ns_total", &[], io);
+        reg.counter_add("tempograph_wall_ns_total", &[], self.total_wall_ns);
+        reg.counter_add("tempograph_virtual_ns_total", &[], self.virtual_total_ns());
+        reg.counter_add("tempograph_msgs_local_total", &[], msgs_local);
+        reg.counter_add("tempograph_msgs_remote_total", &[], msgs_remote);
+        reg.counter_add("tempograph_bytes_remote_total", &[], bytes_remote);
+        reg.counter_add("tempograph_msgs_combined_total", &[], msgs_combined);
+        reg.counter_add("tempograph_batches_remote_total", &[], batches_remote);
+        reg.counter_add("tempograph_slice_loads_total", &[], slice_loads);
+        reg.counter_add("tempograph_send_retries_total", &[], send_retries);
+        reg.counter_add("tempograph_recoveries_total", &[], self.recoveries as u64);
+        reg.counter_add(
+            "tempograph_emitted_values_total",
+            &[],
+            self.emitted.len() as u64,
+        );
+        reg.gauge_set(
+            "tempograph_msgs_remote_fraction",
+            &[],
+            ratio_or_zero(msgs_remote, msgs_local + msgs_remote),
+        );
+    }
+
     /// Global wall time of one timestep: the slowest partition's wall time.
     pub fn timestep_wall_ns(&self, t: usize) -> u64 {
         self.metrics[t].iter().map(|m| m.wall_ns).max().unwrap_or(0)
@@ -414,6 +563,44 @@ mod tests {
         assert_eq!(breakdown[0].compute_ns, 11);
         assert_eq!(breakdown[1].compute_ns, 7);
         assert_eq!(breakdown[0].wall_ns, 7); // only t0 had wall time
+    }
+
+    #[test]
+    fn export_into_registry_counters() {
+        let mut r = JobResult {
+            timesteps_run: 1,
+            metrics: vec![vec![m(10, 5, 2), m(30, 1, 1)]],
+            ..Default::default()
+        };
+        r.metrics[0][0].supersteps = 4;
+        r.metrics[0][1].supersteps = 4;
+        r.metrics[0][0].msgs_local = 3;
+        r.metrics[0][0].msgs_remote = 1;
+        r.metrics[0][0].send_retries = 2;
+        r.recoveries = 1;
+        let mut reg = Registry::new();
+        r.export_into(&mut reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_total("tempograph_compute_ns_total"), 40);
+        assert_eq!(snap.counter_total("tempograph_supersteps_total"), 4);
+        assert_eq!(snap.counter_total("tempograph_send_retries_total"), 2);
+        assert_eq!(snap.counter_total("tempograph_recoveries_total"), 1);
+        match snap.get("tempograph_msgs_remote_fraction", &[]) {
+            Some(tempograph_metrics::Metric::Gauge(g)) => assert_eq!(*g, 0.25),
+            other => panic!("expected gauge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn export_into_empty_job_has_finite_ratios() {
+        let mut reg = Registry::new();
+        JobResult::default().export_into(&mut reg);
+        match reg.get("tempograph_msgs_remote_fraction", &[]) {
+            Some(tempograph_metrics::Metric::Gauge(g)) => {
+                assert_eq!(*g, 0.0, "zero denominator must yield 0.0, not NaN");
+            }
+            other => panic!("expected gauge, got {other:?}"),
+        }
     }
 
     #[test]

@@ -20,6 +20,12 @@ pub struct IoStats {
     pub bytes: u64,
     /// Nanoseconds spent fetching/decoding.
     pub ns: u64,
+    /// Instance-cache hits (GoFS loader only; 0 for in-memory).
+    pub cache_hits: u64,
+    /// Instance-cache misses (GoFS loader only; 0 for in-memory).
+    pub cache_misses: u64,
+    /// Instance-cache evictions (GoFS loader only; 0 for in-memory).
+    pub cache_evictions: u64,
 }
 
 /// A per-worker source of projected instance data.
@@ -135,6 +141,9 @@ impl InstanceProvider for GofsProvider {
             loads: s.slice_loads,
             bytes: s.bytes_read,
             ns: s.load_ns,
+            cache_hits: s.cache_hits,
+            cache_misses: s.cache_misses,
+            cache_evictions: s.evictions,
         }
     }
 

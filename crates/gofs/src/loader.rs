@@ -39,13 +39,10 @@ pub struct LoaderStats {
 }
 
 impl LoaderStats {
-    /// Fraction of requests served from cache (`0.0` when no requests yet).
+    /// Fraction of requests served from cache (`0.0` when no requests yet —
+    /// guarded via [`tempograph_metrics::ratio_or_zero`], never NaN).
     pub fn hit_rate(&self) -> f64 {
-        let total = self.cache_hits + self.cache_misses;
-        if total == 0 {
-            return 0.0;
-        }
-        self.cache_hits as f64 / total as f64
+        tempograph_metrics::ratio_or_zero(self.cache_hits, self.cache_hits + self.cache_misses)
     }
 }
 

@@ -1,0 +1,215 @@
+//! Text exposition: Prometheus format and a human top-N summary.
+
+use std::fmt::Write as _;
+
+use crate::histogram::Histogram;
+use crate::registry::{Metric, MetricEntry, MetricKey, Snapshot};
+
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn label_block(key: &MetricKey, extra: Option<(&str, String)>) -> String {
+    let mut pairs: Vec<String> = key
+        .labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{v}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+fn write_histogram(out: &mut String, key: &MetricKey, h: &Histogram) {
+    // Cumulative `le` buckets up to the highest populated bucket; the
+    // mandatory `+Inf` bucket carries the total count.
+    let mut cum = 0u64;
+    let top = h.buckets().iter().rposition(|&c| c != 0).unwrap_or(0);
+    for (idx, &c) in h.buckets().iter().enumerate().take(top + 1) {
+        cum += c;
+        let (_, high) = Histogram::bucket_bounds(idx);
+        let _ = writeln!(
+            out,
+            "{}_bucket{} {cum}",
+            key.name,
+            label_block(key, Some(("le", high.to_string())))
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{}_bucket{} {}",
+        key.name,
+        label_block(key, Some(("le", "+Inf".to_string()))),
+        h.count()
+    );
+    let _ = writeln!(
+        out,
+        "{}_sum{} {}",
+        key.name,
+        label_block(key, None),
+        h.sum()
+    );
+    let _ = writeln!(
+        out,
+        "{}_count{} {}",
+        key.name,
+        label_block(key, None),
+        h.count()
+    );
+}
+
+impl Snapshot {
+    /// Render the snapshot in the Prometheus text exposition format
+    /// (`# TYPE` lines, cumulative `le` buckets, `_sum`/`_count` series).
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for entry in &self.metrics {
+            if last_name != Some(entry.key.name.as_str()) {
+                let _ = writeln!(out, "# TYPE {} {}", entry.key.name, type_of(&entry.value));
+                last_name = Some(entry.key.name.as_str());
+            }
+            match &entry.value {
+                Metric::Counter(c) => {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {c}",
+                        entry.key.name,
+                        label_block(&entry.key, None)
+                    );
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {g:?}",
+                        entry.key.name,
+                        label_block(&entry.key, None)
+                    );
+                }
+                Metric::Histogram(h) => write_histogram(&mut out, &entry.key, h),
+            }
+        }
+        out
+    }
+
+    /// Render a human-readable summary: the top `top_n` counters by value
+    /// and the top `top_n` histograms by total time/volume, with quantiles.
+    #[must_use]
+    pub fn to_summary(&self, top_n: usize) -> String {
+        let mut counters: Vec<(&MetricEntry, u64)> = Vec::new();
+        let mut histograms: Vec<(&MetricEntry, &Histogram)> = Vec::new();
+        for entry in &self.metrics {
+            match &entry.value {
+                Metric::Counter(c) => counters.push((entry, *c)),
+                Metric::Histogram(h) => histograms.push((entry, h)),
+                Metric::Gauge(_) => {}
+            }
+        }
+        counters.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.key.cmp(&b.0.key)));
+        histograms.sort_by(|a, b| {
+            b.1.sum()
+                .cmp(&a.1.sum())
+                .then_with(|| a.0.key.cmp(&b.0.key))
+        });
+
+        let mut out = String::new();
+        let _ = writeln!(out, "== top {top_n} counters ==");
+        for (entry, value) in counters.iter().take(top_n) {
+            let _ = writeln!(
+                out,
+                "{:<48} {value}",
+                format!("{}{}", entry.key.name, label_block(&entry.key, None))
+            );
+        }
+        let _ = writeln!(out, "== top {top_n} histograms ==");
+        for (entry, h) in histograms.iter().take(top_n) {
+            let _ = writeln!(
+                out,
+                "{:<48} count={} sum={} p50={} p95={} p99={} max={}",
+                format!("{}{}", entry.key.name, label_block(&entry.key, None)),
+                h.count(),
+                h.sum(),
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.quantile(0.99),
+                h.max()
+            );
+        }
+        for entry in &self.metrics {
+            if let Metric::Gauge(g) = &entry.value {
+                let _ = writeln!(
+                    out,
+                    "{:<48} {g:?}",
+                    format!("{}{}", entry.key.name, label_block(&entry.key, None))
+                );
+            }
+        }
+        out
+    }
+}
+
+fn type_of(metric: &Metric) -> &'static str {
+    match metric {
+        Metric::Counter(_) => "counter",
+        Metric::Gauge(_) => "gauge",
+        Metric::Histogram(_) => "histogram",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Registry;
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let mut r = Registry::new();
+        r.counter_add("tempograph_msgs_total", &[("algo", "HASH")], 7);
+        r.gauge_set("tempograph_hit_rate", &[], 0.5);
+        r.observe("tempograph_compute_ns", &[], 100);
+        r.observe("tempograph_compute_ns", &[], 3000);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE tempograph_msgs_total counter"));
+        assert!(text.contains("tempograph_msgs_total{algo=\"HASH\"} 7"));
+        assert!(text.contains("# TYPE tempograph_hit_rate gauge"));
+        assert!(text.contains("tempograph_hit_rate 0.5"));
+        assert!(text.contains("# TYPE tempograph_compute_ns histogram"));
+        assert!(text.contains("tempograph_compute_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("tempograph_compute_ns_sum 3100"));
+        assert!(text.contains("tempograph_compute_ns_count 2"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut r = Registry::new();
+        r.counter_add("m", &[("path", "a\"b\\c\nd")], 1);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("m{path=\"a\\\"b\\\\c\\nd\"} 1"));
+    }
+
+    #[test]
+    fn summary_is_ranked() {
+        let mut r = Registry::new();
+        r.counter_add("small", &[], 1);
+        r.counter_add("big", &[], 100);
+        r.observe("lat_ns", &[], 42);
+        let s = r.snapshot().to_summary(1);
+        let big_at = s.find("big").unwrap();
+        assert!(s.find("small").is_none() || s.find("small").unwrap() > big_at);
+        assert!(s.contains("p95="));
+    }
+}

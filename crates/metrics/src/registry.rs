@@ -1,0 +1,293 @@
+//! The metrics registry: named, labeled instruments in deterministic order.
+
+use std::collections::BTreeMap;
+
+use crate::histogram::Histogram;
+
+/// Identity of an instrument: a name plus a *sorted* label set. Sorting the
+/// labels at construction time keeps every downstream iteration (Prometheus
+/// text, JSON, summaries) deterministic (lint rule D01).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Instrument name, e.g. `tempograph_superstep_compute_ns`.
+    pub name: String,
+    /// Label pairs, sorted by label name.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    /// Build a key, sorting the labels.
+    #[must_use]
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+/// One instrument's value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Metric {
+    /// Monotonic count of events.
+    Counter(u64),
+    /// Point-in-time value (always finite; non-finite sets are coerced
+    /// to `0.0`).
+    Gauge(f64),
+    /// Log2-bucketed distribution. Boxed: the inline bucket array is
+    /// ~0.5 KiB, and keeping the enum small keeps counter/gauge entries —
+    /// the overwhelming majority — cheap to store and clone.
+    Histogram(Box<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A registry of instruments keyed by `(name, labels)`, stored in a
+/// `BTreeMap` so iteration order — and therefore every export format — is
+/// deterministic.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Registry {
+    metrics: BTreeMap<MetricKey, Metric>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Number of registered instruments.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// `true` when no instrument has been registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Add `delta` to a counter, creating it at zero on first touch.
+    ///
+    /// # Panics
+    /// If the key already names a gauge or histogram (programmer error).
+    pub fn counter_add(&mut self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        let entry = self
+            .metrics
+            .entry(MetricKey::new(name, labels))
+            .or_insert(Metric::Counter(0));
+        match entry {
+            Metric::Counter(c) => *c = c.saturating_add(delta),
+            other => panic!("metric {name} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Set a gauge. Non-finite values are coerced to `0.0` so snapshots
+    /// stay JSON-representable.
+    ///
+    /// # Panics
+    /// If the key already names a counter or histogram (programmer error).
+    pub fn gauge_set(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let value = if value.is_finite() { value } else { 0.0 };
+        let entry = self
+            .metrics
+            .entry(MetricKey::new(name, labels))
+            .or_insert(Metric::Gauge(0.0));
+        match entry {
+            Metric::Gauge(g) => *g = value,
+            other => panic!("metric {name} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Record one observation into a histogram, creating it on first touch.
+    ///
+    /// # Panics
+    /// If the key already names a counter or gauge (programmer error).
+    pub fn observe(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        let entry = self
+            .metrics
+            .entry(MetricKey::new(name, labels))
+            .or_insert_with(|| Metric::Histogram(Box::default()));
+        match entry {
+            Metric::Histogram(h) => h.record(value),
+            other => panic!("metric {name} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Fold a pre-aggregated histogram shard into the named instrument.
+    ///
+    /// # Panics
+    /// If the key already names a counter or gauge (programmer error).
+    pub fn merge_histogram(&mut self, name: &str, labels: &[(&str, &str)], shard: &Histogram) {
+        let entry = self
+            .metrics
+            .entry(MetricKey::new(name, labels))
+            .or_insert_with(|| Metric::Histogram(Box::default()));
+        match entry {
+            Metric::Histogram(h) => h.merge(shard),
+            other => panic!("metric {name} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Merge another registry into this one: counters add, histograms
+    /// merge, gauges take the incoming value (last write wins).
+    pub fn merge(&mut self, other: &Registry) {
+        for (key, value) in &other.metrics {
+            match self.metrics.entry(key.clone()) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(value.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    match (slot.get_mut(), value) {
+                        (Metric::Counter(a), Metric::Counter(b)) => *a = a.saturating_add(*b),
+                        (Metric::Gauge(a), Metric::Gauge(b)) => *a = *b,
+                        (Metric::Histogram(a), Metric::Histogram(b)) => a.merge(b),
+                        (mine, theirs) => panic!(
+                            "metric {} kind mismatch on merge: {} vs {}",
+                            key.name,
+                            mine.kind(),
+                            theirs.kind()
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Look up an instrument by name + labels.
+    #[must_use]
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Metric> {
+        self.metrics.get(&MetricKey::new(name, labels))
+    }
+
+    /// Take a point-in-time, deterministically ordered snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            metrics: self
+                .metrics
+                .iter()
+                .map(|(key, value)| MetricEntry {
+                    key: key.clone(),
+                    value: value.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One entry of a [`Snapshot`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricEntry {
+    /// The instrument's identity.
+    pub key: MetricKey,
+    /// Its value at snapshot time.
+    pub value: Metric,
+}
+
+/// An immutable, ordered snapshot of a [`Registry`], ready for export.
+/// Entries are sorted by `(name, labels)`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Snapshot entries in deterministic `(name, labels)` order.
+    pub metrics: Vec<MetricEntry>,
+}
+
+impl Snapshot {
+    /// Look up an entry by name + labels.
+    #[must_use]
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Metric> {
+        let key = MetricKey::new(name, labels);
+        self.metrics.iter().find(|e| e.key == key).map(|e| &e.value)
+    }
+
+    /// Sum of all counters sharing `name` across label sets.
+    #[must_use]
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.metrics
+            .iter()
+            .filter(|e| e.key.name == name)
+            .map(|e| match &e.value {
+                Metric::Counter(c) => *c,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_sorted_for_identity() {
+        let a = MetricKey::new("m", &[("b", "2"), ("a", "1")]);
+        let b = MetricKey::new("m", &[("a", "1"), ("b", "2")]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn counters_accumulate_and_merge() {
+        let mut r1 = Registry::new();
+        r1.counter_add("msgs", &[("p", "0")], 3);
+        r1.counter_add("msgs", &[("p", "0")], 4);
+        let mut r2 = Registry::new();
+        r2.counter_add("msgs", &[("p", "0")], 5);
+        r2.counter_add("msgs", &[("p", "1")], 1);
+        r1.merge(&r2);
+        assert_eq!(r1.get("msgs", &[("p", "0")]), Some(&Metric::Counter(12)));
+        assert_eq!(r1.get("msgs", &[("p", "1")]), Some(&Metric::Counter(1)));
+        assert_eq!(r1.snapshot().counter_total("msgs"), 13);
+    }
+
+    #[test]
+    fn gauge_rejects_non_finite() {
+        let mut r = Registry::new();
+        r.gauge_set("rate", &[], f64::NAN);
+        assert_eq!(r.get("rate", &[]), Some(&Metric::Gauge(0.0)));
+        r.gauge_set("rate", &[], f64::INFINITY);
+        assert_eq!(r.get("rate", &[]), Some(&Metric::Gauge(0.0)));
+        r.gauge_set("rate", &[], 0.75);
+        assert_eq!(r.get("rate", &[]), Some(&Metric::Gauge(0.75)));
+    }
+
+    #[test]
+    fn snapshot_order_is_deterministic() {
+        let mut r = Registry::new();
+        r.counter_add("zed", &[], 1);
+        r.counter_add("alpha", &[("k", "2")], 1);
+        r.counter_add("alpha", &[("k", "1")], 1);
+        let names: Vec<String> = r
+            .snapshot()
+            .metrics
+            .iter()
+            .map(|e| {
+                format!(
+                    "{}{}",
+                    e.key.name,
+                    e.key
+                        .labels
+                        .iter()
+                        .map(|(k, v)| format!("[{k}={v}]"))
+                        .collect::<String>()
+                )
+            })
+            .collect();
+        assert_eq!(names, vec!["alpha[k=1]", "alpha[k=2]", "zed"]);
+    }
+}

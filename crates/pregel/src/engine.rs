@@ -106,6 +106,27 @@ pub struct PregelMetrics {
     pub wall_ns: u64,
 }
 
+impl PregelMetrics {
+    /// Fold this baseline run's aggregates into a metrics registry under
+    /// the `pregel_` prefix, so vertex-centric baseline numbers sit next to
+    /// the TI-BSP job metrics in one exposition dump.
+    pub fn export_into(&self, reg: &mut tempograph_metrics::Registry) {
+        reg.counter_add("pregel_supersteps_total", &[], self.supersteps as u64);
+        reg.counter_add("pregel_msgs_total", &[], self.messages);
+        reg.counter_add("pregel_msgs_remote_total", &[], self.remote_messages);
+        reg.counter_add("pregel_bytes_remote_total", &[], self.remote_bytes);
+        reg.counter_add("pregel_msgs_combined_total", &[], self.combined_messages);
+        reg.counter_add("pregel_compute_ns_total", &[], self.compute_ns);
+        reg.counter_add("pregel_sync_ns_total", &[], self.sync_ns);
+        reg.counter_add("pregel_wall_ns_total", &[], self.wall_ns);
+        reg.gauge_set(
+            "pregel_msgs_remote_fraction",
+            &[],
+            tempograph_metrics::ratio_or_zero(self.remote_messages, self.messages),
+        );
+    }
+}
+
 /// Final states plus metrics.
 pub struct PregelResult<S> {
     /// Final state per vertex, by dense vertex index.
@@ -470,6 +491,41 @@ mod tests {
                 "k={k}: {}",
                 r.metrics.supersteps
             );
+        }
+    }
+
+    #[test]
+    fn metrics_export_into_registry() {
+        let t = path(10);
+        let part = Partitioning {
+            assignment: (0..10).map(|v| (v % 2) as u16).collect(),
+            k: 2,
+        };
+        let r = run_pregel(&t, &part, &MaxProp, 1000);
+        let mut reg = tempograph_metrics::Registry::new();
+        r.metrics.export_into(&mut reg);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter_total("pregel_supersteps_total"),
+            r.metrics.supersteps as u64
+        );
+        assert_eq!(snap.counter_total("pregel_msgs_total"), r.metrics.messages);
+        match snap.get("pregel_msgs_remote_fraction", &[]) {
+            Some(tempograph_metrics::Metric::Gauge(g)) => {
+                assert!(g.is_finite() && (0.0..=1.0).contains(g));
+            }
+            other => panic!("expected gauge, got {other:?}"),
+        }
+        assert!(snap
+            .to_prometheus()
+            .contains("# TYPE pregel_msgs_total counter"));
+
+        // An idle baseline (no messages) keeps the ratio finite.
+        let mut reg = tempograph_metrics::Registry::new();
+        PregelMetrics::default().export_into(&mut reg);
+        match reg.get("pregel_msgs_remote_fraction", &[]) {
+            Some(tempograph_metrics::Metric::Gauge(g)) => assert_eq!(*g, 0.0),
+            other => panic!("expected gauge, got {other:?}"),
         }
     }
 

@@ -17,7 +17,9 @@
 //! slowest supersteps and worst barrier waits. Set
 //! `TEMPOGRAPH_FAULTS=<seed>` to inject a deterministic crash-and-recover
 //! schedule (checkpoints every 10 timesteps) — the output is identical
-//! either way.
+//! either way. Set `TEMPOGRAPH_METRICS=1` to fold per-worker metric
+//! shards into a registry and print the Prometheus exposition plus a
+//! top-5 summary after the run.
 
 use std::sync::Arc;
 use tempograph::prelude::*;
@@ -27,6 +29,17 @@ fn trace_config() -> Option<TraceConfig> {
     match std::env::var("TEMPOGRAPH_TRACE").ok()?.trim() {
         "" | "0" | "off" | "false" => None,
         _ => Some(TraceConfig::new()),
+    }
+}
+
+/// `TEMPOGRAPH_METRICS` opt-in (unset/`0`/`off` ⇒ no registry).
+fn metrics_enabled() -> bool {
+    match std::env::var("TEMPOGRAPH_METRICS")
+        .as_deref()
+        .map(str::trim)
+    {
+        Err(_) | Ok("" | "0" | "off" | "false") => false,
+        Ok(_) => true,
     }
 }
 
@@ -70,6 +83,9 @@ fn main() {
     let mut config = maybe_faulted(JobConfig::eventually_dependent(50));
     if let Some(tc) = trace_config() {
         config = config.with_trace(tc);
+    }
+    if metrics_enabled() {
+        config = config.with_metrics();
     }
     let result = run_job(
         &pg,
@@ -115,6 +131,15 @@ fn main() {
             "recovered from {} injected worker failure(s)",
             result.recoveries
         );
+    }
+
+    if let Some(registry) = &result.registry {
+        let snap = registry.snapshot();
+        println!(
+            "\nmetrics (Prometheus exposition):\n{}",
+            snap.to_prometheus()
+        );
+        println!("{}", snap.to_summary(5));
     }
 
     if let Some(trace) = &result.trace {

@@ -31,6 +31,7 @@ pub use tempograph_core as core;
 pub use tempograph_engine as engine;
 pub use tempograph_gen as gen;
 pub use tempograph_gofs as gofs;
+pub use tempograph_metrics as metrics;
 pub use tempograph_partition as partition;
 pub use tempograph_pregel as pregel;
 pub use tempograph_trace as trace;
@@ -54,6 +55,7 @@ pub mod prelude {
         LATENCY_ATTR, TWEETS_ATTR,
     };
     pub use tempograph_gofs::{GofsStore, GofsWriter, InstanceLoader};
+    pub use tempograph_metrics::{Histogram, Registry, Snapshot};
     pub use tempograph_partition::{
         discover_subgraphs, HashPartitioner, LdgPartitioner, MultilevelPartitioner,
         PartitionedGraph, Partitioner, Partitioning, Subgraph, SubgraphId,

@@ -144,6 +144,74 @@ fn traced_run_validates_and_exactly_derives_metrics() {
     assert_eq!(trace.counter_final("bytes.remote"), bytes_remote);
 }
 
+/// Shared-clock invariant, metrics edition: the registry's histograms are
+/// fed the *same* `TraceSink::now` differences the trace spans record, so
+/// a run armed with both must agree exactly — sum for sum, count for
+/// count — with no tolerance window.
+#[test]
+fn metrics_histograms_exactly_agree_with_trace_spans() {
+    let _guard = serial();
+    let (t, coll) = tweet_fixture();
+    let pg = partitioned(&t);
+    let tweets_col = t.vertex_schema().index_of(TWEETS_ATTR).unwrap();
+    let result = run_job(
+        &pg,
+        &InstanceSource::Memory(coll),
+        HashtagAggregation::factory("#meme", tweets_col),
+        JobConfig::eventually_dependent(TIMESTEPS)
+            .with_trace(TraceConfig::new())
+            .with_metrics(),
+    );
+    let trace = result.trace.as_ref().expect("trace attached");
+    let snap = result
+        .registry
+        .as_ref()
+        .expect("registry attached")
+        .snapshot();
+    let hist = |name: &str| match snap.get(name, &[]) {
+        Some(tempograph::metrics::Metric::Histogram(h)) => h,
+        other => panic!("{name}: expected a histogram, got {other:?}"),
+    };
+
+    // Compute: one observation per compute span plus one per
+    // end_of_timestep span, covering the identical nanoseconds.
+    let compute = hist("tempograph_superstep_compute_ns");
+    assert_eq!(
+        compute.sum(),
+        trace.sum_spans("compute") + trace.sum_spans("end_of_timestep")
+    );
+    assert_eq!(
+        compute.count() as usize,
+        trace.span_count("compute") + trace.span_count("end_of_timestep")
+    );
+
+    // Send: one observation per send span.
+    let send = hist("tempograph_send_ns");
+    assert_eq!(send.sum(), trace.sum_spans("send"));
+    assert_eq!(send.count() as usize, trace.span_count("send"));
+
+    // Barrier wait: one observation per arrive span and one per
+    // post-drain rendezvous span.
+    let wait = hist("tempograph_barrier_wait_ns");
+    assert_eq!(
+        wait.sum(),
+        trace.sum_spans("barrier.arrive") + trace.sum_spans("barrier.post")
+    );
+    assert_eq!(
+        wait.count() as usize,
+        trace.span_count("barrier.arrive") + trace.span_count("barrier.post")
+    );
+
+    // And both re-derive the engine's own aggregates (trace side already
+    // asserted in traced_run_validates_and_exactly_derives_metrics).
+    assert_eq!(
+        snap.counter_total("tempograph_compute_ns_total"),
+        compute.sum()
+    );
+    assert_eq!(snap.counter_total("tempograph_msg_ns_total"), send.sum());
+    assert_eq!(snap.counter_total("tempograph_sync_ns_total"), wait.sum());
+}
+
 #[test]
 fn chrome_export_is_structurally_sound() {
     let _guard = serial();
