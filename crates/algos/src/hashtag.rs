@@ -11,7 +11,7 @@
 //! (the vertex field carries the timestep index; this is the algorithm's
 //! tabular output, not a per-vertex result).
 
-use tempograph_core::VertexIdx;
+use tempograph_core::{kernels, VertexIdx};
 use tempograph_engine::{Combiner, Context, Envelope, SubgraphProgram};
 use tempograph_partition::Subgraph;
 
@@ -34,9 +34,7 @@ impl Combiner<Vec<u64>> for HashtagSumCombiner {
         if incoming.len() > acc.len() {
             acc.resize(incoming.len(), 0);
         }
-        for (a, b) in acc.iter_mut().zip(incoming) {
-            *a += b;
-        }
+        kernels::add_assign_u64(acc, &incoming);
     }
 }
 
@@ -97,14 +95,12 @@ impl SubgraphProgram for HashtagAggregation {
             let timesteps = msgs.iter().map(|e| e.payload.len()).max().unwrap_or(0);
             let mut totals = vec![0u64; timesteps];
             for e in msgs {
-                for (t, &c) in e.payload.iter().enumerate() {
-                    totals[t] += c;
-                }
+                kernels::add_assign_u64(&mut totals, &e.payload);
             }
             for (t, &c) in totals.iter().enumerate() {
                 ctx.emit(VertexIdx(t as u32), c as f64);
             }
-            ctx.add_counter(Self::TOTAL, totals.iter().sum());
+            ctx.add_counter(Self::TOTAL, kernels::sum_u64(&totals));
         }
         ctx.vote_to_halt();
     }

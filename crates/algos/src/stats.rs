@@ -8,6 +8,7 @@
 //! threshold). Results land in counters; no messaging at all, so it is also
 //! the cleanest workload for the temporal-parallelism ablation.
 
+use tempograph_core::kernels;
 use tempograph_engine::{Context, Envelope, SubgraphProgram};
 use tempograph_partition::Subgraph;
 
@@ -17,6 +18,10 @@ pub struct InstanceStats {
     tweets_col: Option<usize>,
     latency_col: Option<usize>,
     congestion_threshold: f64,
+    /// Edge positions whose lower endpoint this subgraph owns — constant
+    /// across timesteps, so the factory resolves the per-edge endpoint
+    /// lookups once instead of every instance.
+    owned_edges: Vec<u32>,
 }
 
 impl InstanceStats {
@@ -34,10 +39,29 @@ impl InstanceStats {
         latency_col: Option<usize>,
         congestion_threshold: f64,
     ) -> impl Fn(&Subgraph, &tempograph_partition::PartitionedGraph) -> InstanceStats {
-        move |_, _| InstanceStats {
-            tweets_col,
-            latency_col,
-            congestion_threshold,
+        move |sg, pg| {
+            // Count each *local* edge once: a subgraph's edge list also
+            // contains crossing edges owned jointly; keep an edge position
+            // only if this subgraph holds its lower endpoint side.
+            let owned_edges = if latency_col.is_some() {
+                sg.edges()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &e)| {
+                        let (s, _) = pg.template().endpoints(e);
+                        sg.local_pos(s).is_some()
+                    })
+                    .map(|(q, _)| q as u32)
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            InstanceStats {
+                tweets_col,
+                latency_col,
+                congestion_threshold,
+                owned_edges,
+            }
         }
     }
 }
@@ -61,17 +85,8 @@ impl SubgraphProgram for InstanceStats {
             }
             if let Some(col) = self.latency_col {
                 let lat = instance.edge_f64(col).expect("latency must be Double");
-                // Count each *local* edge once: a subgraph's edge list also
-                // contains crossing edges owned jointly; count an edge here
-                // only if this subgraph holds its lower endpoint side.
-                let sg = ctx.subgraph();
-                let mut congested = 0u64;
-                for (q, &e) in sg.edges().iter().enumerate() {
-                    let (s, _) = ctx.partitioned_graph().template().endpoints(e);
-                    if sg.local_pos(s).is_some() && lat[q] > self.congestion_threshold {
-                        congested += 1;
-                    }
-                }
+                let congested =
+                    kernels::count_gt_f64_at(lat, &self.owned_edges, self.congestion_threshold);
                 if congested > 0 {
                     ctx.add_counter(Self::CONGESTED_EDGES, congested);
                 }

@@ -7,6 +7,7 @@
 //! isolation, so it also serves as the workload for the temporal-parallelism
 //! ablation (A1).
 
+use tempograph_core::kernels;
 use tempograph_engine::{Context, Envelope, SubgraphProgram};
 use tempograph_partition::Subgraph;
 
@@ -41,18 +42,15 @@ impl SubgraphProgram for TopNActivity {
             let tweets = instance
                 .vertex_text_list(self.tweets_col)
                 .expect("tweets attribute must be a TextList vertex column");
-            let mut counts: Vec<(usize, u32)> = tweets
-                .iter()
-                .enumerate()
-                .filter(|(_, row)| !row.is_empty())
-                .map(|(pos, row)| (row.len(), pos as u32))
-                .collect();
-            let total: u64 = counts.iter().map(|&(c, _)| c as u64).sum();
-            counts.sort_unstable_by_key(|&(c, pos)| (std::cmp::Reverse(c), pos));
-            counts.truncate(self.n);
-            let top: Vec<(tempograph_core::VertexIdx, f64)> = counts
+            let lens: Vec<u64> = tweets.iter().map(|row| row.len() as u64).collect();
+            let total = kernels::sum_u64(&lens);
+            // `top_n_desc` orders by (count desc, position asc) — the same
+            // tie order the old full sort produced — and zero counts sort
+            // last, so cutting at the first zero drops inactive vertices.
+            let top: Vec<(tempograph_core::VertexIdx, f64)> = kernels::top_n_desc(&lens, self.n)
                 .into_iter()
-                .map(|(count, pos)| (sg.vertex_at(pos), count as f64))
+                .take_while(|&(_, count)| count > 0)
+                .map(|(pos, count)| (sg.vertex_at(pos as u32), count as f64))
                 .collect();
             for (v, count) in top {
                 ctx.emit(v, count);

@@ -1,0 +1,239 @@
+//! Sparse deltas between same-shaped [`Column`]s.
+//!
+//! Time-series graphs change slowly: successive instances of a column are
+//! mostly identical, with a handful of rows differing (`isExists` churn,
+//! a few active vertices). The GoFS v2 slice format exploits this by
+//! storing, for every instance after the first in a pack, only the rows
+//! that differ from the pack's base snapshot. This module provides the
+//! storage-agnostic half of that scheme:
+//!
+//! * [`Column::changed_rows`] — which rows of `self` differ from `base`;
+//! * [`Column::gather_rows`] — extract those rows as a small dense column;
+//! * [`Column::scatter_rows`] — apply such a patch onto a clone of the base.
+//!
+//! `Double` columns compare by **bit pattern** (`f64::to_bits`), so `NaN`
+//! payloads and signed zeros survive a delta round-trip exactly — the
+//! invariant is `base.scatter_rows(rows, values) == cur` for *any* floats,
+//! not just the well-behaved ones.
+
+use crate::error::{CoreError, Result};
+use crate::instance::Column;
+
+/// Compare one row of two same-typed columns; `Double` compares by bits.
+macro_rules! rows_differ {
+    ($a:expr, $b:expr, f64) => {
+        $a.to_bits() != $b.to_bits()
+    };
+    ($a:expr, $b:expr) => {
+        $a != $b
+    };
+}
+
+impl Column {
+    /// Indices of rows where `self` differs from `base`, ascending.
+    ///
+    /// Errors with [`CoreError::DeltaMismatch`] when the columns have
+    /// different types or lengths — deltas are only defined between two
+    /// instances of the *same* projected column.
+    pub fn changed_rows(&self, base: &Column) -> Result<Vec<u32>> {
+        if self.ty() != base.ty() {
+            return Err(CoreError::DeltaMismatch(format!(
+                "type {:?} vs base {:?}",
+                self.ty(),
+                base.ty()
+            )));
+        }
+        if self.len() != base.len() {
+            return Err(CoreError::DeltaMismatch(format!(
+                "length {} vs base {}",
+                self.len(),
+                base.len()
+            )));
+        }
+        fn diff<T>(cur: &[T], base: &[T], ne: impl Fn(&T, &T) -> bool) -> Vec<u32> {
+            cur.iter()
+                .zip(base)
+                .enumerate()
+                .filter(|(_, (c, b))| ne(c, b))
+                .map(|(i, _)| i as u32)
+                .collect()
+        }
+        Ok(match (self, base) {
+            (Column::Long(c), Column::Long(b)) => diff(c, b, |x, y| rows_differ!(x, y)),
+            (Column::Double(c), Column::Double(b)) => diff(c, b, |x, y| rows_differ!(x, y, f64)),
+            (Column::Bool(c), Column::Bool(b)) => diff(c, b, |x, y| rows_differ!(x, y)),
+            (Column::Text(c), Column::Text(b)) => diff(c, b, |x, y| rows_differ!(x, y)),
+            (Column::LongList(c), Column::LongList(b)) => diff(c, b, |x, y| rows_differ!(x, y)),
+            (Column::TextList(c), Column::TextList(b)) => diff(c, b, |x, y| rows_differ!(x, y)),
+            // Unreachable: the type check above already rejected mixed pairs.
+            (c, b) => {
+                return Err(CoreError::DeltaMismatch(format!(
+                    "type {:?} vs base {:?}",
+                    c.ty(),
+                    b.ty()
+                )))
+            }
+        })
+    }
+
+    /// Extract `rows` (ascending, in-range) as a dense column of the same
+    /// type. Panics on out-of-range rows — this is the encode side, where
+    /// rows come straight from [`Column::changed_rows`].
+    pub fn gather_rows(&self, rows: &[u32]) -> Column {
+        fn pick<T: Clone>(v: &[T], rows: &[u32]) -> Vec<T> {
+            rows.iter().map(|&i| v[i as usize].clone()).collect()
+        }
+        match self {
+            Column::Long(v) => Column::Long(pick(v, rows)),
+            Column::Double(v) => Column::Double(pick(v, rows)),
+            Column::Bool(v) => Column::Bool(pick(v, rows)),
+            Column::Text(v) => Column::Text(pick(v, rows)),
+            Column::LongList(v) => Column::LongList(pick(v, rows)),
+            Column::TextList(v) => Column::TextList(pick(v, rows)),
+        }
+    }
+
+    /// Overwrite `rows[i]` with `values[i]` for each i. The decode side of
+    /// a sparse delta: everything is validated (type, counts, strictly
+    /// ascending in-range rows) and reported as
+    /// [`CoreError::DeltaMismatch`] — untrusted bytes must never panic.
+    pub fn scatter_rows(&mut self, rows: &[u32], values: &Column) -> Result<()> {
+        if self.ty() != values.ty() {
+            return Err(CoreError::DeltaMismatch(format!(
+                "patch type {:?} vs column {:?}",
+                values.ty(),
+                self.ty()
+            )));
+        }
+        if rows.len() != values.len() {
+            return Err(CoreError::DeltaMismatch(format!(
+                "{} rows but {} values",
+                rows.len(),
+                values.len()
+            )));
+        }
+        let len = self.len();
+        let mut prev: Option<u32> = None;
+        for &r in rows {
+            if r as usize >= len {
+                return Err(CoreError::DeltaMismatch(format!(
+                    "row {r} out of range (column has {len} rows)"
+                )));
+            }
+            if prev.is_some_and(|p| p >= r) {
+                return Err(CoreError::DeltaMismatch(
+                    "rows must be strictly ascending".into(),
+                ));
+            }
+            prev = Some(r);
+        }
+        fn put<T: Clone>(dst: &mut [T], rows: &[u32], values: &[T]) {
+            for (&r, v) in rows.iter().zip(values) {
+                dst[r as usize] = v.clone();
+            }
+        }
+        match (self, values) {
+            (Column::Long(d), Column::Long(v)) => put(d, rows, v),
+            (Column::Double(d), Column::Double(v)) => put(d, rows, v),
+            (Column::Bool(d), Column::Bool(v)) => put(d, rows, v),
+            (Column::Text(d), Column::Text(v)) => put(d, rows, v),
+            (Column::LongList(d), Column::LongList(v)) => put(d, rows, v),
+            (Column::TextList(d), Column::TextList(v)) => put(d, rows, v),
+            // Unreachable: the type check above already rejected mixed pairs.
+            (d, v) => {
+                return Err(CoreError::DeltaMismatch(format!(
+                    "patch type {:?} vs column {:?}",
+                    v.ty(),
+                    d.ty()
+                )))
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diff_gather_scatter_roundtrip() {
+        let base = Column::Long(vec![1, 2, 3, 4, 5]);
+        let cur = Column::Long(vec![1, 20, 3, 40, 5]);
+        let rows = cur.changed_rows(&base).unwrap();
+        assert_eq!(rows, vec![1, 3]);
+        let patch = cur.gather_rows(&rows);
+        assert_eq!(patch, Column::Long(vec![20, 40]));
+        let mut rebuilt = base.clone();
+        rebuilt.scatter_rows(&rows, &patch).unwrap();
+        assert_eq!(rebuilt, cur);
+    }
+
+    #[test]
+    fn identical_columns_have_no_changes() {
+        let c = Column::Text(vec!["a".into(), "b".into()]);
+        assert!(c.changed_rows(&c.clone()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn doubles_compare_by_bits() {
+        let base = Column::Double(vec![0.0, 1.0, f64::NAN]);
+        let cur = Column::Double(vec![-0.0, 1.0, f64::NAN]);
+        // -0.0 == 0.0 numerically but differs bitwise; NaN != NaN
+        // numerically but the bit patterns here are identical.
+        let rows = cur.changed_rows(&base).unwrap();
+        assert_eq!(rows, vec![0]);
+        let mut rebuilt = base.clone();
+        rebuilt
+            .scatter_rows(&rows, &cur.gather_rows(&rows))
+            .unwrap();
+        match rebuilt {
+            Column::Double(v) => {
+                assert_eq!(v[0].to_bits(), (-0.0f64).to_bits());
+                assert!(v[2].is_nan());
+            }
+            other => panic!("wrong type {:?}", other.ty()),
+        }
+    }
+
+    #[test]
+    fn list_columns_delta() {
+        let base = Column::TextList(vec![vec![], vec!["x".into()], vec![]]);
+        let cur = Column::TextList(vec![vec![], vec!["x".into(), "y".into()], vec![]]);
+        let rows = cur.changed_rows(&base).unwrap();
+        assert_eq!(rows, vec![1]);
+        let mut rebuilt = base.clone();
+        rebuilt
+            .scatter_rows(&rows, &cur.gather_rows(&rows))
+            .unwrap();
+        assert_eq!(rebuilt, cur);
+    }
+
+    #[test]
+    fn mismatches_are_typed_errors() {
+        let longs = Column::Long(vec![1]);
+        let doubles = Column::Double(vec![1.0]);
+        assert!(matches!(
+            longs.changed_rows(&doubles),
+            Err(CoreError::DeltaMismatch(_))
+        ));
+        assert!(matches!(
+            longs.changed_rows(&Column::Long(vec![1, 2])),
+            Err(CoreError::DeltaMismatch(_))
+        ));
+
+        let mut dst = Column::Long(vec![1, 2, 3]);
+        // Wrong patch type.
+        assert!(dst.scatter_rows(&[0], &Column::Double(vec![0.5])).is_err());
+        // Count mismatch.
+        assert!(dst.scatter_rows(&[0, 1], &Column::Long(vec![9])).is_err());
+        // Out of range.
+        assert!(dst.scatter_rows(&[7], &Column::Long(vec![9])).is_err());
+        // Not ascending.
+        assert!(dst
+            .scatter_rows(&[1, 1], &Column::Long(vec![9, 9]))
+            .is_err());
+        // Untouched on failure.
+        assert_eq!(dst, Column::Long(vec![1, 2, 3]));
+    }
+}

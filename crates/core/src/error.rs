@@ -39,6 +39,9 @@ pub enum CoreError {
     /// An instance was built against a different template (column counts or
     /// lengths disagree with the collection's template).
     TemplateMismatch(String),
+    /// A sparse column delta does not fit the column it is applied to
+    /// (type mismatch, row index out of range, or length disagreement).
+    DeltaMismatch(String),
     /// The period `δ` must be strictly positive.
     InvalidPeriod(i64),
     /// Too many vertices/edges for the dense `u32` index space.
@@ -66,6 +69,7 @@ impl fmt::Display for CoreError {
                 write!(f, "instance timestamp {got} != expected {expected}")
             }
             CoreError::TemplateMismatch(what) => write!(f, "template mismatch: {what}"),
+            CoreError::DeltaMismatch(what) => write!(f, "column delta mismatch: {what}"),
             CoreError::InvalidPeriod(p) => write!(f, "period must be > 0, got {p}"),
             CoreError::CapacityExceeded(what) => {
                 write!(f, "more than u32::MAX {what} in one template")

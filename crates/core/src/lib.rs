@@ -42,9 +42,11 @@
 
 pub mod attr;
 pub mod collection;
+pub mod delta;
 pub mod error;
 pub mod ids;
 pub mod instance;
+pub mod kernels;
 pub mod template;
 
 pub use attr::{AttrDef, AttrType, AttrValue, Schema};

@@ -10,11 +10,24 @@ use crate::error::{GofsError, Result};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use tempograph_core::{AttrType, Column, GraphTemplate, Schema, TemplateBuilder, VertexIdx};
 
-/// Format version stamped into every framed file.
-pub const FORMAT_VERSION: u16 = 1;
+/// Format version stamped into every framed file this build writes.
+/// Version 2 switched slice payloads to the columnar delta layout and the
+/// frame checksum to [`fnv1a64_words`]; version-1 files remain readable.
+pub const FORMAT_VERSION: u16 = 2;
+
+/// The previous format version: row-major slice payloads, byte-serial
+/// [`fnv1a64`] frame checksums. Still decoded for backward compatibility.
+pub const FORMAT_V1: u16 = 1;
 
 /// FNV-1a 64-bit checksum — tiny, dependency-free, adequate for detecting
-/// torn writes and bit rot (not cryptographic).
+/// torn writes and bit rot (not cryptographic). Used by version-1 frames.
+///
+/// This is inherently byte-serial: every step multiplies the running hash
+/// before the next byte is folded in (`h = (h ^ b) · p`), so the chain
+/// cannot be widened or reordered without changing the output — there is
+/// no output-compatible 8-byte-at-a-time form. Version-2 frames therefore
+/// use [`fnv1a64_words`], the same mixing applied per 8-byte word, which
+/// does ~1/8th of the serial multiplies.
 pub fn fnv1a64(data: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in data {
@@ -24,19 +37,77 @@ pub fn fnv1a64(data: &[u8]) -> u64 {
     h
 }
 
-/// Wrap `payload` with `magic`, version and checksum footer.
+/// FNV-1a-style checksum folding 8-byte little-endian words instead of
+/// single bytes — the version-2 frame checksum. A short tail is
+/// zero-padded; that is unambiguous because the frame header fixes the
+/// payload length before the checksum is compared. Distinct from
+/// [`fnv1a64`] output-wise (see there for why the byte form cannot be
+/// widened in place).
+pub fn fnv1a64_words(data: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut chunks = data.chunks_exact(8);
+    for c in &mut chunks {
+        let mut w = [0u8; 8];
+        w.copy_from_slice(c);
+        h ^= u64::from_le_bytes(w);
+        h = h.wrapping_mul(PRIME);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut w = [0u8; 8];
+        w[..rem.len()].copy_from_slice(rem);
+        h ^= u64::from_le_bytes(w);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+fn checksum_for_version(version: u16, payload: &[u8]) -> Result<u64> {
+    match version {
+        FORMAT_V1 => Ok(fnv1a64(payload)),
+        FORMAT_VERSION => Ok(fnv1a64_words(payload)),
+        other => Err(GofsError::UnsupportedVersion(other)),
+    }
+}
+
+/// Wrap `payload` with `magic`, the current version and checksum footer.
 pub fn frame(magic: [u8; 4], payload: &[u8]) -> Bytes {
-    let mut out = BytesMut::with_capacity(payload.len() + 18);
+    frame_with_version(magic, FORMAT_VERSION, payload)
+}
+
+/// Wrap `payload` as a version-1 frame — what pre-v2 writers produced.
+/// Kept so compatibility tests (and tooling that must interoperate with
+/// old readers) can still emit the legacy format.
+pub fn frame_v1(magic: [u8; 4], payload: &[u8]) -> Bytes {
+    frame_with_version(magic, FORMAT_V1, payload)
+}
+
+fn frame_with_version(magic: [u8; 4], version: u16, payload: &[u8]) -> Bytes {
+    let checksum = match checksum_for_version(version, payload) {
+        Ok(c) => c,
+        // Only the two constants above reach this; a bad version here is a
+        // programming error, not corrupt input.
+        Err(_) => unreachable!("frame_with_version called with unknown version"),
+    };
+    let mut out = BytesMut::with_capacity(payload.len() + 22);
     out.put_slice(&magic);
-    out.put_u16_le(FORMAT_VERSION);
+    out.put_u16_le(version);
     out.put_u64_le(payload.len() as u64);
     out.put_slice(payload);
-    out.put_u64_le(fnv1a64(payload));
+    out.put_u64_le(checksum);
     out.freeze()
 }
 
 /// Validate magic/version/checksum and return the payload.
 pub fn unframe(magic: [u8; 4], data: &[u8]) -> Result<Bytes> {
+    unframe_versioned(magic, data).map(|(_, payload)| payload)
+}
+
+/// [`unframe`], additionally reporting which format version the frame
+/// carries so payload decoders can dispatch (slice files changed layout
+/// between versions 1 and 2).
+pub fn unframe_versioned(magic: [u8; 4], data: &[u8]) -> Result<(u16, Bytes)> {
     if data.len() < 22 {
         return Err(GofsError::Corrupt("file shorter than frame header".into()));
     }
@@ -47,9 +118,6 @@ pub fn unframe(magic: [u8; 4], data: &[u8]) -> Result<Bytes> {
         return Err(GofsError::BadMagic { found });
     }
     let version = buf.get_u16_le();
-    if version != FORMAT_VERSION {
-        return Err(GofsError::UnsupportedVersion(version));
-    }
     let len = buf.get_u64_le() as usize;
     if buf.remaining() != len + 8 {
         return Err(GofsError::Corrupt(format!(
@@ -59,11 +127,11 @@ pub fn unframe(magic: [u8; 4], data: &[u8]) -> Result<Bytes> {
     let payload = Bytes::copy_from_slice(&buf[..len]);
     buf.advance(len);
     let expected = buf.get_u64_le();
-    let actual = fnv1a64(&payload);
+    let actual = checksum_for_version(version, &payload)?;
     if expected != actual {
         return Err(GofsError::ChecksumMismatch { expected, actual });
     }
-    Ok(payload)
+    Ok((version, payload))
 }
 
 // ---- primitives ---------------------------------------------------------
@@ -74,15 +142,51 @@ pub fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_slice(s.as_bytes());
 }
 
-/// Read a length-prefixed UTF-8 string.
+/// Read a length-prefixed UTF-8 string. Validates UTF-8 against the
+/// buffer view and copies once into the returned `String` (`split_to` +
+/// `to_vec` would copy twice).
 pub fn get_str(buf: &mut Bytes) -> Result<String> {
     let len = get_u32(buf)? as usize;
     if buf.remaining() < len {
         return Err(GofsError::Corrupt("string overruns buffer".into()));
     }
-    let raw = buf.split_to(len);
-    String::from_utf8(raw.to_vec())
-        .map_err(|_| GofsError::Corrupt("invalid UTF-8 in string".into()))
+    let s = std::str::from_utf8(&buf[..len])
+        .map_err(|_| GofsError::Corrupt("invalid UTF-8 in string".into()))?
+        .to_owned();
+    buf.advance(len);
+    Ok(s)
+}
+
+// ---- varints -------------------------------------------------------------
+
+/// Append an LEB128 varint (7 value bits per byte, low bits first).
+pub fn put_varu64(buf: &mut BytesMut, mut x: u64) {
+    loop {
+        let b = (x & 0x7f) as u8;
+        x >>= 7;
+        if x == 0 {
+            buf.put_u8(b);
+            return;
+        }
+        buf.put_u8(b | 0x80);
+    }
+}
+
+/// Read an LEB128 varint (at most 10 bytes for a `u64`).
+pub fn get_varu64(buf: &mut Bytes) -> Result<u64> {
+    let mut x = 0u64;
+    for shift in (0..64).step_by(7) {
+        let b = get_u8(buf)?;
+        let low = (b & 0x7f) as u64;
+        if shift == 63 && low > 1 {
+            return Err(GofsError::Corrupt("varint overflows u64".into()));
+        }
+        x |= low << shift;
+        if b & 0x80 == 0 {
+            return Ok(x);
+        }
+    }
+    Err(GofsError::Corrupt("varint longer than 10 bytes".into()))
 }
 
 /// Checked `u32` read.
@@ -277,6 +381,115 @@ pub fn get_column(buf: &mut Bytes) -> Result<Column> {
     })
 }
 
+// ---- delta columns (v2 slices) ------------------------------------------
+
+/// Delta record tag: a full [`put_column`] follows (dense fallback).
+const DELTA_DENSE: u8 = 0;
+/// Delta record tag: varint change count, delta-coded ascending row
+/// indices, then a gathered [`put_column`] of just the changed values.
+const DELTA_SPARSE: u8 = 1;
+
+/// Exact [`put_column`] output size in bytes, without encoding.
+pub fn encoded_column_size(col: &Column) -> usize {
+    let body = match col {
+        Column::Long(v) => v.len() * 8,
+        Column::Double(v) => v.len() * 8,
+        Column::Bool(v) => v.len().div_ceil(8),
+        Column::Text(v) => v.iter().map(|s| 4 + s.len()).sum(),
+        Column::LongList(v) => v.iter().map(|l| 4 + l.len() * 8).sum(),
+        Column::TextList(v) => v
+            .iter()
+            .map(|l| 4 + l.iter().map(|s| 4 + s.len()).sum::<usize>())
+            .sum(),
+    };
+    1 + 4 + body // tag + length prefix + packed values
+}
+
+/// Append `cur` encoded as a delta against `base`: sparse
+/// (changed-rows-only) when that is strictly smaller than re-encoding the
+/// whole column, dense otherwise. `base` and `cur` must be same-typed,
+/// same-length projections of one column — the writer guarantees this, so
+/// a mismatch panics (encode side only; the decode side never panics).
+pub fn put_delta_column(buf: &mut BytesMut, base: &Column, cur: &Column) {
+    let rows = cur
+        .changed_rows(base)
+        .expect("delta-encoded columns must be same-typed and same-length");
+    // Sparse record body: varint count, delta-coded indices, gathered values.
+    let mut sparse = BytesMut::new();
+    put_varu64(&mut sparse, rows.len() as u64);
+    let mut prev = 0u64;
+    for &r in &rows {
+        put_varu64(&mut sparse, r as u64 - prev);
+        prev = r as u64;
+    }
+    put_column(&mut sparse, &cur.gather_rows(&rows));
+    if sparse.len() < encoded_column_size(cur) {
+        buf.put_u8(DELTA_SPARSE);
+        buf.put_slice(&sparse);
+    } else {
+        buf.put_u8(DELTA_DENSE);
+        put_column(buf, cur);
+    }
+}
+
+/// Read a delta record written by [`put_delta_column`] and rebuild the
+/// full column by patching a clone of `base`. All structural failures
+/// (unknown tag, out-of-range rows, type/length disagreements) surface as
+/// typed [`GofsError`]s.
+pub fn get_delta_column(buf: &mut Bytes, base: &Column) -> Result<Column> {
+    let tag = get_u8(buf)?;
+    match tag {
+        DELTA_DENSE => {
+            let col = get_column(buf)?;
+            if col.ty() != base.ty() || col.len() != base.len() {
+                return Err(GofsError::Corrupt(format!(
+                    "dense delta column {:?}×{} does not match base {:?}×{}",
+                    col.ty(),
+                    col.len(),
+                    base.ty(),
+                    base.len()
+                )));
+            }
+            Ok(col)
+        }
+        DELTA_SPARSE => {
+            let n = get_varu64(buf)? as usize;
+            if n > base.len() {
+                return Err(GofsError::Corrupt(format!(
+                    "sparse delta claims {n} changed rows in a {}-row column",
+                    base.len()
+                )));
+            }
+            let mut rows = Vec::with_capacity(n);
+            let mut at = 0u64;
+            for i in 0..n {
+                let gap = get_varu64(buf)?;
+                if i > 0 && gap == 0 {
+                    return Err(GofsError::Corrupt(
+                        "sparse delta rows must be strictly ascending".into(),
+                    ));
+                }
+                at = at
+                    .checked_add(gap)
+                    .ok_or_else(|| GofsError::Corrupt("sparse delta row index overflows".into()))?;
+                if at >= base.len() as u64 {
+                    return Err(GofsError::Corrupt(format!(
+                        "sparse delta row {at} out of range (column has {} rows)",
+                        base.len()
+                    )));
+                }
+                rows.push(at as u32);
+            }
+            let values = get_column(buf)?;
+            let mut col = base.clone();
+            col.scatter_rows(&rows, &values)
+                .map_err(|e| GofsError::Corrupt(format!("sparse delta does not apply: {e}")))?;
+            Ok(col)
+        }
+        other => Err(GofsError::Corrupt(format!("unknown delta tag {other}"))),
+    }
+}
+
 // ---- template -----------------------------------------------------------
 
 const TEMPLATE_MAGIC: [u8; 4] = *b"GFTP";
@@ -362,6 +575,213 @@ mod tests {
         ));
         // Truncate.
         assert!(unframe(*b"TEST", &framed[..framed.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn fnv_words_known_values() {
+        // Empty input: offset basis, same as the byte form.
+        assert_eq!(fnv1a64_words(b""), 0xcbf2_9ce4_8422_2325);
+        // One full word folds exactly once.
+        let w = u64::from_le_bytes(*b"abcdefgh");
+        let expect = (0xcbf2_9ce4_8422_2325u64 ^ w).wrapping_mul(0x0000_0100_0000_01b3);
+        assert_eq!(fnv1a64_words(b"abcdefgh"), expect);
+        // A short tail is zero-padded — but zero-padding is unambiguous
+        // only together with the frame's length field, so "a" and "a\0"
+        // colliding here is by design, not a defect.
+        assert_eq!(fnv1a64_words(b"a"), fnv1a64_words(b"a\0"));
+        // Word and byte forms are different functions.
+        assert_ne!(fnv1a64_words(b"abcdefgh"), fnv1a64(b"abcdefgh"));
+    }
+
+    #[test]
+    fn frame_versions_roundtrip_and_dispatch() {
+        let v2 = frame(*b"TEST", b"payload");
+        let v1 = frame_v1(*b"TEST", b"payload");
+        assert_ne!(&v2[..], &v1[..], "versions differ on the wire");
+        let (ver2, p2) = unframe_versioned(*b"TEST", &v2).unwrap();
+        let (ver1, p1) = unframe_versioned(*b"TEST", &v1).unwrap();
+        assert_eq!((ver2, &p2[..]), (FORMAT_VERSION, &b"payload"[..]));
+        assert_eq!((ver1, &p1[..]), (FORMAT_V1, &b"payload"[..]));
+        // Plain unframe accepts both.
+        assert_eq!(&unframe(*b"TEST", &v1).unwrap()[..], b"payload");
+
+        // An unknown version is rejected before any checksum guesswork.
+        let mut v9 = v2.to_vec();
+        v9[4] = 9;
+        v9[5] = 0;
+        assert!(matches!(
+            unframe(*b"TEST", &v9),
+            Err(GofsError::UnsupportedVersion(9))
+        ));
+
+        // Tampering with a v1 frame is still caught by the byte checksum.
+        let mut evil = v1.to_vec();
+        evil[15] ^= 0x40;
+        assert!(matches!(
+            unframe(*b"TEST", &evil),
+            Err(GofsError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        let cases = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut buf = BytesMut::new();
+        for &x in &cases {
+            put_varu64(&mut buf, x);
+        }
+        let mut bytes = buf.freeze();
+        for &x in &cases {
+            assert_eq!(get_varu64(&mut bytes).unwrap(), x);
+        }
+        assert_eq!(bytes.remaining(), 0);
+        // Unterminated varint → typed error, not a panic.
+        let mut bad = Bytes::copy_from_slice(&[0x80, 0x80]);
+        assert!(get_varu64(&mut bad).is_err());
+        // 10 continuation bytes with high bits set → overflow error.
+        let mut over = Bytes::copy_from_slice(&[0xff; 11]);
+        assert!(get_varu64(&mut over).is_err());
+    }
+
+    #[test]
+    fn delta_column_sparse_roundtrip_and_size() {
+        let base = Column::Double((0..100).map(|i| i as f64).collect());
+        let mut cur = base.clone();
+        if let Column::Double(v) = &mut cur {
+            v[3] = -1.0;
+            v[97] = 42.0;
+        }
+        let mut buf = BytesMut::new();
+        put_delta_column(&mut buf, &base, &cur);
+        assert!(
+            buf.len() < encoded_column_size(&cur) / 4,
+            "2-row delta of a 100-row column must be far smaller than dense ({} vs {})",
+            buf.len(),
+            encoded_column_size(&cur)
+        );
+        let mut bytes = buf.freeze();
+        let back = get_delta_column(&mut bytes, &base).unwrap();
+        assert_eq!(back, cur);
+        assert_eq!(bytes.remaining(), 0, "delta must consume exactly");
+    }
+
+    #[test]
+    fn delta_column_dense_fallback_when_everything_changes() {
+        let base = Column::Long((0..50).collect());
+        let cur = Column::Long((1000..1050).collect());
+        let mut buf = BytesMut::new();
+        put_delta_column(&mut buf, &base, &cur);
+        // Tag byte + dense encoding: never larger than dense + 1.
+        assert_eq!(buf.len(), 1 + encoded_column_size(&cur));
+        assert_eq!(buf[0], DELTA_DENSE);
+        let back = get_delta_column(&mut buf.freeze(), &base).unwrap();
+        assert_eq!(back, cur);
+    }
+
+    #[test]
+    fn delta_column_all_types_roundtrip() {
+        let pairs = [
+            (Column::Long(vec![1, 2, 3]), Column::Long(vec![1, 9, 3])),
+            (
+                Column::Double(vec![f64::NAN, 0.0]),
+                Column::Double(vec![f64::NAN, -0.0]),
+            ),
+            (
+                Column::Bool(vec![true, false, true]),
+                Column::Bool(vec![true, true, true]),
+            ),
+            (
+                Column::Text(vec!["a".into(), "b".into()]),
+                Column::Text(vec!["a".into(), "changed".into()]),
+            ),
+            (
+                Column::LongList(vec![vec![], vec![1]]),
+                Column::LongList(vec![vec![5], vec![1]]),
+            ),
+            (
+                Column::TextList(vec![vec!["#x".into()], vec![]]),
+                Column::TextList(vec![vec!["#x".into(), "#y".into()], vec![]]),
+            ),
+        ];
+        for (base, cur) in pairs {
+            let mut buf = BytesMut::new();
+            put_delta_column(&mut buf, &base, &cur);
+            let mut bytes = buf.freeze();
+            let back = get_delta_column(&mut bytes, &base).unwrap();
+            // Compare Doubles by bit pattern (NaN != NaN under PartialEq,
+            // but the codec's contract is exact bit preservation).
+            match (&back, &cur) {
+                (Column::Double(a), Column::Double(b)) => {
+                    assert_eq!(a.len(), b.len());
+                    for (x, y) in a.iter().zip(b) {
+                        assert_eq!(x.to_bits(), y.to_bits());
+                    }
+                }
+                _ => assert_eq!(back, cur),
+            }
+            assert_eq!(bytes.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn corrupt_delta_records_are_typed_errors() {
+        let base = Column::Long(vec![1, 2, 3]);
+        // Unknown tag.
+        let mut bad = Bytes::copy_from_slice(&[7]);
+        assert!(matches!(
+            get_delta_column(&mut bad, &base),
+            Err(GofsError::Corrupt(_))
+        ));
+        // Sparse record whose row index runs past the column.
+        let mut buf = BytesMut::new();
+        buf.put_u8(DELTA_SPARSE);
+        put_varu64(&mut buf, 1); // one change
+        put_varu64(&mut buf, 9); // at row 9 of a 3-row column
+        put_column(&mut buf, &Column::Long(vec![0]));
+        assert!(get_delta_column(&mut buf.freeze(), &base).is_err());
+        // More claimed changes than rows.
+        let mut buf = BytesMut::new();
+        buf.put_u8(DELTA_SPARSE);
+        put_varu64(&mut buf, 99);
+        assert!(get_delta_column(&mut buf.freeze(), &base).is_err());
+        // Dense record of the wrong shape.
+        let mut buf = BytesMut::new();
+        buf.put_u8(DELTA_DENSE);
+        put_column(&mut buf, &Column::Long(vec![1]));
+        assert!(get_delta_column(&mut buf.freeze(), &base).is_err());
+        // Truncated mid-record.
+        let mut buf = BytesMut::new();
+        buf.put_u8(DELTA_SPARSE);
+        put_varu64(&mut buf, 1);
+        assert!(get_delta_column(&mut buf.freeze(), &base).is_err());
+    }
+
+    #[test]
+    fn encoded_column_size_is_exact() {
+        let cols = [
+            Column::Long(vec![1, 2, 3]),
+            Column::Double(vec![0.5]),
+            Column::Bool(vec![true; 9]),
+            Column::Text(vec!["héllo".into(), "".into()]),
+            Column::LongList(vec![vec![1, 2], vec![]]),
+            Column::TextList(vec![vec!["a".into()], vec![]]),
+        ];
+        for col in cols {
+            let mut buf = BytesMut::new();
+            put_column(&mut buf, &col);
+            assert_eq!(buf.len(), encoded_column_size(&col), "{:?}", col.ty());
+        }
     }
 
     #[test]

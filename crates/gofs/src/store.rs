@@ -450,7 +450,7 @@ mod tests {
         .unwrap();
         let from_disk = slice.get(sg.id(), 4).expect("covered");
         let direct = SubgraphInstance::project(coll.get(4).unwrap(), sg, 4);
-        assert_eq!(**from_disk, direct);
+        assert_eq!(*from_disk, direct);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

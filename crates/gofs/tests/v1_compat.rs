@@ -1,0 +1,149 @@
+//! Backwards compatibility: a dataset written entirely in the legacy
+//! version-1 format (row-major slices, byte-FNV frames) must keep loading
+//! after the format-version bump, instance-for-instance equal to the same
+//! data written in the current format.
+
+use std::path::Path;
+use std::sync::Arc;
+use tempograph_core::{AttrType, TemplateBuilder, TimeSeriesCollection};
+use tempograph_gofs::codec::{frame_v1, unframe, FORMAT_V1};
+use tempograph_gofs::slice::{decode_slice, encode_slice_v1, SliceKey};
+use tempograph_gofs::store::{bins_for_partition, write_dataset, GofsStore};
+use tempograph_gofs::validate::validate_dataset;
+use tempograph_gofs::{InstanceLoader, SubgraphInstance};
+use tempograph_partition::{
+    discover_subgraphs, MultilevelPartitioner, PartitionedGraph, Partitioner,
+};
+
+const TIMESTEPS: usize = 13;
+const PACKING: usize = 5;
+const BINNING: usize = 2;
+
+fn dataset(dir: &Path) -> (Arc<PartitionedGraph>, GofsStore) {
+    let mut b = TemplateBuilder::new("v1compat", false);
+    b.vertex_schema().add("load", AttrType::Double);
+    b.vertex_schema().add("tweets", AttrType::TextList);
+    b.edge_schema().add("latency", AttrType::Double);
+    for i in 0..24 {
+        b.add_vertex(i);
+    }
+    for i in 0..23u64 {
+        b.add_edge(i, i, i + 1).unwrap();
+    }
+    let t = Arc::new(b.finalize().unwrap());
+    let part = MultilevelPartitioner::default().partition(&t, 3);
+    let pg = Arc::new(discover_subgraphs(t.clone(), part));
+    let mut coll = TimeSeriesCollection::new(t, 0, 60);
+    for ts in 0..TIMESTEPS {
+        let mut g = coll.new_instance();
+        for (i, x) in g.vertex_f64_mut("load").unwrap().iter_mut().enumerate() {
+            // Slowly-varying: only a few rows change per step, so v2 slices
+            // really exercise the delta path before the rewrite below.
+            *x = if i % 7 == ts % 7 { ts as f64 } else { 1.0 };
+        }
+        g.vertex_text_list_mut("tweets").unwrap()[ts % 24].push(format!("#t{ts}"));
+        for (i, x) in g.edge_f64_mut("latency").unwrap().iter_mut().enumerate() {
+            *x = (i % 5) as f64 + (ts % 3) as f64;
+        }
+        coll.push(g).unwrap();
+    }
+    write_dataset(dir, pg.clone(), &coll, PACKING, BINNING).unwrap();
+    (pg, GofsStore::open(dir).unwrap())
+}
+
+/// Re-frame a version-independent payload file (meta/template/partitioning)
+/// with the legacy v1 frame; the payload bytes are identical across
+/// versions, only the frame differs.
+fn reframe_file_v1(path: &Path) {
+    let data = std::fs::read(path).unwrap();
+    let magic: [u8; 4] = data[..4].try_into().unwrap();
+    let payload = unframe(magic, &data).unwrap();
+    std::fs::write(path, frame_v1(magic, &payload)).unwrap();
+}
+
+/// Rewrite every slice file in the store as a legacy v1 slice holding the
+/// same instances.
+fn downgrade_slices(store: &GofsStore, pg: &PartitionedGraph) {
+    let meta = store.meta().clone();
+    let n_packs = meta.num_timesteps.div_ceil(meta.packing);
+    for p in 0..meta.num_partitions as u16 {
+        let bins = bins_for_partition(pg, p, meta.binning);
+        for (bi, bin) in bins.iter().enumerate() {
+            for pack in 0..n_packs as u32 {
+                let key = SliceKey {
+                    bin: bi as u32,
+                    pack,
+                };
+                let path = store.slice_path(p, key);
+                let slice = decode_slice(&std::fs::read(&path).unwrap()).unwrap();
+                let rows: Vec<Vec<SubgraphInstance>> = bin
+                    .iter()
+                    .map(|&sg| {
+                        (slice.t_start..slice.t_start + slice.n_timesteps)
+                            .map(|t| (*slice.get(sg, t).unwrap()).clone())
+                            .collect()
+                    })
+                    .collect();
+                let v1 = encode_slice_v1(p, key, bin, slice.t_start, &rows);
+                std::fs::write(&path, v1).unwrap();
+            }
+        }
+    }
+}
+
+fn load_everything(
+    store: &GofsStore,
+    pg: &Arc<PartitionedGraph>,
+) -> Vec<(u32, usize, SubgraphInstance)> {
+    let mut out = Vec::new();
+    for p in 0..store.meta().num_partitions as u16 {
+        let mut loader = InstanceLoader::with_default_capacity(store.clone(), pg, p);
+        for &sg in pg.subgraphs_of_partition(p) {
+            for t in 0..store.meta().num_timesteps {
+                out.push((sg.0, t, (*loader.load(sg, t).unwrap()).clone()));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn v1_dataset_loads_identically() {
+    let dir = std::env::temp_dir().join(format!("gofs-v1compat-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (pg, store) = dataset(&dir);
+
+    // Snapshot what the current (v2) format yields.
+    let expected = load_everything(&store, &pg);
+    assert_eq!(
+        expected.len(),
+        pg.subgraphs().len() * TIMESTEPS,
+        "snapshot covers every (subgraph, timestep)"
+    );
+
+    // Downgrade the whole store to the legacy format on disk.
+    downgrade_slices(&store, &pg);
+    for f in ["meta.bin", "template.bin", "partitioning.bin"] {
+        reframe_file_v1(&dir.join(f));
+    }
+    // Every file now genuinely carries the v1 frame version.
+    for f in ["meta.bin", "template.bin", "partitioning.bin"] {
+        let data = std::fs::read(dir.join(f)).unwrap();
+        assert_eq!(u16::from_le_bytes([data[4], data[5]]), FORMAT_V1, "{f}");
+    }
+    let some_slice = store.slice_path(0, SliceKey { bin: 0, pack: 0 });
+    let data = std::fs::read(&some_slice).unwrap();
+    assert_eq!(u16::from_le_bytes([data[4], data[5]]), FORMAT_V1);
+
+    // Re-open from scratch: decodes, validates, and loads equal instances.
+    let reopened = GofsStore::open(&dir).unwrap();
+    validate_dataset(&reopened, &pg).unwrap();
+    let actual = load_everything(&reopened, &pg);
+    assert_eq!(actual.len(), expected.len());
+    for ((sg_a, t_a, inst_a), (sg_b, t_b, inst_b)) in actual.iter().zip(&expected) {
+        assert_eq!((sg_a, t_a), (sg_b, t_b));
+        assert_eq!(inst_a, inst_b, "{sg_a}@{t_a} differs between v1 and v2");
+    }
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -163,6 +163,28 @@ impl Bytes {
         self[..].to_vec()
     }
 
+    /// A zero-copy sub-view of the unread bytes (subset of
+    /// `bytes::Bytes::slice`): shares the backing allocation. Panics if the
+    /// range is out of bounds, matching upstream.
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        let begin = match range.start_bound() {
+            std::ops::Bound::Included(&n) => n,
+            std::ops::Bound::Excluded(&n) => n + 1,
+            std::ops::Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            std::ops::Bound::Included(&n) => n + 1,
+            std::ops::Bound::Excluded(&n) => n,
+            std::ops::Bound::Unbounded => self.len(),
+        };
+        assert!(begin <= end && end <= self.len(), "slice out of bounds");
+        Bytes {
+            data: self.data.clone(),
+            start: self.start + begin,
+            end: self.start + end,
+        }
+    }
+
     /// Recover the underlying allocation as a [`BytesMut`] when this is the
     /// only reference to it. The result holds the unread bytes (for a fully
     /// consumed view: empty, with the original capacity) — the engine's
@@ -380,6 +402,27 @@ mod tests {
         r.copy_to_slice(&mut dst);
         assert_eq!(&dst, b"xyz");
         assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_shares_the_allocation() {
+        let mut b = BytesMut::new();
+        b.put_slice(b"hello world");
+        let r = b.freeze();
+        let mid = r.slice(6..);
+        assert_eq!(&mid[..], b"world");
+        // A slice of a slice stays anchored to the same buffer.
+        let inner = mid.slice(1..3);
+        assert_eq!(&inner[..], b"or");
+        assert_eq!(&r.slice(..5)[..], b"hello");
+        assert!(r.slice(..).len() == 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let r = Bytes::copy_from_slice(b"abc");
+        let _ = r.slice(2..9);
     }
 
     #[test]
