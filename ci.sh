@@ -3,19 +3,22 @@
 # Usage: ./ci.sh                 (full pipeline)
 #        ./ci.sh --lint          (invariant-checker stage only)
 #        ./ci.sh --faults        (fault-tolerance stage only)
+#        ./ci.sh --inspect       (run-ledger / inspect CLI stage only)
 #        ./ci.sh --bench-report  (regenerate BENCH_tempograph.json + gate)
 set -euo pipefail
 cd "$(dirname "$0")"
 
 FAULTS_ONLY=0
 LINT_ONLY=0
+INSPECT_ONLY=0
 BENCH_REPORT=0
 for arg in "$@"; do
     case "$arg" in
         --faults) FAULTS_ONLY=1 ;;
         --lint) LINT_ONLY=1 ;;
+        --inspect) INSPECT_ONLY=1 ;;
         --bench-report) BENCH_REPORT=1 ;;
-        *) echo "unknown argument: $arg (expected --lint, --faults, or --bench-report)" >&2; exit 2 ;;
+        *) echo "unknown argument: $arg (expected --lint, --faults, --inspect, or --bench-report)" >&2; exit 2 ;;
     esac
 done
 
@@ -65,6 +68,55 @@ miri_stage() {
     cargo +nightly miri test -q -p tempograph-gofs slice::tests
 }
 
+# Run-ledger gate: the ledger integration tests (stripped-record
+# byte-identity, measured-cost rebalance correctness), the release-only
+# ablation + zero-alloc smoke tests, and an end-to-end CLI smoke: two
+# seeded deterministic runs must record byte-identical ledger files, and
+# list/show/diff/rebalance must all work over them.
+inspect_stage() {
+    echo "==> ledger: integration tests (byte-identity + rebalance correctness)"
+    cargo test -q --test ledger_integration
+
+    echo "==> ledger: rebalance ablation (release; observed makespan must drop)"
+    cargo test -q --release --test ledger_integration -- --ignored
+
+    echo "==> ledger: attribution overhead smoke test (disabled must not allocate)"
+    cargo test -q --release --test ledger_overhead -- --ignored
+
+    echo "==> inspect CLI smoke: generate -> 2x run --ledger -> list/show/diff/rebalance"
+    local work
+    work="$(mktemp -d)"
+    trap 'rm -rf "$work"' RETURN
+    cargo build -q --release --bin tempograph
+    local tg=target/release/tempograph
+    "$tg" generate --out "$work/ds" --preset carn --scale 0.3 \
+        --workload tweets --timesteps 8 --partitions 3 >/dev/null
+    "$tg" run --algo hash --data "$work/ds" --ledger "$work/runs-a" \
+        --seed 3405691582 --deterministic true >/dev/null
+    "$tg" run --algo hash --data "$work/ds" --ledger "$work/runs-b" \
+        --seed 3405691582 --deterministic true >/dev/null
+    cmp "$work"/runs-a/*.tgrun "$work"/runs-b/*.tgrun \
+        || { echo "FAIL: deterministic ledger records differ byte-wise" >&2; exit 1; }
+    local run
+    run="$(basename "$work"/runs-a/*.tgrun .tgrun)"
+    "$tg" inspect list --ledger "$work/runs-a" >/dev/null
+    "$tg" inspect show "$run" --ledger "$work/runs-a" > "$work/show-a.txt"
+    "$tg" inspect show "$run" --ledger "$work/runs-b" > "$work/show-b.txt"
+    diff -u "$work/show-a.txt" "$work/show-b.txt" \
+        || { echo "FAIL: inspect show is not deterministic" >&2; exit 1; }
+    "$tg" inspect show "$run" --ledger "$work/runs-a" --json true > "$work/show-a.json"
+    "$tg" inspect show "$run" --ledger "$work/runs-b" --json true > "$work/show-b.json"
+    diff -u "$work/show-a.json" "$work/show-b.json" \
+        || { echo "FAIL: inspect show --json is not deterministic" >&2; exit 1; }
+    cp "$work"/runs-b/*.tgrun "$work/runs-a/other.tgrun"
+    "$tg" inspect diff "$run" other --ledger "$work/runs-a" >/dev/null \
+        || { echo "FAIL: identical runs must diff clean" >&2; exit 1; }
+    "$tg" inspect rebalance "$run" --data "$work/ds" --ledger "$work/runs-a" \
+        --cost invocations >/dev/null \
+        || { echo "FAIL: inspect rebalance errored" >&2; exit 1; }
+    echo "    inspect smoke OK (run $run)"
+}
+
 # Bench-report gate: regenerate the committed machine-readable report
 # (fixed-seed HASH/MEME/TDSP x 3/6-partition matrix with the metrics
 # registry armed), then regression-gate the fresh run against the
@@ -99,6 +151,12 @@ if [[ "$FAULTS_ONLY" -eq 1 ]]; then
     exit 0
 fi
 
+if [[ "$INSPECT_ONLY" -eq 1 ]]; then
+    inspect_stage
+    echo "CI OK (inspect)"
+    exit 0
+fi
+
 lint_stage
 
 echo "==> cargo fmt --check"
@@ -129,6 +187,8 @@ echo "==> metrics overhead smoke test (disabled instruments must not allocate)"
 cargo test -q --release --test metrics_overhead -- --ignored
 
 faults_stage
+
+inspect_stage
 
 miri_stage
 

@@ -71,7 +71,11 @@ fn main() {
         let before = run(&pg);
         let costs = per_partition_compute(&before);
         let plan = suggest_rebalance(&pg, &costs, 8);
-        let pg2 = Arc::new(discover_subgraphs(t.clone(), plan.apply(&pg)));
+        let pg2 = Arc::new(discover_subgraphs(
+            t.clone(),
+            plan.apply(&pg)
+                .expect("plan matches the graph it came from"),
+        ));
         let after = run(&pg2);
 
         rows.push(vec![

@@ -122,6 +122,14 @@ pub struct JobConfig<M> {
     /// [`JobResult::registry`] carries it. `false` (the default) adds no
     /// work and no allocations to the superstep hot path.
     pub metrics: bool,
+    /// Per-(subgraph, timestep) compute attribution (see
+    /// [`crate::metrics::CostAttribution`]). When `true`, every worker
+    /// accumulates per-invocation compute nanoseconds into a dense
+    /// preallocated grid — same `TraceSink::now` clock discipline as the
+    /// trace and metrics layers — and [`JobResult::attribution`] carries
+    /// the assembled table. `false` (the default) keeps every record site
+    /// a branch on `None`: no clock reads, no allocations.
+    pub attribution: bool,
     /// Superstep checkpointing (see [`crate::checkpoint`]). When set, every
     /// worker snapshots its recovery state at the configured timestep
     /// interval, and an injected worker death makes [`run_job`] restart the
@@ -147,6 +155,7 @@ impl<M> std::fmt::Debug for JobConfig<M> {
             .field("combiner", &self.combiner.is_some())
             .field("trace", &self.trace)
             .field("metrics", &self.metrics)
+            .field("attribution", &self.attribution)
             .field("checkpoint", &self.checkpoint)
             .field("faults", &self.faults)
             .finish()
@@ -180,6 +189,7 @@ impl<M> JobConfig<M> {
             combiner: None,
             trace: None,
             metrics: false,
+            attribution: false,
             checkpoint: None,
             faults: None,
         }
@@ -227,6 +237,12 @@ impl<M> JobConfig<M> {
         self
     }
 
+    /// Enable per-(subgraph, timestep) compute attribution (see field docs).
+    pub fn with_attribution(mut self) -> Self {
+        self.attribution = true;
+        self
+    }
+
     /// Checkpoint every `every` timesteps into `dir` (see field docs).
     /// `usize::MAX` means "never write a checkpoint" — recovery is still
     /// armed but restarts from scratch.
@@ -264,6 +280,72 @@ struct Batch {
     bytes: Bytes,
 }
 
+/// Per-worker compute-attribution accumulator: a dense
+/// `(timestep × local subgraph)` grid preallocated once at worker setup,
+/// so the record path is two indexed adds and never allocates. Slot
+/// `merge_slot` (one past the configured timestep range) is reserved for
+/// the merge phase and surfaces as `timestep == u32::MAX` in the
+/// assembled [`crate::metrics::CostAttribution`].
+struct AttributionShard {
+    /// This worker's subgraphs, in local index order (row labels).
+    sg_ids: Vec<SubgraphId>,
+    /// Grid slot reserved for the merge phase (== configured timesteps).
+    merge_slot: usize,
+    /// Accumulated compute nanoseconds, indexed `slot * n_sg + i`.
+    compute_ns: Vec<u64>,
+    /// Program-hook invocation counts, same indexing. Deterministic for a
+    /// seeded run, unlike the measured nanoseconds.
+    invocations: Vec<u32>,
+}
+
+impl AttributionShard {
+    fn new(sg_ids: Vec<SubgraphId>, timesteps: usize) -> Self {
+        let cells = sg_ids.len() * (timesteps + 1);
+        AttributionShard {
+            sg_ids,
+            merge_slot: timesteps,
+            compute_ns: vec![0; cells],
+            invocations: vec![0; cells],
+        }
+    }
+
+    /// Record one program-hook invocation for local subgraph `i` at grid
+    /// slot `slot` (a timestep, or `merge_slot`). Bounds-checked with
+    /// `get_mut` — this runs inside the superstep hot path, where lint
+    /// rule P01 bans panicking accessors.
+    #[inline]
+    fn record(&mut self, i: usize, slot: usize, dur_ns: u64) {
+        let idx = slot * self.sg_ids.len() + i;
+        if let (Some(c), Some(n)) = (self.compute_ns.get_mut(idx), self.invocations.get_mut(idx)) {
+            *c += dur_ns;
+            *n += 1;
+        }
+    }
+
+    /// Non-empty cells as attribution rows (merge slot ⇒ `u32::MAX`).
+    fn rows(&self) -> Vec<crate::metrics::AttributionRow> {
+        let n = self.sg_ids.len();
+        let mut out = Vec::new();
+        for (idx, (&ns, &count)) in self.compute_ns.iter().zip(&self.invocations).enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let slot = idx / n;
+            out.push(crate::metrics::AttributionRow {
+                subgraph: self.sg_ids[idx % n],
+                timestep: if slot == self.merge_slot {
+                    u32::MAX
+                } else {
+                    slot as u32
+                },
+                compute_ns: ns,
+                invocations: count,
+            });
+        }
+        out
+    }
+}
+
 /// Per-worker result shipped back to the driver.
 ///
 /// Counter maps are `BTreeMap`s: they are iterated when assembling the
@@ -283,6 +365,9 @@ struct WorkerOutput {
     sinks: Vec<(String, TraceSink)>,
     /// This worker's metrics shard, when the job ran with metrics enabled.
     shard: Option<Box<MetricsShard>>,
+    /// This worker's attribution grid, when the job ran with attribution
+    /// enabled.
+    attr: Option<Box<AttributionShard>>,
 }
 
 /// True when a panic payload is a *cascade* failure — a worker that died
@@ -383,7 +468,7 @@ where
                         provider.install_trace(tc.sink(p as u32));
                     }
                     let mut worker =
-                        Worker::<P>::new(p as u16, pg, provider, rx, txs, sync, &config);
+                        Worker::<P>::new(p as u16, pg, provider, rx, txs, sync, &config, timesteps);
                     worker.init_programs(factory);
                     let start_t = match resume_from {
                         Some(ct) => {
@@ -531,6 +616,19 @@ where
         reg
     });
 
+    // Assemble the attribution table: concatenate worker grids (each
+    // subgraph lives on exactly one partition, so rows cannot collide) and
+    // sort by (subgraph, timestep) — merge rows (`u32::MAX`) sort last.
+    let attribution = config.attribution.then(|| {
+        let mut rows: Vec<crate::metrics::AttributionRow> = outputs
+            .iter()
+            .filter_map(|o| o.attr.as_deref())
+            .flat_map(AttributionShard::rows)
+            .collect();
+        rows.sort_by_key(|r| (r.subgraph, r.timestep));
+        crate::metrics::CostAttribution { rows }
+    });
+
     let mut emitted: Vec<Emit> = outputs.into_iter().flat_map(|o| o.emits).collect();
     emitted.sort_by(|a, b| {
         (a.timestep, a.vertex)
@@ -549,6 +647,7 @@ where
         recoveries,
         final_states,
         trace,
+        attribution,
         registry: None,
     };
     if let Some(mut reg) = registry_base {
@@ -600,11 +699,17 @@ struct Worker<'a, P: SubgraphProgram> {
     /// recorded into it is a difference of the same `tracer.now()` readings
     /// the spans above consume — no second clock read per event.
     shard: Option<Box<MetricsShard>>,
+    /// Compute-attribution grid, boxed and optional for the same reason as
+    /// `shard` (`None` ⇒ no attribution work, no extra clock reads).
+    attr: Option<Box<AttributionShard>>,
     /// Cumulative traffic totals, sampled as trace counters per timestep.
+    /// Cumulative (not per-sample) so every trace counter series is
+    /// monotonically non-decreasing — `Trace::validate` enforces this.
     cum_msgs_local: u64,
     cum_msgs_remote: u64,
     cum_bytes_remote: u64,
     cum_msgs_combined: u64,
+    cum_checkpoint_bytes: u64,
 
     checkpoint: Option<CheckpointConfig>,
     faults: Option<Arc<FaultPlan>>,
@@ -622,6 +727,7 @@ struct Worker<'a, P: SubgraphProgram> {
 }
 
 impl<'a, P: SubgraphProgram> Worker<'a, P> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         partition: u16,
         pg: &'a PartitionedGraph,
@@ -630,6 +736,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
         txs: Vec<Sender<Batch>>,
         sync: &'a SyncPoint,
         config: &JobConfig<P::Msg>,
+        timesteps: usize,
     ) -> Self {
         let sg_ids: Vec<SubgraphId> = pg.subgraphs_of_partition(partition).to_vec();
         let index_of = sg_ids
@@ -638,6 +745,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
             .map(|(i, &id)| (id, i))
             .collect::<HashMap<_, _>>();
         let n = sg_ids.len();
+        let sg_ids_for_attr = sg_ids.clone();
         Worker {
             partition,
             pg,
@@ -664,10 +772,14 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
                 .map(|tc| tc.sink(partition as u32))
                 .unwrap_or_else(TraceSink::inert),
             shard: config.metrics.then(Box::default),
+            attr: config
+                .attribution
+                .then(|| Box::new(AttributionShard::new(sg_ids_for_attr, timesteps))),
             cum_msgs_local: 0,
             cum_msgs_remote: 0,
             cum_bytes_remote: 0,
             cum_msgs_combined: 0,
+            cum_checkpoint_bytes: 0,
             checkpoint: config.checkpoint.clone(),
             faults: config.faults.clone(),
             cur_t: 0,
@@ -683,6 +795,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
                 final_states: Vec::new(),
                 sinks: Vec::new(),
                 shard: None,
+                attr: None,
             },
             cur_counters: BTreeMap::new(),
             allow_next_timestep: config.pattern == Pattern::SequentiallyDependent,
@@ -732,6 +845,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
             .sinks
             .push((format!("partition {}", self.partition), tracer));
         self.out.shard = self.shard.take();
+        self.out.attr = self.attr.take();
         if let Some(sink) = self.provider.take_trace() {
             self.out
                 .sinks
@@ -803,6 +917,11 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
                     self.merge_seq[i],
                     self.next_seq[i],
                 );
+                let a0 = if self.attr.is_some() {
+                    self.tracer.now()
+                } else {
+                    0
+                };
                 self.invoke(
                     i,
                     t,
@@ -812,6 +931,10 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
                     &[],
                     &mut outbox,
                 );
+                if let Some(at) = self.attr.as_deref_mut() {
+                    let a1 = self.tracer.now();
+                    at.record(i, t, a1 - a0);
+                }
                 self.merge_seq[i] = outbox.merge_seq;
                 self.next_seq[i] = outbox.seq;
                 self.absorb_outbox(i, t, &mut outbox, &mut next_out, None);
@@ -929,7 +1052,15 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
                 .collect();
             if config.intra_partition_parallelism && active.iter().filter(|&&a| a).count() > 1 {
                 let outboxes = self.compute_phase_parallel(t, ss, timesteps, phase, &active);
-                for (i, mut outbox) in outboxes {
+                for (i, mut outbox, attr_ns) in outboxes {
+                    if let Some(at) = self.attr.as_deref_mut() {
+                        let slot = if phase == Phase::Merge {
+                            at.merge_slot
+                        } else {
+                            t
+                        };
+                        at.record(i, slot, attr_ns);
+                    }
                     self.merge_seq[i] = outbox.merge_seq;
                     self.next_seq[i] = outbox.seq;
                     self.halted[i] = outbox.voted_halt;
@@ -951,7 +1082,24 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
                         self.merge_seq[i],
                         self.next_seq[i],
                     );
+                    // Attribution reads the clock only when armed; both
+                    // readings come from the same `tracer.now()` source the
+                    // enclosing compute span uses.
+                    let a0 = if self.attr.is_some() {
+                        self.tracer.now()
+                    } else {
+                        0
+                    };
                     self.invoke(i, t, ss, timesteps, phase, &msgs, &mut outbox);
+                    if let Some(at) = self.attr.as_deref_mut() {
+                        let a1 = self.tracer.now();
+                        let slot = if phase == Phase::Merge {
+                            at.merge_slot
+                        } else {
+                            t
+                        };
+                        at.record(i, slot, a1 - a0);
+                    }
                     self.merge_seq[i] = outbox.merge_seq;
                     self.next_seq[i] = outbox.seq;
                     if outbox.voted_halt {
@@ -1028,7 +1176,8 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
     /// (See [`WorkItem`] for the shape of a queued unit of work.)
     /// then run their programs concurrently on scoped threads pulling from
     /// a shared work queue. Returns per-index outboxes in subgraph order
-    /// (deterministic merge).
+    /// (deterministic merge), each with the invocation's measured compute
+    /// nanoseconds (0 when attribution is disarmed — no clock reads).
     fn compute_phase_parallel(
         &mut self,
         t: usize,
@@ -1036,7 +1185,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
         timesteps: usize,
         phase: Phase,
         active: &[bool],
-    ) -> Vec<(usize, Outbox<P::Msg>)> {
+    ) -> Vec<(usize, Outbox<P::Msg>, u64)> {
         // Eager prefetch (sequential: the provider owns the disk handle).
         if phase != Phase::Merge {
             for (i, &is_active) in active.iter().enumerate() {
@@ -1060,11 +1209,17 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
         let allow_next = self.allow_next_timestep && phase == Phase::Compute;
         let merge_seq = &self.merge_seq;
         let next_seq = &self.next_seq;
+        // Shared immutable clock for the pool threads: attribution reads
+        // the same `TraceSink::now` epoch the worker's spans use, and only
+        // when armed.
+        let attr_armed = self.attr.is_some();
+        let clock = &self.tracer;
 
         let run_one = |i: usize,
                        program_slot: &mut Option<P>,
                        msgs: Vec<Envelope<P::Msg>>|
-         -> (usize, Outbox<P::Msg>) {
+         -> (usize, Outbox<P::Msg>, u64) {
+            let a0 = if attr_armed { clock.now() } else { 0 };
             let sg = pg.subgraph(sg_ids[i]);
             let mut outbox = Outbox::new(true, allow_next, merge_seq[i], next_seq[i]);
             let mut fetch =
@@ -1093,7 +1248,8 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
                 Phase::Merge => program.merge(&mut ctx, &msgs),
             }
             drop(ctx);
-            (i, outbox)
+            let attr_ns = if attr_armed { clock.now() - a0 } else { 0 };
+            (i, outbox, attr_ns)
         };
 
         // One work item per active subgraph, served lowest-index first.
@@ -1114,7 +1270,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
             .unwrap_or(1);
         let n_threads = (cores / self.txs.len().max(1)).max(1).min(work.len());
 
-        let mut results: Vec<(usize, Outbox<P::Msg>)> = if n_threads <= 1 {
+        let mut results: Vec<(usize, Outbox<P::Msg>, u64)> = if n_threads <= 1 {
             work.into_iter()
                 .rev()
                 .map(|(i, slot, msgs)| run_one(i, slot, msgs))
@@ -1145,7 +1301,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
                     .collect()
             })
         };
-        results.sort_by_key(|(i, _)| *i);
+        results.sort_by_key(|(i, _, _)| *i);
         results
     }
 
@@ -1214,6 +1370,12 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
                 let c1 = self.tracer.now();
                 if let Some(sh) = self.shard.as_deref_mut() {
                     sh.compute_ns.record(c1 - c0);
+                }
+                if let Some(at) = self.attr.as_deref_mut() {
+                    // One cell covers the fused compute+end-of-timestep
+                    // pair this fast path runs per (subgraph, timestep);
+                    // reuses the readings above (no extra clock reads).
+                    at.record(i, t, c1 - c0);
                 }
                 per_t[t].compute_ns += c1 - c0;
                 self.tracer.span_arg_at("compute", c0, c1, "t", t as u64);
@@ -1457,7 +1619,9 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
         }
         self.tracer
             .span_arg_at("checkpoint.write", ck0, ck1, "t", t as u64);
-        self.tracer.counter("checkpoint.bytes", data.len() as u64);
+        self.cum_checkpoint_bytes += data.len() as u64;
+        self.tracer
+            .counter("checkpoint.bytes", self.cum_checkpoint_bytes);
         // Every partition file must be in place before the single commit
         // point, and the commit must land before anyone moves on.
         self.sync.barrier();

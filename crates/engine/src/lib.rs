@@ -55,7 +55,7 @@ pub use checkpoint::{
 pub use error::{EngineError, WireError};
 pub use executor::{run_job, JobConfig, Pattern, TimestepMode};
 pub use faults::{FaultPlan, INJECTED_FAULT_MARKER};
-pub use metrics::{Emit, JobResult, TimestepMetrics};
+pub use metrics::{AttributionRow, CostAttribution, Emit, JobResult, TimestepMetrics};
 pub use program::{Context, Phase, SubgraphProgram};
 pub use provider::{GofsProvider, InstanceProvider, InstanceSource, IoStats, MemoryProvider};
 pub use sync::{join_partition, Aggregate, Contribution, PoisonOnPanic, SyncPoint};

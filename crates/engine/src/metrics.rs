@@ -171,6 +171,68 @@ pub struct Emit {
     pub value: f64,
 }
 
+/// One row of the per-(subgraph, timestep) compute attribution table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AttributionRow {
+    /// The subgraph whose program hooks this row accounts.
+    pub subgraph: SubgraphId,
+    /// Timestep index (`u32::MAX` ⇒ merge phase, mirroring
+    /// [`Emit::timestep`]'s `usize::MAX` convention).
+    pub timestep: u32,
+    /// Measured nanoseconds spent inside this subgraph's program hooks at
+    /// this timestep (compute supersteps + end-of-timestep). Differences
+    /// of the worker's `TraceSink::now` readings — the same clock the
+    /// trace spans and metrics histograms consume.
+    pub compute_ns: u64,
+    /// Program-hook invocations folded into this row. Deterministic for a
+    /// seeded run (it counts supersteps the subgraph participated in),
+    /// unlike the measured nanoseconds — so it doubles as a
+    /// machine-independent cost proxy.
+    pub invocations: u32,
+}
+
+/// The assembled per-(subgraph, timestep) compute attribution table (see
+/// [`JobConfig::with_attribution`](crate::JobConfig::with_attribution)).
+/// Rows are sorted by `(subgraph, timestep)` with merge rows last; each
+/// `(subgraph, timestep)` pair appears at most once.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CostAttribution {
+    /// The table rows.
+    pub rows: Vec<AttributionRow>,
+}
+
+impl CostAttribution {
+    /// Total measured compute nanoseconds per subgraph (merge included),
+    /// sorted by subgraph id — the *measured* cost vector
+    /// `partition::suggest_rebalance_from` consumes.
+    pub fn per_subgraph_ns(&self) -> Vec<(SubgraphId, u64)> {
+        self.fold_per_subgraph(|r| r.compute_ns)
+    }
+
+    /// Total program-hook invocations per subgraph, sorted by subgraph id
+    /// — a deterministic cost proxy for reproducible analyses.
+    pub fn per_subgraph_invocations(&self) -> Vec<(SubgraphId, u64)> {
+        self.fold_per_subgraph(|r| r.invocations as u64)
+    }
+
+    fn fold_per_subgraph(&self, value: impl Fn(&AttributionRow) -> u64) -> Vec<(SubgraphId, u64)> {
+        let mut out: Vec<(SubgraphId, u64)> = Vec::new();
+        // Rows arrive subgraph-sorted, so equal ids are adjacent.
+        for r in &self.rows {
+            match out.last_mut() {
+                Some((sg, total)) if *sg == r.subgraph => *total += value(r),
+                _ => out.push((r.subgraph, value(r))),
+            }
+        }
+        out
+    }
+
+    /// Total measured compute nanoseconds across the whole table.
+    pub fn total_ns(&self) -> u64 {
+        self.rows.iter().map(|r| r.compute_ns).sum()
+    }
+}
+
 /// Everything a TI-BSP run reports back.
 #[derive(Clone, Debug, Default)]
 pub struct JobResult {
@@ -205,6 +267,11 @@ pub struct JobResult {
     /// `Trace::summary`; every `TimestepMetrics` aggregate is derivable
     /// from it (asserted in `tests/trace_integration.rs`).
     pub trace: Option<Trace>,
+    /// The per-(subgraph, timestep) compute attribution table, when the
+    /// job ran with `JobConfig::with_attribution`. Feeds the run ledger's
+    /// persistent records and measured-cost rebalance analysis. Covers the
+    /// final successful attempt of a recovered run (like `registry`).
+    pub attribution: Option<CostAttribution>,
     /// The folded metrics registry, when the job ran with
     /// `JobConfig::with_metrics`: per-worker histogram shards merged with
     /// the job-level counters of [`JobResult::export_into`]. Export via

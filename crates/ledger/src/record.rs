@@ -1,0 +1,894 @@
+//! The on-disk run record: schema, canonical binary codec, and the
+//! conversion from a finished [`JobResult`].
+//!
+//! # Format
+//!
+//! One record per file, in the GoFS on-disk idiom (`GFRN` magic / u16
+//! version / u64 length / FNV-1a checksum frame via
+//! [`tempograph_gofs::codec::frame`]). The payload is fixed-width
+//! little-endian scalars plus length-prefixed lists — no floats, no maps,
+//! no ambient clock or randomness anywhere in the encode path, so the
+//! encoding of a given [`RunRecord`] value is canonical: equal records
+//! produce byte-identical files.
+//!
+//! # Compatibility
+//!
+//! The frame's version field is the GoFS-wide `FORMAT_VERSION`; unknown
+//! versions are rejected at `unframe` time with
+//! [`GofsError::UnsupportedVersion`], corrupt payloads with typed
+//! [`GofsError`] variants. Fields are only ever *appended* to the payload
+//! within a version; any removal or reordering bumps the format version.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use tempograph_engine::JobResult;
+use tempograph_gofs::codec::{self, fnv1a64, frame, unframe};
+use tempograph_gofs::error::{GofsError, Result};
+use tempograph_metrics::json::Value;
+use tempograph_partition::SubgraphId;
+
+/// Magic bytes of a run-record file ("GoFs RuN").
+pub const RECORD_MAGIC: [u8; 4] = *b"GFRN";
+
+/// Schema tag of the JSON projection ([`RunRecord::to_value`]).
+pub const RECORD_SCHEMA: &str = "tempograph-run/v1";
+
+/// Everything that identifies *what* ran: the inputs that must match for
+/// two records to be comparable. The deterministic run id is an FNV-1a
+/// hash of this fingerprint's canonical encoding.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ConfigFingerprint {
+    /// Algorithm name (e.g. `hash`, `meme`, `tdsp`).
+    pub algorithm: String,
+    /// Design pattern (`independent` / `eventually-dependent` /
+    /// `sequentially-dependent`).
+    pub pattern: String,
+    /// Partition count the job ran with.
+    pub partitions: u32,
+    /// Subgraph count discovered over the template.
+    pub subgraphs: u32,
+    /// Configured timestep range (the mode's bound, not the count run).
+    pub timesteps: u32,
+    /// Dataset epoch (seconds) — the time-series range start.
+    pub start_time: i64,
+    /// Seconds between instances.
+    pub period: i64,
+    /// Generator/workload seed.
+    pub seed: u64,
+    /// Dataset path or name.
+    pub dataset: String,
+    /// Environment, as sorted `(key, value)` pairs. Deliberately excludes
+    /// timestamps (like the bench report's env fingerprint) so identical
+    /// configs on one host fingerprint identically across executions.
+    pub env: Vec<(String, String)>,
+}
+
+impl ConfigFingerprint {
+    /// The standard environment pairs: os / arch / cpus / debug_build
+    /// (mirrors the bench report's env fingerprint — no timestamps).
+    pub fn host_env() -> Vec<(String, String)> {
+        vec![
+            ("arch".to_string(), std::env::consts::ARCH.to_string()),
+            ("cpus".to_string(), num_cpus().to_string()),
+            (
+                "debug_build".to_string(),
+                cfg!(debug_assertions).to_string(),
+            ),
+            ("os".to_string(), std::env::consts::OS.to_string()),
+        ]
+    }
+
+    fn encode_into(&self, buf: &mut BytesMut) {
+        codec::put_str(buf, &self.algorithm);
+        codec::put_str(buf, &self.pattern);
+        buf.put_u32_le(self.partitions);
+        buf.put_u32_le(self.subgraphs);
+        buf.put_u32_le(self.timesteps);
+        buf.put_i64_le(self.start_time);
+        buf.put_i64_le(self.period);
+        buf.put_u64_le(self.seed);
+        codec::put_str(buf, &self.dataset);
+        buf.put_u32_le(self.env.len() as u32);
+        for (k, v) in &self.env {
+            codec::put_str(buf, k);
+            codec::put_str(buf, v);
+        }
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self> {
+        let algorithm = codec::get_str(buf)?;
+        let pattern = codec::get_str(buf)?;
+        let partitions = codec::get_u32(buf)?;
+        let subgraphs = codec::get_u32(buf)?;
+        let timesteps = codec::get_u32(buf)?;
+        let start_time = codec::get_i64(buf)?;
+        let period = codec::get_i64(buf)?;
+        let seed = codec::get_u64(buf)?;
+        let dataset = codec::get_str(buf)?;
+        let n_env = codec::get_u32(buf)? as usize;
+        let mut env = Vec::with_capacity(n_env.min(1 << 10));
+        for _ in 0..n_env {
+            let k = codec::get_str(buf)?;
+            let v = codec::get_str(buf)?;
+            env.push((k, v));
+        }
+        Ok(ConfigFingerprint {
+            algorithm,
+            pattern,
+            partitions,
+            subgraphs,
+            timesteps,
+            start_time,
+            period,
+            seed,
+            dataset,
+            env,
+        })
+    }
+
+    /// Deterministic run id: `<algorithm>-<fnv1a64 of the canonical
+    /// fingerprint encoding>`. Same config + same host class ⇒ same id.
+    pub fn run_id(&self) -> String {
+        let mut buf = BytesMut::new();
+        self.encode_into(&mut buf);
+        let slug: String = self
+            .algorithm
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect();
+        format!("{}-{:016x}", slug, fnv1a64(&buf))
+    }
+}
+
+/// Whole-job scalar aggregates, one value per named quantity. The field
+/// list is the contract [`RunAggregates::fields`] and the `inspect diff`
+/// gate iterate over.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct RunAggregates {
+    pub wall_ns: u64,
+    pub virtual_ns: u64,
+    pub compute_ns: u64,
+    pub msg_ns: u64,
+    pub sync_ns: u64,
+    pub io_ns: u64,
+    pub timesteps_run: u64,
+    pub supersteps: u64,
+    pub msgs_local: u64,
+    pub msgs_remote: u64,
+    pub bytes_remote: u64,
+    pub msgs_combined: u64,
+    pub batches_remote: u64,
+    pub slice_loads: u64,
+    pub send_retries: u64,
+    pub recoveries: u64,
+    pub emitted_values: u64,
+}
+
+impl RunAggregates {
+    /// Every aggregate as `(name, value)`, in declaration order. Names
+    /// ending in `_ns` are measured durations; the rest are deterministic
+    /// counts for a seeded run.
+    pub fn fields(&self) -> [(&'static str, u64); 17] {
+        [
+            ("wall_ns", self.wall_ns),
+            ("virtual_ns", self.virtual_ns),
+            ("compute_ns", self.compute_ns),
+            ("msg_ns", self.msg_ns),
+            ("sync_ns", self.sync_ns),
+            ("io_ns", self.io_ns),
+            ("timesteps_run", self.timesteps_run),
+            ("supersteps", self.supersteps),
+            ("msgs_local", self.msgs_local),
+            ("msgs_remote", self.msgs_remote),
+            ("bytes_remote", self.bytes_remote),
+            ("msgs_combined", self.msgs_combined),
+            ("batches_remote", self.batches_remote),
+            ("slice_loads", self.slice_loads),
+            ("send_retries", self.send_retries),
+            ("recoveries", self.recoveries),
+            ("emitted_values", self.emitted_values),
+        ]
+    }
+
+    fn encode_into(&self, buf: &mut BytesMut) {
+        for (_, v) in self.fields() {
+            buf.put_u64_le(v);
+        }
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self> {
+        Ok(RunAggregates {
+            wall_ns: codec::get_u64(buf)?,
+            virtual_ns: codec::get_u64(buf)?,
+            compute_ns: codec::get_u64(buf)?,
+            msg_ns: codec::get_u64(buf)?,
+            sync_ns: codec::get_u64(buf)?,
+            io_ns: codec::get_u64(buf)?,
+            timesteps_run: codec::get_u64(buf)?,
+            supersteps: codec::get_u64(buf)?,
+            msgs_local: codec::get_u64(buf)?,
+            msgs_remote: codec::get_u64(buf)?,
+            bytes_remote: codec::get_u64(buf)?,
+            msgs_combined: codec::get_u64(buf)?,
+            batches_remote: codec::get_u64(buf)?,
+            slice_loads: codec::get_u64(buf)?,
+            send_retries: codec::get_u64(buf)?,
+            recoveries: codec::get_u64(buf)?,
+            emitted_values: codec::get_u64(buf)?,
+        })
+    }
+}
+
+/// One worker's (partition's) whole-run time breakdown, derived from the
+/// per-timestep metrics the worker's `TraceSink::now` readings produced.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerTiming {
+    /// Partition index.
+    pub partition: u32,
+    /// Total nanoseconds inside program hooks.
+    pub compute_ns: u64,
+    /// Total nanoseconds marshalling/routing messages.
+    pub msg_ns: u64,
+    /// Total nanoseconds at barriers.
+    pub sync_ns: u64,
+    /// Total nanoseconds loading instances.
+    pub io_ns: u64,
+    /// Summed per-timestep wall nanoseconds.
+    pub wall_ns: u64,
+    /// Supersteps this worker ran (max per timestep, summed).
+    pub supersteps: u64,
+}
+
+impl WorkerTiming {
+    fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.partition);
+        buf.put_u64_le(self.compute_ns);
+        buf.put_u64_le(self.msg_ns);
+        buf.put_u64_le(self.sync_ns);
+        buf.put_u64_le(self.io_ns);
+        buf.put_u64_le(self.wall_ns);
+        buf.put_u64_le(self.supersteps);
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self> {
+        Ok(WorkerTiming {
+            partition: codec::get_u32(buf)?,
+            compute_ns: codec::get_u64(buf)?,
+            msg_ns: codec::get_u64(buf)?,
+            sync_ns: codec::get_u64(buf)?,
+            io_ns: codec::get_u64(buf)?,
+            wall_ns: codec::get_u64(buf)?,
+            supersteps: codec::get_u64(buf)?,
+        })
+    }
+}
+
+/// One persisted attribution row (see
+/// [`tempograph_engine::AttributionRow`] — same semantics, fixed-width).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AttributionEntry {
+    /// Subgraph id.
+    pub subgraph: u32,
+    /// Timestep (`u32::MAX` ⇒ merge phase).
+    pub timestep: u32,
+    /// Measured nanoseconds inside this subgraph's hooks at this timestep.
+    pub compute_ns: u64,
+    /// Program-hook invocations (deterministic for a seeded run).
+    pub invocations: u32,
+}
+
+impl AttributionEntry {
+    fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.subgraph);
+        buf.put_u32_le(self.timestep);
+        buf.put_u64_le(self.compute_ns);
+        buf.put_u32_le(self.invocations);
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self> {
+        Ok(AttributionEntry {
+            subgraph: codec::get_u32(buf)?,
+            timestep: codec::get_u32(buf)?,
+            compute_ns: codec::get_u64(buf)?,
+            invocations: codec::get_u32(buf)?,
+        })
+    }
+}
+
+/// A durable record of one job run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunRecord {
+    /// What ran (also derives the run id).
+    pub config: ConfigFingerprint,
+    /// Whole-job scalar aggregates.
+    pub aggregates: RunAggregates,
+    /// Virtual (simulated-cluster) makespan per executed timestep —
+    /// `Σ_ss max_p compute[ss][p] + max_p msg + max_p io`, built from the
+    /// per-superstep timings the trace clock measured.
+    pub virtual_timestep_ns: Vec<u64>,
+    /// Per-worker whole-run breakdowns, in partition order.
+    pub workers: Vec<WorkerTiming>,
+    /// The per-(subgraph, timestep) compute attribution table, sorted by
+    /// `(subgraph, timestep)`; empty when the job ran without
+    /// `JobConfig::with_attribution`.
+    pub attribution: Vec<AttributionEntry>,
+    /// User counter totals (summed over timesteps, partitions, and merge),
+    /// sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// The canonical metrics snapshot JSON (`tempograph-metrics/v1`), or
+    /// empty when the job ran without metrics (or the record was made
+    /// deterministic via [`RunRecord::strip_nondeterminism`]).
+    pub metrics_json: String,
+}
+
+impl RunRecord {
+    /// Build a record from a finished job. Captures aggregates, worker
+    /// breakdowns, the virtual-makespan series, counter totals, the
+    /// attribution table, and the metrics snapshot when present.
+    pub fn from_result(config: ConfigFingerprint, result: &JobResult) -> RunRecord {
+        let mut agg = RunAggregates {
+            wall_ns: result.total_wall_ns,
+            virtual_ns: result.virtual_total_ns(),
+            timesteps_run: result.timesteps_run as u64,
+            recoveries: result.recoveries as u64,
+            emitted_values: result.emitted.len() as u64,
+            ..Default::default()
+        };
+        let rows = result
+            .metrics
+            .iter()
+            .flat_map(|per_t| per_t.iter())
+            .chain(result.merge_metrics.iter());
+        for m in rows {
+            agg.compute_ns += m.compute_ns;
+            agg.msg_ns += m.msg_ns;
+            agg.sync_ns += m.sync_ns;
+            agg.io_ns += m.io_ns;
+            agg.msgs_local += m.msgs_local;
+            agg.msgs_remote += m.msgs_remote;
+            agg.bytes_remote += m.bytes_remote;
+            agg.msgs_combined += m.msgs_combined;
+            agg.batches_remote += m.batches_remote;
+            agg.slice_loads += m.slice_loads;
+            agg.send_retries += m.send_retries;
+        }
+        // Supersteps are barrier-synchronised: per-timestep max, summed
+        // (the same reduce `JobResult::export_into` applies).
+        for per_t in &result.metrics {
+            agg.supersteps += u64::from(per_t.iter().map(|m| m.supersteps).max().unwrap_or(0));
+        }
+        agg.supersteps += u64::from(
+            result
+                .merge_metrics
+                .iter()
+                .map(|m| m.supersteps)
+                .max()
+                .unwrap_or(0),
+        );
+
+        let workers = result
+            .partition_breakdown()
+            .iter()
+            .enumerate()
+            .map(|(p, m)| WorkerTiming {
+                partition: p as u32,
+                compute_ns: m.compute_ns,
+                msg_ns: m.msg_ns,
+                sync_ns: m.sync_ns,
+                io_ns: m.io_ns,
+                wall_ns: m.wall_ns,
+                supersteps: u64::from(m.supersteps),
+            })
+            .collect();
+
+        let virtual_timestep_ns = (0..result.timesteps_run)
+            .map(|t| result.virtual_timestep_ns(t))
+            .collect();
+
+        let attribution = result
+            .attribution
+            .as_ref()
+            .map(|a| {
+                a.rows
+                    .iter()
+                    .map(|r| AttributionEntry {
+                        subgraph: r.subgraph.0,
+                        timestep: r.timestep,
+                        compute_ns: r.compute_ns,
+                        invocations: r.invocations,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+
+        // Counter totals: timestep rows + merge rows, name-sorted (both
+        // maps are BTreeMaps, so iteration is already ordered).
+        let mut counters: Vec<(String, u64)> = Vec::with_capacity(result.counters.len());
+        for (name, per_t) in &result.counters {
+            let total: u64 = per_t.iter().flatten().sum();
+            counters.push((name.clone(), total));
+        }
+        for (name, per_p) in &result.merge_counters {
+            let total: u64 = per_p.iter().sum();
+            match counters.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+                Ok(i) => counters[i].1 += total,
+                Err(i) => counters.insert(i, (name.clone(), total)),
+            }
+        }
+
+        let metrics_json = result
+            .registry
+            .as_ref()
+            .map(|reg| reg.snapshot().to_json())
+            .unwrap_or_default();
+
+        RunRecord {
+            config,
+            aggregates: agg,
+            virtual_timestep_ns,
+            workers,
+            attribution,
+            counters,
+            metrics_json,
+        }
+    }
+
+    /// The record's deterministic run id (see
+    /// [`ConfigFingerprint::run_id`]).
+    pub fn run_id(&self) -> String {
+        self.config.run_id()
+    }
+
+    /// Measured per-subgraph cost totals from the attribution table, as
+    /// the `(SubgraphId, cost)` pairs
+    /// `partition::suggest_rebalance_from` consumes. `measured` picks the
+    /// clock-measured nanoseconds; `false` picks the deterministic
+    /// invocation counts instead.
+    pub fn per_subgraph_costs(&self, measured: bool) -> Vec<(SubgraphId, u64)> {
+        let mut out: Vec<(SubgraphId, u64)> = Vec::new();
+        // Rows are (subgraph, timestep)-sorted, so equal ids are adjacent.
+        for e in &self.attribution {
+            let v = if measured {
+                e.compute_ns
+            } else {
+                u64::from(e.invocations)
+            };
+            match out.last_mut() {
+                Some((sg, total)) if sg.0 == e.subgraph => *total += v,
+                _ => out.push((SubgraphId(e.subgraph), v)),
+            }
+        }
+        out
+    }
+
+    /// Zero every clock-measured field and drop the metrics snapshot,
+    /// leaving only deterministic content (counts, invocations, config).
+    /// A stripped record of a seeded run encodes byte-identically across
+    /// executions — the property the CI inspect smoke asserts.
+    pub fn strip_nondeterminism(&mut self) {
+        let a = &mut self.aggregates;
+        a.wall_ns = 0;
+        a.virtual_ns = 0;
+        a.compute_ns = 0;
+        a.msg_ns = 0;
+        a.sync_ns = 0;
+        a.io_ns = 0;
+        // Wire sizes are deterministic; clock-derived fields are not.
+        self.virtual_timestep_ns.iter_mut().for_each(|v| *v = 0);
+        for w in &mut self.workers {
+            w.compute_ns = 0;
+            w.msg_ns = 0;
+            w.sync_ns = 0;
+            w.io_ns = 0;
+            w.wall_ns = 0;
+        }
+        for e in &mut self.attribution {
+            e.compute_ns = 0;
+        }
+        // The snapshot embeds timing histograms; drop it wholesale rather
+        // than surgically zeroing JSON.
+        self.metrics_json = String::new();
+    }
+
+    /// Encode to the framed on-disk representation.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        self.config.encode_into(&mut buf);
+        self.aggregates.encode_into(&mut buf);
+        buf.put_u32_le(self.virtual_timestep_ns.len() as u32);
+        for &v in &self.virtual_timestep_ns {
+            buf.put_u64_le(v);
+        }
+        buf.put_u32_le(self.workers.len() as u32);
+        for w in &self.workers {
+            w.encode_into(&mut buf);
+        }
+        buf.put_u32_le(self.attribution.len() as u32);
+        for e in &self.attribution {
+            e.encode_into(&mut buf);
+        }
+        buf.put_u32_le(self.counters.len() as u32);
+        for (name, v) in &self.counters {
+            codec::put_str(&mut buf, name);
+            buf.put_u64_le(*v);
+        }
+        codec::put_str(&mut buf, &self.metrics_json);
+        frame(RECORD_MAGIC, &buf)
+    }
+
+    /// Decode a framed record, verifying magic, version, and checksum.
+    pub fn decode(data: &[u8]) -> Result<RunRecord> {
+        let mut buf = unframe(RECORD_MAGIC, data)?;
+        let config = ConfigFingerprint::decode_from(&mut buf)?;
+        let aggregates = RunAggregates::decode_from(&mut buf)?;
+        let n_virtual = codec::get_u32(&mut buf)? as usize;
+        if buf.remaining() < n_virtual * 8 {
+            return Err(GofsError::Corrupt(format!(
+                "virtual series claims {n_virtual} entries but only {} bytes remain",
+                buf.remaining()
+            )));
+        }
+        let mut virtual_timestep_ns = Vec::with_capacity(n_virtual.min(1 << 16));
+        for _ in 0..n_virtual {
+            virtual_timestep_ns.push(codec::get_u64(&mut buf)?);
+        }
+        let n_workers = codec::get_u32(&mut buf)? as usize;
+        let mut workers = Vec::with_capacity(n_workers.min(1 << 16));
+        for _ in 0..n_workers {
+            workers.push(WorkerTiming::decode_from(&mut buf)?);
+        }
+        let n_attr = codec::get_u32(&mut buf)? as usize;
+        if buf.remaining() < n_attr * 20 {
+            return Err(GofsError::Corrupt(format!(
+                "attribution table claims {n_attr} rows but only {} bytes remain",
+                buf.remaining()
+            )));
+        }
+        let mut attribution = Vec::with_capacity(n_attr.min(1 << 16));
+        for _ in 0..n_attr {
+            attribution.push(AttributionEntry::decode_from(&mut buf)?);
+        }
+        let n_counters = codec::get_u32(&mut buf)? as usize;
+        let mut counters = Vec::with_capacity(n_counters.min(1 << 16));
+        for _ in 0..n_counters {
+            let name = codec::get_str(&mut buf)?;
+            let v = codec::get_u64(&mut buf)?;
+            counters.push((name, v));
+        }
+        let metrics_json = codec::get_str(&mut buf)?;
+        if buf.remaining() > 0 {
+            return Err(GofsError::Corrupt(format!(
+                "{} trailing bytes after run record",
+                buf.remaining()
+            )));
+        }
+        Ok(RunRecord {
+            config,
+            aggregates,
+            virtual_timestep_ns,
+            workers,
+            attribution,
+            counters,
+            metrics_json,
+        })
+    }
+
+    /// Canonical JSON projection (`inspect show --json`). Deterministic
+    /// for equal records: ordered object keys, lossless `u64` tokens.
+    pub fn to_value(&self) -> Value {
+        let c = &self.config;
+        let config = Value::Obj(vec![
+            ("algorithm".into(), Value::str(&c.algorithm)),
+            ("pattern".into(), Value::str(&c.pattern)),
+            ("partitions".into(), Value::u64(u64::from(c.partitions))),
+            ("subgraphs".into(), Value::u64(u64::from(c.subgraphs))),
+            ("timesteps".into(), Value::u64(u64::from(c.timesteps))),
+            ("start_time".into(), Value::Num(c.start_time.to_string())),
+            ("period".into(), Value::Num(c.period.to_string())),
+            ("seed".into(), Value::u64(c.seed)),
+            ("dataset".into(), Value::str(&c.dataset)),
+            (
+                "env".into(),
+                Value::Obj(
+                    c.env
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::str(v)))
+                        .collect(),
+                ),
+            ),
+        ]);
+        let aggregates = Value::Obj(
+            self.aggregates
+                .fields()
+                .iter()
+                .map(|&(name, v)| (name.to_string(), Value::u64(v)))
+                .collect(),
+        );
+        let workers = Value::Arr(
+            self.workers
+                .iter()
+                .map(|w| {
+                    Value::Obj(vec![
+                        ("partition".into(), Value::u64(u64::from(w.partition))),
+                        ("compute_ns".into(), Value::u64(w.compute_ns)),
+                        ("msg_ns".into(), Value::u64(w.msg_ns)),
+                        ("sync_ns".into(), Value::u64(w.sync_ns)),
+                        ("io_ns".into(), Value::u64(w.io_ns)),
+                        ("wall_ns".into(), Value::u64(w.wall_ns)),
+                        ("supersteps".into(), Value::u64(w.supersteps)),
+                    ])
+                })
+                .collect(),
+        );
+        let attribution = Value::Arr(
+            self.attribution
+                .iter()
+                .map(|e| {
+                    Value::Arr(vec![
+                        Value::u64(u64::from(e.subgraph)),
+                        Value::u64(u64::from(e.timestep)),
+                        Value::u64(e.compute_ns),
+                        Value::u64(u64::from(e.invocations)),
+                    ])
+                })
+                .collect(),
+        );
+        let counters = Value::Obj(
+            self.counters
+                .iter()
+                .map(|(name, v)| (name.clone(), Value::u64(*v)))
+                .collect(),
+        );
+        Value::Obj(vec![
+            ("schema".into(), Value::str(RECORD_SCHEMA)),
+            ("run".into(), Value::str(&self.run_id())),
+            ("config".into(), config),
+            ("aggregates".into(), aggregates),
+            (
+                "virtual_timestep_ns".into(),
+                Value::Arr(
+                    self.virtual_timestep_ns
+                        .iter()
+                        .map(|&v| Value::u64(v))
+                        .collect(),
+                ),
+            ),
+            ("workers".into(), workers),
+            ("attribution".into(), attribution),
+            ("counters".into(), counters),
+            (
+                "metrics".into(),
+                // Stored as canonical `tempograph-metrics/v1` JSON text;
+                // embed it structurally (it round-trips losslessly), fall
+                // back to a raw string if it somehow doesn't parse.
+                if self.metrics_json.is_empty() {
+                    Value::Null
+                } else {
+                    Value::parse(&self.metrics_json)
+                        .unwrap_or_else(|_| Value::str(&self.metrics_json))
+                },
+            ),
+        ])
+    }
+}
+
+/// Parallelism of the host, mirroring the bench report's env field.
+fn num_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample() -> RunRecord {
+        RunRecord {
+            config: ConfigFingerprint {
+                algorithm: "hash".into(),
+                pattern: "eventually-dependent".into(),
+                partitions: 3,
+                subgraphs: 7,
+                timesteps: 8,
+                start_time: 1_400_000_000,
+                period: 3600,
+                seed: 0xBE4C,
+                dataset: "/data/tweets".into(),
+                env: ConfigFingerprint::host_env(),
+            },
+            aggregates: RunAggregates {
+                wall_ns: 123_456_789,
+                virtual_ns: 98_765_432,
+                compute_ns: 55_000,
+                msg_ns: 4_400,
+                sync_ns: 330,
+                io_ns: 22,
+                timesteps_run: 8,
+                supersteps: 31,
+                msgs_local: 1000,
+                msgs_remote: 250,
+                bytes_remote: 9000,
+                msgs_combined: 12,
+                batches_remote: 40,
+                slice_loads: 21,
+                send_retries: 0,
+                recoveries: 0,
+                emitted_values: 77,
+            },
+            virtual_timestep_ns: vec![10, 20, 30, 40, 50, 60, 70, 80],
+            workers: (0..3)
+                .map(|p| WorkerTiming {
+                    partition: p,
+                    compute_ns: 1000 + u64::from(p),
+                    msg_ns: 10,
+                    sync_ns: 20,
+                    io_ns: 5,
+                    wall_ns: 2000,
+                    supersteps: 31,
+                })
+                .collect(),
+            attribution: vec![
+                AttributionEntry {
+                    subgraph: 0,
+                    timestep: 0,
+                    compute_ns: 500,
+                    invocations: 4,
+                },
+                AttributionEntry {
+                    subgraph: 0,
+                    timestep: 1,
+                    compute_ns: 300,
+                    invocations: 2,
+                },
+                AttributionEntry {
+                    subgraph: 2,
+                    timestep: u32::MAX,
+                    compute_ns: 90,
+                    invocations: 1,
+                },
+            ],
+            counters: vec![("colored".into(), 17), ("seen".into(), 40)],
+            metrics_json: String::from(r#"{"schema":"tempograph-metrics/v1","metrics":[]}"#),
+        }
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let rec = sample();
+        let bytes = rec.encode();
+        let back = RunRecord::decode(&bytes).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn empty_record_round_trips() {
+        let rec = RunRecord::default();
+        assert_eq!(RunRecord::decode(&rec.encode()).unwrap(), rec);
+    }
+
+    #[test]
+    fn encoding_is_canonical() {
+        // Equal values ⇒ byte-identical files: encode twice and compare.
+        let rec = sample();
+        assert_eq!(rec.encode(), rec.clone().encode());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let rec = sample();
+        let good = rec.encode();
+
+        // Bit flip in the payload → checksum mismatch.
+        let mut flipped = good.to_vec();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x10;
+        assert!(matches!(
+            RunRecord::decode(&flipped),
+            Err(GofsError::ChecksumMismatch { .. })
+        ));
+
+        // Truncation → error, never a partial record.
+        assert!(RunRecord::decode(&good[..good.len() - 3]).is_err());
+
+        // Future version → typed rejection.
+        let mut stale = good.to_vec();
+        stale[4] = 0xFF;
+        assert!(matches!(
+            RunRecord::decode(&stale),
+            Err(GofsError::UnsupportedVersion(_))
+        ));
+
+        // Wrong magic → typed rejection.
+        let mut alien = good.to_vec();
+        alien[0] = b'X';
+        assert!(matches!(
+            RunRecord::decode(&alien),
+            Err(GofsError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn run_id_is_deterministic_and_config_sensitive() {
+        let rec = sample();
+        assert_eq!(rec.run_id(), sample().run_id());
+        assert!(rec.run_id().starts_with("hash-"));
+        let mut other = sample();
+        other.config.seed ^= 1;
+        assert_ne!(rec.run_id(), other.run_id());
+        // Timings don't participate: the id fingerprints the *config*.
+        let mut slow = sample();
+        slow.aggregates.wall_ns *= 2;
+        assert_eq!(rec.run_id(), slow.run_id());
+    }
+
+    #[test]
+    fn strip_nondeterminism_zeroes_all_measured_fields() {
+        let mut rec = sample();
+        rec.strip_nondeterminism();
+        assert_eq!(rec.aggregates.wall_ns, 0);
+        assert_eq!(rec.aggregates.virtual_ns, 0);
+        assert_eq!(rec.aggregates.compute_ns, 0);
+        assert!(rec.virtual_timestep_ns.iter().all(|&v| v == 0));
+        assert!(rec
+            .workers
+            .iter()
+            .all(|w| w.compute_ns == 0 && w.wall_ns == 0));
+        assert!(rec.attribution.iter().all(|e| e.compute_ns == 0));
+        assert!(rec.metrics_json.is_empty());
+        // Deterministic content survives.
+        assert_eq!(rec.aggregates.msgs_local, 1000);
+        assert_eq!(rec.attribution[0].invocations, 4);
+        assert_eq!(rec.counters.len(), 2);
+
+        // Two runs differing only in measured timings strip to identical
+        // bytes — the CI byte-identity property in miniature.
+        let mut a = sample();
+        let mut b = sample();
+        b.aggregates.wall_ns += 31337;
+        b.workers[1].sync_ns += 7;
+        b.attribution[2].compute_ns += 99;
+        a.strip_nondeterminism();
+        b.strip_nondeterminism();
+        assert_eq!(a.encode(), b.encode());
+    }
+
+    #[test]
+    fn per_subgraph_costs_fold_rows() {
+        let rec = sample();
+        assert_eq!(
+            rec.per_subgraph_costs(true),
+            vec![(SubgraphId(0), 800), (SubgraphId(2), 90)]
+        );
+        assert_eq!(
+            rec.per_subgraph_costs(false),
+            vec![(SubgraphId(0), 6), (SubgraphId(2), 1)]
+        );
+    }
+
+    #[test]
+    fn json_projection_is_deterministic_and_tagged() {
+        let rec = sample();
+        let v = rec.to_value();
+        assert_eq!(
+            v.get("schema").and_then(|s| s.as_str()),
+            Some(RECORD_SCHEMA)
+        );
+        assert_eq!(
+            v.get("run").and_then(|s| s.as_str()),
+            Some(rec.run_id().as_str())
+        );
+        assert_eq!(v.write(), rec.to_value().write());
+        assert_eq!(
+            v.get("aggregates")
+                .and_then(|a| a.get("wall_ns"))
+                .and_then(|x| x.as_u64()),
+            Some(123_456_789)
+        );
+        // Embedded metrics snapshot is structural, not an escaped string.
+        assert_eq!(
+            v.get("metrics")
+                .and_then(|m| m.get("schema"))
+                .and_then(|s| s.as_str()),
+            Some("tempograph-metrics/v1")
+        );
+    }
+}

@@ -33,7 +33,9 @@ pub use hash::HashPartitioner;
 pub use ldg::LdgPartitioner;
 pub use multilevel::{MultilevelConfig, MultilevelPartitioner};
 pub use quality::{balance, cut_fraction, edge_cut};
-pub use rebalance::{suggest_rebalance, Move, RebalancePlan};
+pub use rebalance::{
+    suggest_rebalance, suggest_rebalance_from, CostSource, Move, RebalanceError, RebalancePlan,
+};
 pub use subgraphs::{discover_subgraphs, PartitionedGraph, RemoteNeighbor, Subgraph, SubgraphId};
 
 use tempograph_core::GraphTemplate;

@@ -15,6 +15,50 @@
 //! bench applies the plan and re-runs to check the prediction.
 
 use crate::{PartitionedGraph, Partitioning, SubgraphId};
+use std::fmt;
+
+/// A rebalance plan referenced something the graph doesn't have. Returned
+/// by [`RebalancePlan::apply`] instead of silently producing a corrupt
+/// assignment (plans may come from stale ledger records whose partition
+/// count no longer matches the dataset).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RebalanceError {
+    /// A move targets a partition index ≥ the partitioning's `k`.
+    PartitionOutOfRange {
+        /// The subgraph the offending move relocates.
+        subgraph: SubgraphId,
+        /// The out-of-range target partition.
+        to: u16,
+        /// The partition count the graph actually has.
+        k: usize,
+    },
+    /// A move names a subgraph index the graph doesn't contain.
+    UnknownSubgraph {
+        /// The unknown subgraph id.
+        subgraph: SubgraphId,
+        /// How many subgraphs the graph actually has.
+        count: usize,
+    },
+}
+
+impl fmt::Display for RebalanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RebalanceError::PartitionOutOfRange { subgraph, to, k } => write!(
+                f,
+                "move of subgraph {} targets partition {to} but only {k} partitions exist",
+                subgraph.0
+            ),
+            RebalanceError::UnknownSubgraph { subgraph, count } => write!(
+                f,
+                "move names subgraph {} but only {count} subgraphs exist",
+                subgraph.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RebalanceError {}
 
 /// One proposed move.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -51,18 +95,50 @@ impl RebalancePlan {
 
     /// Apply the plan to a partitioning, producing the new vertex→partition
     /// assignment (subgraph members move wholesale).
-    pub fn apply(&self, pg: &PartitionedGraph) -> Partitioning {
+    ///
+    /// Every move is validated against the graph before any is applied, so
+    /// an `Err` leaves no partial state behind.
+    pub fn apply(&self, pg: &PartitionedGraph) -> Result<Partitioning, RebalanceError> {
+        let k = pg.partitioning().k;
+        let count = pg.subgraphs().len();
+        for mv in &self.moves {
+            if mv.subgraph.idx() >= count {
+                return Err(RebalanceError::UnknownSubgraph {
+                    subgraph: mv.subgraph,
+                    count,
+                });
+            }
+            if usize::from(mv.to) >= k {
+                return Err(RebalanceError::PartitionOutOfRange {
+                    subgraph: mv.subgraph,
+                    to: mv.to,
+                    k,
+                });
+            }
+        }
         let mut assignment = pg.partitioning().assignment.clone();
         for mv in &self.moves {
             for &v in pg.subgraph(mv.subgraph).vertices() {
                 assignment[v.idx()] = mv.to;
             }
         }
-        Partitioning {
-            assignment,
-            k: pg.partitioning().k,
-        }
+        Ok(Partitioning { assignment, k })
     }
+}
+
+/// Where [`suggest_rebalance_from`] gets its per-subgraph cost estimates.
+#[derive(Clone, Copy, Debug)]
+pub enum CostSource<'a> {
+    /// Measured per-partition totals (e.g. compute nanoseconds from a
+    /// run's metrics), split across each partition's subgraphs
+    /// proportionally to vertex count — the best estimate available
+    /// without per-subgraph instrumentation.
+    PartitionProportional(&'a [u64]),
+    /// Measured per-subgraph totals as `(subgraph, cost)` pairs — e.g. the
+    /// run ledger's compute attribution table
+    /// (`CostAttribution::per_subgraph_ns` in `tempograph-engine`).
+    /// Subgraphs absent from the list cost 0; duplicate ids are summed.
+    MeasuredPerSubgraph(&'a [(SubgraphId, u64)]),
 }
 
 /// Propose up to `max_moves` subgraph relocations given measured
@@ -78,32 +154,77 @@ pub fn suggest_rebalance(
     per_partition_cost: &[u64],
     max_moves: usize,
 ) -> RebalancePlan {
+    suggest_rebalance_from(
+        pg,
+        CostSource::PartitionProportional(per_partition_cost),
+        max_moves,
+    )
+}
+
+/// Propose up to `max_moves` subgraph relocations from an explicit cost
+/// source (see [`CostSource`]).
+///
+/// With [`CostSource::MeasuredPerSubgraph`] the greedy analysis operates
+/// on *measured* costs: a partition's load is the sum of its subgraphs'
+/// measured costs, and the excluded dominant subgraph is the costliest one
+/// rather than the largest — closing the loop the paper's §IV.D sketches
+/// (move decisions driven by observed activity, not topology proxies).
+pub fn suggest_rebalance_from(
+    pg: &PartitionedGraph,
+    costs: CostSource<'_>,
+    max_moves: usize,
+) -> RebalancePlan {
     let k = pg.num_partitions();
-    assert_eq!(per_partition_cost.len(), k, "one cost per partition");
-    let mut load: Vec<u64> = per_partition_cost.to_vec();
+    let n_sg = pg.subgraphs().len();
+    let mut sg_cost: Vec<u64> = vec![0; n_sg];
+    let mut dominant: Vec<Option<SubgraphId>> = vec![None; k];
+    let mut load: Vec<u64> = vec![0; k];
+    match costs {
+        CostSource::PartitionProportional(per_partition_cost) => {
+            assert_eq!(per_partition_cost.len(), k, "one cost per partition");
+            load.copy_from_slice(per_partition_cost);
+            for p in 0..k as u16 {
+                let ids = pg.subgraphs_of_partition(p);
+                let total_vertices: usize =
+                    ids.iter().map(|&id| pg.subgraph(id).num_vertices()).sum();
+                if total_vertices == 0 {
+                    continue;
+                }
+                for &id in ids {
+                    let share = pg.subgraph(id).num_vertices() as u128;
+                    sg_cost[id.idx()] = ((per_partition_cost[p as usize] as u128 * share)
+                        / total_vertices as u128) as u64;
+                }
+                dominant[p as usize] = ids
+                    .iter()
+                    .copied()
+                    .max_by_key(|&id| pg.subgraph(id).num_vertices());
+            }
+        }
+        CostSource::MeasuredPerSubgraph(pairs) => {
+            for &(id, cost) in pairs {
+                assert!(
+                    id.idx() < n_sg,
+                    "measured cost names subgraph {} but only {n_sg} exist",
+                    id.0
+                );
+                sg_cost[id.idx()] += cost;
+            }
+            for p in 0..k as u16 {
+                let ids = pg.subgraphs_of_partition(p);
+                load[p as usize] = ids.iter().map(|&id| sg_cost[id.idx()]).sum();
+                // Costliest subgraph stays put; vertex count breaks ties so
+                // the choice is deterministic under equal measurements.
+                dominant[p as usize] = ids
+                    .iter()
+                    .copied()
+                    .max_by_key(|&id| (sg_cost[id.idx()], pg.subgraph(id).num_vertices()));
+            }
+        }
+    }
     let makespan_before = load.iter().copied().max().unwrap_or(0);
 
-    // Per-subgraph cost estimate.
-    let mut sg_cost: Vec<u64> = vec![0; pg.subgraphs().len()];
-    let mut dominant: Vec<Option<SubgraphId>> = vec![None; k];
-    for p in 0..k as u16 {
-        let ids = pg.subgraphs_of_partition(p);
-        let total_vertices: usize = ids.iter().map(|&id| pg.subgraph(id).num_vertices()).sum();
-        if total_vertices == 0 {
-            continue;
-        }
-        for &id in ids {
-            let share = pg.subgraph(id).num_vertices() as u128;
-            sg_cost[id.idx()] =
-                ((per_partition_cost[p as usize] as u128 * share) / total_vertices as u128) as u64;
-        }
-        dominant[p as usize] = ids
-            .iter()
-            .copied()
-            .max_by_key(|&id| pg.subgraph(id).num_vertices());
-    }
-
-    let mut moved: Vec<bool> = vec![false; pg.subgraphs().len()];
+    let mut moved: Vec<bool> = vec![false; n_sg];
     let mut moves = Vec::new();
     for _ in 0..max_moves {
         let busiest = (0..k).max_by_key(|&p| load[p]).expect("k ≥ 1") as u16;
@@ -195,7 +316,7 @@ mod tests {
     fn apply_produces_valid_partitioning() {
         let pg = fixture();
         let plan = suggest_rebalance(&pg, &[600, 100], 4);
-        let newp = plan.apply(&pg);
+        let newp = plan.apply(&pg).unwrap();
         newp.validate(pg.template()).unwrap();
         // Moved subgraphs' vertices now live in the target partition.
         for mv in &plan.moves {
@@ -218,5 +339,94 @@ mod tests {
         let pg = fixture();
         let plan = suggest_rebalance(&pg, &[1000, 10], 1);
         assert!(plan.moves.len() <= 1);
+    }
+
+    #[test]
+    fn apply_rejects_out_of_range_partition() {
+        let pg = fixture();
+        let plan = RebalancePlan {
+            moves: vec![Move {
+                subgraph: SubgraphId(0),
+                from: 0,
+                to: 7,
+                est_cost: 1,
+            }],
+            ..Default::default()
+        };
+        match plan.apply(&pg) {
+            Err(RebalanceError::PartitionOutOfRange { subgraph, to, k }) => {
+                assert_eq!(subgraph, SubgraphId(0));
+                assert_eq!(to, 7);
+                assert_eq!(k, 2);
+            }
+            other => panic!("expected PartitionOutOfRange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn apply_rejects_unknown_subgraph() {
+        let pg = fixture();
+        let n = pg.subgraphs().len();
+        let plan = RebalancePlan {
+            moves: vec![Move {
+                subgraph: SubgraphId(n as u32),
+                from: 0,
+                to: 1,
+                est_cost: 1,
+            }],
+            ..Default::default()
+        };
+        match plan.apply(&pg) {
+            Err(RebalanceError::UnknownSubgraph { subgraph, count }) => {
+                assert_eq!(subgraph, SubgraphId(n as u32));
+                assert_eq!(count, n);
+            }
+            other => panic!("expected UnknownSubgraph, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn measured_costs_override_the_vertex_count_proxy() {
+        let pg = fixture();
+        // Under the proxy, the 8-vertex component dominates partition 0 and
+        // may not move. Measured costs say otherwise: one *small* component
+        // is the hot one, so the big component becomes movable and the hot
+        // small one must stay.
+        let hot_small = pg
+            .subgraphs_of_partition(0)
+            .iter()
+            .copied()
+            .find(|&id| pg.subgraph(id).num_vertices() == 2)
+            .unwrap();
+        let measured: Vec<(SubgraphId, u64)> = pg
+            .subgraphs()
+            .iter()
+            .map(|sg| {
+                let id = sg.id();
+                let cost = if id == hot_small { 900 } else { 50 };
+                (id, cost)
+            })
+            .collect();
+        let plan = suggest_rebalance_from(&pg, CostSource::MeasuredPerSubgraph(&measured), 4);
+        assert!(!plan.moves.is_empty());
+        for mv in &plan.moves {
+            assert_ne!(
+                mv.subgraph, hot_small,
+                "the measured-dominant subgraph stays"
+            );
+            assert_eq!(mv.est_cost, 50, "moves carry measured, not proxy, costs");
+        }
+        assert!(plan.makespan_after < plan.makespan_before);
+        plan.apply(&pg).unwrap().validate(pg.template()).unwrap();
+    }
+
+    #[test]
+    fn proportional_source_matches_legacy_entry_point() {
+        let pg = fixture();
+        let a = suggest_rebalance(&pg, &[600, 100], 4);
+        let b = suggest_rebalance_from(&pg, CostSource::PartitionProportional(&[600, 100]), 4);
+        assert_eq!(a.moves, b.moves);
+        assert_eq!(a.makespan_before, b.makespan_before);
+        assert_eq!(a.makespan_after, b.makespan_after);
     }
 }

@@ -138,7 +138,7 @@ mod tests {
                     TraceEvent::Instant {
                         name: "straggler",
                         ts_ns: 4_000,
-                        arg: None,
+                        arg: Some(("wait_ns", 123_456)),
                     },
                     TraceEvent::Counter {
                         name: "msgs.remote",
@@ -158,6 +158,10 @@ mod tests {
         assert!(json.contains("\"dur\":2.000"));
         assert!(json.contains("\"superstep\":4"));
         assert!(json.contains("\"ph\":\"i\""));
+        // The straggler marker carries its wait duration as an args field,
+        // so Perfetto shows *how long* the barrier wait was, not just that
+        // one happened.
+        assert!(json.contains("\"wait_ns\":123456"));
         assert!(json.contains("\"ph\":\"C\""));
         assert!(json.contains("\"value\":17"));
         // Every event carries the same pid and this track's tid.

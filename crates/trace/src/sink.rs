@@ -486,6 +486,11 @@ mod tests {
         let evs = s.take_events();
         assert_eq!(evs.len(), 1);
         assert_eq!(evs[0].name(), "straggler");
+        // The marker carries the measured wait as its args field.
+        match evs[0] {
+            TraceEvent::Instant { arg, .. } => assert_eq!(arg, Some(("wait_ns", 5_000))),
+            ref other => panic!("expected an instant, got {other:?}"),
+        }
     }
 
     #[test]

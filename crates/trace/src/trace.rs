@@ -160,9 +160,12 @@ impl Trace {
     }
 
     /// Validate structural invariants: track ids are unique, events are
-    /// time-sorted, and spans on each track obey stack discipline (every
+    /// time-sorted, spans on each track obey stack discipline (every
     /// span is fully contained in the enclosing one — the property that
-    /// makes the Perfetto rendering a sensible flame chart).
+    /// makes the Perfetto rendering a sensible flame chart), and counter
+    /// samples are non-decreasing per `(track, name)` — every counter in
+    /// the workspace records a cumulative lifetime total, so a regression
+    /// means a producer sampled a resettable window by mistake.
     ///
     /// With the `deep-validate` feature, additionally runs an exhaustive
     /// pairwise check that no two spans on a track partially overlap.
@@ -173,6 +176,7 @@ impl Trace {
             }
             let mut last_key = (0u64, std::cmp::Reverse(u64::MAX));
             let mut stack: Vec<(u64, u64)> = Vec::new(); // (start, end)
+            let mut counter_last: Vec<(&'static str, u64)> = Vec::new();
             for ev in &t.events {
                 let key = sort_key(ev);
                 if key < last_key {
@@ -207,6 +211,20 @@ impl Trace {
                         }
                     }
                     stack.push((start_ns, end));
+                }
+                if let TraceEvent::Counter { name, value, .. } = *ev {
+                    match counter_last.iter_mut().find(|(n, _)| *n == name) {
+                        Some((_, last)) => {
+                            if value < *last {
+                                return Err(format!(
+                                    "track {}: counter {name:?} regressed from {last} to {value}",
+                                    t.track
+                                ));
+                            }
+                            *last = value;
+                        }
+                        None => counter_last.push((name, value)),
+                    }
                 }
             }
             #[cfg(feature = "deep-validate")]
@@ -344,6 +362,95 @@ mod tests {
             tracks: vec![track(2, vec![]), track(2, vec![])],
         };
         assert!(dup.validate().is_err(), "duplicate track ids must fail");
+    }
+
+    #[test]
+    fn validate_rejects_unbalanced_spans() {
+        // A child that starts inside its parent but outlives it — the
+        // shape an unbalanced begin/end pair produces.
+        let dangling = Trace {
+            tracks: vec![track(
+                0,
+                vec![span("parent", 0, 50), span("child", 40, 100)],
+            )],
+        };
+        assert!(
+            dangling.validate().is_err(),
+            "child outliving parent must fail"
+        );
+
+        // Zero-duration spans are legal leaves anywhere inside a parent.
+        let empty_leaf = Trace {
+            tracks: vec![track(0, vec![span("parent", 0, 50), span("leaf", 25, 0)])],
+        };
+        assert!(empty_leaf.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_counter_regressions() {
+        fn counter(name: &'static str, ts: u64, value: u64) -> TraceEvent {
+            TraceEvent::Counter {
+                name,
+                ts_ns: ts,
+                value,
+            }
+        }
+
+        let monotone = Trace {
+            tracks: vec![track(
+                0,
+                vec![
+                    counter("msgs", 0, 3),
+                    counter("msgs", 10, 3),
+                    counter("msgs", 20, 9),
+                ],
+            )],
+        };
+        assert!(monotone.validate().is_ok(), "flat samples are fine");
+
+        let regressing = Trace {
+            tracks: vec![track(
+                0,
+                vec![counter("msgs", 0, 9), counter("msgs", 10, 3)],
+            )],
+        };
+        let err = regressing.validate().unwrap_err();
+        assert!(err.contains("regressed"), "got: {err}");
+
+        // Independent names and independent tracks don't interfere.
+        let independent = Trace {
+            tracks: vec![
+                track(0, vec![counter("a", 0, 9), counter("b", 10, 3)]),
+                track(1, vec![counter("a", 0, 1)]),
+            ],
+        };
+        assert!(independent.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_order_events() {
+        // Build the track by hand (no sort) to simulate a stream whose
+        // clock readings went backwards.
+        let tr = Trace {
+            tracks: vec![TraceTrack {
+                track: 0,
+                name: "partition 0".into(),
+                events: vec![
+                    TraceEvent::Instant {
+                        name: "late",
+                        ts_ns: 100,
+                        arg: None,
+                    },
+                    TraceEvent::Instant {
+                        name: "early",
+                        ts_ns: 50,
+                        arg: None,
+                    },
+                ],
+            }],
+        };
+        let err = tr.validate().unwrap_err();
+        assert!(err.contains("not time-sorted"), "got: {err}");
     }
 
     #[test]

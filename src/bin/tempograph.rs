@@ -62,13 +62,27 @@ USAGE:
   tempograph inspect   DIR
       Print a stored dataset's metadata, template and partition stats.
 
+  tempograph inspect   list                     [--ledger DIR]
+  tempograph inspect   show RUN [--json true]   [--ledger DIR]
+  tempograph inspect   diff OLD NEW [--threshold F] [--ledger DIR]
+  tempograph inspect   rebalance RUN --data DIR [--max-moves N]
+                       [--cost measured|invocations] [--ledger DIR]
+      Query the run ledger: list recorded runs, show one (human or
+      canonical JSON), gate-compare two (bench noise-floor rules; exits
+      non-zero on a regression or count change), or propose a rebalance
+      from a run's measured per-subgraph costs.
+
   tempograph partition [--preset carn|wiki] [--scale F] [--k K]
                        [--partitioner multilevel|ldg|hash]
       Partition a generated template and report edge cut / balance.
 
   tempograph run       --algo ALGO --data DIR [--source V] [--meme TAG]
-                       [--timesteps N]
-      Run an algorithm over a stored dataset.
+                       [--timesteps N] [--ledger DIR] [--seed N]
+                       [--deterministic true]
+      Run an algorithm over a stored dataset. With --ledger, the run is
+      armed with metrics + cost attribution and recorded to the ledger
+      (--deterministic strips measured timings so a seeded run records
+      byte-identically across executions).
       ALGO: tdsp | meme | hash | sssp | bfs | wcc | pagerank | topn | stats";
 
 fn parse_opts(rest: &[String]) -> Result<HashMap<String, String>, String> {
@@ -204,12 +218,32 @@ fn cmd_generate(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Bare (non-flag) arguments, skipping each `--key`'s value.
+fn positionals(rest: &[String]) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        if a.starts_with("--") {
+            let _ = it.next();
+        } else {
+            out.push(a.as_str());
+        }
+    }
+    out
+}
+
 fn cmd_inspect(opts: &HashMap<String, String>, rest: &[String]) -> Result<(), String> {
-    let dir = rest
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .or_else(|| opts.get("data").map(|_| unreachable!()))
-        .ok_or("usage: tempograph inspect DIR")?;
+    let pos = positionals(rest);
+    match pos.first().copied() {
+        Some("list") => return inspect_list(opts),
+        Some("show") => return inspect_show(opts, &pos[1..]),
+        Some("diff") => return inspect_diff(opts, &pos[1..]),
+        Some("rebalance") => return inspect_rebalance(opts, &pos[1..]),
+        _ => {}
+    }
+    let dir = *pos
+        .first()
+        .ok_or("usage: tempograph inspect DIR | list | show | diff | rebalance")?;
     let store = GofsStore::open(dir).map_err(|e| e.to_string())?;
     let meta = store.meta();
     println!("dataset  : {}", meta.name);
@@ -258,6 +292,221 @@ fn cmd_inspect(opts: &HashMap<String, String>, rest: &[String]) -> Result<(), St
     Ok(())
 }
 
+fn open_ledger(opts: &HashMap<String, String>) -> Result<Ledger, String> {
+    Ledger::open(opt(opts, "ledger", "ledger")).map_err(|e| e.to_string())
+}
+
+fn inspect_list(opts: &HashMap<String, String>) -> Result<(), String> {
+    let ledger = open_ledger(opts)?;
+    let names = ledger.list().map_err(|e| e.to_string())?;
+    if names.is_empty() {
+        println!("no runs recorded in {}", ledger.dir().display());
+        return Ok(());
+    }
+    for name in names {
+        match ledger.load(&name) {
+            Ok(rec) => println!(
+                "{name}  {} ({})  {} ts  wall {:.3} ms",
+                rec.config.algorithm,
+                rec.config.pattern,
+                rec.aggregates.timesteps_run,
+                rec.aggregates.wall_ns as f64 / 1e6
+            ),
+            Err(e) => println!("{name}  [unreadable: {e}]"),
+        }
+    }
+    Ok(())
+}
+
+fn inspect_show(opts: &HashMap<String, String>, pos: &[&str]) -> Result<(), String> {
+    let name = *pos
+        .first()
+        .ok_or("usage: tempograph inspect show RUN [--json true] [--ledger DIR]")?;
+    let ledger = open_ledger(opts)?;
+    let rec = ledger.load(name).map_err(|e| e.to_string())?;
+    if parse(opts, "json", false)? {
+        println!("{}", rec.to_value().write_pretty());
+        return Ok(());
+    }
+    let c = &rec.config;
+    let a = &rec.aggregates;
+    println!("run        : {name}");
+    println!("algorithm  : {} ({})", c.algorithm, c.pattern);
+    println!(
+        "dataset    : {} ({} partitions, {} subgraphs, {} timesteps, seed {:#x})",
+        c.dataset, c.partitions, c.subgraphs, c.timesteps, c.seed
+    );
+    println!("series     : t0 = {} every δ = {}s", c.start_time, c.period);
+    print!("env        :");
+    for (k, v) in &c.env {
+        print!(" {k}={v}");
+    }
+    println!();
+    println!(
+        "wall       : {:.3} ms (virtual {:.3} ms over {} timesteps run)",
+        a.wall_ns as f64 / 1e6,
+        a.virtual_ns as f64 / 1e6,
+        a.timesteps_run
+    );
+    println!(
+        "phases     : compute {:.3} ms, msg {:.3} ms, sync {:.3} ms, io {:.3} ms",
+        a.compute_ns as f64 / 1e6,
+        a.msg_ns as f64 / 1e6,
+        a.sync_ns as f64 / 1e6,
+        a.io_ns as f64 / 1e6
+    );
+    println!(
+        "traffic    : {} local + {} remote msgs ({} bytes, {} batches, {} combined)",
+        a.msgs_local, a.msgs_remote, a.bytes_remote, a.batches_remote, a.msgs_combined
+    );
+    println!(
+        "work       : {} supersteps, {} slice loads, {} retries, {} recoveries, {} emits",
+        a.supersteps, a.slice_loads, a.send_retries, a.recoveries, a.emitted_values
+    );
+    for w in &rec.workers {
+        println!(
+            "worker {:>4}: compute {:.3} ms, msg {:.3} ms, sync {:.3} ms, io {:.3} ms, \
+             wall {:.3} ms, {} supersteps",
+            w.partition,
+            w.compute_ns as f64 / 1e6,
+            w.msg_ns as f64 / 1e6,
+            w.sync_ns as f64 / 1e6,
+            w.io_ns as f64 / 1e6,
+            w.wall_ns as f64 / 1e6,
+            w.supersteps
+        );
+    }
+    if !rec.attribution.is_empty() {
+        let mut per_sg = rec.per_subgraph_costs(true);
+        let invocations = rec.per_subgraph_costs(false);
+        per_sg.sort_by_key(|&(id, ns)| (std::cmp::Reverse(ns), id.idx()));
+        println!(
+            "attribution: {} subgraphs, top by measured compute:",
+            per_sg.len()
+        );
+        for &(id, ns) in per_sg.iter().take(8) {
+            let inv = invocations
+                .iter()
+                .find(|(i, _)| *i == id)
+                .map_or(0, |&(_, n)| n);
+            println!(
+                "  subgraph {:>4}: {:.3} ms over {} invocations",
+                id.idx(),
+                ns as f64 / 1e6,
+                inv
+            );
+        }
+    }
+    for (cname, total) in &rec.counters {
+        println!("counter {cname:24} total {total}");
+    }
+    Ok(())
+}
+
+fn inspect_diff(opts: &HashMap<String, String>, pos: &[&str]) -> Result<(), String> {
+    let [old_name, new_name] = pos else {
+        return Err("usage: tempograph inspect diff OLD NEW [--threshold F] [--ledger DIR]".into());
+    };
+    let threshold: f64 = parse(opts, "threshold", tempograph::ledger::DEFAULT_THRESHOLD)?;
+    let ledger = open_ledger(opts)?;
+    let old = ledger.load(old_name).map_err(|e| e.to_string())?;
+    let new = ledger.load(new_name).map_err(|e| e.to_string())?;
+    let diff = diff_records(&old, &new, threshold);
+    println!(
+        "comparing {old_name} -> {new_name} (threshold +{:.0}%, noise floor {} ms)",
+        threshold * 100.0,
+        tempograph::ledger::NOISE_FLOOR_NS / 1_000_000
+    );
+    if diff.config_differs {
+        println!("warning: config fingerprints differ (not apples-to-apples)");
+    }
+    if diff.deltas.is_empty() {
+        println!("records agree on every gated field");
+        return Ok(());
+    }
+    for d in &diff.deltas {
+        println!("  {}", d.describe());
+    }
+    let fatal = diff.fatal().count();
+    if fatal > 0 {
+        return Err(format!("{fatal} gate-fatal delta(s)"));
+    }
+    println!("ok: drift only, nothing gate-fatal");
+    Ok(())
+}
+
+fn inspect_rebalance(opts: &HashMap<String, String>, pos: &[&str]) -> Result<(), String> {
+    let name = *pos.first().ok_or(
+        "usage: tempograph inspect rebalance RUN --data DIR [--max-moves N] \
+         [--cost measured|invocations] [--ledger DIR]",
+    )?;
+    let dir = opts.get("data").ok_or("--data DIR is required")?;
+    let max_moves: usize = parse(opts, "max-moves", 3)?;
+    let measured = match opt(opts, "cost", "measured") {
+        "measured" => true,
+        "invocations" => false,
+        other => {
+            return Err(format!(
+                "unknown cost source `{other}` (measured|invocations)"
+            ))
+        }
+    };
+    let ledger = open_ledger(opts)?;
+    let rec = ledger.load(name).map_err(|e| e.to_string())?;
+    if rec.attribution.is_empty() {
+        return Err(format!(
+            "run `{name}` has no cost attribution (record it via `tempograph run --ledger`)"
+        ));
+    }
+    let store = GofsStore::open(dir).map_err(|e| e.to_string())?;
+    let pg = store.partitioned_graph();
+    if pg.subgraphs().len() != rec.config.subgraphs as usize
+        || pg.num_partitions() != rec.config.partitions as usize
+    {
+        return Err(format!(
+            "dataset {dir} has {} subgraphs / {} partitions but run `{name}` recorded {} / {}",
+            pg.subgraphs().len(),
+            pg.num_partitions(),
+            rec.config.subgraphs,
+            rec.config.partitions
+        ));
+    }
+    let costs = rec.per_subgraph_costs(measured);
+    let plan = suggest_rebalance_from(&pg, CostSource::MeasuredPerSubgraph(&costs), max_moves);
+    println!(
+        "run {name}: {} cost source over {} attributed subgraphs",
+        if measured {
+            "measured-ns"
+        } else {
+            "invocation-count"
+        },
+        costs.len()
+    );
+    println!(
+        "makespan {} -> {} (predicted speedup {:.3}x)",
+        plan.makespan_before,
+        plan.makespan_after,
+        plan.predicted_speedup()
+    );
+    if plan.moves.is_empty() {
+        println!("no beneficial moves found");
+        return Ok(());
+    }
+    for mv in &plan.moves {
+        println!(
+            "  move subgraph {:>4}: partition {} -> {} (shifts cost {})",
+            mv.subgraph.idx(),
+            mv.from,
+            mv.to,
+            mv.est_cost
+        );
+    }
+    plan.apply(&pg)
+        .map_err(|e| format!("plan failed validation against {dir}: {e}"))?;
+    println!("plan validates against {dir}");
+    Ok(())
+}
+
 fn cmd_partition(opts: &HashMap<String, String>) -> Result<(), String> {
     let preset = preset_of(opts)?;
     let scale: f64 = parse(opts, "scale", 0.5)?;
@@ -285,6 +534,16 @@ fn cmd_partition(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Arm a job config for ledger recording: metrics registry + per-subgraph
+/// cost attribution. A no-op (and allocation-free at run time) otherwise.
+fn arm<M>(cfg: JobConfig<M>, ledger_on: bool) -> JobConfig<M> {
+    if ledger_on {
+        cfg.with_metrics().with_attribution()
+    } else {
+        cfg
+    }
+}
+
 fn cmd_run(opts: &HashMap<String, String>) -> Result<(), String> {
     let dir = opts.get("data").ok_or("--data DIR is required")?;
     let algo = opts.get("algo").ok_or("--algo is required")?;
@@ -296,6 +555,7 @@ fn cmd_run(opts: &HashMap<String, String>) -> Result<(), String> {
     let source = VertexIdx(parse(opts, "source", 0u32)?);
     let meme = opt(opts, "meme", "#meme").to_string();
     let src = InstanceSource::Gofs(dir.into());
+    let on = opts.contains_key("ledger");
 
     let find_v = |name: &str| t.vertex_schema().index_of(name);
     let find_e = |name: &str| t.edge_schema().index_of(name);
@@ -312,7 +572,10 @@ fn cmd_run(opts: &HashMap<String, String>) -> Result<(), String> {
                 &pg,
                 &src,
                 Tdsp::factory(source, col),
-                JobConfig::sequentially_dependent(timesteps).while_active(timesteps),
+                arm(
+                    JobConfig::sequentially_dependent(timesteps).while_active(timesteps),
+                    on,
+                ),
             )
         }
         "meme" => {
@@ -321,7 +584,7 @@ fn cmd_run(opts: &HashMap<String, String>) -> Result<(), String> {
                 &pg,
                 &src,
                 MemeTracking::factory(meme, col),
-                JobConfig::sequentially_dependent(timesteps),
+                arm(JobConfig::sequentially_dependent(timesteps), on),
             )
         }
         "hash" => {
@@ -330,7 +593,7 @@ fn cmd_run(opts: &HashMap<String, String>) -> Result<(), String> {
                 &pg,
                 &src,
                 HashtagAggregation::factory(meme, col),
-                JobConfig::eventually_dependent(timesteps),
+                arm(JobConfig::eventually_dependent(timesteps), on),
             )
         }
         "sssp" => {
@@ -339,24 +602,34 @@ fn cmd_run(opts: &HashMap<String, String>) -> Result<(), String> {
                 &pg,
                 &src,
                 Sssp::factory(source, col),
-                JobConfig::independent(1),
+                arm(JobConfig::independent(1), on),
             )
         }
         "bfs" => run_job(
             &pg,
             &src,
             Sssp::factory(source, None),
-            JobConfig::independent(1),
+            arm(JobConfig::independent(1), on),
         ),
-        "wcc" => run_job(&pg, &src, Wcc::factory(), JobConfig::independent(1)),
-        "pagerank" => run_job(&pg, &src, PageRank::factory(10), JobConfig::independent(1)),
+        "wcc" => run_job(
+            &pg,
+            &src,
+            Wcc::factory(),
+            arm(JobConfig::independent(1), on),
+        ),
+        "pagerank" => run_job(
+            &pg,
+            &src,
+            PageRank::factory(10),
+            arm(JobConfig::independent(1), on),
+        ),
         "topn" => {
             let col = find_v(TWEETS_ATTR).ok_or("dataset lacks a tweets column")?;
             run_job(
                 &pg,
                 &src,
                 TopNActivity::factory(5, col),
-                JobConfig::independent(timesteps),
+                arm(JobConfig::independent(timesteps), on),
             )
         }
         "stats" => run_job(
@@ -367,7 +640,7 @@ fn cmd_run(opts: &HashMap<String, String>) -> Result<(), String> {
                 find_e(LATENCY_ATTR),
                 200.0,
             ),
-            JobConfig::independent(timesteps),
+            arm(JobConfig::independent(timesteps), on),
         ),
         other => return Err(format!("unknown algorithm `{other}`")),
     };
@@ -395,5 +668,36 @@ fn cmd_run(opts: &HashMap<String, String>) -> Result<(), String> {
     let loads: u64 = result.metrics.iter().flatten().map(|m| m.slice_loads).sum();
     println!("messages       : {m}");
     println!("slice loads    : {loads}");
+
+    if let Some(ldir) = opts.get("ledger") {
+        let pattern = match algo.as_str() {
+            "tdsp" | "meme" => "sequentially-dependent",
+            "hash" => "eventually-dependent",
+            _ => "independent",
+        };
+        let meta = store.meta();
+        let fp = ConfigFingerprint {
+            algorithm: algo.clone(),
+            pattern: pattern.to_string(),
+            partitions: pg.num_partitions() as u32,
+            subgraphs: pg.subgraphs().len() as u32,
+            timesteps: timesteps as u32,
+            start_time: meta.start_time,
+            period: meta.period,
+            seed: parse(opts, "seed", 0u64)?,
+            dataset: dir.clone(),
+            env: ConfigFingerprint::host_env(),
+        };
+        let mut rec = RunRecord::from_result(fp, &result);
+        if parse(opts, "deterministic", false)? {
+            rec.strip_nondeterminism();
+        }
+        let ledger = Ledger::open(ldir).map_err(|e| e.to_string())?;
+        let name = ledger.record(&rec).map_err(|e| e.to_string())?;
+        println!(
+            "recorded run   : {name} ({})",
+            ledger.path_of(&name).display()
+        );
+    }
     Ok(())
 }

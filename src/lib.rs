@@ -31,6 +31,7 @@ pub use tempograph_core as core;
 pub use tempograph_engine as engine;
 pub use tempograph_gen as gen;
 pub use tempograph_gofs as gofs;
+pub use tempograph_ledger as ledger;
 pub use tempograph_metrics as metrics;
 pub use tempograph_partition as partition;
 pub use tempograph_pregel as pregel;
@@ -46,8 +47,8 @@ pub mod prelude {
         TimeSeriesCollection, VertexIdx,
     };
     pub use tempograph_engine::{
-        run_job, CheckpointConfig, Context, Envelope, FaultPlan, InstanceSource, JobConfig,
-        JobResult, Pattern, SubgraphProgram, TimestepMode,
+        run_job, AttributionRow, CheckpointConfig, Context, CostAttribution, Envelope, FaultPlan,
+        InstanceSource, JobConfig, JobResult, Pattern, SubgraphProgram, TimestepMode,
     };
     pub use tempograph_gen::{
         carn_like, generate_road_latencies, generate_sir_tweets, road_network, small_world,
@@ -55,10 +56,12 @@ pub mod prelude {
         LATENCY_ATTR, TWEETS_ATTR,
     };
     pub use tempograph_gofs::{GofsStore, GofsWriter, InstanceLoader};
+    pub use tempograph_ledger::{diff_records, ConfigFingerprint, Ledger, RecordDiff, RunRecord};
     pub use tempograph_metrics::{Histogram, Registry, Snapshot};
     pub use tempograph_partition::{
-        discover_subgraphs, HashPartitioner, LdgPartitioner, MultilevelPartitioner,
-        PartitionedGraph, Partitioner, Partitioning, Subgraph, SubgraphId,
+        discover_subgraphs, suggest_rebalance, suggest_rebalance_from, CostSource, HashPartitioner,
+        LdgPartitioner, MultilevelPartitioner, PartitionedGraph, Partitioner, Partitioning,
+        RebalancePlan, Subgraph, SubgraphId,
     };
     pub use tempograph_trace::{Clock, Trace, TraceConfig, TraceMode, TraceSink};
 }

@@ -1,0 +1,247 @@
+//! End-to-end ledger properties over a real executor run:
+//!
+//! 1. A seeded run's record, stripped of measured timings, is
+//!    **byte-identical** across two executions — the property that makes
+//!    `inspect diff` a meaningful regression gate.
+//! 2. A rebalance plan derived from a run's *recorded* per-subgraph costs
+//!    applies cleanly to the dataset it came from, and re-running with the
+//!    plan applied preserves the algorithm's results while reducing the
+//!    cost-model makespan (the ablation for measured-cost rebalancing).
+
+use std::sync::Arc;
+use tempograph::prelude::*;
+
+const TIMESTEPS: usize = 12;
+
+fn dataset() -> (Arc<GraphTemplate>, Arc<TimeSeriesCollection>) {
+    let t = Arc::new(tempograph::gen::road_network(&RoadNetConfig {
+        width: 12,
+        height: 6,
+        seed: 0xFACADE,
+        ..Default::default()
+    }));
+    let coll = Arc::new(tempograph::gen::generate_sir_tweets(
+        t.clone(),
+        &SirConfig {
+            timesteps: TIMESTEPS,
+            hit_prob: 0.4,
+            initial_infected: 4,
+            infectious_steps: 3,
+            background_rate: 0.08,
+            ..Default::default()
+        },
+    ));
+    (t, coll)
+}
+
+/// A deliberately skewed layout over the 12×6 lattice: partition 0 holds
+/// the six even column stripes (36 vertices), partitions 1 and 2 three odd
+/// stripes each (18 vertices) — partition 0 carries roughly twice the
+/// load, split across many small movable subgraphs (the lattice is a
+/// random spanning tree plus extras, so stripes shatter into several
+/// components each).
+fn skewed_partitioning(t: &GraphTemplate) -> Partitioning {
+    let width = 12usize;
+    let assignment = (0..t.num_vertices())
+        .map(|v| {
+            let col = v % width;
+            if col.is_multiple_of(2) {
+                0u16
+            } else if col < width / 2 {
+                1
+            } else {
+                2
+            }
+        })
+        .collect();
+    Partitioning { assignment, k: 3 }
+}
+
+fn run_armed(
+    t: &Arc<GraphTemplate>,
+    coll: &Arc<TimeSeriesCollection>,
+    parts: Partitioning,
+) -> (Arc<PartitionedGraph>, JobResult) {
+    let pg = Arc::new(discover_subgraphs(t.clone(), parts));
+    let tweets_col = t.vertex_schema().index_of(TWEETS_ATTR).unwrap();
+    let result = run_job(
+        &pg,
+        &InstanceSource::Memory(coll.clone()),
+        MemeTracking::factory("#meme0".to_string(), tweets_col),
+        JobConfig::sequentially_dependent(TIMESTEPS)
+            .with_metrics()
+            .with_attribution(),
+    );
+    (pg, result)
+}
+
+fn fingerprint(pg: &PartitionedGraph) -> ConfigFingerprint {
+    ConfigFingerprint {
+        algorithm: "meme".to_string(),
+        pattern: "sequentially-dependent".to_string(),
+        partitions: pg.num_partitions() as u32,
+        subgraphs: pg.subgraphs().len() as u32,
+        timesteps: TIMESTEPS as u32,
+        start_time: 0,
+        period: 300,
+        seed: 0xFACADE,
+        dataset: "memory://road-12x6".to_string(),
+        env: ConfigFingerprint::host_env(),
+    }
+}
+
+fn tmp(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "ledger-int-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Emitted values as a sorted, order-independent view (partition layout
+/// changes emission order, never the set of values).
+fn emitted_view(r: &JobResult) -> Vec<(usize, u32, u64)> {
+    let mut v: Vec<(usize, u32, u64)> = r
+        .emitted
+        .iter()
+        .map(|e| (e.timestep, e.vertex.0, e.value.to_bits()))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+fn counter_totals(r: &JobResult) -> Vec<(String, u64)> {
+    let mut v: Vec<(String, u64)> = r
+        .counters
+        .iter()
+        .map(|(name, per_t)| (name.clone(), per_t.iter().flatten().sum()))
+        .collect();
+    v.extend(
+        r.merge_counters
+            .iter()
+            .map(|(name, per_p)| (name.clone(), per_p.iter().sum())),
+    );
+    v
+}
+
+#[test]
+fn stripped_records_are_byte_identical_across_executions() {
+    let (t, coll) = dataset();
+    let parts = MultilevelPartitioner::default().partition(&t, 3);
+    let (pg1, r1) = run_armed(&t, &coll, parts.clone());
+    let (pg2, r2) = run_armed(&t, &coll, parts);
+
+    let mut rec1 = RunRecord::from_result(fingerprint(&pg1), &r1);
+    let mut rec2 = RunRecord::from_result(fingerprint(&pg2), &r2);
+    assert_eq!(rec1.run_id(), rec2.run_id(), "same config, same id");
+
+    rec1.strip_nondeterminism();
+    rec2.strip_nondeterminism();
+    assert_eq!(rec1, rec2, "stripped records must be structurally equal");
+    assert_eq!(
+        rec1.encode(),
+        rec2.encode(),
+        "stripped records must be byte-identical"
+    );
+
+    // The deterministic content that survives stripping is non-trivial:
+    // invocation counts attribute real work.
+    let invocations: u64 = rec1
+        .attribution
+        .iter()
+        .map(|e| u64::from(e.invocations))
+        .sum();
+    assert!(invocations > 100, "only {invocations} invocations recorded");
+
+    // And the on-disk files agree too, via two independent ledgers.
+    let (da, db) = (tmp("a"), tmp("b"));
+    let la = Ledger::open(&da).unwrap();
+    let lb = Ledger::open(&db).unwrap();
+    let na = la.record(&rec1).unwrap();
+    let nb = lb.record(&rec2).unwrap();
+    assert_eq!(na, nb);
+    assert_eq!(
+        std::fs::read(la.path_of(&na)).unwrap(),
+        std::fs::read(lb.path_of(&nb)).unwrap()
+    );
+    let _ = std::fs::remove_dir_all(da);
+    let _ = std::fs::remove_dir_all(db);
+}
+
+#[test]
+fn recorded_costs_drive_a_plan_that_preserves_results() {
+    let (t, coll) = dataset();
+    let (pg, skewed) = run_armed(&t, &coll, skewed_partitioning(&t));
+    assert!(
+        pg.subgraphs_of_partition(0).len() >= 4,
+        "partition 0 must hold several movable subgraphs, got {}",
+        pg.subgraphs_of_partition(0).len()
+    );
+
+    let rec = RunRecord::from_result(fingerprint(&pg), &skewed);
+    // Invocation counts are deterministic, so the plan is too.
+    let costs = rec.per_subgraph_costs(false);
+    assert_eq!(costs.len(), pg.subgraphs().len());
+    let plan = suggest_rebalance_from(&pg, CostSource::MeasuredPerSubgraph(&costs), 3);
+
+    assert!(!plan.moves.is_empty(), "skewed layout must yield moves");
+    assert!(
+        plan.makespan_after < plan.makespan_before,
+        "plan must reduce the cost-model makespan ({} -> {})",
+        plan.makespan_before,
+        plan.makespan_after
+    );
+    assert_eq!(
+        plan.moves[0].from, 0,
+        "the first move must drain the overloaded partition"
+    );
+
+    // Apply and re-run: same emitted values, same counter totals.
+    let new_parts = plan.apply(&pg).unwrap();
+    new_parts.validate(&t).unwrap();
+    let (_pg2, rebalanced) = run_armed(&t, &coll, new_parts);
+    assert_eq!(emitted_view(&skewed), emitted_view(&rebalanced));
+    assert_eq!(counter_totals(&skewed), counter_totals(&rebalanced));
+}
+
+/// Ablation (release-only, run from ci.sh): after applying the plan, the
+/// *observed* per-partition load — total attributed invocations on the
+/// busiest partition — must drop. Uses invocation counts rather than raw
+/// nanoseconds so the assertion is immune to scheduler noise.
+#[test]
+#[ignore]
+fn rebalance_ablation_reduces_observed_makespan() {
+    let (t, coll) = dataset();
+    let (pg, skewed) = run_armed(&t, &coll, skewed_partitioning(&t));
+    let rec = RunRecord::from_result(fingerprint(&pg), &skewed);
+    let costs = rec.per_subgraph_costs(false);
+    let plan = suggest_rebalance_from(&pg, CostSource::MeasuredPerSubgraph(&costs), 3);
+    assert!(!plan.moves.is_empty());
+
+    let observed_makespan = |pg: &PartitionedGraph, r: &JobResult| -> u64 {
+        let attr = r.attribution.as_ref().unwrap();
+        let per_sg = attr.per_subgraph_invocations();
+        (0..pg.num_partitions() as u16)
+            .map(|p| {
+                pg.subgraphs_of_partition(p)
+                    .iter()
+                    .map(|&id| per_sg.iter().find(|(i, _)| *i == id).map_or(0, |&(_, n)| n))
+                    .sum::<u64>()
+            })
+            .max()
+            .unwrap_or(0)
+    };
+    let before = observed_makespan(&pg, &skewed);
+
+    let new_parts = plan.apply(&pg).unwrap();
+    let (pg2, rebalanced) = run_armed(&t, &coll, new_parts);
+    let after = observed_makespan(&pg2, &rebalanced);
+
+    assert!(
+        after < before,
+        "rebalanced run must observe a lower makespan ({before} -> {after})"
+    );
+    assert_eq!(emitted_view(&skewed), emitted_view(&rebalanced));
+}
