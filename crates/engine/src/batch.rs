@@ -550,6 +550,41 @@ mod tests {
     }
 
     #[test]
+    fn merge_is_invariant_under_run_arrival_order() {
+        // The TCP transport hands runs to the merge in whatever order
+        // frames arrived off the sockets; delivery order must not depend
+        // on it. Check every permutation of a 4-run inbox against the
+        // canonical stable sort.
+        let runs = vec![
+            vec![env(0, 9, 0, 1), env(0, 9, 2, 2), env(3, 9, 0, 3)],
+            vec![env(1, 9, 0, 4), env(2, 9, 5, 5)],
+            vec![env(0, 9, 1, 6), env(4, 9, 0, 7)],
+            vec![env(2, 9, 6, 8)],
+        ];
+        let reference = legacy::deliver(runs.clone());
+        // Heap's algorithm over the run indices.
+        let mut idx = [0usize, 1, 2, 3];
+        let mut c = [0usize; 4];
+        let check = |order: &[usize; 4]| {
+            let permuted: Vec<_> = order.iter().map(|&i| runs[i].clone()).collect();
+            assert_eq!(merge_sorted_runs(permuted), reference, "order {order:?}");
+        };
+        check(&idx);
+        let mut i = 0;
+        while i < 4 {
+            if c[i] < i {
+                idx.swap(if i % 2 == 0 { 0 } else { c[i] }, i);
+                check(&idx);
+                c[i] += 1;
+                i = 0;
+            } else {
+                c[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
     fn merge_handles_empty_and_single_runs() {
         assert!(merge_sorted_runs::<u64>(vec![]).is_empty());
         assert!(merge_sorted_runs::<u64>(vec![vec![], vec![]]).is_empty());

@@ -111,7 +111,7 @@ pub struct WorkerCheckpoint<M> {
     pub emits: Vec<Emit>,
 }
 
-fn put_metrics(buf: &mut BytesMut, m: &TimestepMetrics) {
+pub(crate) fn put_metrics(buf: &mut BytesMut, m: &TimestepMetrics) {
     buf.put_u64_le(m.compute_ns);
     buf.put_u64_le(m.msg_ns);
     buf.put_u64_le(m.sync_ns);
@@ -131,7 +131,7 @@ fn put_metrics(buf: &mut BytesMut, m: &TimestepMetrics) {
     }
 }
 
-fn get_metrics(buf: &mut Bytes) -> Result<TimestepMetrics> {
+pub(crate) fn get_metrics(buf: &mut Bytes) -> Result<TimestepMetrics> {
     let mut m = TimestepMetrics {
         compute_ns: codec::get_u64(buf)?,
         msg_ns: codec::get_u64(buf)?,

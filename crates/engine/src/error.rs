@@ -34,6 +34,11 @@ pub enum WireError {
         /// What was being decoded.
         context: &'static str,
     },
+    /// A framed payload's checksum did not match its contents.
+    Checksum {
+        /// The frame whose checksum failed.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -52,6 +57,9 @@ impl fmt::Display for WireError {
                 write!(f, "unknown {context} tag {tag:#04x}")
             }
             WireError::Utf8 { context } => write!(f, "invalid UTF-8 decoding {context}"),
+            WireError::Checksum { context } => {
+                write!(f, "checksum mismatch decoding {context}")
+            }
         }
     }
 }
@@ -63,12 +71,65 @@ impl std::error::Error for WireError {}
 pub enum EngineError {
     /// A received frame failed to decode.
     Wire(WireError),
+    /// A transport-level I/O failure on this worker's own connections
+    /// (dial failure, write failure, connection reset, mid-frame EOF).
+    /// `detail` carries the stringified `io::Error` — `io::Error` itself is
+    /// neither `Clone` nor `Eq`, which this type must be so the driver can
+    /// re-surface a worker error by value.
+    Net {
+        /// What the transport was doing (e.g. "reading frame from peer 2").
+        context: String,
+        /// The underlying I/O failure, stringified.
+        detail: String,
+    },
+    /// The coordinator observed a remote worker die: its control connection
+    /// reset, or its process exited. `detail` names the evidence (exit
+    /// status or socket error) so the failure is attributable.
+    RemoteWorkerDied {
+        /// The partition whose worker died.
+        partition: u16,
+        /// Exit status / connection error that proved the death.
+        detail: String,
+    },
+    /// A peer's end-of-phase sentinel proved frames were lost in flight and
+    /// never retransmitted: the received data-frame sequence numbers do not
+    /// cover the sender's declared watermark.
+    FrameLoss {
+        /// The peer partition whose frames went missing.
+        peer: u16,
+        /// Data frames the sentinel declared sent (cumulative).
+        expected: u64,
+        /// Data frames actually accounted for (cumulative).
+        got: u64,
+    },
+    /// A worker received a frame it cannot accept in its current state:
+    /// wrong epoch, wrong recipient, or a kind that is invalid mid-phase.
+    Protocol {
+        /// Human description of the violation.
+        detail: String,
+    },
 }
 
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::Wire(e) => write!(f, "wire decode failed: {e}"),
+            EngineError::Net { context, detail } => {
+                write!(f, "transport failure {context}: {detail}")
+            }
+            EngineError::RemoteWorkerDied { partition, detail } => {
+                write!(f, "remote worker for partition {partition} died: {detail}")
+            }
+            EngineError::FrameLoss {
+                peer,
+                expected,
+                got,
+            } => write!(
+                f,
+                "frames from peer {peer} lost in flight: sentinel declared {expected} \
+                 data frames, only {got} accounted for"
+            ),
+            EngineError::Protocol { detail } => write!(f, "transport protocol violation: {detail}"),
         }
     }
 }
@@ -77,6 +138,10 @@ impl std::error::Error for EngineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EngineError::Wire(e) => Some(e),
+            EngineError::Net { .. }
+            | EngineError::RemoteWorkerDied { .. }
+            | EngineError::FrameLoss { .. }
+            | EngineError::Protocol { .. } => None,
         }
     }
 }
@@ -108,5 +173,31 @@ mod tests {
         let e: EngineError = WireError::Utf8 { context: "String" }.into();
         assert!(e.to_string().contains("UTF-8"));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn transport_errors_name_their_subject() {
+        let e = EngineError::RemoteWorkerDied {
+            partition: 3,
+            detail: "exit status: 1".into(),
+        };
+        assert!(e.to_string().contains("partition 3"), "{e}");
+        assert!(e.to_string().contains("exit status"), "{e}");
+
+        let e = EngineError::FrameLoss {
+            peer: 2,
+            expected: 7,
+            got: 5,
+        };
+        assert!(e.to_string().contains("peer 2"), "{e}");
+
+        let e = EngineError::Net {
+            context: "reading frame from peer 1".into(),
+            detail: "connection reset".into(),
+        };
+        assert!(e.to_string().contains("peer 1"), "{e}");
+
+        let e: EngineError = WireError::Checksum { context: "frame" }.into();
+        assert!(e.to_string().contains("checksum mismatch"), "{e}");
     }
 }

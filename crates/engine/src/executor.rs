@@ -34,6 +34,7 @@ use crate::metrics::{Emit, JobResult, MetricsShard, TimestepMetrics};
 use crate::program::{Context, Outbox, Phase, SubgraphProgram};
 use crate::provider::{InstanceProvider, InstanceSource};
 use crate::sync::{join_partition, Contribution, PoisonOnPanic, SyncPoint};
+use crate::transport::{BatchKind, InProcess, Transport};
 use crate::wire::{sort_envelopes, Envelope};
 use bytes::{Buf, Bytes, BytesMut};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -262,31 +263,13 @@ impl<M> JobConfig<M> {
     }
 }
 
-/// Which inbox a [`Batch`] frame is destined for. An enum (not a `u8`
-/// tag) so every routing `match` is exhaustive — adding a delivery class
-/// forces both the send and drain paths to be updated (lint rule W01).
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
-enum BatchKind {
-    /// Delivered at the next superstep of the current phase.
-    Superstep,
-    /// Delivered at superstep 0 of the next timestep.
-    NextTimestep,
-}
-
-/// One serialised [`MessageBatch`] frame between two partitions (the
-/// message count lives inside the frame).
-struct Batch {
-    kind: BatchKind,
-    bytes: Bytes,
-}
-
 /// Per-worker compute-attribution accumulator: a dense
 /// `(timestep × local subgraph)` grid preallocated once at worker setup,
 /// so the record path is two indexed adds and never allocates. Slot
 /// `merge_slot` (one past the configured timestep range) is reserved for
 /// the merge phase and surfaces as `timestep == u32::MAX` in the
 /// assembled [`crate::metrics::CostAttribution`].
-struct AttributionShard {
+pub(crate) struct AttributionShard {
     /// This worker's subgraphs, in local index order (row labels).
     sg_ids: Vec<SubgraphId>,
     /// Grid slot reserved for the merge phase (== configured timesteps).
@@ -352,22 +335,22 @@ impl AttributionShard {
 /// global [`JobResult`] and when encoding checkpoints, and `HashMap`
 /// iteration order would leak hasher nondeterminism into both (lint rule
 /// D01).
-struct WorkerOutput {
-    metrics: Vec<TimestepMetrics>,
-    merge_metrics: TimestepMetrics,
-    counters: Vec<BTreeMap<&'static str, u64>>,
-    merge_counters: BTreeMap<&'static str, u64>,
-    emits: Vec<Emit>,
-    timesteps_run: usize,
+pub(crate) struct WorkerOutput {
+    pub(crate) metrics: Vec<TimestepMetrics>,
+    pub(crate) merge_metrics: TimestepMetrics,
+    pub(crate) counters: Vec<BTreeMap<&'static str, u64>>,
+    pub(crate) merge_counters: BTreeMap<&'static str, u64>,
+    pub(crate) emits: Vec<Emit>,
+    pub(crate) timesteps_run: usize,
     /// Final per-subgraph program state (see [`JobResult::final_states`]).
-    final_states: Vec<(SubgraphId, Vec<u8>)>,
+    pub(crate) final_states: Vec<(SubgraphId, Vec<u8>)>,
     /// Drained trace sinks (worker + provider), named for track metadata.
-    sinks: Vec<(String, TraceSink)>,
+    pub(crate) sinks: Vec<(String, TraceSink)>,
     /// This worker's metrics shard, when the job ran with metrics enabled.
-    shard: Option<Box<MetricsShard>>,
+    pub(crate) shard: Option<Box<MetricsShard>>,
     /// This worker's attribution grid, when the job ran with attribution
     /// enabled.
-    attr: Option<Box<AttributionShard>>,
+    pub(crate) attr: Option<Box<AttributionShard>>,
 }
 
 /// True when a panic payload is a *cascade* failure — a worker that died
@@ -396,35 +379,7 @@ where
     F: Fn(&tempograph_partition::Subgraph, &PartitionedGraph) -> P + Send + Sync,
 {
     let k = pg.num_partitions();
-    let available = source.num_timesteps();
-    let timesteps = match config.mode {
-        TimestepMode::Fixed(n) => {
-            assert!(
-                n <= available,
-                "job wants {n} timesteps but source stores {available}"
-            );
-            n
-        }
-        TimestepMode::WhileActive { max } => max.min(available),
-    };
-    if config.temporal_parallelism {
-        assert!(
-            config.pattern != Pattern::SequentiallyDependent,
-            "temporal parallelism cannot apply to sequentially dependent jobs"
-        );
-        assert!(
-            matches!(config.mode, TimestepMode::Fixed(_)),
-            "temporal parallelism requires a fixed timestep range"
-        );
-    }
-
-    if let Some(ck) = &config.checkpoint {
-        assert!(
-            !config.temporal_parallelism,
-            "checkpointing requires the barriered timestep loop"
-        );
-        std::fs::create_dir_all(&ck.dir).expect("create checkpoint directory");
-    }
+    let timesteps = effective_timesteps(&config, source.num_timesteps());
 
     let job_start = Clock::start();
     // Driver-side sink (its own track, after the k partition tracks) for
@@ -439,8 +394,8 @@ where
 
     let mut outputs: Vec<WorkerOutput> = loop {
         let sync = SyncPoint::new(k);
-        let mut txs: Vec<Sender<Batch>> = Vec::with_capacity(k);
-        let mut rxs: Vec<Option<Receiver<Batch>>> = Vec::with_capacity(k);
+        let mut txs: Vec<Sender<(BatchKind, Bytes)>> = Vec::with_capacity(k);
+        let mut rxs: Vec<Option<Receiver<(BatchKind, Bytes)>>> = Vec::with_capacity(k);
         for _ in 0..k {
             let (tx, rx) = unbounded();
             txs.push(tx);
@@ -461,23 +416,17 @@ where
                     // If this worker dies, poison the barrier so peers fail
                     // fast (as cascades) instead of deadlocking.
                     let _poison = PoisonOnPanic(sync);
-                    let mut provider = source.provider(pg, p as u16);
-                    if let Some(tc) = config.trace {
-                        // The loader records onto the worker's track; its spans
-                        // nest inside the compute spans that trigger the loads.
-                        provider.install_trace(tc.sink(p as u32));
-                    }
-                    let mut worker =
-                        Worker::<P>::new(p as u16, pg, provider, rx, txs, sync, &config, timesteps);
-                    worker.init_programs(factory);
-                    let start_t = match resume_from {
-                        Some(ct) => {
-                            worker.restore_from(ct);
-                            ct as usize + 1
-                        }
-                        None => 0,
-                    };
-                    let out = worker.run(start_t, timesteps, &config);
+                    let mut transport = InProcess::new(p as u16, rx, txs, sync);
+                    let out = run_worker_body::<P, F>(
+                        p as u16,
+                        pg,
+                        &source,
+                        factory,
+                        &config,
+                        timesteps,
+                        resume_from,
+                        &mut transport,
+                    );
                     if out.is_err() {
                         // An error return unwinds no stack, so the RAII
                         // guard won't fire — poison explicitly so peers
@@ -555,7 +504,101 @@ where
         Trace::from_sinks(sinks)
     });
 
-    // Assemble the global result.
+    assemble_job_result(
+        outputs,
+        k,
+        total_wall_ns,
+        recoveries,
+        trace,
+        config.metrics,
+        config.attribution,
+    )
+}
+
+/// Resolve the configured [`TimestepMode`] against the stored instance
+/// count and validate mode/pattern/checkpoint interactions. Shared by the
+/// in-process driver and the TCP coordinator/workers, so both reject the
+/// same misconfigurations and agree on the loop bound.
+pub(crate) fn effective_timesteps<M>(config: &JobConfig<M>, available: usize) -> usize {
+    let timesteps = match config.mode {
+        TimestepMode::Fixed(n) => {
+            assert!(
+                n <= available,
+                "job wants {n} timesteps but source stores {available}"
+            );
+            n
+        }
+        TimestepMode::WhileActive { max } => max.min(available),
+    };
+    if config.temporal_parallelism {
+        assert!(
+            config.pattern != Pattern::SequentiallyDependent,
+            "temporal parallelism cannot apply to sequentially dependent jobs"
+        );
+        assert!(
+            matches!(config.mode, TimestepMode::Fixed(_)),
+            "temporal parallelism requires a fixed timestep range"
+        );
+    }
+    if let Some(ck) = &config.checkpoint {
+        assert!(
+            !config.temporal_parallelism,
+            "checkpointing requires the barriered timestep loop"
+        );
+        std::fs::create_dir_all(&ck.dir).expect("create checkpoint directory");
+    }
+    timesteps
+}
+
+/// One worker's whole life over an already-connected transport: provider
+/// setup, program construction, optional checkpoint restore, then the
+/// TI-BSP run. Shared by the in-process driver (one call per scoped
+/// thread) and the TCP worker (one call per connected worker).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_worker_body<P, F>(
+    partition: u16,
+    pg: &Arc<PartitionedGraph>,
+    source: &InstanceSource,
+    factory: &F,
+    config: &JobConfig<P::Msg>,
+    timesteps: usize,
+    resume_from: Option<u64>,
+    transport: &mut dyn Transport,
+) -> Result<WorkerOutput, EngineError>
+where
+    P: SubgraphProgram,
+    F: Fn(&tempograph_partition::Subgraph, &PartitionedGraph) -> P,
+{
+    let mut provider = source.provider(pg, partition);
+    if let Some(tc) = config.trace {
+        // The loader records onto the worker's track; its spans nest
+        // inside the compute spans that trigger the loads.
+        provider.install_trace(tc.sink(partition as u32));
+    }
+    let mut worker = Worker::<P>::new(partition, pg, provider, transport, config, timesteps);
+    worker.init_programs(factory);
+    let start_t = match resume_from {
+        Some(ct) => {
+            worker.restore_from(ct);
+            ct as usize + 1
+        }
+        None => 0,
+    };
+    worker.run(start_t, timesteps, config)
+}
+
+/// Fold per-worker outputs into the global [`JobResult`]. Shared by the
+/// in-process driver and the TCP coordinator (which passes `trace: None` —
+/// trace sinks are process-local and do not cross the wire).
+pub(crate) fn assemble_job_result(
+    mut outputs: Vec<WorkerOutput>,
+    k: usize,
+    total_wall_ns: u64,
+    recoveries: usize,
+    trace: Option<Trace>,
+    metrics_enabled: bool,
+    attribution_enabled: bool,
+) -> JobResult {
     let timesteps_run = outputs[0].timesteps_run;
     debug_assert!(outputs.iter().all(|o| o.timesteps_run == timesteps_run));
     let mut metrics = vec![vec![TimestepMetrics::default(); k]; timesteps_run];
@@ -597,7 +640,7 @@ where
     // cover the final successful attempt; the restored pre-crash portion of
     // a recovered run lives in the counter aggregates added by
     // `JobResult::export_into` below.
-    let registry_base = config.metrics.then(|| {
+    let registry_base = metrics_enabled.then(|| {
         let mut reg = tempograph_metrics::Registry::new();
         let mut hits = 0u64;
         let mut misses = 0u64;
@@ -619,7 +662,7 @@ where
     // Assemble the attribution table: concatenate worker grids (each
     // subgraph lives on exactly one partition, so rows cannot collide) and
     // sort by (subgraph, timestep) — merge rows (`u32::MAX`) sort last.
-    let attribution = config.attribution.then(|| {
+    let attribution = attribution_enabled.then(|| {
         let mut rows: Vec<crate::metrics::AttributionRow> = outputs
             .iter()
             .filter_map(|o| o.attr.as_deref())
@@ -665,9 +708,9 @@ struct Worker<'a, P: SubgraphProgram> {
     index_of: HashMap<SubgraphId, usize>,
     programs: Vec<Option<P>>,
     provider: Box<dyn InstanceProvider>,
-    rx: Receiver<Batch>,
-    txs: Vec<Sender<Batch>>,
-    sync: &'a SyncPoint,
+    /// Inter-partition batch exchange and barrier sync — the only surface
+    /// the worker shares with its peers (see [`Transport`]).
+    transport: &'a mut dyn Transport,
 
     /// Delivered inboxes, sorted by `(from, seq)`.
     inbox: Vec<Vec<Envelope<P::Msg>>>,
@@ -732,9 +775,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
         partition: u16,
         pg: &'a PartitionedGraph,
         provider: Box<dyn InstanceProvider>,
-        rx: Receiver<Batch>,
-        txs: Vec<Sender<Batch>>,
-        sync: &'a SyncPoint,
+        transport: &'a mut dyn Transport,
         config: &JobConfig<P::Msg>,
         timesteps: usize,
     ) -> Self {
@@ -753,9 +794,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
             index_of,
             programs: Vec::new(),
             provider,
-            rx,
-            txs,
-            sync,
+            transport,
             inbox: vec![Vec::new(); n],
             inbox_runs: vec![Vec::new(); n],
             next_runs: vec![Vec::new(); n],
@@ -821,7 +860,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
     ) -> Result<WorkerOutput, EngineError> {
         if config.temporal_parallelism {
             debug_assert_eq!(start_t, 0, "checkpointing excludes the temporal fast path");
-            self.run_temporally_parallel(timesteps, config);
+            self.run_temporally_parallel(timesteps, config)?;
         } else if !self.loop_finished {
             self.run_timestep_loop(start_t, timesteps, config)?;
         }
@@ -956,7 +995,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
             // Route cross-timestep messages.
             let send0 = self.tracer.now();
             next_msgs_total += next_out.len() as u64;
-            self.route(next_out, BatchKind::NextTimestep, &mut m);
+            self.route(next_out, BatchKind::NextTimestep, &mut m)?;
             let send1 = self.tracer.now();
             if let Some(sh) = self.shard.as_deref_mut() {
                 sh.send_ns.record(send1 - send0);
@@ -966,10 +1005,10 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
 
             // Timestep barrier + global while-loop decision.
             let wait0 = self.tracer.now();
-            let agg = self.sync.arrive(Contribution {
+            let agg = self.transport.arrive(Contribution {
                 msgs_sent: next_msgs_total,
                 all_halted: self.voted_halt_ts.iter().all(|&v| v),
-            });
+            })?;
             let wait1 = self.tracer.now();
             if let Some(sh) = self.shard.as_deref_mut() {
                 sh.barrier_wait_ns.record(wait1 - wait0);
@@ -983,7 +1022,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
             // Late-arrival barrier: nobody starts the next timestep until
             // every worker has drained this one's traffic.
             let wait2 = self.tracer.now();
-            self.sync.barrier();
+            self.transport.barrier()?;
             let wait3 = self.tracer.now();
             if let Some(sh) = self.shard.as_deref_mut() {
                 sh.barrier_wait_ns.record(wait3 - wait2);
@@ -1014,7 +1053,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
             // so all workers take the same barriers in maybe_checkpoint.
             let stopping =
                 matches!(config.mode, TimestepMode::WhileActive { .. }) && agg.should_stop();
-            self.maybe_checkpoint(t, stopping || t + 1 == timesteps);
+            self.maybe_checkpoint(t, stopping || t + 1 == timesteps)?;
             if stopping {
                 break;
             }
@@ -1124,8 +1163,8 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
             let send0 = self.tracer.now();
             let sent = superstep_out.len() as u64;
             *next_msgs_total += next_out.len() as u64;
-            self.route(superstep_out, BatchKind::Superstep, m);
-            self.route(next_out, BatchKind::NextTimestep, m);
+            self.route(superstep_out, BatchKind::Superstep, m)?;
+            self.route(next_out, BatchKind::NextTimestep, m)?;
             let send1 = self.tracer.now();
             if let Some(sh) = self.shard.as_deref_mut() {
                 sh.send_ns.record(send1 - send0);
@@ -1134,10 +1173,10 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
             self.tracer.span_at("send", send0, send1);
 
             let wait0 = self.tracer.now();
-            let agg = self.sync.arrive(Contribution {
+            let agg = self.transport.arrive(Contribution {
                 msgs_sent: sent,
                 all_halted: self.halted.iter().all(|&h| h),
-            });
+            })?;
             let wait1 = self.tracer.now();
             if let Some(sh) = self.shard.as_deref_mut() {
                 sh.barrier_wait_ns.record(wait1 - wait0);
@@ -1155,7 +1194,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
             // draining this one — otherwise a batch from superstep s+1
             // could sneak into a slow worker's superstep-s drain.
             let wait2 = self.tracer.now();
-            self.sync.barrier();
+            self.transport.barrier()?;
             let wait3 = self.tracer.now();
             if let Some(sh) = self.shard.as_deref_mut() {
                 sh.barrier_wait_ns.record(wait3 - wait2);
@@ -1186,6 +1225,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
         phase: Phase,
         active: &[bool],
     ) -> Vec<(usize, Outbox<P::Msg>, u64)> {
+        let k = self.transport.num_partitions();
         // Eager prefetch (sequential: the provider owns the disk handle).
         if phase != Phase::Merge {
             for (i, &is_active) in active.iter().enumerate() {
@@ -1268,7 +1308,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
         let cores = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        let n_threads = (cores / self.txs.len().max(1)).max(1).min(work.len());
+        let n_threads = (cores / k.max(1)).max(1).min(work.len());
 
         let mut results: Vec<(usize, Outbox<P::Msg>, u64)> = if n_threads <= 1 {
             work.into_iter()
@@ -1341,7 +1381,11 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
 
     // ---- temporal-parallelism fast path ---------------------------------
 
-    fn run_temporally_parallel(&mut self, timesteps: usize, _config: &JobConfig<P::Msg>) {
+    fn run_temporally_parallel(
+        &mut self,
+        timesteps: usize,
+        _config: &JobConfig<P::Msg>,
+    ) -> Result<(), EngineError> {
         // No per-timestep barriers: each worker streams through all
         // (subgraph, timestep) pairs. Valid only for programs whose compute
         // never uses superstep messaging (Context enforces this).
@@ -1403,7 +1447,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
         self.out.metrics = per_t;
         self.out.counters = per_t_counters;
         self.out.timesteps_run = timesteps;
-        self.sync.barrier();
+        self.transport.barrier()
     }
 
     // ---- plumbing -------------------------------------------------------
@@ -1491,9 +1535,14 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
     /// `msgs` arrives (from, seq)-sorted — senders are drained in ascending
     /// subgraph order and each sender's seq only grows — so every
     /// per-destination bucket formed here is itself a sorted run.
-    fn route(&mut self, mut msgs: Vec<Envelope<P::Msg>>, kind: BatchKind, m: &mut TimestepMetrics) {
+    fn route(
+        &mut self,
+        mut msgs: Vec<Envelope<P::Msg>>,
+        kind: BatchKind,
+        m: &mut TimestepMetrics,
+    ) -> Result<(), EngineError> {
         if msgs.is_empty() {
-            return;
+            return Ok(());
         }
         if let Some(combiner) = &self.combiner {
             let before = msgs.len();
@@ -1502,7 +1551,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
         }
         let mut local: MessageBatch<P::Msg> = MessageBatch::new();
         let mut remote: Vec<Option<MessageBatch<P::Msg>>> =
-            (0..self.txs.len()).map(|_| None).collect();
+            (0..self.transport.num_partitions()).map(|_| None).collect();
         for e in msgs {
             let target_part = self.pg.subgraph(e.to).partition();
             if target_part == self.partition {
@@ -1541,14 +1590,16 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
                 self.tracer
                     .instant("fault.send_retry", Some(("dest", part as u64)));
             }
-            self.txs[part]
-                .send(Batch { kind, bytes })
-                .unwrap_or_else(|_| {
-                    // A receiver only disappears when its worker died; surface
-                    // this as a cascade so recovery blames the primary failure.
-                    panic!("channel to partition {part} closed: a peer worker died")
-                });
+            let retransmits = self.transport.send(part as u16, kind, bytes)?;
+            if retransmits > 0 {
+                // Injected frame loss the transport recovered from (see
+                // [`crate::FrameFault`]) — same exactly-once accounting.
+                m.send_retries += retransmits;
+                self.tracer
+                    .instant("fault.frame_retransmit", Some(("dest", part as u64)));
+            }
         }
+        Ok(())
     }
 
     /// Drain every queued frame into per-subgraph staged runs, recycling
@@ -1556,11 +1607,11 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
     /// decode surfaces as a typed error; the caller poisons the barrier and
     /// the driver names the failing partition.
     fn drain(&mut self) -> Result<(), EngineError> {
-        while let Ok(batch) = self.rx.try_recv() {
-            let mut bytes = batch.bytes;
+        for (kind, bytes) in self.transport.exchange()? {
+            let mut bytes = bytes;
             for (to, run) in MessageBatch::<P::Msg>::decode(&mut bytes)? {
                 let idx = self.index_of[&to];
-                match batch.kind {
+                match kind {
                     BatchKind::Superstep => self.inbox_runs[idx].push(run),
                     BatchKind::NextTimestep => self.next_runs[idx].push(run),
                 }
@@ -1590,12 +1641,12 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
     /// vote), which always checkpoints so a merge-phase crash can resume
     /// without re-running the loop. Runs *after* the timestep's metrics are
     /// finalised, so checkpoint cost never pollutes `TimestepMetrics`.
-    fn maybe_checkpoint(&mut self, t: usize, last: bool) {
+    fn maybe_checkpoint(&mut self, t: usize, last: bool) -> Result<(), EngineError> {
         let Some(ck) = self.checkpoint.clone() else {
-            return;
+            return Ok(());
         };
         if ck.every == usize::MAX || !(ck.due_at(t) || last) {
-            return;
+            return Ok(());
         }
         let ck0 = self.tracer.now();
         let snapshot = self.build_checkpoint(t as u64, last);
@@ -1624,11 +1675,11 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
             .counter("checkpoint.bytes", self.cum_checkpoint_bytes);
         // Every partition file must be in place before the single commit
         // point, and the commit must land before anyone moves on.
-        self.sync.barrier();
+        self.transport.barrier()?;
         if self.partition == 0 {
             commit_manifest(&ck.dir, t as u64).expect("commit checkpoint manifest");
         }
-        self.sync.barrier();
+        self.transport.barrier()
     }
 
     /// Snapshot everything this worker needs to resume after timestep `t`.

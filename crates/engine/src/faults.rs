@@ -67,6 +67,36 @@ enum FaultKind {
     /// batch this worker sends during this superstep is "lost" and
     /// retried (counted in `TimestepMetrics::send_retries`).
     SendFail { superstep: u64 },
+    /// Damage the worker's `frame`-th outgoing data frame at the transport
+    /// seam (TCP only; the in-process transport has no frames to damage).
+    /// Stateless like `SendFail`: every damaged transmission is immediately
+    /// retransmitted, so delivery stays exactly-once and results are
+    /// byte-identical to a fault-free run. `frame` counts this worker's
+    /// data frames from 1 within one transport epoch. The `timestep` field
+    /// of the enclosing event is unused (stored as 0).
+    Frame { frame: u64, fault: FrameFault },
+}
+
+/// How an injected transport fault damages a data frame's first
+/// transmission. All four preserve exactly-once delivery: the sender
+/// immediately compensates (retransmit / receiver-side dedup), mirroring a
+/// reliable transport riding on a lossy wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameFault {
+    /// The first transmission is lost before the wire; the sender
+    /// retransmits at once (ticks `TimestepMetrics::send_retries`).
+    Drop,
+    /// The frame is transmitted twice with the same sequence number; the
+    /// receiver deduplicates by `(peer, seq)`.
+    Duplicate,
+    /// The frame is held back and sent after the next data frame to the
+    /// same destination (or flushed before the end-of-phase sentinel); the
+    /// receiver restores sequence order.
+    Reorder,
+    /// The first transmission's payload is corrupted in flight (the
+    /// declared checksum no longer matches); the receiver discards it on
+    /// checksum failure and the sender retransmits a clean copy.
+    Truncate,
 }
 
 #[derive(Debug)]
@@ -149,6 +179,20 @@ impl FaultPlan {
             kind: FaultKind::SendFail {
                 superstep: superstep as u64,
             },
+            fired: AtomicBool::new(false),
+        });
+        self
+    }
+
+    /// Schedule a transport-seam fault on the `frame`-th data frame (1-based
+    /// within a transport epoch) that `partition` sends over a TCP
+    /// transport. Ignored by the in-process transport. Stateless.
+    pub fn frame_fault_at(mut self, partition: u16, frame: u64, fault: FrameFault) -> Self {
+        assert!(frame >= 1, "frame faults count data frames from 1");
+        self.events.push(FaultEvent {
+            partition,
+            timestep: 0,
+            kind: FaultKind::Frame { frame, fault },
             fired: AtomicBool::new(false),
         });
         self
@@ -248,6 +292,146 @@ impl FaultPlan {
                 && e.kind == FaultKind::SendFail { superstep }
         })
     }
+
+    /// Stateless check: how should the `frame`-th data frame `partition`
+    /// sends be damaged at the transport seam, if at all?
+    pub(crate) fn frame_fault(&self, partition: u16, frame: u64) -> Option<FrameFault> {
+        self.events.iter().find_map(|e| match e.kind {
+            FaultKind::Frame { frame: f, fault } if e.partition == partition && f == frame => {
+                Some(fault)
+            }
+            _ => None,
+        })
+    }
+
+    /// Append a seeded batch of transport-seam frame faults: 2–5 damaged
+    /// frames spread over `partitions` senders' first `max_frame` data
+    /// frames, cycling through all four [`FrameFault`] kinds. Deterministic
+    /// for a given seed (splitmix64, like [`FaultPlan::from_seed`]).
+    pub fn with_frame_faults_from_seed(
+        mut self,
+        seed: u64,
+        partitions: u16,
+        max_frame: u64,
+    ) -> Self {
+        assert!(partitions >= 1 && max_frame >= 1);
+        let mut s = SplitMix64(seed ^ 0x00f0_a1e5_u64);
+        let n = 2 + (s.next() % 4) as usize;
+        const KINDS: [FrameFault; 4] = [
+            FrameFault::Drop,
+            FrameFault::Duplicate,
+            FrameFault::Reorder,
+            FrameFault::Truncate,
+        ];
+        for i in 0..n {
+            let p = (s.next() % partitions as u64) as u16;
+            let frame = 1 + s.next() % max_frame;
+            self = self.frame_fault_at(p, frame, KINDS[i % KINDS.len()]);
+        }
+        self
+    }
+
+    /// Indices (into this plan's event list) of panic-style events whose
+    /// one-shot latch has fired. A multi-process coordinator ships this
+    /// list to freshly spawned workers so their independently parsed copy
+    /// of the plan does not replay a death that already happened.
+    pub fn fired_indices(&self) -> Vec<u32> {
+        self.events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.fired.load(Ordering::Acquire))
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Latch the events at `indices` as already fired (see
+    /// [`FaultPlan::fired_indices`]). Out-of-range indices are ignored.
+    pub fn mark_fired(&self, indices: &[u32]) {
+        for &i in indices {
+            if let Some(e) = self.events.get(i as usize) {
+                // Release pairs with the Acquire loads in `fired_indices` /
+                // `fire_once` (lint rule A01).
+                e.fired.store(true, Ordering::Release);
+            }
+        }
+    }
+
+    /// Index of `partition`'s earliest panic-style event that has not yet
+    /// fired, latching it as fired. A multi-process coordinator cannot
+    /// observe *which* event killed a remote worker (the panic happened in
+    /// another address space), so it attributes the death to the earliest
+    /// unfired candidate — exact for deterministic plans, whose events fire
+    /// in schedule order.
+    pub fn attribute_death(&self, partition: u16) -> Option<u32> {
+        self.events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| {
+                e.partition == partition
+                    && matches!(e.kind, FaultKind::Panic { .. } | FaultKind::CheckpointPanic)
+            })
+            .find(|(_, e)| e.fire_once())
+            .map(|(i, _)| i as u32)
+    }
+
+    /// Serialise this plan as a compact text spec (`;`-separated events),
+    /// the inverse of [`FaultPlan::from_spec`]. Lets a coordinator hand the
+    /// exact schedule to worker *processes* via a CLI argument.
+    pub fn to_spec(&self) -> String {
+        let mut parts = Vec::with_capacity(self.events.len());
+        for e in &self.events {
+            let p = e.partition;
+            let t = e.timestep;
+            parts.push(match e.kind {
+                FaultKind::Panic { superstep } => format!("panic@p{p}:t{t}:s{superstep}"),
+                FaultKind::CheckpointPanic => format!("ckpt@p{p}:t{t}"),
+                FaultKind::SendFail { superstep } => format!("send@p{p}:t{t}:s{superstep}"),
+                FaultKind::Frame { frame, fault } => {
+                    let name = match fault {
+                        FrameFault::Drop => "drop",
+                        FrameFault::Duplicate => "dup",
+                        FrameFault::Reorder => "reorder",
+                        FrameFault::Truncate => "trunc",
+                    };
+                    format!("{name}@p{p}:f{frame}")
+                }
+            });
+        }
+        parts.join(";")
+    }
+
+    /// Parse a plan from the text spec produced by [`FaultPlan::to_spec`].
+    /// Event order (and therefore event indices) round-trips exactly, which
+    /// is what makes [`FaultPlan::fired_indices`] meaningful across
+    /// processes. An empty spec yields an empty plan.
+    pub fn from_spec(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::new();
+        for part in spec.split(';').filter(|s| !s.trim().is_empty()) {
+            let (kind, coords) = part
+                .split_once('@')
+                .ok_or_else(|| format!("fault spec `{part}` lacks `@`"))?;
+            let field = |prefix: char| -> Result<u64, String> {
+                coords
+                    .split(':')
+                    .find_map(|c| c.strip_prefix(prefix))
+                    .ok_or_else(|| format!("fault spec `{part}` lacks `{prefix}` field"))?
+                    .parse()
+                    .map_err(|_| format!("fault spec `{part}`: bad `{prefix}` field"))
+            };
+            let p = field('p')? as u16;
+            plan = match kind {
+                "panic" => plan.panic_at(p, field('t')? as usize, field('s')? as usize),
+                "ckpt" => plan.panic_in_checkpoint(p, field('t')? as usize),
+                "send" => plan.fail_send_at(p, field('t')? as usize, field('s')? as usize),
+                "drop" => plan.frame_fault_at(p, field('f')?, FrameFault::Drop),
+                "dup" => plan.frame_fault_at(p, field('f')?, FrameFault::Duplicate),
+                "reorder" => plan.frame_fault_at(p, field('f')?, FrameFault::Reorder),
+                "trunc" => plan.frame_fault_at(p, field('f')?, FrameFault::Truncate),
+                other => return Err(format!("unknown fault kind `{other}` in `{part}`")),
+            };
+        }
+        Ok(plan)
+    }
 }
 
 /// splitmix64 — tiny, seedable, platform-independent. Inlined rather than
@@ -311,6 +495,67 @@ mod tests {
         assert!(payload_is_injected(payload.as_ref()));
         let other: Box<dyn std::any::Any + Send> = Box::new("index out of bounds".to_string());
         assert!(!payload_is_injected(other.as_ref()));
+    }
+
+    #[test]
+    fn frame_faults_are_stateless_and_keyed_by_sender_and_ordinal() {
+        let plan = FaultPlan::new()
+            .frame_fault_at(1, 3, FrameFault::Drop)
+            .frame_fault_at(2, 3, FrameFault::Reorder);
+        assert_eq!(plan.frame_fault(1, 3), Some(FrameFault::Drop));
+        assert_eq!(plan.frame_fault(1, 3), Some(FrameFault::Drop), "re-fires");
+        assert_eq!(plan.frame_fault(2, 3), Some(FrameFault::Reorder));
+        assert_eq!(plan.frame_fault(1, 2), None);
+        assert_eq!(plan.frame_fault(0, 3), None);
+    }
+
+    #[test]
+    fn spec_round_trips_every_event_kind_in_order() {
+        let plan = FaultPlan::new()
+            .panic_at(1, 3, 0)
+            .panic_in_checkpoint(0, 2)
+            .fail_send_at(2, 1, 0)
+            .frame_fault_at(0, 3, FrameFault::Drop)
+            .frame_fault_at(1, 5, FrameFault::Duplicate)
+            .frame_fault_at(2, 7, FrameFault::Reorder)
+            .frame_fault_at(0, 9, FrameFault::Truncate);
+        let spec = plan.to_spec();
+        assert_eq!(
+            spec,
+            "panic@p1:t3:s0;ckpt@p0:t2;send@p2:t1:s0;drop@p0:f3;dup@p1:f5;reorder@p2:f7;trunc@p0:f9"
+        );
+        let back = FaultPlan::from_spec(&spec).unwrap();
+        assert_eq!(back.to_spec(), spec, "spec is a fixed point");
+        assert_eq!(format!("{:?}", back.events), format!("{:?}", plan.events));
+        assert!(FaultPlan::from_spec("").unwrap().events.is_empty());
+        assert!(
+            FaultPlan::from_spec("panic@p1:t3").is_err(),
+            "missing field"
+        );
+        assert!(FaultPlan::from_spec("explode@p1:f1").is_err(), "bad kind");
+    }
+
+    #[test]
+    fn fired_latches_ship_across_plan_copies() {
+        let plan = FaultPlan::new().panic_at(0, 1, 0).panic_at(1, 2, 0);
+        assert_eq!(plan.attribute_death(1), Some(1));
+        assert_eq!(plan.fired_indices(), vec![1]);
+        assert_eq!(plan.attribute_death(1), None, "latched");
+        let copy = FaultPlan::from_spec(&plan.to_spec()).unwrap();
+        copy.mark_fired(&plan.fired_indices());
+        assert!(!copy.should_panic(1, 2, 0), "shipped latch holds");
+        assert!(copy.should_panic(0, 1, 0), "unfired event still live");
+    }
+
+    #[test]
+    fn seeded_frame_faults_are_reproducible() {
+        let a = FaultPlan::new().with_frame_faults_from_seed(9, 3, 20);
+        let b = FaultPlan::new().with_frame_faults_from_seed(9, 3, 20);
+        assert_eq!(a.to_spec(), b.to_spec());
+        assert!((2..=5).contains(&a.events.len()));
+        for e in &a.events {
+            assert!(matches!(e.kind, FaultKind::Frame { frame, .. } if (1..=20).contains(&frame)));
+        }
     }
 
     #[test]

@@ -39,9 +39,11 @@ pub mod error;
 pub mod executor;
 pub mod faults;
 pub mod metrics;
+pub mod net;
 pub mod program;
 pub mod provider;
 pub mod sync;
+pub mod transport;
 pub mod wire;
 
 pub use batch::{
@@ -54,10 +56,14 @@ pub use checkpoint::{
 };
 pub use error::{EngineError, WireError};
 pub use executor::{run_job, JobConfig, Pattern, TimestepMode};
-pub use faults::{FaultPlan, INJECTED_FAULT_MARKER};
+pub use faults::{FaultPlan, FrameFault, INJECTED_FAULT_MARKER};
 pub use metrics::{AttributionRow, CostAttribution, Emit, JobResult, TimestepMetrics};
+pub use net::{Frame, FrameConn, FrameKind};
 pub use program::{Context, Phase, SubgraphProgram};
 pub use provider::{GofsProvider, InstanceProvider, InstanceSource, IoStats, MemoryProvider};
 pub use sync::{join_partition, Aggregate, Contribution, PoisonOnPanic, SyncPoint};
 pub use tempograph_trace::{Trace, TraceConfig, TraceMode, TraceSink};
+pub use transport::{
+    run_job_tcp, run_tcp_worker, BatchKind, Cluster, InProcess, Tcp, Transport, INJECTED_EXIT_CODE,
+};
 pub use wire::{Envelope, WireMsg};

@@ -37,6 +37,13 @@ pub fn get_u8(buf: &mut Bytes, context: &'static str) -> Result<u8, WireError> {
     Ok(buf.get_u8())
 }
 
+/// Checked little-endian `u16` read.
+#[inline]
+pub fn get_u16(buf: &mut Bytes, context: &'static str) -> Result<u16, WireError> {
+    need(buf, 2, context)?;
+    Ok(buf.get_u16_le())
+}
+
 /// Checked little-endian `u32` read.
 #[inline]
 pub fn get_u32(buf: &mut Bytes, context: &'static str) -> Result<u32, WireError> {
@@ -83,6 +90,15 @@ impl WireMsg for () {
     fn encode(&self, _buf: &mut BytesMut) {}
     fn decode(_buf: &mut Bytes) -> Result<Self, WireError> {
         Ok(())
+    }
+}
+
+impl WireMsg for u16 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u16_le(*self);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        get_u16(buf, "u16")
     }
 }
 

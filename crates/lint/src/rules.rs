@@ -80,6 +80,8 @@ const CODEC_FILES: &[&str] = &[
     "crates/engine/src/wire.rs",
     "crates/engine/src/batch.rs",
     "crates/engine/src/checkpoint.rs",
+    "crates/engine/src/net.rs",
+    "crates/engine/src/transport.rs",
     "crates/gofs/src/codec.rs",
     "crates/gofs/src/slice.rs",
     "crates/gofs/src/store.rs",

@@ -34,6 +34,7 @@ fn main() -> ExitCode {
         "inspect" => cmd_inspect(&opts, rest),
         "partition" => cmd_partition(&opts),
         "run" => cmd_run(&opts),
+        "worker" => cmd_worker(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -79,11 +80,25 @@ USAGE:
   tempograph run       --algo ALGO --data DIR [--source V] [--meme TAG]
                        [--timesteps N] [--ledger DIR] [--seed N]
                        [--deterministic true]
+                       [--transport inprocess|tcp|tcp-process]
+                       [--faults SPEC] [--checkpoint-dir D]
+                       [--checkpoint-every N]
       Run an algorithm over a stored dataset. With --ledger, the run is
       armed with metrics + cost attribution and recorded to the ledger
       (--deterministic strips measured timings so a seeded run records
-      byte-identically across executions).
-      ALGO: tdsp | meme | hash | sssp | bfs | wcc | pagerank | topn | stats";
+      byte-identically across executions). --transport tcp runs the
+      cluster over loopback TCP (worker threads); tcp-process spawns one
+      real `tempograph worker` process per partition. Results are
+      byte-identical across transports.
+      ALGO: tdsp | meme | hash | sssp | bfs | wcc | pagerank | topn | stats
+
+  tempograph worker    --data DIR --algo ALGO --partition N
+                       --coordinator ADDR [--timesteps N] [--source V]
+                       [--meme TAG] [--faults SPEC] [--checkpoint-dir D]
+                       [--checkpoint-every N]
+      One TCP cluster worker (spawned by `run --transport tcp-process`;
+      rarely invoked by hand). Flags after --coordinator must mirror the
+      coordinator's so every worker runs the identical job.";
 
 fn parse_opts(rest: &[String]) -> Result<HashMap<String, String>, String> {
     let mut opts = HashMap::new();
@@ -534,14 +549,240 @@ fn cmd_partition(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-/// Arm a job config for ledger recording: metrics registry + per-subgraph
-/// cost attribution. A no-op (and allocation-free at run time) otherwise.
-fn arm<M>(cfg: JobConfig<M>, ledger_on: bool) -> JobConfig<M> {
-    if ledger_on {
-        cfg.with_metrics().with_attribution()
-    } else {
-        cfg
+/// Config adjustments shared by the coordinator and every worker — a
+/// worker process must rebuild the byte-identical [`JobConfig`] (same
+/// barrier schedule, same fault plan) from its mirrored flags.
+struct JobTuning {
+    /// Arm metrics + attribution for ledger recording.
+    ledger_on: bool,
+    /// `--checkpoint-every N --checkpoint-dir D`.
+    checkpoint: Option<(usize, String)>,
+    /// `--faults SPEC` (see `FaultPlan::from_spec`).
+    fault_spec: Option<String>,
+}
+
+impl JobTuning {
+    fn from_opts(opts: &HashMap<String, String>) -> Result<JobTuning, String> {
+        let checkpoint = match (opts.get("checkpoint-dir"), opts.get("checkpoint-every")) {
+            (Some(dir), every) => Some((
+                every
+                    .map(|v| {
+                        v.parse()
+                            .map_err(|_| format!("invalid value for --checkpoint-every: `{v}`"))
+                    })
+                    .transpose()?
+                    .unwrap_or(1),
+                dir.clone(),
+            )),
+            (None, Some(_)) => return Err("--checkpoint-every requires --checkpoint-dir".into()),
+            (None, None) => None,
+        };
+        Ok(JobTuning {
+            ledger_on: opts.contains_key("ledger"),
+            checkpoint,
+            fault_spec: opts.get("faults").cloned(),
+        })
     }
+
+    fn apply<M>(&self, mut cfg: JobConfig<M>) -> Result<JobConfig<M>, String> {
+        if self.ledger_on {
+            cfg = cfg.with_metrics().with_attribution();
+        }
+        if let Some((every, dir)) = &self.checkpoint {
+            cfg = cfg.with_checkpoint(*every, dir);
+        }
+        if let Some(spec) = &self.fault_spec {
+            cfg = cfg.with_faults(FaultPlan::from_spec(spec)?);
+        }
+        Ok(cfg)
+    }
+}
+
+/// How to execute one (factory, config) pair: locally, over a TCP
+/// cluster, or as one TCP worker. Lets [`dispatch_algo`] own the
+/// algo-name → (program, pattern) table once, while each caller supplies
+/// the execution mode — the table is the single point that guarantees a
+/// worker process builds the same job as its coordinator.
+trait AlgoRunner {
+    type Out;
+    fn run<P, F>(self, factory: F, config: JobConfig<P::Msg>) -> Self::Out
+    where
+        P: SubgraphProgram,
+        F: Fn(&Subgraph, &PartitionedGraph) -> P + Send + Sync + 'static;
+}
+
+/// The in-process simulated cluster (`run_job`).
+struct LocalRunner<'a> {
+    pg: &'a Arc<PartitionedGraph>,
+    src: &'a InstanceSource,
+}
+
+impl AlgoRunner for LocalRunner<'_> {
+    type Out = JobResult;
+    fn run<P, F>(self, factory: F, config: JobConfig<P::Msg>) -> JobResult
+    where
+        P: SubgraphProgram,
+        F: Fn(&Subgraph, &PartitionedGraph) -> P + Send + Sync + 'static,
+    {
+        run_job(self.pg, self.src, factory, config)
+    }
+}
+
+/// A TCP cluster (`run_job_tcp`), threads or spawned worker processes.
+struct TcpRunner<'a> {
+    pg: &'a Arc<PartitionedGraph>,
+    src: &'a InstanceSource,
+    cluster: Cluster,
+}
+
+impl AlgoRunner for TcpRunner<'_> {
+    type Out = Result<JobResult, EngineError>;
+    fn run<P, F>(self, factory: F, config: JobConfig<P::Msg>) -> Self::Out
+    where
+        P: SubgraphProgram,
+        F: Fn(&Subgraph, &PartitionedGraph) -> P + Send + Sync + 'static,
+    {
+        run_job_tcp(self.pg, self.src, factory, config, self.cluster)
+    }
+}
+
+/// One worker process in a TCP cluster (`run_tcp_worker`); yields the
+/// process exit code.
+struct WorkerRunner {
+    coordinator: String,
+    partition: u16,
+    pg: Arc<PartitionedGraph>,
+    src: InstanceSource,
+}
+
+impl AlgoRunner for WorkerRunner {
+    type Out = i32;
+    fn run<P, F>(self, factory: F, config: JobConfig<P::Msg>) -> i32
+    where
+        P: SubgraphProgram,
+        F: Fn(&Subgraph, &PartitionedGraph) -> P + Send + Sync + 'static,
+    {
+        run_tcp_worker::<P, F>(
+            self.coordinator,
+            self.partition,
+            self.pg,
+            self.src,
+            factory,
+            config,
+        )
+    }
+}
+
+/// The algo-name → (program factory, job pattern) table, shared by `run`
+/// (all transports) and `worker` so both sides of a TCP cluster agree on
+/// the job byte-for-byte.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_algo<R: AlgoRunner>(
+    algo: &str,
+    t: &GraphTemplate,
+    timesteps: usize,
+    source: VertexIdx,
+    meme: String,
+    tuning: &JobTuning,
+    runner: R,
+) -> Result<R::Out, String> {
+    let find_v = |name: &str| t.vertex_schema().index_of(name);
+    let find_e = |name: &str| t.edge_schema().index_of(name);
+    Ok(match algo {
+        "tdsp" => {
+            let col = find_e(LATENCY_ATTR).ok_or("dataset lacks a latency column")?;
+            runner.run(
+                Tdsp::factory(source, col),
+                tuning
+                    .apply(JobConfig::sequentially_dependent(timesteps).while_active(timesteps))?,
+            )
+        }
+        "meme" => {
+            let col = find_v(TWEETS_ATTR).ok_or("dataset lacks a tweets column")?;
+            runner.run(
+                MemeTracking::factory(meme, col),
+                tuning.apply(JobConfig::sequentially_dependent(timesteps))?,
+            )
+        }
+        "hash" => {
+            let col = find_v(TWEETS_ATTR).ok_or("dataset lacks a tweets column")?;
+            runner.run(
+                HashtagAggregation::factory(meme, col),
+                tuning.apply(JobConfig::eventually_dependent(timesteps))?,
+            )
+        }
+        "sssp" => {
+            let col = find_e(LATENCY_ATTR);
+            runner.run(
+                Sssp::factory(source, col),
+                tuning.apply(JobConfig::independent(1))?,
+            )
+        }
+        "bfs" => runner.run(
+            Sssp::factory(source, None),
+            tuning.apply(JobConfig::independent(1))?,
+        ),
+        "wcc" => runner.run(Wcc::factory(), tuning.apply(JobConfig::independent(1))?),
+        "pagerank" => runner.run(
+            PageRank::factory(10),
+            tuning.apply(JobConfig::independent(1))?,
+        ),
+        "topn" => {
+            let col = find_v(TWEETS_ATTR).ok_or("dataset lacks a tweets column")?;
+            runner.run(
+                TopNActivity::factory(5, col),
+                tuning.apply(JobConfig::independent(timesteps))?,
+            )
+        }
+        "stats" => runner.run(
+            tempograph::algos::InstanceStats::factory(
+                find_v(TWEETS_ATTR),
+                find_e(LATENCY_ATTR),
+                200.0,
+            ),
+            tuning.apply(JobConfig::independent(timesteps))?,
+        ),
+        other => return Err(format!("unknown algorithm `{other}`")),
+    })
+}
+
+fn cmd_worker(opts: &HashMap<String, String>) -> Result<(), String> {
+    let dir = opts.get("data").ok_or("--data DIR is required")?;
+    let algo = opts.get("algo").ok_or("--algo is required")?;
+    let partition: u16 = opts
+        .get("partition")
+        .ok_or("--partition N is required")?
+        .parse()
+        .map_err(|_| "invalid value for --partition".to_string())?;
+    let coordinator = opts
+        .get("coordinator")
+        .ok_or("--coordinator ADDR is required")?
+        .clone();
+    let store = GofsStore::open(dir).map_err(|e| e.to_string())?;
+    let t = store.template().clone();
+    let pg = Arc::new(store.partitioned_graph());
+    let max_ts = store.meta().num_timesteps;
+    let timesteps: usize = parse(opts, "timesteps", max_ts)?.min(max_ts);
+    let source = VertexIdx(parse(opts, "source", 0u32)?);
+    let meme = opt(opts, "meme", "#meme").to_string();
+    let tuning = JobTuning::from_opts(opts)?;
+    let code = dispatch_algo(
+        algo,
+        &t,
+        timesteps,
+        source,
+        meme,
+        &tuning,
+        WorkerRunner {
+            coordinator,
+            partition,
+            pg,
+            src: InstanceSource::Gofs(dir.into()),
+        },
+    )?;
+    // Exit code is the cross-process failure-attribution channel (see
+    // `INJECTED_EXIT_CODE`) — bypass ExitCode to report it exactly.
+    std::process::exit(code);
 }
 
 fn cmd_run(opts: &HashMap<String, String>) -> Result<(), String> {
@@ -555,94 +796,89 @@ fn cmd_run(opts: &HashMap<String, String>) -> Result<(), String> {
     let source = VertexIdx(parse(opts, "source", 0u32)?);
     let meme = opt(opts, "meme", "#meme").to_string();
     let src = InstanceSource::Gofs(dir.into());
-    let on = opts.contains_key("ledger");
-
-    let find_v = |name: &str| t.vertex_schema().index_of(name);
-    let find_e = |name: &str| t.edge_schema().index_of(name);
+    let tuning = JobTuning::from_opts(opts)?;
+    let transport = opt(opts, "transport", "inprocess");
 
     println!(
-        "running {algo} over {timesteps} timesteps on {} partitions…",
+        "running {algo} over {timesteps} timesteps on {} partitions ({transport})…",
         pg.num_partitions()
     );
     let started = Clock::start();
-    let result = match algo.as_str() {
-        "tdsp" => {
-            let col = find_e(LATENCY_ATTR).ok_or("dataset lacks a latency column")?;
-            run_job(
-                &pg,
-                &src,
-                Tdsp::factory(source, col),
-                arm(
-                    JobConfig::sequentially_dependent(timesteps).while_active(timesteps),
-                    on,
-                ),
-            )
+    let result = match transport {
+        "inprocess" => dispatch_algo(
+            algo,
+            &t,
+            timesteps,
+            source,
+            meme,
+            &tuning,
+            LocalRunner { pg: &pg, src: &src },
+        )?,
+        "tcp" => dispatch_algo(
+            algo,
+            &t,
+            timesteps,
+            source,
+            meme,
+            &tuning,
+            TcpRunner {
+                pg: &pg,
+                src: &src,
+                cluster: Cluster::Threads,
+            },
+        )?
+        .map_err(|e| format!("tcp job failed: {e}"))?,
+        "tcp-process" => {
+            let worker_bin = std::env::current_exe().map_err(|e| e.to_string())?;
+            // Mirror every job-shaping flag so workers rebuild the
+            // identical config (see `tempograph worker` usage).
+            let mut worker_args: Vec<String> = vec![
+                "worker".into(),
+                "--data".into(),
+                dir.clone(),
+                "--algo".into(),
+                algo.clone(),
+                "--timesteps".into(),
+                timesteps.to_string(),
+                "--source".into(),
+                source.0.to_string(),
+                "--meme".into(),
+                meme.clone(),
+            ];
+            if let Some((every, ckdir)) = &tuning.checkpoint {
+                worker_args.extend([
+                    "--checkpoint-every".into(),
+                    every.to_string(),
+                    "--checkpoint-dir".into(),
+                    ckdir.clone(),
+                ]);
+            }
+            if let Some(spec) = &tuning.fault_spec {
+                worker_args.extend(["--faults".into(), spec.clone()]);
+            }
+            dispatch_algo(
+                algo,
+                &t,
+                timesteps,
+                source,
+                meme,
+                &tuning,
+                TcpRunner {
+                    pg: &pg,
+                    src: &src,
+                    cluster: Cluster::Processes {
+                        worker_bin,
+                        worker_args,
+                    },
+                },
+            )?
+            .map_err(|e| format!("tcp-process job failed: {e}"))?
         }
-        "meme" => {
-            let col = find_v(TWEETS_ATTR).ok_or("dataset lacks a tweets column")?;
-            run_job(
-                &pg,
-                &src,
-                MemeTracking::factory(meme, col),
-                arm(JobConfig::sequentially_dependent(timesteps), on),
-            )
+        other => {
+            return Err(format!(
+                "unknown transport `{other}` (inprocess|tcp|tcp-process)"
+            ))
         }
-        "hash" => {
-            let col = find_v(TWEETS_ATTR).ok_or("dataset lacks a tweets column")?;
-            run_job(
-                &pg,
-                &src,
-                HashtagAggregation::factory(meme, col),
-                arm(JobConfig::eventually_dependent(timesteps), on),
-            )
-        }
-        "sssp" => {
-            let col = find_e(LATENCY_ATTR);
-            run_job(
-                &pg,
-                &src,
-                Sssp::factory(source, col),
-                arm(JobConfig::independent(1), on),
-            )
-        }
-        "bfs" => run_job(
-            &pg,
-            &src,
-            Sssp::factory(source, None),
-            arm(JobConfig::independent(1), on),
-        ),
-        "wcc" => run_job(
-            &pg,
-            &src,
-            Wcc::factory(),
-            arm(JobConfig::independent(1), on),
-        ),
-        "pagerank" => run_job(
-            &pg,
-            &src,
-            PageRank::factory(10),
-            arm(JobConfig::independent(1), on),
-        ),
-        "topn" => {
-            let col = find_v(TWEETS_ATTR).ok_or("dataset lacks a tweets column")?;
-            run_job(
-                &pg,
-                &src,
-                TopNActivity::factory(5, col),
-                arm(JobConfig::independent(timesteps), on),
-            )
-        }
-        "stats" => run_job(
-            &pg,
-            &src,
-            tempograph::algos::InstanceStats::factory(
-                find_v(TWEETS_ATTR),
-                find_e(LATENCY_ATTR),
-                200.0,
-            ),
-            arm(JobConfig::independent(timesteps), on),
-        ),
-        other => return Err(format!("unknown algorithm `{other}`")),
     };
     let elapsed = started.elapsed();
 

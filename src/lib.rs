@@ -47,8 +47,9 @@ pub mod prelude {
         TimeSeriesCollection, VertexIdx,
     };
     pub use tempograph_engine::{
-        run_job, AttributionRow, CheckpointConfig, Context, CostAttribution, Envelope, FaultPlan,
-        InstanceSource, JobConfig, JobResult, Pattern, SubgraphProgram, TimestepMode,
+        run_job, run_job_tcp, run_tcp_worker, AttributionRow, CheckpointConfig, Cluster, Context,
+        CostAttribution, EngineError, Envelope, FaultPlan, InstanceSource, JobConfig, JobResult,
+        Pattern, SubgraphProgram, TimestepMode, Transport,
     };
     pub use tempograph_gen::{
         carn_like, generate_road_latencies, generate_sir_tweets, road_network, small_world,

@@ -487,6 +487,227 @@ fn seeded_fault_runs_reproduce_trace_sequences() {
     );
 }
 
+// === TCP transport fault injection ======================================
+//
+// The same guarantees must hold when partitions talk over real sockets:
+// damaged frames (dropped, duplicated, reordered, corrupted in flight) are
+// repaired by retransmit/dedup without touching the output, and a worker
+// *process* killed mid-superstep is respawned and resumes from the latest
+// checkpoint, byte-identical to the fault-free run.
+
+fn sockets_available() -> bool {
+    match std::net::TcpListener::bind("127.0.0.1:0") {
+        Ok(_) => true,
+        Err(e) => {
+            eprintln!("NOTICE: loopback sockets unavailable ({e}); skipping TCP test");
+            false
+        }
+    }
+}
+
+/// All four frame-fault kinds injected into a TCP thread cluster: the job
+/// neither recovers nor diverges, and the lossy kinds are visibly repaired
+/// (retransmit counter ticks).
+#[test]
+fn tcp_frame_faults_are_repaired_and_output_neutral() {
+    use tempograph::engine::FrameFault;
+    if !sockets_available() {
+        return;
+    }
+    let (t, src, cfg) = tweet_fixture();
+    let tweets_col = t.vertex_schema().index_of(TWEETS_ATTR).unwrap();
+    let pg = partitioned(&t, 3);
+    let factory = MemeTracking::factory(cfg.meme.clone(), tweets_col);
+
+    let clean = run_job(
+        &pg,
+        &src,
+        &factory,
+        JobConfig::sequentially_dependent(TIMESTEPS),
+    );
+
+    let plan = FaultPlan::new()
+        .frame_fault_at(0, 1, FrameFault::Drop)
+        .frame_fault_at(1, 2, FrameFault::Duplicate)
+        .frame_fault_at(2, 1, FrameFault::Reorder)
+        .frame_fault_at(0, 3, FrameFault::Truncate);
+    let faulted = run_job_tcp(
+        &pg,
+        &src,
+        &factory,
+        JobConfig::sequentially_dependent(TIMESTEPS).with_faults(plan),
+        Cluster::Threads,
+    )
+    .expect("frame faults must not kill the job");
+
+    assert_eq!(
+        faulted.recoveries, 0,
+        "frame faults are repaired in-protocol, not via recovery"
+    );
+    let retries: u64 = faulted
+        .metrics
+        .iter()
+        .flatten()
+        .map(|m| m.send_retries)
+        .sum();
+    assert!(
+        retries >= 2,
+        "Drop and Truncate must each force a retransmission (saw {retries})"
+    );
+    assert_eq!(
+        fingerprint(&clean),
+        fingerprint(&faulted),
+        "frame faults must be invisible in the output"
+    );
+}
+
+/// A seeded frame-fault schedule (the fuzz entry point) is equally
+/// invisible, and the same seed injects the same schedule twice.
+#[test]
+fn tcp_seeded_frame_faults_match_the_fault_free_run() {
+    if !sockets_available() {
+        return;
+    }
+    let (t, src) = road_fixture();
+    let lat_col = t.edge_schema().index_of(LATENCY_ATTR).unwrap();
+    let pg = partitioned(&t, 3);
+    let factory = Tdsp::factory(VertexIdx(0), lat_col);
+    let mk_cfg = || JobConfig::sequentially_dependent(TIMESTEPS).while_active(TIMESTEPS);
+
+    let clean = run_job(&pg, &src, &factory, mk_cfg());
+    let run_seeded = || {
+        run_job_tcp(
+            &pg,
+            &src,
+            &factory,
+            mk_cfg().with_faults(FaultPlan::new().with_frame_faults_from_seed(0xF8A7, 3, 12)),
+            Cluster::Threads,
+        )
+        .expect("seeded frame faults must not kill the job")
+    };
+    let a = run_seeded();
+    let b = run_seeded();
+    assert_eq!(fingerprint(&clean), fingerprint(&a));
+    assert_eq!(fingerprint(&clean), fingerprint(&b));
+}
+
+/// A TCP worker (thread cluster) killed mid-superstep: the coordinator
+/// tears the epoch down, respawns, resumes from the latest checkpoint, and
+/// the output is byte-identical.
+#[test]
+fn tcp_worker_death_recovers_from_checkpoint_byte_identical() {
+    if !sockets_available() {
+        return;
+    }
+    let (t, src, cfg) = tweet_fixture();
+    let tweets_col = t.vertex_schema().index_of(TWEETS_ATTR).unwrap();
+    let pg = partitioned(&t, 3);
+    let factory = MemeTracking::factory(cfg.meme.clone(), tweets_col);
+
+    let clean = run_job(
+        &pg,
+        &src,
+        &factory,
+        JobConfig::sequentially_dependent(TIMESTEPS),
+    );
+
+    let dir = ckpt_dir("tcp-threads");
+    let recovered = run_job_tcp(
+        &pg,
+        &src,
+        &factory,
+        JobConfig::sequentially_dependent(TIMESTEPS)
+            .with_checkpoint(EVERY, &dir)
+            .with_faults(FaultPlan::new().panic_at(1, 2, 0)),
+        Cluster::Threads,
+    )
+    .expect("the killed worker must be recovered");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(recovered.recoveries, 1);
+    assert_eq!(fingerprint(&clean), fingerprint(&recovered));
+}
+
+/// The full drill: real worker *processes* over a GoFS dataset, one of
+/// them killed mid-superstep by an injected panic (exit code, not a panic
+/// payload, is the evidence that crosses the process boundary). The
+/// coordinator attributes the death, respawns the cluster with the fault
+/// latched as fired, resumes from the latest checkpoint, and the result is
+/// byte-identical to the in-process fault-free run.
+#[test]
+fn killed_worker_process_resumes_from_checkpoint_byte_identical() {
+    if !sockets_available() {
+        return;
+    }
+    let (t, src, cfg) = tweet_fixture();
+    let InstanceSource::Memory(coll) = &src else {
+        unreachable!()
+    };
+    let tweets_col = t.vertex_schema().index_of(TWEETS_ATTR).unwrap();
+    let data_dir = std::env::temp_dir().join(format!("recov-eq-gofs-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let pg = partitioned(&t, 3);
+    tempograph::gofs::store::write_dataset(&data_dir, pg.clone(), coll, 2, 2).unwrap();
+
+    let store = GofsStore::open(&data_dir).unwrap();
+    let pg = Arc::new(store.partitioned_graph());
+    let gofs_src = InstanceSource::Gofs(data_dir.clone());
+    let factory = MemeTracking::factory(cfg.meme.clone(), tweets_col);
+
+    let clean = run_job(
+        &pg,
+        &gofs_src,
+        &factory,
+        JobConfig::sequentially_dependent(TIMESTEPS),
+    );
+
+    let plan = FaultPlan::new().panic_at(1, 2, 0);
+    let spec = plan.to_spec();
+    let ck_dir = ckpt_dir("tcp-process");
+    let worker_args: Vec<String> = vec![
+        "worker".into(),
+        "--data".into(),
+        data_dir.to_str().unwrap().into(),
+        "--algo".into(),
+        "meme".into(),
+        "--timesteps".into(),
+        TIMESTEPS.to_string(),
+        "--meme".into(),
+        cfg.meme.clone(),
+        "--checkpoint-every".into(),
+        EVERY.to_string(),
+        "--checkpoint-dir".into(),
+        ck_dir.to_str().unwrap().into(),
+        "--faults".into(),
+        spec,
+    ];
+    let recovered = run_job_tcp(
+        &pg,
+        &gofs_src,
+        &factory,
+        JobConfig::sequentially_dependent(TIMESTEPS)
+            .with_checkpoint(EVERY, &ck_dir)
+            .with_faults(plan),
+        Cluster::Processes {
+            worker_bin: env!("CARGO_BIN_EXE_tempograph").into(),
+            worker_args,
+        },
+    )
+    .expect("the killed worker process must be recovered");
+    let _ = std::fs::remove_dir_all(&ck_dir);
+    let _ = std::fs::remove_dir_all(&data_dir);
+
+    assert_eq!(
+        recovered.recoveries, 1,
+        "exactly one process death must fire and be recovered"
+    );
+    assert_eq!(
+        fingerprint(&clean),
+        fingerprint(&recovered),
+        "the recovered process cluster must match the fault-free run"
+    );
+}
+
 /// Checkpointing a run that never crashes must not change its output, and
 /// must leave a decodable set of files for every boundary.
 #[test]

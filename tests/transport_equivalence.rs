@@ -1,0 +1,367 @@
+//! Cross-transport equivalence harness: the same TI-BSP job must produce
+//! **byte-identical** output whether partitions exchange batches over
+//! in-process channels ([`run_job`]), a localhost TCP mesh between worker
+//! threads, or real spawned worker *processes* talking TCP — same emitted
+//! values (as f64 bit patterns), same counter totals, same final
+//! per-subgraph program state, same `(from, seq)` delivery order.
+//!
+//! Every paper algorithm (Hashtag Aggregation, Meme Tracking, TDSP, SSSP,
+//! WCC) is exercised at 3 and 6 partitions over both transports; one
+//! configuration additionally runs with real child processes spawned from
+//! the `tempograph` binary (`worker` subcommand) over a GoFS dataset.
+//!
+//! When loopback sockets are unavailable in the sandbox, TCP cases print a
+//! NOTICE and skip rather than fail.
+
+use bytes::BufMut;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use tempograph::engine::{Context, Envelope};
+use tempograph::prelude::*;
+
+const TIMESTEPS: usize = 6;
+
+fn sockets_available() -> bool {
+    match std::net::TcpListener::bind("127.0.0.1:0") {
+        Ok(_) => true,
+        Err(e) => {
+            eprintln!("NOTICE: loopback sockets unavailable ({e}); skipping TCP test");
+            false
+        }
+    }
+}
+
+fn road(width: usize, height: usize, seed: u64) -> Arc<GraphTemplate> {
+    Arc::new(tempograph::gen::road_network(&RoadNetConfig {
+        width,
+        height,
+        seed,
+        ..Default::default()
+    }))
+}
+
+fn partitioned(t: &Arc<GraphTemplate>, k: usize) -> Arc<PartitionedGraph> {
+    let p = MultilevelPartitioner::default().partition(t, k);
+    Arc::new(discover_subgraphs(t.clone(), p))
+}
+
+fn road_fixture() -> (Arc<GraphTemplate>, InstanceSource) {
+    let t = road(10, 10, 0xBEAC0A);
+    let coll = Arc::new(tempograph::gen::generate_road_latencies(
+        t.clone(),
+        &RoadLatencyConfig {
+            timesteps: TIMESTEPS,
+            period: 50,
+            min_latency: 4.0,
+            max_latency: 60.0,
+            seed: 29,
+            ..Default::default()
+        },
+    ));
+    (t, InstanceSource::Memory(coll))
+}
+
+fn tweet_fixture() -> (Arc<GraphTemplate>, InstanceSource, SirConfig) {
+    let t = road(12, 12, 0xBEEFED);
+    let cfg = SirConfig {
+        timesteps: TIMESTEPS,
+        hit_prob: 0.4,
+        initial_infected: 4,
+        infectious_steps: 3,
+        background_rate: 0.08,
+        ..Default::default()
+    };
+    let coll = Arc::new(tempograph::gen::generate_sir_tweets(t.clone(), &cfg));
+    (t, InstanceSource::Memory(coll), cfg)
+}
+
+/// Everything observable about a run, in canonical order, floats as bit
+/// patterns. Equal fingerprints ⇔ byte-identical runs.
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    emitted: Vec<(usize, u32, u64)>,
+    counters: BTreeMap<String, Vec<u64>>,
+    timesteps_run: usize,
+    final_states: Vec<(u32, Vec<u8>)>,
+}
+
+fn fingerprint(r: &JobResult) -> Fingerprint {
+    Fingerprint {
+        emitted: r
+            .emitted
+            .iter()
+            .map(|e| (e.timestep, e.vertex.0, e.value.to_bits()))
+            .collect(),
+        counters: r
+            .counters
+            .iter()
+            .map(|(name, per_t)| {
+                (
+                    name.clone(),
+                    per_t.iter().map(|per_p| per_p.iter().sum()).collect(),
+                )
+            })
+            .collect(),
+        timesteps_run: r.timesteps_run,
+        final_states: r
+            .final_states
+            .iter()
+            .map(|(sg, bytes)| (sg.0, bytes.clone()))
+            .collect(),
+    }
+}
+
+/// Run the same job over in-process channels and over a thread-per-worker
+/// localhost TCP mesh; assert byte-identical fingerprints.
+fn assert_transport_equivalent<P, F>(
+    label: &str,
+    pg: &Arc<PartitionedGraph>,
+    src: &InstanceSource,
+    factory: F,
+    mk_cfg: impl Fn() -> JobConfig<P::Msg>,
+) where
+    P: SubgraphProgram,
+    F: Fn(&Subgraph, &PartitionedGraph) -> P + Send + Sync,
+{
+    let local = run_job(pg, src, &factory, mk_cfg());
+    let tcp = run_job_tcp(pg, src, &factory, mk_cfg(), Cluster::Threads)
+        .unwrap_or_else(|e| panic!("{label}: tcp job failed: {e}"));
+    assert_eq!(
+        fingerprint(&local),
+        fingerprint(&tcp),
+        "{label}: TCP run must be byte-identical to the in-process run"
+    );
+}
+
+#[test]
+fn sssp_is_transport_equivalent_at_3_and_6_partitions() {
+    if !sockets_available() {
+        return;
+    }
+    let (t, src) = road_fixture();
+    let lat_col = t.edge_schema().index_of(LATENCY_ATTR).unwrap();
+    for k in [3, 6] {
+        let pg = partitioned(&t, k);
+        assert_transport_equivalent(
+            &format!("sssp-k{k}"),
+            &pg,
+            &src,
+            Sssp::factory(VertexIdx(0), Some(lat_col)),
+            || JobConfig::independent(1),
+        );
+    }
+}
+
+#[test]
+fn wcc_is_transport_equivalent_at_3_and_6_partitions() {
+    if !sockets_available() {
+        return;
+    }
+    let (t, src) = road_fixture();
+    for k in [3, 6] {
+        let pg = partitioned(&t, k);
+        assert_transport_equivalent(&format!("wcc-k{k}"), &pg, &src, Wcc::factory(), || {
+            JobConfig::independent(1)
+        });
+    }
+}
+
+#[test]
+fn tdsp_is_transport_equivalent_at_3_and_6_partitions() {
+    if !sockets_available() {
+        return;
+    }
+    let (t, src) = road_fixture();
+    let lat_col = t.edge_schema().index_of(LATENCY_ATTR).unwrap();
+    for k in [3, 6] {
+        let pg = partitioned(&t, k);
+        assert_transport_equivalent(
+            &format!("tdsp-k{k}"),
+            &pg,
+            &src,
+            Tdsp::factory(VertexIdx(0), lat_col),
+            || JobConfig::sequentially_dependent(TIMESTEPS).while_active(TIMESTEPS),
+        );
+    }
+}
+
+#[test]
+fn meme_is_transport_equivalent_at_3_and_6_partitions() {
+    if !sockets_available() {
+        return;
+    }
+    let (t, src, cfg) = tweet_fixture();
+    let tweets_col = t.vertex_schema().index_of(TWEETS_ATTR).unwrap();
+    for k in [3, 6] {
+        let pg = partitioned(&t, k);
+        assert_transport_equivalent(
+            &format!("meme-k{k}"),
+            &pg,
+            &src,
+            MemeTracking::factory(cfg.meme.clone(), tweets_col),
+            || JobConfig::sequentially_dependent(TIMESTEPS),
+        );
+    }
+}
+
+/// Hashtag aggregation's Merge BSP routes every partial to one master
+/// subgraph — the heaviest cross-partition convergecast in the suite.
+#[test]
+fn hashtag_is_transport_equivalent_at_3_and_6_partitions() {
+    if !sockets_available() {
+        return;
+    }
+    let (t, src, _) = tweet_fixture();
+    let tweets_col = t.vertex_schema().index_of(TWEETS_ATTR).unwrap();
+    for k in [3, 6] {
+        let pg = partitioned(&t, k);
+        assert_transport_equivalent(
+            &format!("hash-k{k}"),
+            &pg,
+            &src,
+            HashtagAggregation::factory("#meme", tweets_col),
+            || JobConfig::eventually_dependent(TIMESTEPS),
+        );
+    }
+}
+
+/// Records the exact `(from, seq)` sequence of every inbox it is handed
+/// into its saved state, while broadcasting to every other subgraph for a
+/// few supersteps — if a transport delivered messages in a different
+/// order, the final states would differ.
+struct OrderProbe {
+    id: SubgraphId,
+    peers: Vec<SubgraphId>,
+    log: Vec<(u32, u32)>,
+}
+
+impl SubgraphProgram for OrderProbe {
+    type Msg = u32;
+
+    fn compute(&mut self, ctx: &mut Context<'_, u32>, msgs: &[Envelope<u32>]) {
+        for e in msgs {
+            self.log.push((e.from.0, e.seq));
+        }
+        if ctx.superstep() < 3 {
+            for &p in &self.peers {
+                ctx.send_to_subgraph(p, self.id.0);
+            }
+        } else {
+            ctx.vote_to_halt();
+        }
+    }
+
+    fn save_state(&self, buf: &mut bytes::BytesMut) {
+        buf.put_u32_le(self.log.len() as u32);
+        for &(from, seq) in &self.log {
+            buf.put_u32_le(from);
+            buf.put_u32_le(seq);
+        }
+    }
+}
+
+fn order_probe_factory() -> impl Fn(&Subgraph, &PartitionedGraph) -> OrderProbe + Send + Sync {
+    |sg, pg| OrderProbe {
+        id: sg.id(),
+        peers: pg
+            .subgraphs()
+            .iter()
+            .map(|s| s.id())
+            .filter(|&id| id != sg.id())
+            .collect(),
+        log: Vec::new(),
+    }
+}
+
+/// The delivery-order probe: all-to-all traffic for three supersteps, the
+/// observed `(from, seq)` sequences shipped home as final state. Both
+/// transports must observe the identical order.
+#[test]
+fn delivery_order_is_deterministic_across_transports() {
+    if !sockets_available() {
+        return;
+    }
+    let (t, src) = road_fixture();
+    for k in [3, 6] {
+        let pg = partitioned(&t, k);
+        let local = run_job(&pg, &src, order_probe_factory(), JobConfig::independent(1));
+        let tcp = run_job_tcp(
+            &pg,
+            &src,
+            order_probe_factory(),
+            JobConfig::independent(1),
+            Cluster::Threads,
+        )
+        .unwrap_or_else(|e| panic!("order-probe-k{k}: tcp job failed: {e}"));
+        // The probe must actually have observed traffic...
+        assert!(
+            local.final_states.iter().any(|(_, s)| s.len() > 4),
+            "order-probe-k{k}: probe saw no messages"
+        );
+        // ...and both transports the same traffic in the same order.
+        assert_eq!(
+            fingerprint(&local),
+            fingerprint(&tcp),
+            "order-probe-k{k}: (from, seq) delivery order must match"
+        );
+    }
+}
+
+/// Real child processes: spawn one `tempograph worker` per partition from
+/// the compiled binary, drive them over localhost TCP, and require the
+/// result byte-identical to the in-process run of the same GoFS dataset.
+#[test]
+fn spawned_worker_processes_match_in_process_run() {
+    if !sockets_available() {
+        return;
+    }
+    let (t, src) = road_fixture();
+    let InstanceSource::Memory(coll) = &src else {
+        unreachable!()
+    };
+    let dir = std::env::temp_dir().join(format!("transport-eq-gofs-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let pg = partitioned(&t, 3);
+    tempograph::gofs::store::write_dataset(&dir, pg.clone(), coll, 2, 2).unwrap();
+
+    // Reopen exactly as the worker processes will, so subgraph discovery
+    // and instance projection go through the same code path.
+    let store = GofsStore::open(&dir).unwrap();
+    let pg = Arc::new(store.partitioned_graph());
+    let gofs_src = InstanceSource::Gofs(dir.clone());
+    let lat_col = t.edge_schema().index_of(LATENCY_ATTR).unwrap();
+    let factory = Sssp::factory(VertexIdx(0), Some(lat_col));
+
+    let local = run_job(&pg, &gofs_src, &factory, JobConfig::independent(1));
+
+    let dir_str = dir.to_str().unwrap().to_string();
+    let procs = run_job_tcp(
+        &pg,
+        &gofs_src,
+        &factory,
+        JobConfig::independent(1),
+        Cluster::Processes {
+            worker_bin: env!("CARGO_BIN_EXE_tempograph").into(),
+            worker_args: vec![
+                "worker".into(),
+                "--data".into(),
+                dir_str,
+                "--algo".into(),
+                "sssp".into(),
+                "--timesteps".into(),
+                TIMESTEPS.to_string(),
+                "--source".into(),
+                "0".into(),
+            ],
+        },
+    )
+    .expect("process-cluster job failed");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(procs.recoveries, 0, "clean run must not recover");
+    assert_eq!(
+        fingerprint(&local),
+        fingerprint(&procs),
+        "worker processes must be byte-identical to the in-process run"
+    );
+}
