@@ -25,12 +25,21 @@ for arg in "$@"; do
     esac
 done
 
-# Invariant checker: the workspace must satisfy the tempograph-lint rules
-# (determinism, panic-freedom in the worker hot path, atomic-ordering
-# discipline, forbid(unsafe_code) on every crate root) modulo the
-# committed, justified lint-allow.toml. Fast: runs before the main build.
+# Workspace analyzer: the v2 call-graph passes must come back clean —
+# transitive panic-freedom / clock / allocation rules over the hot-path
+# closure (P01, D02, H01 with root→violation chains), the per-file rules
+# (D01-D03, A01, W01, F01), and the wire-schema lock against the
+# committed schemas/ goldens (W02; drift without a version bump exits 2)
+# — modulo the committed, justified lint-allow.toml. Fast: runs before
+# the main build. The self-test stage exercises the analyzer itself: the
+# per-rule fixture pairs, the ws_* fixture workspaces (indirect panics,
+# trait dispatch, aliases, cfg(test) masking, schema drift), and the
+# binary's 0/1/2 exit-code matrix.
 lint_stage() {
-    echo "==> tempograph-lint: workspace invariants (rules D01-D03, P01, A01, W01, F01)"
+    echo "==> tempograph-lint: self-test suite (fixtures + exit-code matrix)"
+    cargo test -q -p tempograph-lint
+
+    echo "==> tempograph-lint: workspace invariants (transitive P01/D02/H01, D01-D03, A01, W01, F01, W02 schema lock)"
     cargo run -q -p tempograph-lint
 }
 

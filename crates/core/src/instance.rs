@@ -201,7 +201,9 @@ impl GraphInstance {
                 )));
             }
             for (i, c) in cols.iter().enumerate() {
-                let def = schema.def(i).expect("len checked");
+                let def = schema.def(i).ok_or_else(|| {
+                    CoreError::TemplateMismatch(format!("{what}: schema has no column {i}"))
+                })?;
                 if c.ty() != def.ty {
                     return Err(CoreError::TemplateMismatch(format!(
                         "{what} column `{}`: type {:?} != schema {:?}",

@@ -108,6 +108,14 @@ pub enum EngineError {
         /// Human description of the violation.
         detail: String,
     },
+    /// Writing or committing a checkpoint failed. `detail` carries the
+    /// stringified storage error (the underlying `GofsError` is not `Eq`).
+    Checkpoint {
+        /// What the checkpoint machinery was doing (e.g. "writing slice 3").
+        context: String,
+        /// The underlying storage failure, stringified.
+        detail: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -130,6 +138,9 @@ impl fmt::Display for EngineError {
                  data frames, only {got} accounted for"
             ),
             EngineError::Protocol { detail } => write!(f, "transport protocol violation: {detail}"),
+            EngineError::Checkpoint { context, detail } => {
+                write!(f, "checkpoint failure {context}: {detail}")
+            }
         }
     }
 }
@@ -141,7 +152,8 @@ impl std::error::Error for EngineError {
             EngineError::Net { .. }
             | EngineError::RemoteWorkerDied { .. }
             | EngineError::FrameLoss { .. }
-            | EngineError::Protocol { .. } => None,
+            | EngineError::Protocol { .. }
+            | EngineError::Checkpoint { .. } => None,
         }
     }
 }

@@ -1663,7 +1663,10 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
                 .expect("write staging file");
             panic!("{}", injected_panic_message(self.partition, t, usize::MAX));
         }
-        write_atomic(&path, &data).expect("write checkpoint file");
+        write_atomic(&path, &data).map_err(|e| EngineError::Checkpoint {
+            context: format!("writing checkpoint for timestep {t}"),
+            detail: e.to_string(),
+        })?;
         let ck1 = self.tracer.now();
         if let Some(sh) = self.shard.as_deref_mut() {
             sh.checkpoint_write_ns.record(ck1 - ck0);
@@ -1677,7 +1680,10 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
         // point, and the commit must land before anyone moves on.
         self.transport.barrier()?;
         if self.partition == 0 {
-            commit_manifest(&ck.dir, t as u64).expect("commit checkpoint manifest");
+            commit_manifest(&ck.dir, t as u64).map_err(|e| EngineError::Checkpoint {
+                context: format!("committing manifest for timestep {t}"),
+                detail: e.to_string(),
+            })?;
         }
         self.transport.barrier()
     }

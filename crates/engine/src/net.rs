@@ -256,7 +256,10 @@ fn read_full(
 ) -> Result<(), EngineError> {
     let mut filled = 0;
     while filled < buf.len() {
-        match r.read(&mut buf[filled..]) {
+        let Some(rest) = buf.get_mut(filled..) else {
+            break;
+        };
+        match r.read(rest) {
             Ok(0) => {
                 let detail = if at_boundary && filled == 0 {
                     "connection closed by peer".to_string()
@@ -341,8 +344,9 @@ pub fn write_frame_corrupted(
     peer: &str,
 ) -> Result<usize, EngineError> {
     let mut enc = frame.encode().to_vec();
-    let last = enc.len() - 1;
-    enc[last] ^= 0xff;
+    if let Some(last) = enc.last_mut() {
+        *last ^= 0xff;
+    }
     w.write_all(&enc)
         .and_then(|()| w.flush())
         .map_err(net_err(format!("writing frame to {peer}")))?;

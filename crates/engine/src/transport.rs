@@ -161,8 +161,13 @@ impl Transport for InProcess<'_> {
 
     fn send(&mut self, dst: u16, kind: BatchKind, bytes: Bytes) -> Result<u64, EngineError> {
         debug_assert_ne!(dst, self.partition, "local messages never reach send");
-        let dst = dst as usize;
-        self.txs[dst].send((kind, bytes)).unwrap_or_else(|_| {
+        let tx = self
+            .txs
+            .get(dst as usize)
+            .ok_or_else(|| EngineError::Protocol {
+                detail: format!("send to unknown partition {dst}"),
+            })?;
+        tx.send((kind, bytes)).unwrap_or_else(|_| {
             // A receiver only disappears when its worker died; surface
             // this as a cascade so recovery blames the primary failure.
             panic!("channel to partition {dst} closed: a peer worker died")
@@ -198,6 +203,15 @@ fn net_error(context: String) -> impl FnOnce(std::io::Error) -> EngineError {
 }
 
 type ReadResult = Result<(Frame, usize), EngineError>;
+
+/// Typed out-of-range error for a peer index. Every per-peer state vector
+/// (`peers_tx`, `peers_rx`, `send_seq`, `recv_done`, `held`) shares the
+/// mesh length, so this only fires on a corrupt partition id.
+fn bad_peer(d: usize) -> EngineError {
+    EngineError::Protocol {
+        detail: format!("no mesh state for partition {d}"),
+    }
+}
 
 /// Write half of one peer connection.
 struct PeerWriter {
@@ -373,8 +387,10 @@ impl Tcp {
     /// connection only fails when the worker behind it is gone, and naming
     /// it is what lets the coordinator distinguish primary from cascade.
     fn send_to_peer(&mut self, d: usize, frame: &Frame) -> Result<(), EngineError> {
-        let writer = self.peers_tx[d]
-            .as_mut()
+        let writer = self
+            .peers_tx
+            .get_mut(d)
+            .and_then(Option::as_mut)
             .ok_or_else(|| EngineError::Protocol {
                 detail: format!("no mesh connection to partition {d}"),
             })?;
@@ -402,10 +418,10 @@ impl Tcp {
         if let Some(FrameFault::Reorder) = fault {
             // Swap with the next frame to this peer: flush anything already
             // held, then hold this one back.
-            if let Some(prev) = self.held[d].take() {
+            if let Some(prev) = self.held.get_mut(d).and_then(Option::take) {
                 self.send_to_peer(d, &prev)?;
             }
-            self.held[d] = Some(frame);
+            *self.held.get_mut(d).ok_or_else(|| bad_peer(d))? = Some(frame);
             return Ok(0);
         }
         let retransmits = match fault {
@@ -428,8 +444,10 @@ impl Tcp {
             Some(FrameFault::Truncate) => {
                 // A checksum-damaged copy the receiver discards, then the
                 // clean retransmission.
-                let writer = self.peers_tx[d]
-                    .as_mut()
+                let writer = self
+                    .peers_tx
+                    .get_mut(d)
+                    .and_then(Option::as_mut)
                     .ok_or_else(|| EngineError::Protocol {
                         detail: format!("no mesh connection to partition {d}"),
                     })?;
@@ -447,7 +465,7 @@ impl Tcp {
             }
         };
         // A frame held by an earlier Reorder ships right after this one.
-        if let Some(prev) = self.held[d].take() {
+        if let Some(prev) = self.held.get_mut(d).and_then(Option::take) {
             self.send_to_peer(d, &prev)?;
         }
         Ok(retransmits)
@@ -467,12 +485,16 @@ impl Transport for Tcp {
             BatchKind::NextTimestep => FrameKind::DataNextTimestep,
         };
         self.frames_sent += 1;
-        self.send_seq[d] += 1;
+        let seq = {
+            let s = self.send_seq.get_mut(d).ok_or_else(|| bad_peer(d))?;
+            *s += 1;
+            *s
+        };
         let frame = Frame {
             kind: fkind,
             sender: self.partition,
             epoch: self.epoch,
-            seq: self.send_seq[d],
+            seq,
             payload: bytes,
         };
         let fault = self
@@ -497,14 +519,14 @@ impl Transport for Tcp {
             if d == me {
                 continue;
             }
-            if let Some(prev) = self.held[d].take() {
+            if let Some(prev) = self.held.get_mut(d).and_then(Option::take) {
                 self.send_to_peer(d, &prev)?;
             }
             let sentinel = Frame {
                 kind: FrameKind::Sentinel,
                 sender: self.partition,
                 epoch: self.epoch,
-                seq: self.send_seq[d],
+                seq: self.send_seq.get(d).copied().ok_or_else(|| bad_peer(d))?,
                 payload: Bytes::new(),
             };
             self.send_to_peer(d, &sentinel)?;
@@ -520,8 +542,10 @@ impl Transport for Tcp {
             }
             let mut got: Vec<(u64, BatchKind, Bytes)> = Vec::new();
             let watermark = loop {
-                let rx = self.peers_rx[j]
-                    .as_ref()
+                let rx = self
+                    .peers_rx
+                    .get(j)
+                    .and_then(Option::as_ref)
                     .ok_or_else(|| EngineError::Protocol {
                         detail: format!("no mesh connection to partition {j}"),
                     })?;
@@ -576,7 +600,8 @@ impl Transport for Tcp {
             // out, and the sentinel convicts any genuine loss.
             got.sort_by_key(|(seq, _, _)| *seq);
             got.dedup_by_key(|(seq, _, _)| *seq);
-            let mut covered = self.recv_done[j];
+            let done = self.recv_done.get_mut(j).ok_or_else(|| bad_peer(j))?;
+            let mut covered = *done;
             for (seq, _, _) in &got {
                 if *seq != covered + 1 {
                     return Err(EngineError::FrameLoss {
@@ -594,7 +619,7 @@ impl Transport for Tcp {
                     got: covered,
                 });
             }
-            self.recv_done[j] = watermark;
+            *done = watermark;
             out.extend(got.into_iter().map(|(_, kind, payload)| (kind, payload)));
         }
         let t1 = self.tracer.now();

@@ -1,0 +1,28 @@
+//! Fixture wire structs for the W02 schema-lock tests. Mirrors the real
+//! frame family's shape: a versioned enum with explicit discriminants and
+//! the structs the golden under `schemas/` locks.
+
+pub const FRAME_VERSION: u32 = 1;
+
+pub enum FrameKind {
+    Hello = 1,
+    Data = 2,
+}
+
+pub struct Frame {
+    pub kind: FrameKind,
+    pub seq: u64,
+    pub payload: Vec<u8>,
+}
+
+pub struct HelloMsg {
+    pub partition: u16,
+}
+
+pub struct StartMsg {
+    pub epoch: u32,
+}
+
+pub struct AbortMsg {
+    pub detail: String,
+}

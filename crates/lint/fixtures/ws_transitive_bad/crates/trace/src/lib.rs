@@ -1,0 +1,21 @@
+#![forbid(unsafe_code)]
+//! Fixture trace sink: one unguarded allocating record path (H01 fires)
+//! and one guard-protected path (the guard is the closure boundary).
+
+pub struct TraceSink {
+    on: bool,
+    buf: Vec<u64>,
+}
+
+impl TraceSink {
+    pub fn record(&mut self, v: u64) {
+        self.buf.push(v);
+    }
+
+    pub fn record_guarded(&mut self, v: u64) {
+        if !self.on {
+            return;
+        }
+        self.buf.push(v);
+    }
+}

@@ -1,0 +1,30 @@
+#![forbid(unsafe_code)]
+//! Fixture helpers the executor reaches transitively.
+
+/// Two-hop panic case: root → `step` → `apply` → `.unwrap()`.
+pub fn step(n: u64) {
+    apply(n);
+}
+
+fn apply(n: u64) {
+    let v: Option<u64> = Some(n);
+    let _ = v.unwrap();
+}
+
+/// D02 case, two hops from the root.
+pub fn wall_clock() -> u64 {
+    let _t = std::time::Instant::now();
+    0
+}
+
+pub struct DiskProvider;
+
+impl Provider for DiskProvider {
+    fn fetch(&mut self, t: usize) -> u64 {
+        lookup(t).expect("timestep present")
+    }
+}
+
+fn lookup(t: usize) -> Option<u64> {
+    Some(t as u64)
+}

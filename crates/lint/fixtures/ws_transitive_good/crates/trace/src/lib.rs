@@ -1,0 +1,17 @@
+#![forbid(unsafe_code)]
+//! Fixture trace sink: the disabled-guard idiom H01 honours — every
+//! allocation sits behind a leading early-return.
+
+pub struct TraceSink {
+    on: bool,
+    buf: Vec<u64>,
+}
+
+impl TraceSink {
+    pub fn record(&mut self, v: u64) {
+        if !self.on {
+            return;
+        }
+        self.buf.push(v);
+    }
+}

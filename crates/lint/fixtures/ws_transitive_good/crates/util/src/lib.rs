@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+//! Fixture helpers: fallible where the bad twin panicked.
+
+pub fn step(n: u64) -> Result<u64, String> {
+    n.checked_add(1).ok_or_else(|| "overflow".to_string())
+}

@@ -100,6 +100,17 @@ fn skip_char_literal(b: &[u8], mut i: usize) -> usize {
 /// Lex `src` into tokens. Never fails: unknown bytes become single-char
 /// punctuation tokens, and unterminated literals consume to end of input.
 pub fn lex(src: &str) -> Vec<Tok> {
+    lex_impl(src, false)
+}
+
+/// [`lex`], but numeric literals are kept as tokens (their source text,
+/// suffix and all). The item parser and the schema extractor need them —
+/// enum discriminants and version constants are part of a wire format.
+pub fn lex_full(src: &str) -> Vec<Tok> {
+    lex_impl(src, true)
+}
+
+fn lex_impl(src: &str, emit_numbers: bool) -> Vec<Tok> {
     let b = src.as_bytes();
     let mut toks = Vec::new();
     let mut i = 0usize;
@@ -173,10 +184,12 @@ pub fn lex(src: &str) -> Vec<Tok> {
                 line,
             });
         } else if c.is_ascii_digit() {
-            // Numeric literal (decimal, hex, float, suffixed). Not emitted:
-            // no rule matches on numbers. Consume `.` only when followed by
+            // Numeric literal (decimal, hex, float, suffixed). Emitted only
+            // in full mode: no *rule* matches on numbers, but the parser and
+            // schema extractor need them. Consume `.` only when followed by
             // a digit, so ranges (`0..n`) and method calls (`1.max(x)`)
             // survive as separate tokens.
+            let start = i;
             i += 1;
             loop {
                 if i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
@@ -186,6 +199,12 @@ pub fn lex(src: &str) -> Vec<Tok> {
                 } else {
                     break;
                 }
+            }
+            if emit_numbers {
+                toks.push(Tok {
+                    text: src[start..i].to_string(),
+                    line,
+                });
             }
         } else {
             // Punctuation; merge the digraphs rules care about.
@@ -340,6 +359,18 @@ mod tests {
     fn ranges_survive_number_lexing() {
         let t = texts("for i in 0..10 { }");
         assert_eq!(t, ["for", "i", "in", ".", ".", "{", "}"]);
+    }
+
+    #[test]
+    fn full_lex_keeps_numbers() {
+        let t: Vec<String> = lex_full("const V: u16 = 2; x[0x1f]; 1.5f64")
+            .into_iter()
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(
+            t,
+            ["const", "V", ":", "u16", "=", "2", ";", "x", "[", "0x1f", "]", ";", "1.5f64"]
+        );
     }
 
     #[test]

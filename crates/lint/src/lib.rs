@@ -14,6 +14,17 @@
 //! * **W01** — wire-format `decode` matches may not use `_` wildcard arms;
 //! * **F01** — every crate root carries `#![forbid(unsafe_code)]`.
 //!
+//! Since v2 the analyzer is workspace-transitive: an item/extent parser
+//! ([`parser`]) and a conservative name-resolution call graph
+//! ([`callgraph`]) let P01 and D02 — plus the new **H01** (no heap
+//! allocation in instrumentation code on the disabled path) — hold over
+//! the entire call closure rooted at the executor superstep loop, the
+//! `Transport` entry points, and the codec entry points, with findings
+//! reported as root→violation call chains. A second pass, **W02**
+//! ([`schema`]), locks the field names/types/order of every wire-format
+//! type against golden fingerprints in `schemas/` — layout drift without
+//! a version bump exits 2.
+//!
 //! Justified exceptions live in the committed `lint-allow.toml`; stale
 //! entries are an error, so suppressions cannot outlive the code they
 //! excuse. Run with `cargo run -p tempograph-lint` or `./ci.sh --lint`.
@@ -21,8 +32,11 @@
 #![forbid(unsafe_code)]
 
 pub mod allowlist;
+pub mod callgraph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod schema;
 pub mod walk;
 
 pub use allowlist::{apply, parse, AllowEntry};
@@ -36,20 +50,59 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Allowlist entries that suppressed nothing (stale).
     pub stale: Vec<AllowEntry>,
+    /// Wire-schema drift diagnostics (W02); non-empty ⇒ exit 2.
+    pub drift: Vec<String>,
     /// Number of files scanned.
     pub files: usize,
+    /// Number of schema groups checked.
+    pub schemas: usize,
+}
+
+/// Parse every workspace file into the item-level AST the call-graph and
+/// schema passes consume.
+pub fn parse_workspace(root: &Path) -> Result<Vec<parser::FileAst>, String> {
+    let files = walk::workspace_files(root)?;
+    let mut asts = Vec::with_capacity(files.len());
+    for file in &files {
+        let src = std::fs::read_to_string(file).map_err(|e| format!("{}: {e}", file.display()))?;
+        asts.push(parser::parse(&walk::rel_path(root, file), &src));
+    }
+    Ok(asts)
 }
 
 /// Lint the workspace rooted at `root`, applying `root/lint-allow.toml`
 /// when present. Errors on I/O or allowlist syntax problems.
+///
+/// Runs three layers: the transitive call-graph pass (P01/D02/H01 over
+/// the hot-path closure, findings with root→violation chains), the
+/// per-file token pass (D01/D02/D03/P01/A01/W01/F01), and the W02
+/// wire-schema lock against `schemas/*.schema`. Where the transitive and
+/// per-file passes flag the same (rule, path, line), the transitive
+/// finding wins — it carries the call chain.
 pub fn lint_workspace(root: &Path) -> Result<Report, String> {
-    let files = walk::workspace_files(root)?;
-    let mut findings = Vec::new();
-    for file in &files {
-        let src = std::fs::read_to_string(file).map_err(|e| format!("{}: {e}", file.display()))?;
-        let rel = walk::rel_path(root, file);
-        findings.extend(rules::analyze(&rel, &src));
+    let asts = parse_workspace(root)?;
+    let file_count = asts.len();
+
+    // Schema lock first — it borrows the ASTs before the graph takes them.
+    let schema_report = schema::check(root, &asts);
+
+    // Transitive pass.
+    let graph = callgraph::CallGraph::build(asts);
+    let mut findings = rules::analyze_transitive(&graph);
+    let seen: std::collections::BTreeSet<(&'static str, String, u32)> = findings
+        .iter()
+        .map(|f| (f.rule, f.path.clone(), f.line))
+        .collect();
+
+    // Per-file pass, deduplicated against the transitive findings.
+    for ast in &graph.files {
+        findings.extend(
+            rules::analyze(&ast.path, &ast.src)
+                .into_iter()
+                .filter(|f| !seen.contains(&(f.rule, f.path.clone(), f.line))),
+        );
     }
+
     let allow_path = root.join("lint-allow.toml");
     let entries = if allow_path.is_file() {
         let src = std::fs::read_to_string(&allow_path)
@@ -69,6 +122,8 @@ pub fn lint_workspace(root: &Path) -> Result<Report, String> {
     Ok(Report {
         findings: kept,
         stale,
-        files: files.len(),
+        drift: schema_report.drift,
+        files: file_count,
+        schemas: schema_report.checked,
     })
 }

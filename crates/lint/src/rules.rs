@@ -14,8 +14,17 @@
 //! `#[cfg(test)]` items masked out. Scoping is path-based (see
 //! [`analyze`]); fixture self-tests use [`analyze_all_rules`], which treats
 //! the whole file as in scope for every rule.
+//!
+//! On top of the per-file pass, [`analyze_transitive`] re-expresses P01 and
+//! D02 — and adds **H01** (no heap allocation in instrumentation code on
+//! the disabled path) — as reachability properties over the workspace call
+//! graph, rooted at the executor superstep loop, the `Transport`
+//! entry points, and the wire/frame/checkpoint/ledger codecs. Transitive
+//! findings carry a root→violation call chain in their message.
 
+use crate::callgraph::{CallGraph, FnId};
 use crate::lexer::{self, Tok};
+use crate::parser::FnItem;
 
 /// One rule violation at a source location.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -262,6 +271,348 @@ fn run(path: &str, src: &str, scope: Scope) -> Vec<Finding> {
         }
     }
     out
+}
+
+// ---------------------------------------------------------------------------
+// Transitive reachability rules (workspace call-graph pass)
+// ---------------------------------------------------------------------------
+
+/// Executor fns that root the hot-path closure: the timestep/superstep
+/// drivers. Everything they transitively call runs once per superstep per
+/// subgraph and must be panic-free, clock-free, and (for instrumentation)
+/// allocation-free when disabled.
+pub const HOT_ROOTS_EXECUTOR: &[&str] = &[
+    "run_timestep_loop",
+    "run_bsp",
+    "run_merge",
+    "run_temporally_parallel",
+];
+
+/// `Transport` entry points — every impl (and the trait's default
+/// `barrier`) roots its own closure.
+pub const HOT_ROOTS_TRANSPORT: &[&str] = &["send", "exchange", "arrive", "barrier"];
+
+/// Codec entry-point names: any fn with one of these names in a
+/// [`CODEC_FILES`] file roots the wire/frame/checkpoint/ledger closure.
+pub const HOT_ROOTS_CODEC: &[&str] = &[
+    "encode",
+    "decode",
+    "encode_into",
+    "decode_from",
+    "read_frame",
+    "write_frame",
+];
+
+/// Files where slice/array indexing panics on wire- or state-derived
+/// indices (the P01 indexing sub-check). The executor is deliberately NOT
+/// here: its dense per-partition arrays are sized once at init and indexed
+/// by partition/subgraph ids that are structurally in-range — flagging
+/// every `self.inbox[i]` would bury the signal. gofs columnar reads are
+/// directory-vetted at decode (PR 6) and carry their own bounds checks.
+const INDEX_CHECK_FILES: &[&str] = &[
+    "crates/engine/src/wire.rs",
+    "crates/engine/src/batch.rs",
+    "crates/engine/src/net.rs",
+    "crates/engine/src/transport.rs",
+    "crates/engine/src/checkpoint.rs",
+    "crates/engine/src/sync.rs",
+    "crates/ledger/src/record.rs",
+];
+
+/// Instrumentation crates rule H01 polices: code here that is reachable
+/// from a hot root *without an intervening disabled-guard* must not
+/// allocate — when tracing/metrics/the ledger are off, the hot path must
+/// be zero-alloc (backed dynamically by the counting-allocator smoke
+/// tests; H01 is the static side of that contract).
+const H01_FILES: &[&str] = &[
+    "crates/trace/src/",
+    "crates/metrics/src/",
+    "crates/ledger/src/",
+];
+
+/// Allocating calls/macros H01 looks for (token-pattern, rendered name).
+const ALLOC_PATTERNS: &[(&[&str], &str)] = &[
+    (&["Box", "::", "new", "("], "Box::new"),
+    (&["String", "::", "from", "("], "String::from"),
+    (&["format", "!"], "format!"),
+    (&["vec", "!"], "vec!"),
+    (&[".", "to_string", "("], ".to_string()"),
+    (&[".", "to_owned", "("], ".to_owned()"),
+    (&[".", "to_vec", "("], ".to_vec()"),
+    (&[".", "push", "("], ".push()"),
+    (&[".", "extend", "("], ".extend()"),
+    (&[".", "reserve", "("], ".reserve()"),
+    (&["::", "with_capacity", "("], "::with_capacity()"),
+];
+
+/// Is this fn outside the transitive analysis boundary? `crates/algos`
+/// holds `SubgraphProgram` user code — its compute panics are recovered by
+/// the checkpoint/retry machinery, so traversal stops there, EXCEPT for
+/// codec entry points (algo message types cross the wire and their
+/// decode runs on the worker hot path).
+fn outside_boundary(path: &str, f: &FnItem) -> bool {
+    path.contains("crates/algos/") && !HOT_ROOTS_CODEC.contains(&f.name.as_str())
+}
+
+/// The superstep-loop root set: executor drivers plus `Transport` entry
+/// points. This is the per-superstep steady-state path — also the root
+/// set for H01 (allocations here happen every superstep).
+pub fn loop_roots(graph: &CallGraph) -> Vec<FnId> {
+    let mut roots = graph.roots_in("crates/engine/src/executor.rs", |f| {
+        HOT_ROOTS_EXECUTOR.contains(&f.name.as_str())
+    });
+    roots.extend(graph.roots_in("crates/engine/src/transport.rs", |f| {
+        HOT_ROOTS_TRANSPORT.contains(&f.name.as_str())
+    }));
+    roots.sort_unstable();
+    roots.dedup();
+    roots
+}
+
+/// Collect the full hot-path root set for a workspace call graph: the
+/// superstep loop plus every codec entry point. P01/D02 run over this
+/// closure; H01 runs over [`loop_roots`] only, because decode
+/// reconstructs owned records — it is inherently allocating and runs in
+/// tooling and crash recovery, not the per-superstep loop.
+pub fn hot_roots(graph: &CallGraph) -> Vec<FnId> {
+    let mut roots = loop_roots(graph);
+    for file in CODEC_FILES {
+        roots.extend(graph.roots_in(file, |f| HOT_ROOTS_CODEC.contains(&f.name.as_str())));
+    }
+    roots.sort_unstable();
+    roots.dedup();
+    roots
+}
+
+/// Run the transitive P01/D02/H01 passes over a workspace call graph.
+/// Findings carry the root→violation chain in `msg`.
+pub fn analyze_transitive(graph: &CallGraph) -> Vec<Finding> {
+    let roots = hot_roots(graph);
+    let mut out = Vec::new();
+
+    // P01 + D02 share one closure: full traversal, stopping only at the
+    // algos program boundary.
+    let reach = graph.closure(&roots, |id, f| outside_boundary(&graph.files[id.0].path, f));
+    for (&id, parent) in &reach {
+        let file = &graph.files[id.0];
+        let f = &file.fns[id.1];
+        if outside_boundary(&file.path, f) && parent.is_some() {
+            // Boundary fn reached from inside the closure (not a root):
+            // traversal stopped here and its body is out of scope.
+            continue;
+        }
+        let Some((bs, be)) = f.body else { continue };
+        let chain = graph.chain(&reach, id);
+        scan_p01_body(file, bs, be, &chain, &mut out);
+        scan_d02_body(file, bs, be, &chain, &mut out);
+    }
+
+    // H01: superstep-loop roots only, and guarded fns are boundaries —
+    // the guard proves everything past it runs only when the subsystem
+    // is enabled.
+    let h01_roots = loop_roots(graph);
+    let h01_reach = graph.closure(&h01_roots, |id, f| {
+        f.guarded || outside_boundary(&graph.files[id.0].path, f)
+    });
+    for &id in h01_reach.keys() {
+        let file = &graph.files[id.0];
+        let f = &file.fns[id.1];
+        if f.guarded || outside_boundary(&file.path, f) {
+            continue;
+        }
+        if !H01_FILES.iter().any(|p| file.path.contains(p)) {
+            continue;
+        }
+        let Some((bs, be)) = f.body else { continue };
+        let chain = graph.chain(&h01_reach, id);
+        scan_h01_body(file, bs, be, &chain, &mut out);
+    }
+
+    out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    out.dedup_by(|a, b| (a.rule, &a.path, a.line) == (b.rule, &b.path, b.line));
+    out
+}
+
+fn transitive_finding(
+    rule: &'static str,
+    file: &crate::parser::FileAst,
+    line: u32,
+    msg: String,
+) -> Finding {
+    Finding {
+        rule,
+        path: file.path.clone(),
+        line,
+        msg,
+        line_text: file
+            .src
+            .lines()
+            .nth(line.saturating_sub(1) as usize)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default(),
+    }
+}
+
+fn scan_p01_body(
+    file: &crate::parser::FileAst,
+    bs: usize,
+    be: usize,
+    chain: &str,
+    out: &mut Vec<Finding>,
+) {
+    let toks = &file.toks;
+    let check_index = INDEX_CHECK_FILES.iter().any(|p| file.path.ends_with(p));
+    let mut i = bs;
+    while i < be.min(toks.len()) {
+        let t = toks[i].text.as_str();
+        let next = |k: usize| toks.get(i + k).map(|t| t.text.as_str());
+        let prev = |k: usize| i.checked_sub(k).map(|j| toks[j].text.as_str());
+        let hit =
+            if (t == "unwrap" || t == "expect") && prev(1) == Some(".") && next(1) == Some("(") {
+                Some(format!("`.{t}()`"))
+            } else if (t == "panic" || t == "todo" || t == "unimplemented") && next(1) == Some("!")
+            {
+                Some(format!("`{t}!`"))
+            } else if check_index && t == "[" && can_panic_index(toks, i, be) {
+                Some("slice indexing on a non-literal index".to_string())
+            } else {
+                None
+            };
+        if let Some(what) = hit {
+            out.push(transitive_finding(
+                "P01",
+                file,
+                toks[i].line,
+                format!(
+                    "{what} reachable from a hot-path root — return a typed error instead\n        \
+                     via {chain}"
+                ),
+            ));
+            // One finding per line per cause is enough; skip to line end.
+            let line = toks[i].line;
+            while i < be.min(toks.len()) && toks[i].line == line {
+                i += 1;
+            }
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Is `toks[i] == "["` an indexing expression that can panic? True when
+/// the bracket follows a value (ident, `)`, or `]`) and its contents name
+/// at least one identifier — `buf[pos]`, `&frame[a..b]`. Literal-only
+/// indices (`hdr[0]`) address fixed layouts and are exempt, as are
+/// attribute/array-type/slice-pattern brackets (no value before them).
+fn can_panic_index(toks: &[Tok], i: usize, be: usize) -> bool {
+    let Some(prev) = i.checked_sub(1).map(|j| toks[j].text.as_str()) else {
+        return false;
+    };
+    let value_before = prev == ")"
+        || prev == "]"
+        || (prev
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphabetic() || c == '_')
+            && !matches!(
+                prev,
+                "mut" | "ref" | "return" | "in" | "as" | "dyn" | "else" | "match"
+            ));
+    if !value_before {
+        return false;
+    }
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < be.min(toks.len()) {
+        match toks[j].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return false;
+                }
+            }
+            s if depth >= 1
+                && s.chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphabetic() || c == '_')
+                && !matches!(s, "as" | "usize" | "u8" | "u16" | "u32" | "u64" | "mut") =>
+            {
+                return true;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    false
+}
+
+fn scan_d02_body(
+    file: &crate::parser::FileAst,
+    bs: usize,
+    be: usize,
+    chain: &str,
+    out: &mut Vec<Finding>,
+) {
+    if file.path.contains("crates/trace/src") {
+        return; // the Clock abstraction itself
+    }
+    let toks = &file.toks;
+    for i in bs..be.min(toks.len()) {
+        let t = toks[i].text.as_str();
+        if (t == "Instant" || t == "SystemTime")
+            && toks.get(i + 1).is_some_and(|t| t.text == "::")
+            && toks.get(i + 2).is_some_and(|t| t.text == "now")
+            && toks.get(i + 3).is_some_and(|t| t.text == "(")
+        {
+            out.push(transitive_finding(
+                "D02",
+                file,
+                toks[i].line,
+                format!(
+                    "`{t}::now()` reachable from a hot-path root — use `tempograph_trace::Clock`\n        \
+                     via {chain}"
+                ),
+            ));
+        }
+    }
+}
+
+fn scan_h01_body(
+    file: &crate::parser::FileAst,
+    bs: usize,
+    be: usize,
+    chain: &str,
+    out: &mut Vec<Finding>,
+) {
+    let toks = &file.toks;
+    let mut i = bs;
+    'outer: while i < be.min(toks.len()) {
+        for (pat, name) in ALLOC_PATTERNS {
+            if pat
+                .iter()
+                .enumerate()
+                .all(|(k, want)| toks.get(i + k).is_some_and(|t| t.text == *want))
+            {
+                out.push(transitive_finding(
+                    "H01",
+                    file,
+                    toks[i].line,
+                    format!(
+                        "`{name}` allocates in instrumentation code reachable from a hot-path \
+                         root with no disabled-guard — hoist behind `if !self.on() {{ return }}` \
+                         or preallocate\n        via {chain}"
+                    ),
+                ));
+                let line = toks[i].line;
+                while i < be.min(toks.len()) && toks[i].line == line {
+                    i += 1;
+                }
+                continue 'outer;
+            }
+        }
+        i += 1;
+    }
 }
 
 /// Collect identifiers bound with a hash-collection type in this file:

@@ -1,9 +1,19 @@
 //! Self-test corpus: every rule has a bad fixture that fires exactly that
 //! rule and a good fixture that fires nothing; plus allowlist suppression,
 //! stale-entry detection, and a full clean-workspace run.
+//!
+//! The `ws_*` fixture directories are mini-workspaces for the v2 passes:
+//! `ws_transitive_{bad,good}` exercise the call-graph rules (indirect
+//! panics, trait dispatch, use-aliases, cfg(test) masking, H01 guards,
+//! indexing) end to end through [`lint_workspace`], and `ws_schema` locks
+//! a miniature frame family for the W02 drift tests and the binary
+//! exit-code matrix.
 
 use std::path::{Path, PathBuf};
-use tempograph_lint::{allowlist, analyze_all_rules, lint_workspace, Finding};
+use std::process::Command;
+use tempograph_lint::{
+    allowlist, analyze_all_rules, lint_workspace, parse_workspace, schema, Finding,
+};
 
 const RULES: &[&str] = &["D01", "D02", "D03", "P01", "A01", "W01", "F01"];
 
@@ -103,6 +113,187 @@ reason = "stale on purpose"
     assert_eq!(used, vec![false], "the entry must be reported stale");
 }
 
+// ---- v2: transitive call-graph fixtures -----------------------------------
+
+fn ws_root(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+/// Copy a `ws_*` fixture into a fresh temp dir (`tag` keeps concurrent
+/// tests apart) so drift tests can mutate it freely.
+fn temp_copy(name: &str, tag: &str) -> PathBuf {
+    fn copy_dir(src: &Path, dst: &Path) {
+        std::fs::create_dir_all(dst).expect("create temp fixture dir");
+        for e in std::fs::read_dir(src).expect("read fixture dir") {
+            let e = e.expect("fixture dir entry");
+            let to = dst.join(e.file_name());
+            if e.path().is_dir() {
+                copy_dir(&e.path(), &to);
+            } else {
+                std::fs::copy(e.path(), &to).expect("copy fixture file");
+            }
+        }
+    }
+    let dst = std::env::temp_dir().join(format!(
+        "tempograph-lint-{name}-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dst);
+    copy_dir(&ws_root(name), &dst);
+    dst
+}
+
+#[test]
+fn transitive_bad_workspace_reports_chained_findings() {
+    let report = lint_workspace(&ws_root("ws_transitive_bad")).expect("lint runs");
+    assert!(report.drift.is_empty(), "no wire formats in this fixture");
+    let has = |rule: &str, path_frag: &str, msg_frag: &str| {
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == rule && f.path.contains(path_frag) && f.msg.contains(msg_frag))
+    };
+    // Two-hop bare-call panic, with the full chain in the message.
+    assert!(
+        has("P01", "util/src/lib.rs", "run_timestep_loop → step → apply"),
+        "{:#?}",
+        report.findings
+    );
+    // Trait dispatch through the bodyless `Provider` declaration.
+    assert!(
+        has("P01", "util/src/lib.rs", "DiskProvider::fetch"),
+        "{:#?}",
+        report.findings
+    );
+    // Use-alias: `advance(…)` resolved to `step`; covered by the chain
+    // above naming `step`, not the alias.
+    assert!(!report.findings.iter().any(|f| f.msg.contains("advance")));
+    // Two-hop clock read.
+    assert!(
+        has("D02", "util/src/lib.rs", "stamp → wall_clock"),
+        "{:#?}",
+        report.findings
+    );
+    // Unguarded instrumentation allocation.
+    assert!(
+        has("H01", "trace/src/lib.rs", "TraceSink::record"),
+        "{:#?}",
+        report.findings
+    );
+    // Indexing rooted directly at a Transport entry point.
+    assert!(
+        has("P01", "engine/src/transport.rs", "Mesh::send"),
+        "{:#?}",
+        report.findings
+    );
+    // The cfg(test)-masked callee and the guarded record path contribute
+    // nothing.
+    assert!(!report
+        .findings
+        .iter()
+        .any(|f| f.msg.contains("debug_probe")));
+    assert!(!report
+        .findings
+        .iter()
+        .any(|f| f.msg.contains("record_guarded")));
+    // Every transitive finding explains itself with a chain.
+    for f in report.findings.iter().filter(|f| f.rule != "F01") {
+        assert!(f.msg.contains("via "), "chainless finding: {f:#?}");
+    }
+}
+
+#[test]
+fn transitive_good_workspace_is_clean() {
+    let report = lint_workspace(&ws_root("ws_transitive_good")).expect("lint runs");
+    assert!(report.findings.is_empty(), "{:#?}", report.findings);
+    assert!(report.drift.is_empty());
+    assert!(report.stale.is_empty());
+}
+
+// ---- v2: wire-schema locking ----------------------------------------------
+
+/// Swap the `seq` and `payload` fields of the fixture `Frame` struct —
+/// the canonical "silent wire corruption" edit W02 exists to catch.
+fn reorder_frame_fields(root: &Path) {
+    let net = root.join("crates/engine/src/net.rs");
+    let src = std::fs::read_to_string(&net).expect("fixture net.rs");
+    assert!(src.contains("pub seq: u64,\n    pub payload: Vec<u8>,"));
+    let mutated = src.replace(
+        "pub seq: u64,\n    pub payload: Vec<u8>,",
+        "pub payload: Vec<u8>,\n    pub seq: u64,",
+    );
+    std::fs::write(&net, mutated).expect("write mutated net.rs");
+}
+
+#[test]
+fn schema_fixture_is_locked_and_field_reorder_is_drift() {
+    // Committed golden matches the fixture source.
+    let report = lint_workspace(&ws_root("ws_schema")).expect("lint runs");
+    assert!(report.drift.is_empty(), "{:#?}", report.drift);
+    assert_eq!(report.schemas, 1, "the net group is locked");
+    assert!(report.findings.is_empty(), "{:#?}", report.findings);
+
+    // Reordering two wire fields is drift.
+    let tmp = temp_copy("ws_schema", "drift");
+    reorder_frame_fields(&tmp);
+    let report = lint_workspace(&tmp).expect("lint runs");
+    assert!(
+        report.drift.iter().any(|d| d.contains("net.schema")),
+        "{:#?}",
+        report.drift
+    );
+    let _ = std::fs::remove_dir_all(&tmp);
+}
+
+#[test]
+fn schema_regeneration_requires_a_version_bump() {
+    let tmp = temp_copy("ws_schema", "bump");
+    reorder_frame_fields(&tmp);
+
+    // Shape changed, version unchanged: the writer refuses.
+    let asts = parse_workspace(&tmp).expect("parse fixture workspace");
+    let err = schema::write(&tmp, &asts).expect_err("refuses without a bump");
+    assert!(err.contains("bump"), "{err}");
+
+    // Bump the governing constant: regeneration succeeds and the
+    // workspace locks clean again.
+    let net = tmp.join("crates/engine/src/net.rs");
+    let src = std::fs::read_to_string(&net).expect("fixture net.rs");
+    std::fs::write(
+        &net,
+        src.replace("FRAME_VERSION: u32 = 1", "FRAME_VERSION: u32 = 2"),
+    )
+    .expect("write bumped net.rs");
+    let asts = parse_workspace(&tmp).expect("parse fixture workspace");
+    let written = schema::write(&tmp, &asts).expect("write succeeds after bump");
+    assert_eq!(written, vec!["schemas/net.schema".to_string()]);
+    let report = lint_workspace(&tmp).expect("lint runs");
+    assert!(report.drift.is_empty(), "{:#?}", report.drift);
+    let _ = std::fs::remove_dir_all(&tmp);
+}
+
+#[test]
+fn binary_exit_codes_cover_clean_findings_and_drift() {
+    let bin = env!("CARGO_BIN_EXE_tempograph-lint");
+    let run = |root: &Path| {
+        Command::new(bin)
+            .arg("--root")
+            .arg(root)
+            .output()
+            .expect("run tempograph-lint")
+            .status
+            .code()
+    };
+    assert_eq!(run(&ws_root("ws_transitive_good")), Some(0), "clean → 0");
+    assert_eq!(run(&ws_root("ws_transitive_bad")), Some(1), "findings → 1");
+    let tmp = temp_copy("ws_schema", "exit2");
+    reorder_frame_fields(&tmp);
+    assert_eq!(run(&tmp), Some(2), "schema drift → 2");
+    let _ = std::fs::remove_dir_all(&tmp);
+}
+
 #[test]
 fn workspace_is_clean_under_committed_allowlist() {
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
@@ -123,4 +314,10 @@ fn workspace_is_clean_under_committed_allowlist() {
         "no stale allowlist entries: {:#?}",
         report.stale
     );
+    assert!(
+        report.drift.is_empty(),
+        "wire schemas match their goldens: {:#?}",
+        report.drift
+    );
+    assert!(report.schemas >= 6, "all schema groups are present");
 }
