@@ -61,8 +61,10 @@ faults_stage() {
 # Transport gate: every algorithm must produce byte-identical results over
 # in-process channels, a localhost TCP thread mesh, and real spawned worker
 # processes (the equivalence suite covers all three plus delivery-order
-# probes and frame-codec fuzzing), and the `tempograph` binary must drive a
-# 2-process localhost cluster end-to-end. Skips loudly when loopback
+# probes, telemetry equivalence, and frame-codec fuzzing), and the
+# `tempograph` binary must drive a 2-process localhost cluster end-to-end —
+# plain and with observability armed (worker telemetry shards merged into
+# the coordinator registry). Skips loudly when loopback
 # sockets are unavailable in the sandbox (the tests print a NOTICE and
 # pass; the CLI smoke is guarded the same way).
 transport_stage() {
@@ -95,6 +97,33 @@ transport_stage() {
     else
         echo "    NOTICE: tcp-process CLI run failed (loopback sockets" \
              "unavailable in this sandbox?); skipping smoke"
+    fi
+
+    echo "==> transport: 2-process telemetry smoke (worker shards merged at the coordinator)"
+    "$tg" run --algo hash --data "$work/ds" --observe true \
+        --transport inprocess > "$work/inproc-obs.txt"
+    if "$tg" run --algo hash --data "$work/ds" --observe true \
+            --transport tcp-process > "$work/tcp-obs.txt"; then
+        sed -e '/^running /d' -e '/^finished in /d' "$work/inproc-obs.txt" > "$work/a-obs.txt"
+        sed -e '/^running /d' -e '/^finished in /d' "$work/tcp-obs.txt" > "$work/b-obs.txt"
+        diff -u "$work/a-obs.txt" "$work/b-obs.txt" \
+            || { echo "FAIL: telemetry-merged registry differs from in-process" >&2; exit 1; }
+        # Coordinator snapshot totals must equal the worker-local sums
+        # printed beside them (both lines come out of the same run).
+        local loc_loads reg_loads spans
+        loc_loads="$(awk -F': *' '/^slice loads/{print $2}' "$work/tcp-obs.txt")"
+        reg_loads="$(sed -n 's/^registry.*slice loads \([0-9]*\),.*/\1/p' "$work/tcp-obs.txt")"
+        [[ -n "$reg_loads" && "$loc_loads" == "$reg_loads" ]] \
+            || { echo "FAIL: registry slice-load total ($reg_loads) != worker-local sum ($loc_loads)" >&2; exit 1; }
+        # Histogram content only reaches a tcp-process coordinator via
+        # telemetry frames — zero observations would mean no shard arrived.
+        spans="$(sed -n 's/^registry.*compute spans \([0-9]*\),.*/\1/p' "$work/tcp-obs.txt")"
+        [[ -n "$spans" && "$spans" -gt 0 ]] \
+            || { echo "FAIL: no compute-span observations in merged registry" >&2; exit 1; }
+        echo "    telemetry smoke OK (slice loads $reg_loads, compute spans $spans)"
+    else
+        echo "    NOTICE: tcp-process telemetry run failed (loopback sockets" \
+             "unavailable in this sandbox?); skipping telemetry smoke"
     fi
 }
 
@@ -149,6 +178,18 @@ inspect_stage() {
         --seed 3405691582 --deterministic true >/dev/null
     cmp "$work"/runs-a/*.tgrun "$work"/runs-b/*.tgrun \
         || { echo "FAIL: deterministic ledger records differ byte-wise" >&2; exit 1; }
+    # The same seeded deterministic run over TCP must record the exact
+    # same bytes: its attribution table and counter totals arrive at the
+    # coordinator via telemetry frames instead of shared memory.
+    if "$tg" run --algo hash --data "$work/ds" --ledger "$work/runs-tcp" \
+            --transport tcp --seed 3405691582 --deterministic true >/dev/null; then
+        cmp "$work"/runs-b/*.tgrun "$work"/runs-tcp/*.tgrun \
+            || { echo "FAIL: tcp ledger record differs byte-wise from in-process" >&2; exit 1; }
+        echo "    tcp ledger record byte-identical to in-process"
+    else
+        echo "    NOTICE: tcp run failed (loopback sockets unavailable" \
+             "in this sandbox?); skipping tcp ledger byte-identity"
+    fi
     local run
     run="$(basename "$work"/runs-a/*.tgrun .tgrun)"
     "$tg" inspect list --ledger "$work/runs-a" >/dev/null

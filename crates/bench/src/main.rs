@@ -10,7 +10,9 @@
 #![forbid(unsafe_code)]
 
 use std::process::ExitCode;
-use tempograph_bench::report::{build_report, compare_reports, ALGOS, DEFAULT_THRESHOLD, KS};
+use tempograph_bench::report::{
+    build_report, compare_reports, telemetry_overhead_note, ALGOS, DEFAULT_THRESHOLD, KS,
+};
 use tempograph_metrics::json::Value;
 
 const USAGE: &str = "usage: bench report [--out PATH]
@@ -55,6 +57,7 @@ fn cmd_report(args: &[&str]) -> Result<ExitCode, String> {
     let report = build_report(&ALGOS, &KS);
     std::fs::write(&out, report.write_pretty()).map_err(|e| format!("write {out}: {e}"))?;
     println!("wrote {out}");
+    println!("{}", telemetry_overhead_note());
     Ok(ExitCode::SUCCESS)
 }
 

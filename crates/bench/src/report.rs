@@ -18,7 +18,7 @@
 use std::sync::Arc;
 use tempograph_algos::{HashtagAggregation, MemeTracking, Tdsp};
 use tempograph_core::{GraphTemplate, TimeSeriesCollection, VertexIdx};
-use tempograph_engine::{run_job, InstanceSource, JobConfig, JobResult};
+use tempograph_engine::{run_job, InstanceSource, JobConfig, JobResult, TraceConfig};
 use tempograph_gen::{
     generate_road_latencies, generate_sir_tweets, DatasetPreset, RoadLatencyConfig, SirConfig,
     LATENCY_ATTR, TWEETS_ATTR,
@@ -259,6 +259,50 @@ pub fn build_report(algos: &[&str], ks: &[usize]) -> Value {
         ("env".into(), env_value()),
         ("entries".into(), Value::Arr(entries)),
     ])
+}
+
+/// Informational telemetry-overhead probe: one HASH/k3 cell fully dark
+/// versus fully armed (metrics + attribution + tracing — everything the
+/// telemetry plane ships over TCP). Printed beside the report but never
+/// written into it: a single-run wall-clock ratio is far too noisy to
+/// gate on a shared CI box, yet a large blow-up is worth a look.
+pub fn telemetry_overhead_note() -> String {
+    let t = fixture_template();
+    let tweets = fixture_tweets(&t);
+    let tw_col = t
+        .vertex_schema()
+        .index_of(TWEETS_ATTR)
+        .expect("fixture has tweets attr");
+    let pg = partitioned(&t, 3);
+    let dir = stage_gofs("report-telemetry-probe", &pg, &tweets, PACKING, BINNING);
+    let src = InstanceSource::Gofs(dir.clone());
+    let dark = run_job(
+        &pg,
+        &src,
+        HashtagAggregation::factory(MEME, tw_col),
+        JobConfig::eventually_dependent(REPORT_TIMESTEPS),
+    );
+    let armed = run_job(
+        &pg,
+        &src,
+        HashtagAggregation::factory(MEME, tw_col),
+        JobConfig::eventually_dependent(REPORT_TIMESTEPS)
+            .with_metrics()
+            .with_attribution()
+            .with_trace(TraceConfig::new()),
+    );
+    cleanup(&dir);
+    let pct = if dark.total_wall_ns == 0 {
+        f64::INFINITY
+    } else {
+        (armed.total_wall_ns as f64 / dark.total_wall_ns as f64 - 1.0) * 100.0
+    };
+    format!(
+        "note: telemetry-enabled overhead (informational, not gated): HASH/k3 wall {:.3}s armed vs {:.3}s dark ({:+.1}%)",
+        secs(armed.total_wall_ns),
+        secs(dark.total_wall_ns),
+        pct
+    )
 }
 
 /// One fatal regression found by [`compare_reports`].

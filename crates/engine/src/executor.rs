@@ -34,7 +34,7 @@ use crate::metrics::{Emit, JobResult, MetricsShard, TimestepMetrics};
 use crate::program::{Context, Outbox, Phase, SubgraphProgram};
 use crate::provider::{InstanceProvider, InstanceSource};
 use crate::sync::{join_partition, Contribution, PoisonOnPanic, SyncPoint};
-use crate::transport::{BatchKind, InProcess, Transport};
+use crate::transport::{BatchKind, InProcess, TelemetryFlush, Transport};
 use crate::wire::{sort_envelopes, Envelope};
 use bytes::{Buf, Bytes, BytesMut};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -81,6 +81,10 @@ pub enum TimestepMode {
         max: usize,
     },
 }
+
+/// Default [`JobConfig::straggler_factor`]: a worker must wait 4× the
+/// round's median barrier wait before the coordinator flags it.
+pub const DEFAULT_STRAGGLER_FACTOR: f64 = 4.0;
 
 /// TI-BSP job configuration.
 #[derive(Clone)]
@@ -139,6 +143,15 @@ pub struct JobConfig<M> {
     /// Deterministic fault injection (see [`crate::faults`]). Arc-shared so
     /// one-shot panic events stay latched across recovery attempts.
     pub faults: Option<Arc<FaultPlan>>,
+    /// TCP-mode live introspection: when set, [`crate::run_job_tcp`]'s
+    /// coordinator serves the status board (`tempograph status`) on this
+    /// address for the life of the job. Ignored by the in-process driver.
+    pub status_addr: Option<String>,
+    /// Straggler threshold: a worker whose per-timestep barrier wait
+    /// exceeds this multiple of the round's median wait earns a
+    /// `straggler.detected` instant from the TCP coordinator. Only
+    /// meaningful when tracing is armed over TCP.
+    pub straggler_factor: f64,
 }
 
 impl<M> std::fmt::Debug for JobConfig<M> {
@@ -159,6 +172,8 @@ impl<M> std::fmt::Debug for JobConfig<M> {
             .field("attribution", &self.attribution)
             .field("checkpoint", &self.checkpoint)
             .field("faults", &self.faults)
+            .field("status_addr", &self.status_addr)
+            .field("straggler_factor", &self.straggler_factor)
             .finish()
     }
 }
@@ -193,6 +208,8 @@ impl<M> JobConfig<M> {
             attribution: false,
             checkpoint: None,
             faults: None,
+            status_addr: None,
+            straggler_factor: DEFAULT_STRAGGLER_FACTOR,
         }
     }
 
@@ -259,6 +276,19 @@ impl<M> JobConfig<M> {
     /// Install a deterministic fault-injection plan (see field docs).
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(Arc::new(plan));
+        self
+    }
+
+    /// Serve the live status board on `addr` (TCP mode; see field docs).
+    pub fn with_status_addr(mut self, addr: impl Into<String>) -> Self {
+        self.status_addr = Some(addr.into());
+        self
+    }
+
+    /// Set the straggler-detection threshold (see field docs).
+    pub fn with_straggler_factor(mut self, factor: f64) -> Self {
+        assert!(factor >= 1.0, "straggler factor must be ≥ 1");
+        self.straggler_factor = factor;
         self
     }
 }
@@ -348,9 +378,11 @@ pub(crate) struct WorkerOutput {
     pub(crate) sinks: Vec<(String, TraceSink)>,
     /// This worker's metrics shard, when the job ran with metrics enabled.
     pub(crate) shard: Option<Box<MetricsShard>>,
-    /// This worker's attribution grid, when the job ran with attribution
-    /// enabled.
-    pub(crate) attr: Option<Box<AttributionShard>>,
+    /// This worker's attribution rows, when the job ran with attribution
+    /// enabled. Already row-form (not the dense grid) so the TCP
+    /// coordinator can substitute shipped snapshots without rebuilding a
+    /// worker-shaped [`AttributionShard`].
+    pub(crate) attr_rows: Vec<crate::metrics::AttributionRow>,
 }
 
 /// True when a panic payload is a *cascade* failure — a worker that died
@@ -659,14 +691,13 @@ pub(crate) fn assemble_job_result(
         reg
     });
 
-    // Assemble the attribution table: concatenate worker grids (each
+    // Assemble the attribution table: concatenate worker rows (each
     // subgraph lives on exactly one partition, so rows cannot collide) and
     // sort by (subgraph, timestep) — merge rows (`u32::MAX`) sort last.
     let attribution = attribution_enabled.then(|| {
         let mut rows: Vec<crate::metrics::AttributionRow> = outputs
-            .iter()
-            .filter_map(|o| o.attr.as_deref())
-            .flat_map(AttributionShard::rows)
+            .iter_mut()
+            .flat_map(|o| o.attr_rows.drain(..))
             .collect();
         rows.sort_by_key(|r| (r.subgraph, r.timestep));
         crate::metrics::CostAttribution { rows }
@@ -834,7 +865,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
                 final_states: Vec::new(),
                 sinks: Vec::new(),
                 shard: None,
-                attr: None,
+                attr_rows: Vec::new(),
             },
             cur_counters: BTreeMap::new(),
             allow_next_timestep: config.pattern == Pattern::SequentiallyDependent,
@@ -884,7 +915,7 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
             .sinks
             .push((format!("partition {}", self.partition), tracer));
         self.out.shard = self.shard.take();
-        self.out.attr = self.attr.take();
+        self.out.attr_rows = self.attr.take().map(|a| a.rows()).unwrap_or_default();
         if let Some(sink) = self.provider.take_trace() {
             self.out
                 .sinks
@@ -1043,11 +1074,32 @@ impl<'a, P: SubgraphProgram> Worker<'a, P> {
             let ts1 = self.tracer.now();
             m.wall_ns = ts1 - ts0;
             self.tracer.span_arg_at("timestep", ts0, ts1, "t", t as u64);
+            let round_sync_ns = m.sync_ns;
             self.out.metrics.push(m);
             self.out
                 .counters
                 .push(std::mem::take(&mut self.cur_counters));
             self.out.timesteps_run = t + 1;
+
+            // Ship this round's observability snapshot to the coordinator.
+            // Only the TCP transport wants these; the in-process path (and
+            // a TCP run with observability disabled) pays one virtual call
+            // and a branch — no allocation, no frame.
+            if self.transport.wants_telemetry() {
+                self.transport.telemetry(TelemetryFlush {
+                    timestep: t as u32,
+                    supersteps,
+                    barrier_wait_ns: round_sync_ns,
+                    final_flush: false,
+                    events: self.tracer.take_events(),
+                    shard: self.shard.as_deref().cloned(),
+                    attr_rows: self
+                        .attr
+                        .as_deref()
+                        .map(AttributionShard::rows)
+                        .unwrap_or_default(),
+                })?;
+            }
 
             // Checkpoint decisions are pure functions of (t, config, agg),
             // so all workers take the same barriers in maybe_checkpoint.

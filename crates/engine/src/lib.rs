@@ -55,15 +55,16 @@ pub use checkpoint::{
     SubgraphCheckpoint, WorkerCheckpoint,
 };
 pub use error::{EngineError, WireError};
-pub use executor::{run_job, JobConfig, Pattern, TimestepMode};
+pub use executor::{run_job, JobConfig, Pattern, TimestepMode, DEFAULT_STRAGGLER_FACTOR};
 pub use faults::{FaultPlan, FrameFault, INJECTED_FAULT_MARKER};
 pub use metrics::{AttributionRow, CostAttribution, Emit, JobResult, TimestepMetrics};
-pub use net::{Frame, FrameConn, FrameKind};
+pub use net::{Frame, FrameConn, FrameKind, StatusReplyMsg, TelemetryMsg, WorkerStatusWire};
 pub use program::{Context, Phase, SubgraphProgram};
 pub use provider::{GofsProvider, InstanceProvider, InstanceSource, IoStats, MemoryProvider};
 pub use sync::{join_partition, Aggregate, Contribution, PoisonOnPanic, SyncPoint};
 pub use tempograph_trace::{Trace, TraceConfig, TraceMode, TraceSink};
 pub use transport::{
-    run_job_tcp, run_tcp_worker, BatchKind, Cluster, InProcess, Tcp, Transport, INJECTED_EXIT_CODE,
+    query_status, run_job_tcp, run_tcp_worker, BatchKind, Cluster, InProcess, Tcp, Transport,
+    INJECTED_EXIT_CODE,
 };
 pub use wire::{Envelope, WireMsg};

@@ -46,8 +46,9 @@ pub const FRAME_MAGIC: [u8; 4] = *b"TGFR";
 
 /// Current frame format version. Bump on any header/payload layout change;
 /// a version mismatch at decode is corruption (mixed-build clusters are not
-/// supported).
-pub const FRAME_VERSION: u16 = 1;
+/// supported). v2 added the telemetry plane ([`FrameKind::Telemetry`],
+/// [`FrameKind::StatusRequest`], [`FrameKind::StatusReply`]).
+pub const FRAME_VERSION: u16 = 2;
 
 /// Fixed header size in bytes (see the module-level layout table).
 pub const HEADER_LEN: usize = 33;
@@ -87,6 +88,16 @@ pub enum FrameKind {
     /// Worker → coordinator: final results. Payload: encoded
     /// `WorkerEssentials`.
     Output = 10,
+    /// Worker → coordinator: cumulative observability snapshot (trace
+    /// events, metrics shard, attribution rows). Sent once per barrier
+    /// round and once at job end, only when observability is armed.
+    /// Payload: [`TelemetryMsg`].
+    Telemetry = 11,
+    /// Introspection client → coordinator: status probe. Payload: empty.
+    StatusRequest = 12,
+    /// Coordinator → introspection client: per-worker status board.
+    /// Payload: [`StatusReplyMsg`].
+    StatusReply = 13,
 }
 
 impl FrameKind {
@@ -206,6 +217,9 @@ impl Header {
             8 => FrameKind::Sentinel,
             9 => FrameKind::PeerHello,
             10 => FrameKind::Output,
+            11 => FrameKind::Telemetry,
+            12 => FrameKind::StatusRequest,
+            13 => FrameKind::StatusReply,
             tag => {
                 return Err(WireError::BadTag {
                     context: "frame kind",
@@ -603,6 +617,441 @@ impl WireMsg for Aggregate {
     }
 }
 
+// ---- telemetry payloads -------------------------------------------------
+
+/// One recorded trace event in wire form. A plain tagged struct rather than
+/// an enum so the field layout is locked by the W02 schema goldens: `kind`
+/// is 1 = span, 2 = instant, 3 = counter (explicit tags, validated at
+/// decode). `a` carries the span start / event timestamp, `b` the span
+/// duration / counter value (0 for instants).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEventWire {
+    /// Event discriminant: 1 = span, 2 = instant, 3 = counter.
+    pub kind: u8,
+    /// Event name (interned back to `&'static str` on the receiver).
+    pub name: String,
+    /// Span `start_ns`; instant/counter `ts_ns`.
+    pub a: u64,
+    /// Span `dur_ns`; counter `value`; 0 for instants.
+    pub b: u64,
+    /// Optional `(key, value)` argument (spans and instants only).
+    pub arg: Option<(String, u64)>,
+}
+
+impl TraceEventWire {
+    /// Wire form of a recorded event (worker side, before shipping).
+    pub(crate) fn from_event(ev: &tempograph_trace::TraceEvent) -> TraceEventWire {
+        use tempograph_trace::TraceEvent;
+        match *ev {
+            TraceEvent::Span {
+                name,
+                start_ns,
+                dur_ns,
+                arg,
+            } => TraceEventWire {
+                kind: 1,
+                name: name.to_string(),
+                a: start_ns,
+                b: dur_ns,
+                arg: arg.map(|(k, v)| (k.to_string(), v)),
+            },
+            TraceEvent::Instant { name, ts_ns, arg } => TraceEventWire {
+                kind: 2,
+                name: name.to_string(),
+                a: ts_ns,
+                b: 0,
+                arg: arg.map(|(k, v)| (k.to_string(), v)),
+            },
+            TraceEvent::Counter { name, ts_ns, value } => TraceEventWire {
+                kind: 3,
+                name: name.to_string(),
+                a: ts_ns,
+                b: value,
+                arg: None,
+            },
+        }
+    }
+
+    /// Rebuild the in-memory event (coordinator side). Names are interned
+    /// to `&'static str` through the same pool checkpoint restore uses, so
+    /// repeated names across frames share one allocation. `kind` was
+    /// validated at decode; 3 (counter) is the residual arm.
+    pub(crate) fn into_event(self) -> tempograph_trace::TraceEvent {
+        use tempograph_trace::TraceEvent;
+        let name = crate::checkpoint::intern(&self.name);
+        let arg = self.arg.map(|(k, v)| (crate::checkpoint::intern(&k), v));
+        match self.kind {
+            1 => TraceEvent::Span {
+                name,
+                start_ns: self.a,
+                dur_ns: self.b,
+                arg,
+            },
+            2 => TraceEvent::Instant {
+                name,
+                ts_ns: self.a,
+                arg,
+            },
+            _ => TraceEvent::Counter {
+                name,
+                ts_ns: self.a,
+                value: self.b,
+            },
+        }
+    }
+}
+
+impl WireMsg for TraceEventWire {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(self.kind);
+        self.name.encode(buf);
+        self.a.encode(buf);
+        self.b.encode(buf);
+        self.arg.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let kind = match get_u8(buf, "trace event kind")? {
+            1 => 1,
+            2 => 2,
+            3 => 3,
+            tag => {
+                return Err(WireError::BadTag {
+                    context: "trace event kind",
+                    tag,
+                })
+            }
+        };
+        Ok(TraceEventWire {
+            kind,
+            name: String::decode(buf)?,
+            a: u64::decode(buf)?,
+            b: u64::decode(buf)?,
+            arg: Option::<(String, u64)>::decode(buf)?,
+        })
+    }
+}
+
+/// A log2-bucket histogram in wire form. `buckets` must hold exactly
+/// [`tempograph_metrics::BUCKETS`] counts (validated at decode).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramWire {
+    /// Per-bucket observation counts (length = `BUCKETS`).
+    pub buckets: Vec<u64>,
+    /// Number of observations.
+    pub count: u64,
+    /// Saturating sum of observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+}
+
+impl HistogramWire {
+    pub(crate) fn from_histogram(h: &tempograph_metrics::Histogram) -> HistogramWire {
+        HistogramWire {
+            buckets: h.buckets().to_vec(),
+            count: h.count(),
+            sum: h.sum(),
+            min: h.min(),
+            max: h.max(),
+        }
+    }
+
+    /// Rebuild the histogram. The bucket count was validated at decode;
+    /// `zip` makes a short vector (impossible off the wire) harmless.
+    pub(crate) fn into_histogram(self) -> tempograph_metrics::Histogram {
+        let mut buckets = [0u64; tempograph_metrics::BUCKETS];
+        for (slot, &count) in buckets.iter_mut().zip(&self.buckets) {
+            *slot = count;
+        }
+        tempograph_metrics::Histogram::from_parts(buckets, self.count, self.sum, self.min, self.max)
+    }
+}
+
+impl WireMsg for HistogramWire {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.buckets.encode(buf);
+        self.count.encode(buf);
+        self.sum.encode(buf);
+        self.min.encode(buf);
+        self.max.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let buckets = Vec::<u64>::decode(buf)?;
+        if buckets.len() != tempograph_metrics::BUCKETS {
+            return Err(WireError::BadTag {
+                context: "histogram bucket count",
+                tag: buckets.len() as u8,
+            });
+        }
+        Ok(HistogramWire {
+            buckets,
+            count: u64::decode(buf)?,
+            sum: u64::decode(buf)?,
+            min: u64::decode(buf)?,
+            max: u64::decode(buf)?,
+        })
+    }
+}
+
+/// A worker's cumulative metrics shard in wire form (mirrors
+/// `crate::metrics::MetricsShard` field-for-field).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricsShardWire {
+    /// Barriered compute durations.
+    pub compute_ns: HistogramWire,
+    /// Barrier wait durations.
+    pub barrier_wait_ns: HistogramWire,
+    /// Message marshalling/hand-off durations.
+    pub send_ns: HistogramWire,
+    /// Checkpoint snapshot+write durations.
+    pub checkpoint_write_ns: HistogramWire,
+    /// Checkpoint restore durations.
+    pub recovery_restore_ns: HistogramWire,
+    /// GoFS instance-cache hits.
+    pub cache_hits: u64,
+    /// GoFS instance-cache misses.
+    pub cache_misses: u64,
+    /// GoFS instance-cache evictions.
+    pub cache_evictions: u64,
+    /// Bytes read and decoded from slice files.
+    pub bytes_read: u64,
+}
+
+impl MetricsShardWire {
+    pub(crate) fn from_shard(s: &crate::metrics::MetricsShard) -> MetricsShardWire {
+        MetricsShardWire {
+            compute_ns: HistogramWire::from_histogram(&s.compute_ns),
+            barrier_wait_ns: HistogramWire::from_histogram(&s.barrier_wait_ns),
+            send_ns: HistogramWire::from_histogram(&s.send_ns),
+            checkpoint_write_ns: HistogramWire::from_histogram(&s.checkpoint_write_ns),
+            recovery_restore_ns: HistogramWire::from_histogram(&s.recovery_restore_ns),
+            cache_hits: s.cache_hits,
+            cache_misses: s.cache_misses,
+            cache_evictions: s.cache_evictions,
+            bytes_read: s.bytes_read,
+        }
+    }
+
+    pub(crate) fn into_shard(self) -> crate::metrics::MetricsShard {
+        crate::metrics::MetricsShard {
+            compute_ns: self.compute_ns.into_histogram(),
+            barrier_wait_ns: self.barrier_wait_ns.into_histogram(),
+            send_ns: self.send_ns.into_histogram(),
+            checkpoint_write_ns: self.checkpoint_write_ns.into_histogram(),
+            recovery_restore_ns: self.recovery_restore_ns.into_histogram(),
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            cache_evictions: self.cache_evictions,
+            bytes_read: self.bytes_read,
+        }
+    }
+}
+
+impl WireMsg for MetricsShardWire {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.compute_ns.encode(buf);
+        self.barrier_wait_ns.encode(buf);
+        self.send_ns.encode(buf);
+        self.checkpoint_write_ns.encode(buf);
+        self.recovery_restore_ns.encode(buf);
+        self.cache_hits.encode(buf);
+        self.cache_misses.encode(buf);
+        self.cache_evictions.encode(buf);
+        self.bytes_read.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(MetricsShardWire {
+            compute_ns: HistogramWire::decode(buf)?,
+            barrier_wait_ns: HistogramWire::decode(buf)?,
+            send_ns: HistogramWire::decode(buf)?,
+            checkpoint_write_ns: HistogramWire::decode(buf)?,
+            recovery_restore_ns: HistogramWire::decode(buf)?,
+            cache_hits: u64::decode(buf)?,
+            cache_misses: u64::decode(buf)?,
+            cache_evictions: u64::decode(buf)?,
+            bytes_read: u64::decode(buf)?,
+        })
+    }
+}
+
+/// One per-(subgraph, timestep) attribution row in wire form (mirrors
+/// `crate::metrics::AttributionRow`; `timestep == u32::MAX` ⇒ merge phase).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AttrRowWire {
+    /// Subgraph id.
+    pub subgraph: u32,
+    /// Timestep index (`u32::MAX` ⇒ merge phase).
+    pub timestep: u32,
+    /// Measured nanoseconds inside this subgraph's program hooks.
+    pub compute_ns: u64,
+    /// Program-hook invocations folded into this row.
+    pub invocations: u32,
+}
+
+impl AttrRowWire {
+    pub(crate) fn from_row(r: &crate::metrics::AttributionRow) -> AttrRowWire {
+        AttrRowWire {
+            subgraph: r.subgraph.0,
+            timestep: r.timestep,
+            compute_ns: r.compute_ns,
+            invocations: r.invocations,
+        }
+    }
+
+    pub(crate) fn into_row(self) -> crate::metrics::AttributionRow {
+        crate::metrics::AttributionRow {
+            subgraph: tempograph_partition::SubgraphId(self.subgraph),
+            timestep: self.timestep,
+            compute_ns: self.compute_ns,
+            invocations: self.invocations,
+        }
+    }
+}
+
+impl WireMsg for AttrRowWire {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.subgraph.encode(buf);
+        self.timestep.encode(buf);
+        self.compute_ns.encode(buf);
+        self.invocations.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(AttrRowWire {
+            subgraph: u32::decode(buf)?,
+            timestep: u32::decode(buf)?,
+            compute_ns: u64::decode(buf)?,
+            invocations: u32::decode(buf)?,
+        })
+    }
+}
+
+/// Worker → coordinator observability snapshot, one per barrier round plus
+/// one final flush. `shard` and `attr` are **cumulative** snapshots (the
+/// coordinator replaces, never adds, so a re-sent snapshot cannot double
+/// count); `events` are **drained** increments (sent exactly once).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TelemetryMsg {
+    /// Timestep this flush closes (worker-local progress marker).
+    pub timestep: u32,
+    /// Supersteps the closed timestep ran.
+    pub supersteps: u32,
+    /// Barrier wait accumulated in the closed timestep, nanoseconds.
+    pub barrier_wait_ns: u64,
+    /// Worker clock reading at flush time, nanoseconds since the worker's
+    /// session epoch. Worker clock domain: comparable within one worker's
+    /// frames, not across workers or with the coordinator clock.
+    pub clock_ns: u64,
+    /// Cumulative bytes this worker has written to sockets.
+    pub bytes_sent: u64,
+    /// Cumulative bytes this worker has read from sockets.
+    pub bytes_received: u64,
+    /// True for the end-of-job flush (sent just before the Output frame).
+    pub final_flush: bool,
+    /// Trace events recorded since the previous flush (drained increments).
+    pub events: Vec<TraceEventWire>,
+    /// Cumulative metrics shard snapshot (when metrics are armed).
+    pub shard: Option<MetricsShardWire>,
+    /// Cumulative attribution snapshot (when attribution is armed).
+    pub attr: Vec<AttrRowWire>,
+}
+
+impl WireMsg for TelemetryMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.timestep.encode(buf);
+        self.supersteps.encode(buf);
+        self.barrier_wait_ns.encode(buf);
+        self.clock_ns.encode(buf);
+        self.bytes_sent.encode(buf);
+        self.bytes_received.encode(buf);
+        self.final_flush.encode(buf);
+        self.events.encode(buf);
+        self.shard.encode(buf);
+        self.attr.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(TelemetryMsg {
+            timestep: u32::decode(buf)?,
+            supersteps: u32::decode(buf)?,
+            barrier_wait_ns: u64::decode(buf)?,
+            clock_ns: u64::decode(buf)?,
+            bytes_sent: u64::decode(buf)?,
+            bytes_received: u64::decode(buf)?,
+            final_flush: bool::decode(buf)?,
+            events: Vec::<TraceEventWire>::decode(buf)?,
+            shard: Option::<MetricsShardWire>::decode(buf)?,
+            attr: Vec::<AttrRowWire>::decode(buf)?,
+        })
+    }
+}
+
+/// One row of the coordinator's live status board.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkerStatusWire {
+    /// The partition this row describes.
+    pub partition: u16,
+    /// Recovery epoch the worker is executing.
+    pub epoch: u32,
+    /// Last timestep the worker closed.
+    pub timestep: u32,
+    /// Supersteps the last closed timestep ran.
+    pub supersteps: u32,
+    /// Barrier-wait watermark: the worker's largest per-timestep barrier
+    /// wait observed so far, nanoseconds.
+    pub barrier_wait_ns: u64,
+    /// Cumulative bytes the worker has sent.
+    pub bytes_sent: u64,
+    /// Cumulative bytes the worker has received.
+    pub bytes_received: u64,
+    /// Milliseconds since the coordinator last heard telemetry from this
+    /// worker (coordinator clock).
+    pub last_telemetry_ms: u64,
+}
+
+impl WireMsg for WorkerStatusWire {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.partition.encode(buf);
+        self.epoch.encode(buf);
+        self.timestep.encode(buf);
+        self.supersteps.encode(buf);
+        self.barrier_wait_ns.encode(buf);
+        self.bytes_sent.encode(buf);
+        self.bytes_received.encode(buf);
+        self.last_telemetry_ms.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(WorkerStatusWire {
+            partition: u16::decode(buf)?,
+            epoch: u32::decode(buf)?,
+            timestep: u32::decode(buf)?,
+            supersteps: u32::decode(buf)?,
+            barrier_wait_ns: u64::decode(buf)?,
+            bytes_sent: u64::decode(buf)?,
+            bytes_received: u64::decode(buf)?,
+            last_telemetry_ms: u64::decode(buf)?,
+        })
+    }
+}
+
+/// Coordinator → introspection client: the whole status board.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StatusReplyMsg {
+    /// One row per partition, sorted by partition.
+    pub workers: Vec<WorkerStatusWire>,
+}
+
+impl WireMsg for StatusReplyMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.workers.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(StatusReplyMsg {
+            workers: Vec::<WorkerStatusWire>::decode(buf)?,
+        })
+    }
+}
+
 /// Encode a control payload into `Bytes`.
 pub fn encode_payload<M: WireMsg>(m: &M) -> Bytes {
     let mut buf = BytesMut::new();
@@ -745,6 +1194,16 @@ mod tests {
                 tag: 0
             })
         ));
+        // First tag past the telemetry kinds is still unknown.
+        let mut bad = enc.to_vec();
+        bad[6] = 14;
+        assert!(matches!(
+            Frame::decode(&mut Bytes::from(bad)),
+            Err(WireError::BadTag {
+                context: "frame kind",
+                tag: 14
+            })
+        ));
         // Truncated payload.
         let mut cut = Bytes::copy_from_slice(&enc[..enc.len() - 1]);
         assert!(matches!(
@@ -880,5 +1339,192 @@ mod tests {
         hello.encode(&mut buf);
         buf.put_u8(0);
         assert!(decode_payload::<HelloMsg>(buf.freeze()).is_err());
+    }
+
+    fn sample_histogram_wire() -> HistogramWire {
+        let mut h = tempograph_metrics::Histogram::new();
+        h.record(0);
+        h.record(17);
+        h.record(1 << 40);
+        HistogramWire::from_histogram(&h)
+    }
+
+    #[test]
+    fn telemetry_payload_roundtrips() {
+        let msg = TelemetryMsg {
+            timestep: 3,
+            supersteps: 5,
+            barrier_wait_ns: 12_345,
+            clock_ns: 999_999,
+            bytes_sent: 4096,
+            bytes_received: 8192,
+            final_flush: false,
+            events: vec![
+                TraceEventWire {
+                    kind: 1,
+                    name: "compute".into(),
+                    a: 100,
+                    b: 50,
+                    arg: Some(("superstep".into(), 2)),
+                },
+                TraceEventWire {
+                    kind: 2,
+                    name: "marker".into(),
+                    a: 180,
+                    b: 0,
+                    arg: None,
+                },
+                TraceEventWire {
+                    kind: 3,
+                    name: "msgs".into(),
+                    a: 200,
+                    b: 42,
+                    arg: None,
+                },
+            ],
+            shard: Some(MetricsShardWire {
+                compute_ns: sample_histogram_wire(),
+                barrier_wait_ns: sample_histogram_wire(),
+                send_ns: HistogramWire::from_histogram(&tempograph_metrics::Histogram::new()),
+                checkpoint_write_ns: sample_histogram_wire(),
+                recovery_restore_ns: sample_histogram_wire(),
+                cache_hits: 7,
+                cache_misses: 2,
+                cache_evictions: 1,
+                bytes_read: 4096,
+            }),
+            attr: vec![
+                AttrRowWire {
+                    subgraph: 0,
+                    timestep: 3,
+                    compute_ns: 777,
+                    invocations: 4,
+                },
+                AttrRowWire {
+                    subgraph: 1,
+                    timestep: u32::MAX,
+                    compute_ns: 11,
+                    invocations: 1,
+                },
+            ],
+        };
+        assert_eq!(
+            decode_payload::<TelemetryMsg>(encode_payload(&msg)).unwrap(),
+            msg
+        );
+    }
+
+    #[test]
+    fn telemetry_event_and_histogram_malformations_are_typed() {
+        // Unknown trace-event kind tag.
+        let ev = TraceEventWire {
+            kind: 1,
+            name: "x".into(),
+            a: 0,
+            b: 0,
+            arg: None,
+        };
+        let mut buf = BytesMut::new();
+        ev.encode(&mut buf);
+        let mut bad = buf.freeze().to_vec();
+        bad[0] = 9;
+        assert!(matches!(
+            TraceEventWire::decode(&mut Bytes::from(bad)),
+            Err(WireError::BadTag {
+                context: "trace event kind",
+                tag: 9
+            })
+        ));
+        // Wrong histogram bucket count.
+        let hw = HistogramWire {
+            buckets: vec![0; 3],
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        };
+        let mut buf = BytesMut::new();
+        hw.encode(&mut buf);
+        assert!(matches!(
+            HistogramWire::decode(&mut buf.freeze()),
+            Err(WireError::BadTag {
+                context: "histogram bucket count",
+                tag: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn trace_event_wire_conversions_roundtrip() {
+        use tempograph_trace::TraceEvent;
+        let events = [
+            TraceEvent::Span {
+                name: "compute",
+                start_ns: 10,
+                dur_ns: 5,
+                arg: Some(("superstep", 3)),
+            },
+            TraceEvent::Instant {
+                name: "straggler.detected",
+                ts_ns: 99,
+                arg: Some(("wait_ns", 1234)),
+            },
+            TraceEvent::Counter {
+                name: "net.bytes_sent",
+                ts_ns: 50,
+                value: 4096,
+            },
+        ];
+        for ev in &events {
+            assert_eq!(TraceEventWire::from_event(ev).into_event(), *ev);
+        }
+    }
+
+    #[test]
+    fn histogram_wire_conversions_roundtrip() {
+        let mut h = tempograph_metrics::Histogram::new();
+        for v in [0u64, 1, 17, 1 << 20, u64::MAX] {
+            h.record(v);
+        }
+        let w = HistogramWire::from_histogram(&h);
+        assert_eq!(w.into_histogram(), h);
+        // Empty histograms roundtrip too (min sentinel restored).
+        let empty = tempograph_metrics::Histogram::new();
+        assert_eq!(
+            HistogramWire::from_histogram(&empty).into_histogram(),
+            empty
+        );
+    }
+
+    #[test]
+    fn status_payload_roundtrips() {
+        let reply = StatusReplyMsg {
+            workers: vec![
+                WorkerStatusWire {
+                    partition: 0,
+                    epoch: 1,
+                    timestep: 4,
+                    supersteps: 3,
+                    barrier_wait_ns: 555,
+                    bytes_sent: 1000,
+                    bytes_received: 2000,
+                    last_telemetry_ms: 12,
+                },
+                WorkerStatusWire {
+                    partition: 1,
+                    epoch: 1,
+                    timestep: 4,
+                    supersteps: 3,
+                    barrier_wait_ns: 444,
+                    bytes_sent: 900,
+                    bytes_received: 1800,
+                    last_telemetry_ms: 7,
+                },
+            ],
+        };
+        assert_eq!(
+            decode_payload::<StatusReplyMsg>(encode_payload(&reply)).unwrap(),
+            reply
+        );
     }
 }

@@ -51,10 +51,11 @@ use crate::executor::{
     assemble_job_result, effective_timesteps, run_worker_body, JobConfig, WorkerOutput,
 };
 use crate::faults::{payload_is_injected, FaultPlan, FrameFault};
-use crate::metrics::{Emit, JobResult, TimestepMetrics};
+use crate::metrics::{AttributionRow, Emit, JobResult, MetricsShard, TimestepMetrics};
 use crate::net::{
     accept_with_deadline, connect_with_retry, decode_payload, encode_payload, read_frame, AbortMsg,
-    Frame, FrameConn, FrameKind, HelloMsg, StartMsg, COORDINATOR, RESUME_NONE,
+    AttrRowWire, Frame, FrameConn, FrameKind, HelloMsg, MetricsShardWire, StartMsg, StatusReplyMsg,
+    TelemetryMsg, TraceEventWire, WorkerStatusWire, COORDINATOR, RESUME_NONE,
 };
 use crate::program::SubgraphProgram;
 use crate::provider::InstanceSource;
@@ -67,9 +68,10 @@ use std::io::BufReader;
 use std::net::{TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use tempograph_partition::{PartitionedGraph, Subgraph, SubgraphId};
-use tempograph_trace::{Clock, TraceSink};
+use tempograph_trace::{Clock, Trace, TraceEvent, TraceSink};
 
 /// Handshake patience: how long the coordinator waits for worker hellos and
 /// a worker waits for higher-numbered peers to dial its mesh listener.
@@ -121,6 +123,43 @@ pub trait Transport: Send {
     fn barrier(&mut self) -> Result<(), EngineError> {
         self.arrive(Contribution::default()).map(|_| ())
     }
+
+    /// Whether the worker should hand this transport per-round telemetry
+    /// flushes. The default (`false`, used by [`InProcess`] and by a TCP
+    /// run with observability disabled) keeps the disabled path to one
+    /// virtual call and a branch: no snapshot is built, nothing allocates.
+    fn wants_telemetry(&self) -> bool {
+        false
+    }
+
+    /// Ship one observability snapshot to the coordinator. Called only
+    /// when [`Transport::wants_telemetry`] returned `true` — once per
+    /// closed timestep, plus one `final_flush` at job end.
+    fn telemetry(&mut self, _flush: TelemetryFlush) -> Result<(), EngineError> {
+        Ok(())
+    }
+}
+
+/// One observability snapshot handed to [`Transport::telemetry`] when a
+/// worker closes a timestep (or finishes the job). `events` are drained
+/// increments — each trace event crosses the wire exactly once; `shard`
+/// and `attr_rows` are cumulative snapshots the coordinator replaces, so
+/// re-sending after recovery cannot double count.
+pub struct TelemetryFlush {
+    /// Timestep this flush closes.
+    pub(crate) timestep: u32,
+    /// Supersteps the closed timestep ran.
+    pub(crate) supersteps: u32,
+    /// Barrier wait accumulated in the closed timestep, nanoseconds.
+    pub(crate) barrier_wait_ns: u64,
+    /// True for the end-of-job flush (carries merge-phase observability).
+    pub(crate) final_flush: bool,
+    /// Trace events recorded since the previous flush.
+    pub(crate) events: Vec<TraceEvent>,
+    /// Cumulative metrics-shard snapshot (when metrics are armed).
+    pub(crate) shard: Option<MetricsShard>,
+    /// Cumulative attribution snapshot (when attribution is armed).
+    pub(crate) attr_rows: Vec<AttributionRow>,
 }
 
 // ---- in-process transport ----------------------------------------------
@@ -279,6 +318,10 @@ pub struct Tcp {
     tracer: TraceSink,
     peer_bytes_sent: u64,
     peer_bytes_received: u64,
+    /// Whether the worker loop should hand this transport per-round
+    /// telemetry flushes (any of trace/metrics/attribution armed). When
+    /// false, no Telemetry frame is ever built or sent.
+    telemetry_armed: bool,
 }
 
 impl Tcp {
@@ -294,6 +337,7 @@ impl Tcp {
         peer_addrs: &[String],
         faults: Option<Arc<FaultPlan>>,
         tracer: TraceSink,
+        telemetry_armed: bool,
     ) -> Result<Tcp, EngineError> {
         let k = peer_addrs.len();
         let me = partition as usize;
@@ -373,6 +417,7 @@ impl Tcp {
             tracer,
             peer_bytes_sent: 0,
             peer_bytes_received: 0,
+            telemetry_armed,
         })
     }
 
@@ -665,14 +710,47 @@ impl Transport for Tcp {
         self.tracer.span_at("net.barrier", t0, t1);
         result
     }
+
+    fn wants_telemetry(&self) -> bool {
+        self.telemetry_armed
+    }
+
+    fn telemetry(&mut self, mut flush: TelemetryFlush) -> Result<(), EngineError> {
+        // The transport's own net.* spans and byte counters ride along
+        // with the worker's events — same track, merged at assembly.
+        flush.events.extend(self.tracer.take_events());
+        let msg = TelemetryMsg {
+            timestep: flush.timestep,
+            supersteps: flush.supersteps,
+            barrier_wait_ns: flush.barrier_wait_ns,
+            clock_ns: self.tracer.now(),
+            bytes_sent: self.coord.bytes_sent() + self.peer_bytes_sent,
+            bytes_received: self.coord.bytes_received() + self.peer_bytes_received,
+            final_flush: flush.final_flush,
+            events: flush
+                .events
+                .iter()
+                .map(TraceEventWire::from_event)
+                .collect(),
+            shard: flush.shard.as_ref().map(MetricsShardWire::from_shard),
+            attr: flush.attr_rows.iter().map(AttrRowWire::from_row).collect(),
+        };
+        self.coord_send(&Frame::control(
+            FrameKind::Telemetry,
+            self.partition,
+            self.epoch,
+            encode_payload(&msg),
+        ))
+    }
 }
 
 // ---- worker results on the wire -----------------------------------------
 
-/// The transportable subset of a worker's results: everything the driver
-/// assembles into a [`JobResult`] except process-local state (trace sinks,
-/// metrics/attribution shards), which does not cross process boundaries —
-/// TCP-mode results carry `trace: None` and empty histogram registries.
+/// The transportable subset of a worker's results, shipped in the final
+/// Output frame. Observability state (trace events, metrics shards,
+/// attribution rows) travels separately, in the Telemetry frames each
+/// barrier round and the final flush emit — the coordinator grafts it
+/// back onto these essentials before assembling the [`JobResult`].
 pub(crate) struct WorkerEssentials {
     pub(crate) metrics: Vec<TimestepMetrics>,
     pub(crate) merge_metrics: TimestepMetrics,
@@ -717,7 +795,7 @@ impl WorkerEssentials {
             final_states: self.final_states,
             sinks: Vec::new(),
             shard: None,
-            attr: None,
+            attr_rows: Vec::new(),
         }
     }
 
@@ -897,6 +975,7 @@ where
         .trace
         .map(|tc| tc.sink(partition as u32))
         .unwrap_or_else(TraceSink::inert);
+    let telemetry_armed = config.trace.is_some() || config.metrics || config.attribution;
     let mut tcp = Tcp::connect_mesh(
         partition,
         start.epoch,
@@ -905,6 +984,7 @@ where
         &start.peer_addrs,
         config.faults.clone(),
         tracer,
+        telemetry_armed,
     )?;
     let epoch = start.epoch;
     let out = run_worker_body::<P, F>(
@@ -918,7 +998,27 @@ where
         &mut tcp,
     );
     match out {
-        Ok(output) => {
+        Ok(mut output) => {
+            if tcp.wants_telemetry() {
+                // Final flush: drain whatever the per-round flushes did not
+                // cover (merge-phase events, the provider's GoFS sink, the
+                // last cumulative shard/attribution snapshots). Sent before
+                // the Output frame so the coordinator has the complete
+                // picture by the time it assembles the JobResult.
+                let mut events = Vec::new();
+                for (_, sink) in &mut output.sinks {
+                    events.extend(sink.take_events());
+                }
+                tcp.telemetry(TelemetryFlush {
+                    timestep: output.timesteps_run.saturating_sub(1) as u32,
+                    supersteps: 0,
+                    barrier_wait_ns: 0,
+                    final_flush: true,
+                    events,
+                    shard: output.shard.take().map(|b| *b),
+                    attr_rows: std::mem::take(&mut output.attr_rows),
+                })?;
+            }
             let essentials = WorkerEssentials::from_output(&output);
             tcp.coord_send(&Frame::control(
                 FrameKind::Output,
@@ -1070,18 +1170,339 @@ fn abort_cluster(conns: &mut [Option<FrameConn>], primary: u16, detail: String) 
     }
 }
 
+// ---- coordinator-side telemetry ------------------------------------------
+
+/// Per-partition observability accumulated at the coordinator from
+/// Telemetry frames.
+struct PartTelemetry {
+    /// Decoded trace events, in arrival order (worker clock domain).
+    events: Vec<TraceEvent>,
+    /// Latest cumulative metrics-shard snapshot.
+    shard: Option<MetricsShard>,
+    /// Latest cumulative attribution snapshot.
+    attr_rows: Vec<AttributionRow>,
+}
+
+/// The coordinator's half of the telemetry plane: ingests Telemetry frames
+/// during [`serve_epoch`], keeps the live status board, judges stragglers
+/// over complete barrier rounds, and grafts the accumulated observability
+/// back onto the epoch's outputs so [`assemble_job_result`] sees exactly
+/// what the in-process driver would have.
+pub(crate) struct CoordTelemetry {
+    parts: Vec<PartTelemetry>,
+    /// Straggler threshold (multiple of the round's median barrier wait).
+    straggler_factor: f64,
+    /// Barrier-wait reports per timestep — `(partition, wait_ns,
+    /// clock_ns)` per worker — judged once the round is complete.
+    rounds: BTreeMap<u32, Vec<(u16, u64, u64)>>,
+    /// Live status board, shared with the status-server thread.
+    board: Arc<Mutex<StatusBoard>>,
+}
+
+impl CoordTelemetry {
+    fn new(k: usize, straggler_factor: f64) -> CoordTelemetry {
+        CoordTelemetry {
+            parts: (0..k)
+                .map(|_| PartTelemetry {
+                    events: Vec::new(),
+                    shard: None,
+                    attr_rows: Vec::new(),
+                })
+                .collect(),
+            straggler_factor,
+            rounds: BTreeMap::new(),
+            board: Arc::new(Mutex::new(StatusBoard::new(k))),
+        }
+    }
+
+    /// Discard a failed epoch's accumulation. The relaunched workers
+    /// re-record events from the restore point and re-send cumulative
+    /// snapshots, so keeping the dead epoch's state would double count —
+    /// this mirrors the in-process driver, whose result only carries the
+    /// final successful attempt's sinks and shards.
+    fn reset(&mut self, epoch: u32) {
+        for part in &mut self.parts {
+            part.events.clear();
+            part.shard = None;
+            part.attr_rows.clear();
+        }
+        self.rounds.clear();
+        lock_board(&self.board).reset(epoch);
+    }
+
+    /// Ingest one Telemetry frame from partition `p`: append drained
+    /// events, replace cumulative snapshots, update the status board, and
+    /// judge the barrier round once all `k` workers reported it.
+    fn ingest(&mut self, p: usize, payload: Bytes) -> Result<(), EngineError> {
+        let msg: TelemetryMsg = decode_payload(payload)?;
+        if p >= self.parts.len() {
+            return Err(EngineError::Protocol {
+                detail: format!("telemetry from unknown partition {p}"),
+            });
+        }
+        lock_board(&self.board).note(p as u16, &msg);
+        if !msg.final_flush {
+            let k = self.parts.len();
+            let round = self.rounds.entry(msg.timestep).or_default();
+            round.push((p as u16, msg.barrier_wait_ns, msg.clock_ns));
+            if round.len() == k {
+                let round = self.rounds.remove(&msg.timestep).unwrap_or_default();
+                self.judge_round(round);
+            }
+        }
+        if let Some(part) = self.parts.get_mut(p) {
+            part.events
+                .extend(msg.events.into_iter().map(TraceEventWire::into_event));
+            if let Some(shard) = msg.shard {
+                part.shard = Some(shard.into_shard());
+            }
+            part.attr_rows = msg.attr.into_iter().map(AttrRowWire::into_row).collect();
+        }
+        Ok(())
+    }
+
+    /// A complete barrier round: any worker whose wait exceeded
+    /// `straggler_factor` × the round's median earns a
+    /// `straggler.detected` instant on its own track — timestamped in the
+    /// worker's clock domain, with the wait riding the `wait_ns` arg (the
+    /// partition is the track identity).
+    fn judge_round(&mut self, round: Vec<(u16, u64, u64)>) {
+        let mut waits: Vec<u64> = round.iter().map(|&(_, w, _)| w).collect();
+        waits.sort_unstable();
+        let median = waits.get(waits.len() / 2).copied().unwrap_or(0);
+        if median == 0 {
+            return;
+        }
+        let threshold = median as f64 * self.straggler_factor;
+        for (p, wait, clock_ns) in round {
+            if (wait as f64) > threshold {
+                if let Some(part) = self.parts.get_mut(p as usize) {
+                    part.events.push(TraceEvent::Instant {
+                        name: "straggler.detected",
+                        ts_ns: clock_ns,
+                        arg: Some(("wait_ns", wait)),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Graft the accumulated observability onto the epoch's outputs:
+    /// per-partition recorded sinks, the latest shard snapshots, and the
+    /// latest attribution rows.
+    fn merge_into(self, outputs: &mut [WorkerOutput]) {
+        for (p, (out, part)) in outputs.iter_mut().zip(self.parts).enumerate() {
+            if !part.events.is_empty() {
+                out.sinks.push((
+                    format!("partition {p}"),
+                    TraceSink::from_recorded(p as u32, part.events),
+                ));
+            }
+            out.shard = part.shard.map(Box::new);
+            out.attr_rows = part.attr_rows;
+        }
+    }
+}
+
+/// The coordinator's live status board: one row per partition, updated on
+/// every Telemetry frame, served to `tempograph status` clients.
+pub(crate) struct StatusBoard {
+    /// Recovery epoch currently being served.
+    epoch: u32,
+    rows: Vec<WorkerStatusWire>,
+    /// Coordinator-clock reading at each partition's last telemetry
+    /// (`None` = not heard from this epoch).
+    last_seen_ns: Vec<Option<u64>>,
+    /// The coordinator clock the last-telemetry ages are measured on.
+    clock: Clock,
+}
+
+fn blank_row(p: usize, epoch: u32) -> WorkerStatusWire {
+    WorkerStatusWire {
+        partition: p as u16,
+        epoch,
+        timestep: 0,
+        supersteps: 0,
+        barrier_wait_ns: 0,
+        bytes_sent: 0,
+        bytes_received: 0,
+        last_telemetry_ms: u64::MAX,
+    }
+}
+
+impl StatusBoard {
+    fn new(k: usize) -> StatusBoard {
+        StatusBoard {
+            epoch: 0,
+            rows: (0..k).map(|p| blank_row(p, 0)).collect(),
+            last_seen_ns: vec![None; k],
+            clock: Clock::start(),
+        }
+    }
+
+    fn reset(&mut self, epoch: u32) {
+        let k = self.rows.len();
+        self.epoch = epoch;
+        self.rows = (0..k).map(|p| blank_row(p, epoch)).collect();
+        self.last_seen_ns = vec![None; k];
+    }
+
+    fn note(&mut self, p: u16, msg: &TelemetryMsg) {
+        let epoch = self.epoch;
+        let now = self.clock.elapsed_ns();
+        if let (Some(row), Some(seen)) = (
+            self.rows.get_mut(p as usize),
+            self.last_seen_ns.get_mut(p as usize),
+        ) {
+            row.epoch = epoch;
+            row.timestep = msg.timestep;
+            if !msg.final_flush {
+                // The final flush closes no new round; keep the last
+                // round's superstep count on the board.
+                row.supersteps = msg.supersteps;
+            }
+            row.barrier_wait_ns = row.barrier_wait_ns.max(msg.barrier_wait_ns);
+            row.bytes_sent = msg.bytes_sent;
+            row.bytes_received = msg.bytes_received;
+            *seen = Some(now);
+        }
+    }
+
+    /// Snapshot with last-telemetry ages materialised (coordinator clock).
+    fn snapshot(&self) -> StatusReplyMsg {
+        let now = self.clock.elapsed_ns();
+        let workers = self
+            .rows
+            .iter()
+            .zip(&self.last_seen_ns)
+            .map(|(row, seen)| {
+                let mut row = row.clone();
+                row.last_telemetry_ms = match seen {
+                    Some(t) => now.saturating_sub(*t) / 1_000_000,
+                    None => u64::MAX,
+                };
+                row
+            })
+            .collect();
+        StatusReplyMsg { workers }
+    }
+}
+
+fn lock_board(board: &Mutex<StatusBoard>) -> std::sync::MutexGuard<'_, StatusBoard> {
+    // A poisoned board only means a panicking thread held the lock; the
+    // data (plain counters) is still coherent enough to serve.
+    board.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Handle to the coordinator's status endpoint: a polling accept thread
+/// serving one StatusRequest → StatusReply exchange per connection.
+/// Stopped and joined on drop, when the job ends.
+struct StatusServer {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl StatusServer {
+    fn spawn(addr: &str, board: Arc<Mutex<StatusBoard>>) -> Result<StatusServer, EngineError> {
+        let listener = TcpListener::bind(addr)
+            .map_err(net_error(format!("binding the status listener on {addr}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(net_error("configuring the status listener".into()))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let handle = std::thread::spawn(move || {
+            while !stop_flag.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nonblocking(false);
+                        if let Ok(mut conn) = FrameConn::new(stream, "status client") {
+                            let _ = serve_status_client(&mut conn, &board);
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(StatusServer {
+            stop,
+            handle: Some(handle),
+        })
+    }
+}
+
+impl Drop for StatusServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One status exchange: expect a StatusRequest, answer with the board.
+fn serve_status_client(
+    conn: &mut FrameConn,
+    board: &Mutex<StatusBoard>,
+) -> Result<(), EngineError> {
+    let frame = conn.recv()?;
+    if frame.kind != FrameKind::StatusRequest {
+        return Err(EngineError::Protocol {
+            detail: format!("expected StatusRequest, got {:?}", frame.kind),
+        });
+    }
+    let (epoch, reply) = {
+        let b = lock_board(board);
+        (b.epoch, b.snapshot())
+    };
+    conn.send(&Frame::control(
+        FrameKind::StatusReply,
+        COORDINATOR,
+        epoch,
+        encode_payload(&reply),
+    ))
+}
+
+/// Query a running coordinator's status board (the `tempograph status`
+/// subcommand): one StatusRequest over a fresh connection, one decoded
+/// StatusReply back.
+pub fn query_status(addr: &str) -> Result<StatusReplyMsg, EngineError> {
+    let stream = connect_with_retry(addr, "status server")?;
+    let mut conn = FrameConn::new(stream, "status server")?;
+    conn.send(&Frame::control(
+        FrameKind::StatusRequest,
+        COORDINATOR,
+        0,
+        Bytes::new(),
+    ))?;
+    let frame = conn.recv()?;
+    if frame.kind != FrameKind::StatusReply {
+        return Err(EngineError::Protocol {
+            detail: format!("expected StatusReply, got {:?}", frame.kind),
+        });
+    }
+    decode_payload(frame.payload)
+}
+
 /// Serve one epoch over the coordinator listener: accept `k` hellos, send
 /// Start, then serve barrier rounds (fold k Contributions, broadcast the
-/// Aggregate) until all k workers deliver Output frames. Returns
-/// `Ok(Err(death))` when a worker died mid-epoch (remaining workers have
-/// been told to abort), and `Err` only for unrecoverable coordinator-side
-/// failures (handshake timeout, protocol violations).
+/// Aggregate) until all k workers deliver Output frames. Telemetry frames
+/// interleave with the barrier protocol and are drained into `telem` as
+/// they arrive (a protocol error when telemetry is disabled — the zero-cost
+/// contract says no such frame may exist). Returns `Ok(Err(death))` when a
+/// worker died mid-epoch (remaining workers have been told to abort), and
+/// `Err` only for unrecoverable coordinator-side failures (handshake
+/// timeout, protocol violations).
 fn serve_epoch(
     listener: &TcpListener,
     k: usize,
     epoch: u32,
     resume_from: Option<u64>,
     faults: Option<&FaultPlan>,
+    mut telem: Option<&mut CoordTelemetry>,
 ) -> Result<Result<Vec<WorkerEssentials>, Death>, EngineError> {
     let mut conns: Vec<Option<FrameConn>> = (0..k).map(|_| None).collect();
     let mut peer_addrs = vec![String::new(); k];
@@ -1127,21 +1548,39 @@ fn serve_epoch(
         let mut contribs: Vec<Contribution> = Vec::with_capacity(k);
         let mut outputs_this_round = 0usize;
         for p in 0..k {
-            let conn = conns[p].as_mut().expect("all workers connected");
-            let frame = match conn.recv() {
-                Ok(f) => f,
-                // EOF / reset without an Abort naming someone else first:
-                // this worker is the primary death.
-                Err(e) => return Ok(Err(abort_cluster(&mut conns, p as u16, e.to_string()))),
+            // Telemetry frames interleave with the barrier protocol on the
+            // same connection; drain them until a protocol frame arrives.
+            let frame = loop {
+                let conn = conns[p].as_mut().expect("all workers connected");
+                let frame = match conn.recv() {
+                    Ok(f) => f,
+                    // EOF / reset without an Abort naming someone else
+                    // first: this worker is the primary death.
+                    Err(e) => return Ok(Err(abort_cluster(&mut conns, p as u16, e.to_string()))),
+                };
+                if frame.kind != FrameKind::Abort && frame.epoch != epoch {
+                    return Err(EngineError::Protocol {
+                        detail: format!(
+                            "worker {p} sent a frame for epoch {} (serving {epoch})",
+                            frame.epoch
+                        ),
+                    });
+                }
+                if frame.kind != FrameKind::Telemetry {
+                    break frame;
+                }
+                match telem.as_deref_mut() {
+                    Some(ct) => ct.ingest(p, frame.payload)?,
+                    None => {
+                        return Err(EngineError::Protocol {
+                            detail: format!(
+                                "unexpected Telemetry frame from worker {p} \
+                                 (observability disabled)"
+                            ),
+                        })
+                    }
+                }
             };
-            if frame.kind != FrameKind::Abort && frame.epoch != epoch {
-                return Err(EngineError::Protocol {
-                    detail: format!(
-                        "worker {p} sent a frame for epoch {} (serving {epoch})",
-                        frame.epoch
-                    ),
-                });
-            }
             match frame.kind {
                 FrameKind::Contribution => contribs.push(decode_payload(frame.payload)?),
                 FrameKind::Output => {
@@ -1204,6 +1643,7 @@ fn run_epoch_threads<P, F>(
     factory: &F,
     config: &JobConfig<P::Msg>,
     timesteps: usize,
+    telem: Option<&mut CoordTelemetry>,
 ) -> Result<EpochEnd, EngineError>
 where
     P: SubgraphProgram,
@@ -1223,7 +1663,14 @@ where
                 })
             })
             .collect();
-        match serve_epoch(listener, k, epoch, resume_from, config.faults.as_deref()) {
+        match serve_epoch(
+            listener,
+            k,
+            epoch,
+            resume_from,
+            config.faults.as_deref(),
+            telem,
+        ) {
             Ok(Ok(essentials)) => {
                 for (p, h) in handles.into_iter().enumerate() {
                     match h.join() {
@@ -1302,6 +1749,7 @@ fn run_epoch_processes(
     worker_bin: &Path,
     worker_args: &[String],
     faults: Option<&FaultPlan>,
+    telem: Option<&mut CoordTelemetry>,
 ) -> Result<EpochEnd, EngineError> {
     let mut children: Vec<Child> = Vec::with_capacity(k);
     for p in 0..k {
@@ -1326,7 +1774,7 @@ fn run_epoch_processes(
             }
         }
     }
-    match serve_epoch(listener, k, epoch, resume_from, faults) {
+    match serve_epoch(listener, k, epoch, resume_from, faults, telem) {
         Ok(Ok(essentials)) => {
             for c in &mut children {
                 let _ = c.wait();
@@ -1385,10 +1833,14 @@ fn run_epoch_processes(
 /// unlike [`crate::run_job`], whose in-process driver re-raises worker
 /// panics.
 ///
-/// TCP-mode results omit process-local instrumentation: `trace` is `None`
-/// and histogram registries are empty (counter aggregates survive, fed
-/// from the shipped per-timestep metrics). Temporal parallelism is not
-/// supported over TCP.
+/// With any of trace/metrics/attribution armed, workers ship their
+/// observability over the telemetry plane (one Telemetry frame per barrier
+/// round plus a final flush) and the returned [`JobResult`] carries the
+/// same trace, registry, and attribution a [`crate::run_job`] run would —
+/// see `tests/transport_equivalence.rs`. With [`JobConfig::status_addr`]
+/// set, the coordinator additionally serves the live status board (the
+/// `tempograph status` view) for the life of the job. Temporal parallelism
+/// is not supported over TCP.
 pub fn run_job_tcp<P, F>(
     pg: &Arc<PartitionedGraph>,
     source: &InstanceSource,
@@ -1428,6 +1880,18 @@ where
     let mut recoveries = 0usize;
     let mut resume_from: Option<u64> = None;
     let mut epoch = 0u32;
+    // Coordinator-side telemetry accumulation — armed by exactly the same
+    // predicate the workers use, so a Telemetry frame arriving while this
+    // is `None` is a protocol violation, not a silent drop.
+    let telemetry_armed = config.trace.is_some() || config.metrics || config.attribution;
+    let mut telem = telemetry_armed.then(|| CoordTelemetry::new(k, config.straggler_factor));
+    // Driver-side sink (its own track, after the k partition tracks) for
+    // recovery markers, mirroring the in-process driver.
+    let mut driver_sink = config.trace.map(|tc| tc.sink(k as u32));
+    let _status_server = match (&config.status_addr, &telem) {
+        (Some(addr), Some(ct)) => Some(StatusServer::spawn(addr, ct.board.clone())?),
+        _ => None,
+    };
     loop {
         let end = match &cluster {
             Cluster::Threads => run_epoch_threads::<P, F>(
@@ -1441,6 +1905,7 @@ where
                 &factory,
                 &config,
                 timesteps,
+                telem.as_mut(),
             )?,
             Cluster::Processes {
                 worker_bin,
@@ -1454,17 +1919,31 @@ where
                 worker_bin,
                 worker_args,
                 config.faults.as_deref(),
+                telem.as_mut(),
             )?,
         };
         match end {
-            EpochEnd::Done(outputs) => {
+            EpochEnd::Done(mut outputs) => {
                 let total_wall_ns = job_start.elapsed_ns();
+                if let Some(ct) = telem.take() {
+                    ct.merge_into(&mut outputs);
+                }
+                let trace = config.trace.map(|_| {
+                    let mut sinks: Vec<(String, TraceSink)> =
+                        outputs.iter_mut().flat_map(|o| o.sinks.drain(..)).collect();
+                    if let Some(sink) = driver_sink.take() {
+                        if !sink.events().is_empty() {
+                            sinks.push(("driver".to_string(), sink));
+                        }
+                    }
+                    Trace::from_sinks(sinks)
+                });
                 return Ok(assemble_job_result(
                     outputs,
                     k,
                     total_wall_ns,
                     recoveries,
-                    None,
+                    trace,
                     config.metrics,
                     config.attribution,
                 ));
@@ -1497,6 +1976,15 @@ where
                     .and_then(|ck: &CheckpointConfig| {
                         checkpoint::latest_valid::<P::Msg>(&ck.dir, k as u16)
                     });
+                if let Some(ct) = telem.as_mut() {
+                    ct.reset(epoch);
+                }
+                if let Some(sink) = &mut driver_sink {
+                    sink.instant(
+                        "recovery.attempt",
+                        Some(("resume_t", resume_from.unwrap_or(u64::MAX))),
+                    );
+                }
             }
         }
     }

@@ -26,3 +26,38 @@ pub struct StartMsg {
 pub struct AbortMsg {
     pub detail: String,
 }
+
+pub struct TraceEventWire {
+    pub kind: u8,
+    pub name: String,
+}
+
+pub struct HistogramWire {
+    pub buckets: Vec<u64>,
+    pub count: u64,
+}
+
+pub struct MetricsShardWire {
+    pub cache_hits: u64,
+    pub bytes_read: u64,
+}
+
+pub struct AttrRowWire {
+    pub subgraph: u32,
+    pub compute_ns: u64,
+}
+
+pub struct TelemetryMsg {
+    pub timestep: u32,
+    pub final_flush: bool,
+    pub events: Vec<TraceEventWire>,
+}
+
+pub struct WorkerStatusWire {
+    pub partition: u16,
+    pub epoch: u32,
+}
+
+pub struct StatusReplyMsg {
+    pub workers: Vec<WorkerStatusWire>,
+}

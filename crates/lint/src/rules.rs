@@ -289,8 +289,10 @@ pub const HOT_ROOTS_EXECUTOR: &[&str] = &[
 ];
 
 /// `Transport` entry points — every impl (and the trait's default
-/// `barrier`) roots its own closure.
-pub const HOT_ROOTS_TRANSPORT: &[&str] = &["send", "exchange", "arrive", "barrier"];
+/// `barrier`) roots its own closure. `telemetry` is the per-round
+/// observability flush: it runs on the barrier path whenever any
+/// instrumentation is armed, so its closure obeys the same rules.
+pub const HOT_ROOTS_TRANSPORT: &[&str] = &["send", "exchange", "arrive", "barrier", "telemetry"];
 
 /// Codec entry-point names: any fn with one of these names in a
 /// [`CODEC_FILES`] file roots the wire/frame/checkpoint/ledger closure.

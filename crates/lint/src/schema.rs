@@ -51,7 +51,20 @@ pub const GROUPS: &[SchemaGroup] = &[
     SchemaGroup {
         name: "net",
         files: &["crates/engine/src/net.rs"],
-        types: &["FrameKind", "Frame", "HelloMsg", "StartMsg", "AbortMsg"],
+        types: &[
+            "FrameKind",
+            "Frame",
+            "HelloMsg",
+            "StartMsg",
+            "AbortMsg",
+            "TraceEventWire",
+            "HistogramWire",
+            "MetricsShardWire",
+            "AttrRowWire",
+            "TelemetryMsg",
+            "WorkerStatusWire",
+            "StatusReplyMsg",
+        ],
         version: ("crates/engine/src/net.rs", "FRAME_VERSION"),
     },
     SchemaGroup {

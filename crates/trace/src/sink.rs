@@ -179,6 +179,24 @@ impl TraceSink {
         }
     }
 
+    /// Rebuild a sink from events recorded elsewhere — e.g. shipped across
+    /// a process boundary by a telemetry frame. The sink is active and
+    /// unbounded, so `Trace::from_sinks` treats it exactly like a locally
+    /// recorded one. Its epoch is fresh: the recorded timestamps keep the
+    /// clock domain of the worker that produced them.
+    pub fn from_recorded(track: u32, events: Vec<TraceEvent>) -> Self {
+        TraceSink {
+            active: true,
+            epoch: Instant::now(),
+            track,
+            straggler_ns: 0,
+            ring: 0,
+            tail: 64,
+            next_overwrite: 0,
+            events,
+        }
+    }
+
     /// The track (partition) id this sink records under.
     pub fn track(&self) -> u32 {
         self.track
@@ -424,6 +442,27 @@ mod tests {
         assert_eq!(evs[0].name(), "compute");
         assert!(matches!(evs[1], TraceEvent::Counter { value: 42, .. }));
         assert!(s.take_events().is_empty(), "take drains");
+    }
+
+    #[test]
+    fn from_recorded_replays_shipped_events() {
+        let _serial = crate::test_serial();
+        let evs = vec![
+            TraceEvent::Span {
+                name: "compute",
+                start_ns: 5,
+                dur_ns: 2,
+                arg: None,
+            },
+            TraceEvent::Counter {
+                name: "msgs",
+                ts_ns: 9,
+                value: 3,
+            },
+        ];
+        let mut s = TraceSink::from_recorded(7, evs.clone());
+        assert_eq!(s.track(), 7);
+        assert_eq!(s.take_events(), evs);
     }
 
     #[test]

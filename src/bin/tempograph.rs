@@ -35,6 +35,7 @@ fn main() -> ExitCode {
         "partition" => cmd_partition(&opts),
         "run" => cmd_run(&opts),
         "worker" => cmd_worker(&opts),
+        "status" => cmd_status(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -79,8 +80,9 @@ USAGE:
 
   tempograph run       --algo ALGO --data DIR [--source V] [--meme TAG]
                        [--timesteps N] [--ledger DIR] [--seed N]
-                       [--deterministic true]
+                       [--deterministic true] [--observe true]
                        [--transport inprocess|tcp|tcp-process]
+                       [--status-addr HOST:PORT] [--straggler-factor F]
                        [--faults SPEC] [--checkpoint-dir D]
                        [--checkpoint-every N]
       Run an algorithm over a stored dataset. With --ledger, the run is
@@ -88,14 +90,26 @@ USAGE:
       (--deterministic strips measured timings so a seeded run records
       byte-identically across executions). --transport tcp runs the
       cluster over loopback TCP (worker threads); tcp-process spawns one
-      real `tempograph worker` process per partition. Results are
-      byte-identical across transports.
+      real `tempograph worker` process per partition. Results —
+      including ledger records — are byte-identical across transports:
+      TCP workers ship telemetry frames at every barrier so the
+      coordinator merges the same metrics/attribution an in-process run
+      folds directly. --observe arms metrics + attribution without
+      recording; --status-addr serves live cluster introspection for
+      `tempograph status` (implies --observe); --straggler-factor (or
+      env TEMPOGRAPH_STRAGGLER_FACTOR, default 4.0) tunes how many
+      multiples of the median barrier wait flag a straggler.
       ALGO: tdsp | meme | hash | sssp | bfs | wcc | pagerank | topn | stats
+
+  tempograph status    --addr HOST:PORT
+      Query a running TCP coordinator's status endpoint (started via
+      `run --status-addr`): per-worker epoch, timestep, supersteps,
+      barrier-wait watermark, bytes sent/received, telemetry age.
 
   tempograph worker    --data DIR --algo ALGO --partition N
                        --coordinator ADDR [--timesteps N] [--source V]
-                       [--meme TAG] [--faults SPEC] [--checkpoint-dir D]
-                       [--checkpoint-every N]
+                       [--meme TAG] [--observe true] [--faults SPEC]
+                       [--checkpoint-dir D] [--checkpoint-every N]
       One TCP cluster worker (spawned by `run --transport tcp-process`;
       rarely invoked by hand). Flags after --coordinator must mirror the
       coordinator's so every worker runs the identical job.";
@@ -555,6 +569,13 @@ fn cmd_partition(opts: &HashMap<String, String>) -> Result<(), String> {
 struct JobTuning {
     /// Arm metrics + attribution for ledger recording.
     ledger_on: bool,
+    /// `--observe true` — arm metrics + attribution without recording.
+    observe: bool,
+    /// `--status-addr HOST:PORT` — serve live introspection (implies
+    /// observe; coordinator-side only, never mirrored to workers).
+    status_addr: Option<String>,
+    /// `--straggler-factor F` or env `TEMPOGRAPH_STRAGGLER_FACTOR`.
+    straggler_factor: Option<f64>,
     /// `--checkpoint-every N --checkpoint-dir D`.
     checkpoint: Option<(usize, String)>,
     /// `--faults SPEC` (see `FaultPlan::from_spec`).
@@ -577,16 +598,48 @@ impl JobTuning {
             (None, Some(_)) => return Err("--checkpoint-every requires --checkpoint-dir".into()),
             (None, None) => None,
         };
+        let straggler_factor: Option<f64> = match opts.get("straggler-factor") {
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| format!("invalid value for --straggler-factor: `{v}`"))?,
+            ),
+            None => match std::env::var("TEMPOGRAPH_STRAGGLER_FACTOR") {
+                Ok(v) => Some(v.parse().map_err(|_| {
+                    format!("invalid TEMPOGRAPH_STRAGGLER_FACTOR in environment: `{v}`")
+                })?),
+                Err(_) => None,
+            },
+        };
+        if let Some(f) = straggler_factor {
+            if f.is_nan() || f < 1.0 {
+                return Err(format!("--straggler-factor must be >= 1.0, got {f}"));
+            }
+        }
         Ok(JobTuning {
             ledger_on: opts.contains_key("ledger"),
+            observe: parse(opts, "observe", false)?,
+            status_addr: opts.get("status-addr").cloned(),
+            straggler_factor,
             checkpoint,
             fault_spec: opts.get("faults").cloned(),
         })
     }
 
+    /// True when the job should carry metrics + attribution — the same
+    /// predicate arms telemetry shipping on both sides of a TCP cluster.
+    fn observability_on(&self) -> bool {
+        self.ledger_on || self.observe || self.status_addr.is_some()
+    }
+
     fn apply<M>(&self, mut cfg: JobConfig<M>) -> Result<JobConfig<M>, String> {
-        if self.ledger_on {
+        if self.observability_on() {
             cfg = cfg.with_metrics().with_attribution();
+        }
+        if let Some(addr) = &self.status_addr {
+            cfg = cfg.with_status_addr(addr.clone());
+        }
+        if let Some(f) = self.straggler_factor {
+            cfg = cfg.with_straggler_factor(f);
         }
         if let Some((every, dir)) = &self.checkpoint {
             cfg = cfg.with_checkpoint(*every, dir);
@@ -785,6 +838,42 @@ fn cmd_worker(opts: &HashMap<String, String>) -> Result<(), String> {
     std::process::exit(code);
 }
 
+fn cmd_status(opts: &HashMap<String, String>) -> Result<(), String> {
+    let addr = opts.get("addr").ok_or("--addr HOST:PORT is required")?;
+    let reply = query_status(addr).map_err(|e| e.to_string())?;
+    println!("cluster @ {addr}: {} workers", reply.workers.len());
+    println!(
+        "{:>9}  {:>5}  {:>8}  {:>10}  {:>14}  {:>12}  {:>12}  {:>14}",
+        "partition",
+        "epoch",
+        "timestep",
+        "supersteps",
+        "barrier-wait",
+        "sent",
+        "received",
+        "last telemetry"
+    );
+    for w in &reply.workers {
+        let age = if w.last_telemetry_ms == u64::MAX {
+            "never".to_string()
+        } else {
+            format!("{} ms ago", w.last_telemetry_ms)
+        };
+        println!(
+            "{:>9}  {:>5}  {:>8}  {:>10}  {:>11.3} ms  {:>10} B  {:>10} B  {:>14}",
+            w.partition,
+            w.epoch,
+            w.timestep,
+            w.supersteps,
+            w.barrier_wait_ns as f64 / 1e6,
+            w.bytes_sent,
+            w.bytes_received,
+            age
+        );
+    }
+    Ok(())
+}
+
 fn cmd_run(opts: &HashMap<String, String>) -> Result<(), String> {
     let dir = opts.get("data").ok_or("--data DIR is required")?;
     let algo = opts.get("algo").ok_or("--algo is required")?;
@@ -845,6 +934,13 @@ fn cmd_run(opts: &HashMap<String, String>) -> Result<(), String> {
                 "--meme".into(),
                 meme.clone(),
             ];
+            if tuning.observability_on() {
+                // Workers must arm metrics + attribution whenever the
+                // coordinator does (--ledger / --observe / --status-addr)
+                // so they ship telemetry frames the coordinator merges;
+                // otherwise a tcp-process ledger record would be empty.
+                worker_args.extend(["--observe".into(), "true".into()]);
+            }
             if let Some((every, ckdir)) = &tuning.checkpoint {
                 worker_args.extend([
                     "--checkpoint-every".into(),
@@ -904,6 +1000,27 @@ fn cmd_run(opts: &HashMap<String, String>) -> Result<(), String> {
     let loads: u64 = result.metrics.iter().flatten().map(|m| m.slice_loads).sum();
     println!("messages       : {m}");
     println!("slice loads    : {loads}");
+
+    // With observability armed, print the coordinator-side registry totals
+    // next to the worker-local sums above. Over TCP the histogram content
+    // arrives only via telemetry frames, so nonzero observation counts here
+    // prove the worker shards were shipped and merged; everything printed
+    // is deterministic, so the line must match across transports.
+    if let Some(reg) = &result.registry {
+        let snap = reg.snapshot();
+        let hist_count = |name: &str| match snap.get(name, &[]) {
+            Some(tempograph::metrics::Metric::Histogram(h)) => h.count(),
+            _ => 0,
+        };
+        let reg_msgs = snap.counter_total("tempograph_msgs_local_total")
+            + snap.counter_total("tempograph_msgs_remote_total");
+        println!(
+            "registry       : messages {reg_msgs}, slice loads {}, compute spans {}, barrier waits {}",
+            snap.counter_total("tempograph_slice_loads_total"),
+            hist_count("tempograph_superstep_compute_ns"),
+            hist_count("tempograph_barrier_wait_ns"),
+        );
+    }
 
     if let Some(ldir) = opts.get("ledger") {
         let pattern = match algo.as_str() {

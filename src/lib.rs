@@ -47,9 +47,10 @@ pub mod prelude {
         TimeSeriesCollection, VertexIdx,
     };
     pub use tempograph_engine::{
-        run_job, run_job_tcp, run_tcp_worker, AttributionRow, CheckpointConfig, Cluster, Context,
-        CostAttribution, EngineError, Envelope, FaultPlan, InstanceSource, JobConfig, JobResult,
-        Pattern, SubgraphProgram, TimestepMode, Transport,
+        query_status, run_job, run_job_tcp, run_tcp_worker, AttributionRow, CheckpointConfig,
+        Cluster, Context, CostAttribution, EngineError, Envelope, FaultPlan, InstanceSource,
+        JobConfig, JobResult, Pattern, StatusReplyMsg, SubgraphProgram, TimestepMode, Transport,
+        WorkerStatusWire, DEFAULT_STRAGGLER_FACTOR,
     };
     pub use tempograph_gen::{
         carn_like, generate_road_latencies, generate_sir_tweets, road_network, small_world,

@@ -11,7 +11,8 @@ use bytes::Bytes;
 use proptest::prelude::*;
 use std::io::Cursor;
 use tempograph::engine::net::{
-    read_frame, write_frame, write_frame_corrupted, Frame, FrameKind, HEADER_LEN,
+    decode_payload, encode_payload, read_frame, write_frame, write_frame_corrupted, AttrRowWire,
+    Frame, FrameKind, HistogramWire, MetricsShardWire, TelemetryMsg, TraceEventWire, HEADER_LEN,
 };
 use tempograph::engine::{EngineError, WireError};
 
@@ -27,6 +28,9 @@ fn kind_strategy() -> impl Strategy<Value = FrameKind> {
         Just(FrameKind::Sentinel),
         Just(FrameKind::PeerHello),
         Just(FrameKind::Output),
+        Just(FrameKind::Telemetry),
+        Just(FrameKind::StatusRequest),
+        Just(FrameKind::StatusReply),
     ]
 }
 
@@ -164,6 +168,199 @@ proptest! {
         }
         let (back, _) = read_frame(&mut r, "pipe")
             .expect("stream must stay aligned after a checksum failure");
+        prop_assert_eq!(&back, &g);
+    }
+}
+
+// ---- Telemetry payloads --------------------------------------------------
+
+fn event_wire_strategy() -> impl Strategy<Value = TraceEventWire> {
+    (
+        1u8..=3,
+        "[a-z.]{1,12}",
+        any::<u64>(),
+        any::<u64>(),
+        proptest::option::of(("[a-z_]{1,8}", any::<u64>())),
+    )
+        .prop_map(|(kind, name, a, b, arg)| TraceEventWire {
+            kind,
+            name,
+            a,
+            b,
+            // Counters (kind 3) never carry an argument on the wire.
+            arg: if kind == 3 { None } else { arg },
+        })
+}
+
+fn histogram_wire_strategy() -> impl Strategy<Value = HistogramWire> {
+    (
+        proptest::collection::vec(
+            any::<u64>(),
+            tempograph::metrics::BUCKETS..=tempograph::metrics::BUCKETS,
+        ),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(buckets, count, sum, min, max)| HistogramWire {
+            buckets,
+            count,
+            sum,
+            min,
+            max,
+        })
+}
+
+fn shard_wire_strategy() -> impl Strategy<Value = MetricsShardWire> {
+    (
+        (
+            histogram_wire_strategy(),
+            histogram_wire_strategy(),
+            histogram_wire_strategy(),
+            histogram_wire_strategy(),
+            histogram_wire_strategy(),
+        ),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(
+            |(
+                (compute_ns, barrier_wait_ns, send_ns, checkpoint_write_ns, recovery_restore_ns),
+                (cache_hits, cache_misses, cache_evictions, bytes_read),
+            )| MetricsShardWire {
+                compute_ns,
+                barrier_wait_ns,
+                send_ns,
+                checkpoint_write_ns,
+                recovery_restore_ns,
+                cache_hits,
+                cache_misses,
+                cache_evictions,
+                bytes_read,
+            },
+        )
+}
+
+fn attr_row_strategy() -> impl Strategy<Value = AttrRowWire> {
+    (any::<u32>(), any::<u32>(), any::<u64>(), any::<u32>()).prop_map(
+        |(subgraph, timestep, compute_ns, invocations)| AttrRowWire {
+            subgraph,
+            timestep,
+            compute_ns,
+            invocations,
+        },
+    )
+}
+
+fn telemetry_strategy() -> impl Strategy<Value = TelemetryMsg> {
+    (
+        (any::<u32>(), any::<u32>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<bool>()),
+        proptest::collection::vec(event_wire_strategy(), 0..5),
+        proptest::option::of(shard_wire_strategy()),
+        proptest::collection::vec(attr_row_strategy(), 0..5),
+    )
+        .prop_map(
+            |(
+                (timestep, supersteps, barrier_wait_ns, clock_ns),
+                (bytes_sent, bytes_received, final_flush),
+                events,
+                shard,
+                attr,
+            )| TelemetryMsg {
+                timestep,
+                supersteps,
+                barrier_wait_ns,
+                clock_ns,
+                bytes_sent,
+                bytes_received,
+                final_flush,
+                events,
+                shard,
+                attr,
+            },
+        )
+}
+
+proptest! {
+    /// A Telemetry frame carrying an arbitrary observability payload
+    /// round-trips bit-exactly through the stream codec.
+    #[test]
+    fn telemetry_frames_roundtrip_through_a_pipe(
+        msg in telemetry_strategy(),
+        sender in any::<u16>(),
+        epoch in any::<u32>(),
+    ) {
+        let f = Frame::control(FrameKind::Telemetry, sender, epoch, encode_payload(&msg));
+        let mut pipe = Vec::new();
+        write_frame(&mut pipe, &f, "pipe").unwrap();
+        let mut r = Cursor::new(pipe);
+        let (back, _) = read_frame(&mut r, "pipe").expect("clean telemetry frame reads back");
+        prop_assert_eq!(back.kind, FrameKind::Telemetry);
+        let decoded: TelemetryMsg = decode_payload(back.payload).expect("payload decodes");
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// A bit-flip anywhere in an encoded telemetry payload either still
+    /// decodes (the flip hit a value field) or fails with a typed wire
+    /// error — never a panic, never unbounded preallocation (vector
+    /// length prefixes are capped by the remaining bytes).
+    #[test]
+    fn bit_flipped_telemetry_payloads_yield_typed_errors(
+        msg in telemetry_strategy(),
+        bit in any::<u32>(),
+    ) {
+        let enc = encode_payload(&msg);
+        prop_assume!(!enc.is_empty());
+        let mut bytes = enc.to_vec();
+        let pos = (bit as usize / 8) % bytes.len();
+        bytes[pos] ^= 1 << (bit % 8);
+        match decode_payload::<TelemetryMsg>(Bytes::from(bytes)) {
+            Ok(_) => {}
+            Err(EngineError::Wire(_)) => {}
+            Err(e) => panic!("unexpected error class: {e}"),
+        }
+    }
+
+    /// Truncating an encoded telemetry payload at any interior point is a
+    /// typed wire error, never a panic or a silent partial decode.
+    #[test]
+    fn truncated_telemetry_payloads_yield_typed_errors(
+        msg in telemetry_strategy(),
+        cut in any::<u32>(),
+    ) {
+        let enc = encode_payload(&msg);
+        prop_assume!(!enc.is_empty());
+        let cut = cut as usize % enc.len();
+        match decode_payload::<TelemetryMsg>(enc.slice(0..cut)) {
+            Err(EngineError::Wire(WireError::Eof { .. })) => {}
+            Err(e) => panic!("truncation must be Eof, got: {e}"),
+            Ok(_) => panic!("a truncated telemetry payload must not decode"),
+        }
+    }
+
+    /// A corrupted Telemetry frame fails its checksum and leaves the
+    /// stream aligned: the frame right behind it still decodes. This is
+    /// what lets `serve_epoch` surface a typed error (and the recovery
+    /// path take over) instead of desynchronising on damaged telemetry.
+    #[test]
+    fn corrupted_telemetry_frames_leave_the_stream_aligned(
+        msg in telemetry_strategy(),
+        g in frame_strategy(),
+    ) {
+        let f = Frame::control(FrameKind::Telemetry, 3, 7, encode_payload(&msg));
+        let mut pipe = Vec::new();
+        write_frame_corrupted(&mut pipe, &f, "pipe").unwrap();
+        write_frame(&mut pipe, &g, "pipe").unwrap();
+
+        let mut r = Cursor::new(pipe);
+        match read_frame(&mut r, "pipe") {
+            Err(EngineError::Wire(WireError::Checksum { .. })) => {}
+            Err(e) => panic!("corrupted telemetry frame must fail its checksum, got: {e}"),
+            Ok(_) => panic!("corrupted telemetry frame must not decode"),
+        }
+        let (back, _) = read_frame(&mut r, "pipe")
+            .expect("stream must stay aligned after a damaged telemetry frame");
         prop_assert_eq!(&back, &g);
     }
 }

@@ -131,3 +131,70 @@ fn disabled_metrics_add_zero_hot_path_allocations() {
         "metrics record path allocates per event: {armed} armed vs {plain} plain"
     );
 }
+
+/// With observability disabled, a TCP worker's per-round telemetry flush
+/// site is one `wants_telemetry()` branch — no `TelemetryFlush` is
+/// built, no `TelemetryMsg` encoded, no frame sent (the coordinator
+/// treats a Telemetry frame on a disabled run as a protocol error, so a
+/// completing job doubly proves none were emitted). Two identical
+/// disabled TCP runs must therefore allocate near-identically: an
+/// unconditional flush would add several allocations per barrier round
+/// per worker (~24 rounds × 3 workers here), far above the slack, which
+/// only absorbs socket-layer nondeterminism (e.g. a stray connect
+/// retry).
+#[test]
+#[ignore]
+fn disabled_telemetry_adds_zero_allocations_over_tcp() {
+    const TIMESTEPS: usize = 24;
+    if std::net::TcpListener::bind("127.0.0.1:0").is_err() {
+        eprintln!("NOTICE: loopback sockets unavailable; skipping TCP overhead test");
+        return;
+    }
+    let t = Arc::new(tempograph::gen::road_network(&RoadNetConfig {
+        width: 12,
+        height: 12,
+        seed: 0xFACADE,
+        ..Default::default()
+    }));
+    let coll = Arc::new(tempograph::gen::generate_sir_tweets(
+        t.clone(),
+        &SirConfig {
+            timesteps: TIMESTEPS,
+            hit_prob: 0.4,
+            initial_infected: 4,
+            infectious_steps: 3,
+            background_rate: 0.08,
+            ..Default::default()
+        },
+    ));
+    let meme = "#meme0".to_string();
+    let tweets_col = t.vertex_schema().index_of(TWEETS_ATTR).unwrap();
+    let parts = MultilevelPartitioner::default().partition(&t, 3);
+    let pg = Arc::new(discover_subgraphs(t.clone(), parts));
+    let src = InstanceSource::Memory(coll);
+
+    let run = || {
+        let r = run_job_tcp(
+            &pg,
+            &src,
+            MemeTracking::factory(meme.clone(), tweets_col),
+            JobConfig::sequentially_dependent(TIMESTEPS),
+            Cluster::Threads,
+        )
+        .expect("disabled tcp job failed");
+        assert_eq!(r.timesteps_run, TIMESTEPS);
+        assert!(r.registry.is_none(), "disabled run must carry no registry");
+        assert!(r.trace.is_none(), "disabled run must carry no trace");
+    };
+    // Warm caches, lazy statics, and the allocator.
+    run();
+
+    let best = || (0..3).map(|_| allocations_during(run)).min().unwrap();
+    let first = best();
+    let second = best();
+    let spread = first.abs_diff(second);
+    assert!(
+        spread <= 64,
+        "disabled TCP runs must be allocation-reproducible: {first} vs {second}"
+    );
+}

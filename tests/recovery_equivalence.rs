@@ -708,6 +708,118 @@ fn killed_worker_process_resumes_from_checkpoint_byte_identical() {
     );
 }
 
+/// Normalised registry content: counter values verbatim except measured
+/// `_ns_total` time, histograms reduced to their (deterministic)
+/// observation counts, gauges to exact bits.
+fn registry_fingerprint(label: &str, r: &JobResult) -> Vec<String> {
+    use tempograph::metrics::Metric;
+    let reg = r
+        .registry
+        .as_ref()
+        .unwrap_or_else(|| panic!("{label}: result lacks a registry"));
+    reg.snapshot()
+        .metrics
+        .iter()
+        .map(|e| {
+            let labels: Vec<String> = e
+                .key
+                .labels
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            let id = format!("{}[{}]", e.key.name, labels.join(","));
+            match &e.value {
+                Metric::Counter(_) if e.key.name.ends_with("_ns_total") => {
+                    format!("{id} measured-ns")
+                }
+                Metric::Counter(c) => format!("{id} counter {c}"),
+                Metric::Gauge(g) => format!("{id} gauge-bits {:016x}", g.to_bits()),
+                Metric::Histogram(h) => format!("{id} histogram-count {}", h.count()),
+            }
+        })
+        .collect()
+}
+
+/// A TCP worker dies *between* shipping its telemetry flush for a
+/// completed timestep and the next barrier. The coordinator has already
+/// ingested that flush — but the epoch fails, so `CoordTelemetry` resets
+/// and the respawned epoch re-ships **cumulative** shard/attribution
+/// snapshots (replace-not-add merge): the committed observations are not
+/// lost, and re-shipping cannot double count. Both a recovered in-process
+/// run and a recovered TCP run cover the final successful attempt, so
+/// their merged registries and attribution tables must be identical —
+/// and the deterministic output must still match a clean run.
+#[test]
+fn tcp_death_between_telemetry_flush_and_barrier_neither_loses_nor_double_counts() {
+    if !sockets_available() {
+        return;
+    }
+    let (t, src, cfg) = tweet_fixture();
+    let tweets_col = t.vertex_schema().index_of(TWEETS_ATTR).unwrap();
+    let pg = partitioned(&t, 3);
+    let factory = MemeTracking::factory(cfg.meme.clone(), tweets_col);
+    // Worker 1 dies at (t = 2, superstep 0): it has flushed telemetry for
+    // timesteps 0 and 1 (one flush per barrier round) and passed the
+    // t = 1 checkpoint boundary, then dies before reaching any t = 2
+    // barrier — exactly the flush/barrier gap under test.
+    let mk_cfg = |dir: &PathBuf| {
+        JobConfig::sequentially_dependent(TIMESTEPS)
+            .with_metrics()
+            .with_attribution()
+            .with_checkpoint(EVERY, dir)
+            .with_faults(FaultPlan::new().panic_at(1, 2, 0))
+    };
+
+    let clean = run_job(
+        &pg,
+        &src,
+        &factory,
+        JobConfig::sequentially_dependent(TIMESTEPS),
+    );
+
+    let local_dir = ckpt_dir("telem-flush-local");
+    let local = run_job(&pg, &src, &factory, mk_cfg(&local_dir));
+    let _ = std::fs::remove_dir_all(&local_dir);
+
+    let tcp_dir = ckpt_dir("telem-flush-tcp");
+    let tcp = run_job_tcp(&pg, &src, &factory, mk_cfg(&tcp_dir), Cluster::Threads)
+        .expect("the killed worker must be recovered");
+    let _ = std::fs::remove_dir_all(&tcp_dir);
+
+    assert_eq!(local.recoveries, 1, "in-process fault must fire once");
+    assert_eq!(tcp.recoveries, 1, "tcp fault must fire once");
+    assert_eq!(
+        fingerprint(&clean),
+        fingerprint(&tcp),
+        "recovered TCP output must match the clean run"
+    );
+    assert_eq!(
+        registry_fingerprint("local", &local),
+        registry_fingerprint("tcp", &tcp),
+        "recovered registries must match: a lost flush would lower the \
+         histogram counts, a double-merged one would raise them"
+    );
+    let attr_rows = |label: &str, r: &JobResult| -> Vec<(u32, u32, u32)> {
+        r.attribution
+            .as_ref()
+            .unwrap_or_else(|| panic!("{label}: result lacks attribution"))
+            .rows
+            .iter()
+            .map(|row| (row.subgraph.0, row.timestep, row.invocations))
+            .collect()
+    };
+    let local_attr = attr_rows("local", &local);
+    assert!(
+        !local_attr.is_empty(),
+        "recovered run must carry attribution rows"
+    );
+    assert_eq!(
+        local_attr,
+        attr_rows("tcp", &tcp),
+        "recovered attribution must match per (subgraph, timestep)"
+    );
+}
+
 /// Checkpointing a run that never crashes must not change its output, and
 /// must leave a decodable set of files for every boundary.
 #[test]

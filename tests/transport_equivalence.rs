@@ -17,7 +17,9 @@ use bytes::BufMut;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use tempograph::engine::{Context, Envelope};
+use tempograph::metrics::Metric;
 use tempograph::prelude::*;
+use tempograph::trace::TraceEvent;
 
 const TIMESTEPS: usize = 6;
 
@@ -363,5 +365,373 @@ fn spawned_worker_processes_match_in_process_run() {
         fingerprint(&local),
         fingerprint(&procs),
         "worker processes must be byte-identical to the in-process run"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry-plane equivalence: a TCP run's JobResult must carry the same
+// registry, attribution table, trace, and ledger record as an in-process
+// run — the worker shards cross the wire as Telemetry frames and the
+// coordinator merges them through the same fold paths `run_job` uses.
+// ---------------------------------------------------------------------------
+
+/// Canonical JSON of a result's registry snapshot with clock-measured
+/// content normalised away: counter values are kept verbatim unless the
+/// instrument name ends in `_ns_total` (measured time), histograms keep
+/// only their observation count (observations are durations, but *how
+/// many* were taken is barrier-deterministic — equal counts prove the
+/// shard histograms crossed the wire and merged), gauges keep exact f64
+/// bits (they are ratios of deterministic message counts).
+fn registry_canonical_json(label: &str, r: &JobResult) -> String {
+    let reg = r
+        .registry
+        .as_ref()
+        .unwrap_or_else(|| panic!("{label}: result lacks a registry"));
+    let mut out = String::from("{");
+    for (i, e) in reg.snapshot().metrics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let labels: Vec<String> = e
+            .key
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        let val = match &e.value {
+            Metric::Counter(_) if e.key.name.ends_with("_ns_total") => {
+                "\"measured-ns\"".to_string()
+            }
+            Metric::Counter(c) => c.to_string(),
+            Metric::Gauge(g) => format!("\"gauge-bits:{:016x}\"", g.to_bits()),
+            Metric::Histogram(h) => format!("{{\"count\":{}}}", h.count()),
+        };
+        out.push_str(&format!("\"{}[{}]\":{val}", e.key.name, labels.join(",")));
+    }
+    out.push('}');
+    out
+}
+
+/// The per-(subgraph, timestep) attribution table with the measured
+/// nanoseconds dropped — invocation counts are deterministic.
+fn attribution_rows(label: &str, r: &JobResult) -> Vec<(u32, u32, u32)> {
+    let attr = r
+        .attribution
+        .as_ref()
+        .unwrap_or_else(|| panic!("{label}: result lacks an attribution table"));
+    assert!(
+        !attr.rows.is_empty(),
+        "{label}: attribution table must not be empty"
+    );
+    attr.rows
+        .iter()
+        .map(|row| (row.subgraph.0, row.timestep, row.invocations))
+        .collect()
+}
+
+/// A stripped, seeded ledger record's canonical JSON — the exact bytes
+/// `tempograph run --ledger --deterministic true` persists.
+fn stripped_record_json(
+    algo: &str,
+    pattern: &str,
+    pg: &Arc<PartitionedGraph>,
+    r: &JobResult,
+) -> String {
+    let fp = ConfigFingerprint {
+        algorithm: algo.to_string(),
+        pattern: pattern.to_string(),
+        partitions: pg.num_partitions() as u32,
+        subgraphs: pg.subgraphs().len() as u32,
+        timesteps: TIMESTEPS as u32,
+        start_time: 0,
+        period: 50,
+        seed: 0xCAFE_F00D,
+        dataset: format!("telemetry-eq-{algo}"),
+        env: ConfigFingerprint::host_env(),
+    };
+    let mut rec = RunRecord::from_result(fp, r);
+    rec.strip_nondeterminism();
+    rec.to_value().write_pretty()
+}
+
+/// Per-worker-track multiset of span names. Clock domains differ between
+/// an in-process run and TCP worker threads/processes, so timestamps are
+/// not comparable — but the *set* of spans each worker records is, since
+/// both transports drive the identical executor. Driver tracks (id ≥ k)
+/// are skipped (transport-specific bookkeeping), as are `net.*` events
+/// (transport-layer instrumentation the in-process path never emits).
+fn worker_span_multisets(
+    label: &str,
+    r: &JobResult,
+    k: usize,
+) -> BTreeMap<u32, BTreeMap<&'static str, usize>> {
+    let trace = r
+        .trace
+        .as_ref()
+        .unwrap_or_else(|| panic!("{label}: result lacks a trace"));
+    trace
+        .validate()
+        .unwrap_or_else(|e| panic!("{label}: trace validation failed: {e}"));
+    let mut out = BTreeMap::new();
+    for t in &trace.tracks {
+        if t.track >= k as u32 {
+            continue;
+        }
+        let names: &mut BTreeMap<&'static str, usize> = out.entry(t.track).or_default();
+        for ev in &t.events {
+            if let TraceEvent::Span { name, .. } = ev {
+                if !name.starts_with("net.") {
+                    *names.entry(name).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Drive one algorithm through all three transports with full
+/// observability armed and require the merged telemetry identical.
+/// The process leg arms the workers via the CLI's `--observe true`
+/// (trace stays coordinator-side only — the `worker` subcommand has no
+/// trace flag — so the trace comparison covers inprocess vs tcp).
+#[allow(clippy::too_many_arguments)]
+fn assert_telemetry_equivalent<P, F>(
+    algo: &str,
+    pattern: &str,
+    k: usize,
+    pg: &Arc<PartitionedGraph>,
+    src: &InstanceSource,
+    factory: F,
+    mk_cfg: impl Fn() -> JobConfig<P::Msg>,
+    proc_worker_args: Option<Vec<String>>,
+) where
+    P: SubgraphProgram,
+    F: Fn(&Subgraph, &PartitionedGraph) -> P + Send + Sync,
+{
+    let label = format!("{algo}-k{k}");
+    let obs = |cfg: JobConfig<P::Msg>| cfg.with_metrics().with_attribution();
+
+    let local = run_job(
+        pg,
+        src,
+        &factory,
+        obs(mk_cfg()).with_trace(TraceConfig::new()),
+    );
+    let tcp = run_job_tcp(
+        pg,
+        src,
+        &factory,
+        obs(mk_cfg()).with_trace(TraceConfig::new()),
+        Cluster::Threads,
+    )
+    .unwrap_or_else(|e| panic!("{label}: tcp job failed: {e}"));
+
+    assert_eq!(
+        fingerprint(&local),
+        fingerprint(&tcp),
+        "{label}: TCP result must be byte-identical"
+    );
+    assert_eq!(
+        registry_canonical_json(&format!("{label}-local"), &local),
+        registry_canonical_json(&format!("{label}-tcp"), &tcp),
+        "{label}: merged registry must match the in-process fold"
+    );
+    assert_eq!(
+        attribution_rows(&format!("{label}-local"), &local),
+        attribution_rows(&format!("{label}-tcp"), &tcp),
+        "{label}: per-(subgraph, timestep) attribution must match"
+    );
+    assert_eq!(
+        stripped_record_json(algo, pattern, pg, &local),
+        stripped_record_json(algo, pattern, pg, &tcp),
+        "{label}: stripped ledger records must be byte-identical"
+    );
+    // Shard histograms really crossed the wire: the merged distribution
+    // holds one compute observation per superstep per worker.
+    let h = tcp
+        .registry
+        .as_ref()
+        .unwrap()
+        .snapshot()
+        .get("tempograph_superstep_compute_ns", &[])
+        .cloned()
+        .unwrap_or_else(|| panic!("{label}: merged registry lacks the compute histogram"));
+    match h {
+        Metric::Histogram(h) => assert!(h.count() > 0, "{label}: compute histogram is empty"),
+        other => panic!("{label}: expected a histogram, got {other:?}"),
+    }
+    let local_spans = worker_span_multisets(&format!("{label}-local"), &local, k);
+    let tcp_spans = worker_span_multisets(&format!("{label}-tcp"), &tcp, k);
+    assert!(
+        local_spans.values().any(|m| !m.is_empty()),
+        "{label}: in-process trace recorded no worker spans"
+    );
+    assert_eq!(
+        local_spans, tcp_spans,
+        "{label}: per-worker span multisets must match modulo clock domains"
+    );
+
+    if let Some(worker_args) = proc_worker_args {
+        let procs = run_job_tcp(
+            pg,
+            src,
+            &factory,
+            obs(mk_cfg()),
+            Cluster::Processes {
+                worker_bin: env!("CARGO_BIN_EXE_tempograph").into(),
+                worker_args,
+            },
+        )
+        .unwrap_or_else(|e| panic!("{label}: process-cluster job failed: {e}"));
+        assert_eq!(
+            fingerprint(&local),
+            fingerprint(&procs),
+            "{label}: process-cluster result must be byte-identical"
+        );
+        assert_eq!(
+            registry_canonical_json(&format!("{label}-local"), &local),
+            registry_canonical_json(&format!("{label}-procs"), &procs),
+            "{label}: process-cluster registry must match the in-process fold"
+        );
+        assert_eq!(
+            attribution_rows(&format!("{label}-local"), &local),
+            attribution_rows(&format!("{label}-procs"), &procs),
+            "{label}: process-cluster attribution must match"
+        );
+        assert_eq!(
+            stripped_record_json(algo, pattern, pg, &local),
+            stripped_record_json(algo, pattern, pg, &procs),
+            "{label}: process-cluster ledger record must be byte-identical"
+        );
+    }
+}
+
+/// Write `coll` as a GoFS store partitioned `k` ways and reopen it the
+/// way worker processes will.
+fn gofs_fixture(
+    tag: &str,
+    t: &Arc<GraphTemplate>,
+    coll: &Arc<TimeSeriesCollection>,
+    k: usize,
+) -> (std::path::PathBuf, Arc<PartitionedGraph>, InstanceSource) {
+    let dir = std::env::temp_dir().join(format!("telemetry-eq-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let pg = partitioned(t, k);
+    tempograph::gofs::store::write_dataset(&dir, pg, coll, 2, 2).unwrap();
+    let store = GofsStore::open(&dir).unwrap();
+    let pg = Arc::new(store.partitioned_graph());
+    let src = InstanceSource::Gofs(dir.clone());
+    (dir, pg, src)
+}
+
+/// HASH (eventually dependent, Merge-BSP convergecast) ships telemetry
+/// identically over all three transports at 3 and 6 partitions.
+#[test]
+fn hashtag_telemetry_is_transport_equivalent_at_3_and_6_partitions() {
+    if !sockets_available() {
+        return;
+    }
+    let (t, src, _) = tweet_fixture();
+    let InstanceSource::Memory(coll) = &src else {
+        unreachable!()
+    };
+    let tweets_col = t.vertex_schema().index_of(TWEETS_ATTR).unwrap();
+    for k in [3, 6] {
+        let (dir, pg, gofs_src) = gofs_fixture(&format!("hash-k{k}"), &t, coll, k);
+        let worker_args = vec![
+            "worker".into(),
+            "--data".into(),
+            dir.to_str().unwrap().into(),
+            "--algo".into(),
+            "hash".into(),
+            "--timesteps".into(),
+            TIMESTEPS.to_string(),
+            "--meme".into(),
+            "#meme".into(),
+            "--observe".into(),
+            "true".into(),
+        ];
+        assert_telemetry_equivalent(
+            "hash",
+            "eventually-dependent",
+            k,
+            &pg,
+            &gofs_src,
+            HashtagAggregation::factory("#meme", tweets_col),
+            || JobConfig::eventually_dependent(TIMESTEPS),
+            Some(worker_args),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// TDSP (sequentially dependent, while-active) ships telemetry
+/// identically over all three transports at 3 and 6 partitions.
+#[test]
+fn tdsp_telemetry_is_transport_equivalent_at_3_and_6_partitions() {
+    if !sockets_available() {
+        return;
+    }
+    let (t, src) = road_fixture();
+    let InstanceSource::Memory(coll) = &src else {
+        unreachable!()
+    };
+    let lat_col = t.edge_schema().index_of(LATENCY_ATTR).unwrap();
+    for k in [3, 6] {
+        let (dir, pg, gofs_src) = gofs_fixture(&format!("tdsp-k{k}"), &t, coll, k);
+        let worker_args = vec![
+            "worker".into(),
+            "--data".into(),
+            dir.to_str().unwrap().into(),
+            "--algo".into(),
+            "tdsp".into(),
+            "--timesteps".into(),
+            TIMESTEPS.to_string(),
+            "--source".into(),
+            "0".into(),
+            "--observe".into(),
+            "true".into(),
+        ];
+        assert_telemetry_equivalent(
+            "tdsp",
+            "sequentially-dependent",
+            k,
+            &pg,
+            &gofs_src,
+            Tdsp::factory(VertexIdx(0), lat_col),
+            || JobConfig::sequentially_dependent(TIMESTEPS).while_active(TIMESTEPS),
+            Some(worker_args),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// With no observability armed, a TCP job result carries no trace, no
+/// registry, and no attribution — and the coordinator would reject any
+/// Telemetry frame with a protocol error, so equal results also prove no
+/// telemetry frames were sent.
+#[test]
+fn disabled_observability_ships_no_telemetry() {
+    if !sockets_available() {
+        return;
+    }
+    let (t, src) = road_fixture();
+    let pg = partitioned(&t, 3);
+    let tcp = run_job_tcp(
+        &pg,
+        &src,
+        Wcc::factory(),
+        JobConfig::independent(1),
+        Cluster::Threads,
+    )
+    .expect("disabled-observability tcp job failed");
+    assert!(tcp.trace.is_none(), "unexpected trace on a disabled run");
+    assert!(
+        tcp.registry.is_none(),
+        "unexpected registry on a disabled run"
+    );
+    assert!(
+        tcp.attribution.is_none(),
+        "unexpected attribution on a disabled run"
     );
 }
